@@ -1,0 +1,133 @@
+//! Beam-spot alignment: how much of the quoted flux actually crosses the
+//! die.
+//!
+//! "To evaluate the sensitivity … we align the devices with the beam"
+//! (paper, Section III-C). Real beams have a finite Gaussian spot; a die
+//! offset from the beam axis intercepts less fluence, and the quoted
+//! cross section must be corrected by the intercepted fraction — another
+//! derating, alongside the distance one in [`crate::BeamSetup`].
+
+use serde::{Deserialize, Serialize};
+use tn_physics::stats::erf;
+use tn_physics::units::Length;
+
+/// A 2-D Gaussian beam spot (axially symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeamProfile {
+    sigma: Length,
+}
+
+impl BeamProfile {
+    /// Creates a profile with the given Gaussian width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive.
+    pub fn new(sigma: Length) -> Self {
+        assert!(sigma.value() > 0.0, "beam sigma must be positive");
+        Self { sigma }
+    }
+
+    /// The ChipIR spot (≈ 7×7 cm usable field → σ ≈ 3 cm).
+    pub fn chipir() -> Self {
+        Self::new(Length(3.0))
+    }
+
+    /// The ROTAX spot (narrower thermal beam, σ ≈ 2 cm).
+    pub fn rotax() -> Self {
+        Self::new(Length(2.0))
+    }
+
+    /// Gaussian width.
+    pub fn sigma(&self) -> Length {
+        self.sigma
+    }
+
+    /// Fraction of the beam intercepted by a square die of side
+    /// `die_side`, centred at `(dx, dy)` from the beam axis.
+    ///
+    /// Separable Gaussian: the fraction is the product of two 1-D
+    /// interval probabilities.
+    pub fn intercepted_fraction(&self, die_side: Length, dx: Length, dy: Length) -> f64 {
+        let h = die_side.value() / 2.0;
+        let axis = |c: f64| {
+            let s = self.sigma.value() * std::f64::consts::SQRT_2;
+            0.5 * (erf((c + h) / s) - erf((c - h) / s))
+        };
+        axis(dx.value()) * axis(dy.value())
+    }
+
+    /// Effective flux-derating factor for a die relative to perfect
+    /// centred alignment: intercepted fraction at the offset divided by
+    /// the centred fraction (1.0 when perfectly aligned).
+    pub fn alignment_derating(&self, die_side: Length, dx: Length, dy: Length) -> f64 {
+        let centred = self.intercepted_fraction(die_side, Length(0.0), Length(0.0));
+        if centred == 0.0 {
+            0.0
+        } else {
+            self.intercepted_fraction(die_side, dx, dy) / centred
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centred_die_intercepts_the_most() {
+        let beam = BeamProfile::chipir();
+        let die = Length(2.0);
+        let centred = beam.intercepted_fraction(die, Length(0.0), Length(0.0));
+        let offset = beam.intercepted_fraction(die, Length(2.0), Length(0.0));
+        assert!(centred > offset);
+        assert!((0.0..=1.0).contains(&centred));
+    }
+
+    #[test]
+    fn huge_die_catches_the_whole_beam() {
+        let beam = BeamProfile::rotax();
+        let f = beam.intercepted_fraction(Length(100.0), Length(0.0), Length(0.0));
+        assert!((f - 1.0).abs() < 1e-9, "f = {f}");
+    }
+
+    #[test]
+    fn alignment_derating_is_one_when_centred() {
+        let beam = BeamProfile::chipir();
+        let d = beam.alignment_derating(Length(2.0), Length(0.0), Length(0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derating_falls_like_a_gaussian_with_offset() {
+        let beam = BeamProfile::chipir();
+        let die = Length(1.0);
+        let d1 = beam.alignment_derating(die, Length(3.0), Length(0.0));
+        let d2 = beam.alignment_derating(die, Length(6.0), Length(0.0));
+        // One vs two sigma offsets: ratio ≈ exp(-0.5)/exp(-2.0) = e^1.5.
+        assert!(d1 > d2);
+        let ratio = d1 / d2;
+        assert!(
+            (ratio - (1.5f64).exp()).abs() / (1.5f64).exp() < 0.05,
+            "ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn diagonal_offset_separates() {
+        let beam = BeamProfile::rotax();
+        let die = Length(1.0);
+        let fx = beam.intercepted_fraction(die, Length(2.0), Length(0.0));
+        let fy = beam.intercepted_fraction(die, Length(0.0), Length(2.0));
+        let fxy = beam.intercepted_fraction(die, Length(2.0), Length(2.0));
+        let f0 = beam.intercepted_fraction(die, Length(0.0), Length(0.0));
+        // Separability: f(dx,dy)·f(0,0) = f(dx,0)·f(0,dy).
+        assert!((fxy * f0 - fx * fy).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_rejected() {
+        let _ = BeamProfile::new(Length(0.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! The irradiation campaign: device + workload + beam → error counts →
+//! cross sections with confidence intervals.
+//!
+//! The event chain mirrors the physical one:
+//!
+//! 1. the device's **datapath** region upsets at its spectrum-folded rate;
+//!    each upset is filtered through the workload's fault-injection
+//!    profile — masked upsets vanish, the SDC share corrupts the output,
+//!    the DUE share kills the run;
+//! 2. the device's **control** region upsets at its own folded rate;
+//!    every control upset is a DUE;
+//! 3. counts are Poisson-drawn over the beam time, then divided by the
+//!    *quoted* fluence (derated for board distance), exactly the
+//!    estimator a real campaign applies.
+
+use crate::facility::Facility;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tn_devices::response::ErrorClass;
+use tn_devices::Device;
+use tn_fault_injection::InjectionStats;
+use tn_physics::stats::PoissonInterval;
+use tn_physics::units::Seconds;
+
+/// A cross section measured from counts over fluence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredCrossSection {
+    /// Observed error count.
+    pub count: u64,
+    /// Quoted fluence (n/cm², derated).
+    pub fluence: f64,
+    /// Point estimate σ = count / fluence (cm²).
+    pub sigma: f64,
+    /// 95 % confidence bounds on σ.
+    pub ci: (f64, f64),
+}
+
+impl MeasuredCrossSection {
+    /// Builds the estimate from a count and a fluence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluence` is not strictly positive.
+    pub fn from_counts(count: u64, fluence: f64) -> Self {
+        assert!(fluence > 0.0, "fluence must be positive");
+        let interval = PoissonInterval::ninety_five(count);
+        let (sigma, lo, hi) = interval.scaled(fluence);
+        Self {
+            count,
+            fluence,
+            sigma,
+            ci: (lo, hi),
+        }
+    }
+
+    /// Relative width of the confidence interval (`None` for zero counts).
+    pub fn relative_uncertainty(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some((self.ci.1 - self.ci.0) / (2.0 * self.sigma))
+        }
+    }
+}
+
+/// Result of one campaign: a device+workload pair on one beam.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Device name.
+    pub device: String,
+    /// Workload name.
+    pub workload: String,
+    /// Facility name.
+    pub facility: String,
+    /// Beam-on time.
+    pub beam_seconds: f64,
+    /// Measured SDC cross section.
+    pub sdc: MeasuredCrossSection,
+    /// Measured DUE cross section.
+    pub due: MeasuredCrossSection,
+}
+
+/// An irradiation campaign configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign<'a> {
+    facility: Facility,
+    device: &'a Device,
+    workload_name: String,
+    workload_profile: InjectionStats,
+    beam_time: Seconds,
+    derating: f64,
+    seed: u64,
+}
+
+impl<'a> Campaign<'a> {
+    /// Creates a campaign for a device running a workload whose
+    /// fault-injection profile has already been characterised.
+    pub fn new(
+        facility: Facility,
+        device: &'a Device,
+        workload_name: impl Into<String>,
+        workload_profile: InjectionStats,
+    ) -> Self {
+        Self {
+            facility,
+            device,
+            workload_name: workload_name.into(),
+            workload_profile,
+            beam_time: Seconds::from_hours(2.0),
+            derating: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the beam-on time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly positive.
+    pub fn beam_time(mut self, time: Seconds) -> Self {
+        assert!(time.value() > 0.0, "beam time must be positive");
+        self.beam_time = time;
+        self
+    }
+
+    /// Sets the distance derating factor (see [`crate::BeamSetup`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derating` is outside `(0, 1]`.
+    pub fn derating(mut self, derating: f64) -> Self {
+        assert!(
+            derating > 0.0 && derating <= 1.0,
+            "derating must be in (0,1], got {derating}"
+        );
+        self.derating = derating;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expected (noise-free) SDC and DUE rates in events/s.
+    pub fn expected_rates(&self) -> (f64, f64) {
+        let spectrum = self.facility.spectrum();
+        let datapath = self.device.response().event_rate(ErrorClass::Sdc, spectrum) * self.derating;
+        let control = self.device.response().event_rate(ErrorClass::Due, spectrum) * self.derating;
+        let sdc = datapath * self.workload_profile.sdc_fraction();
+        let due = control + datapath * self.workload_profile.due_fraction();
+        (sdc, due)
+    }
+
+    /// Runs the campaign: Poisson-draws counts at the expected rates and
+    /// forms the quoted cross sections.
+    pub fn run(&self) -> CampaignResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (sdc_rate, due_rate) = self.expected_rates();
+        let t = self.beam_time.value();
+        let sdc_count = tn_devices::sampling::poisson(&mut rng, sdc_rate * t);
+        let due_count = tn_devices::sampling::poisson(&mut rng, due_rate * t);
+        let fluence = self.facility.quoted_fluence(self.beam_time) * self.derating;
+        CampaignResult {
+            device: self.device.name().to_string(),
+            workload: self.workload_name.clone(),
+            facility: self.facility.name().to_string(),
+            beam_seconds: t,
+            sdc: MeasuredCrossSection::from_counts(sdc_count, fluence),
+            due: MeasuredCrossSection::from_counts(due_count, fluence),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_devices::catalog;
+
+    fn profile() -> InjectionStats {
+        InjectionStats {
+            masked: 400,
+            sdc: 500,
+            due: 100,
+        }
+    }
+
+    #[test]
+    fn cross_section_estimator() {
+        let m = MeasuredCrossSection::from_counts(100, 1e12);
+        assert!((m.sigma - 1e-10).abs() < 1e-20);
+        assert!(m.ci.0 < m.sigma && m.sigma < m.ci.1);
+        assert!(m.relative_uncertainty().unwrap() < 0.25);
+        assert!(MeasuredCrossSection::from_counts(0, 1.0)
+            .relative_uncertainty()
+            .is_none());
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let k20 = catalog::nvidia_k20();
+        let a = Campaign::new(Facility::chipir(), &k20, "MxM", profile()).seed(3).run();
+        let b = Campaign::new(Facility::chipir(), &k20, "MxM", profile()).seed(3).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_scale_with_beam_time() {
+        let k20 = catalog::nvidia_k20();
+        let short = Campaign::new(Facility::chipir(), &k20, "MxM", profile())
+            .beam_time(Seconds::from_hours(0.5))
+            .seed(1)
+            .run();
+        let long = Campaign::new(Facility::chipir(), &k20, "MxM", profile())
+            .beam_time(Seconds::from_hours(8.0))
+            .seed(1)
+            .run();
+        assert!(long.sdc.count > 4 * short.sdc.count.max(1) / 2);
+        // The cross section itself is time-invariant (within noise).
+        let rel = (long.sdc.sigma - short.sdc.sigma).abs() / long.sdc.sigma;
+        assert!(rel < 0.5, "rel = {rel}");
+    }
+
+    #[test]
+    fn derating_preserves_cross_section() {
+        // Half the flux, half the counts, same sigma: the derating must be
+        // applied to BOTH event rates and the quoted fluence.
+        let k20 = catalog::nvidia_k20();
+        let near = Campaign::new(Facility::chipir(), &k20, "MxM", profile())
+            .beam_time(Seconds::from_hours(20.0))
+            .seed(5)
+            .run();
+        let far = Campaign::new(Facility::chipir(), &k20, "MxM", profile())
+            .beam_time(Seconds::from_hours(20.0))
+            .derating(0.25)
+            .seed(6)
+            .run();
+        let rel = (near.sdc.sigma - far.sdc.sigma).abs() / near.sdc.sigma;
+        assert!(rel < 0.3, "near {:e} far {:e}", near.sdc.sigma, far.sdc.sigma);
+    }
+
+    #[test]
+    fn chipir_vs_rotax_ratio_lands_on_the_device_target() {
+        // The headline mechanism: a K20 campaign pair must reproduce the
+        // fitted HE/thermal SDC ratio ≈ 2 within counting error.
+        let k20 = catalog::nvidia_k20();
+        let chipir = Campaign::new(Facility::chipir(), &k20, "MxM", profile())
+            .beam_time(Seconds::from_hours(30.0))
+            .seed(7)
+            .run();
+        let rotax = Campaign::new(Facility::rotax(), &k20, "MxM", profile())
+            .beam_time(Seconds::from_hours(30.0))
+            .seed(8)
+            .run();
+        let ratio = chipir.sdc.sigma / rotax.sdc.sigma;
+        assert!((1.5..2.6).contains(&ratio), "SDC ratio = {ratio}");
+    }
+
+    #[test]
+    fn fpga_campaign_yields_no_dues() {
+        let fpga = catalog::xilinx_zynq();
+        let no_due_profile = InjectionStats {
+            masked: 500,
+            sdc: 500,
+            due: 0,
+        };
+        let result = Campaign::new(Facility::rotax(), &fpga, "MNIST", no_due_profile)
+            .beam_time(Seconds::from_hours(10.0))
+            .seed(9)
+            .run();
+        assert_eq!(result.due.count, 0);
+        assert!(result.sdc.count > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "derating must be in")]
+    fn invalid_derating_rejected() {
+        let k20 = catalog::nvidia_k20();
+        let _ = Campaign::new(Facility::chipir(), &k20, "MxM", profile()).derating(1.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! The two ISIS beamlines as spectral + flux models.
+
+use serde::{Deserialize, Serialize};
+use tn_physics::spectrum::{chipir_reference, rotax_reference};
+use tn_physics::units::{Flux, Seconds};
+use tn_physics::{EnergyBand, Spectrum};
+
+/// Which band a facility quotes its fluence in — real campaigns divide
+/// error counts by the *quoted* fluence, not the total one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotingConvention {
+    /// Fluence counted above 10 MeV (ChipIR, atmospheric-like practice).
+    HighEnergy,
+    /// Fluence counted below the cadmium cut-off (thermal beams).
+    Thermal,
+}
+
+/// An irradiation facility: a spectrum plus the fluence-quoting band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Facility {
+    spectrum: Spectrum,
+    quoting: QuotingConvention,
+}
+
+impl Facility {
+    /// ChipIR: the atmospheric-like fast beam
+    /// (5.4×10⁶ n/cm²/s > 10 MeV, 4×10⁵ thermal component).
+    pub fn chipir() -> Self {
+        Self {
+            spectrum: chipir_reference(),
+            quoting: QuotingConvention::HighEnergy,
+        }
+    }
+
+    /// ROTAX: the liquid-methane-moderated thermal beam
+    /// (2.72×10⁶ n/cm²/s).
+    pub fn rotax() -> Self {
+        Self {
+            spectrum: rotax_reference(),
+            quoting: QuotingConvention::Thermal,
+        }
+    }
+
+    /// Facility name.
+    pub fn name(&self) -> &str {
+        self.spectrum.name()
+    }
+
+    /// The beam spectrum.
+    pub fn spectrum(&self) -> &Spectrum {
+        &self.spectrum
+    }
+
+    /// The fluence-quoting convention.
+    pub fn quoting(&self) -> QuotingConvention {
+        self.quoting
+    }
+
+    /// Flux in the quoted band.
+    pub fn quoted_flux(&self) -> Flux {
+        match self.quoting {
+            QuotingConvention::HighEnergy => self.spectrum.flux_in(EnergyBand::HighEnergy),
+            QuotingConvention::Thermal => self.spectrum.flux_in(EnergyBand::Thermal),
+        }
+    }
+
+    /// Quoted fluence accumulated over a beam time (at unit derating).
+    pub fn quoted_fluence(&self, time: Seconds) -> f64 {
+        self.quoted_flux().value() * time.value()
+    }
+
+    /// Flux above 10 MeV.
+    pub fn high_energy_flux(&self) -> Flux {
+        self.spectrum.flux_in(EnergyBand::HighEnergy)
+    }
+
+    /// Flux below the cadmium cut-off.
+    pub fn thermal_flux(&self) -> Flux {
+        self.spectrum.flux_in(EnergyBand::Thermal)
+    }
+
+    /// Acceleration factor relative to a natural field: quoted beam flux
+    /// over the natural flux in the same band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `natural` is not strictly positive.
+    pub fn acceleration_factor(&self, natural: Flux) -> f64 {
+        assert!(natural.value() > 0.0, "natural flux must be positive");
+        self.quoted_flux() / natural
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_physics::constants::NYC_HIGH_ENERGY_FLUX;
+
+    #[test]
+    fn chipir_quotes_high_energy() {
+        let f = Facility::chipir();
+        assert_eq!(f.quoting(), QuotingConvention::HighEnergy);
+        assert!((f.quoted_flux().value() - 5.4e6).abs() / 5.4e6 < 0.02);
+        assert_eq!(f.name(), "ChipIR");
+    }
+
+    #[test]
+    fn rotax_quotes_thermal() {
+        let f = Facility::rotax();
+        assert_eq!(f.quoting(), QuotingConvention::Thermal);
+        assert!((f.quoted_flux().value() - 2.72e6).abs() / 2.72e6 < 0.03);
+        assert_eq!(f.name(), "ROTAX");
+    }
+
+    #[test]
+    fn chipir_acceleration_is_about_1e9_over_nyc() {
+        // The classic "one beam hour is centuries in the field" number.
+        let accel = Facility::chipir().acceleration_factor(NYC_HIGH_ENERGY_FLUX);
+        assert!(accel > 1e8 && accel < 1e10, "accel = {accel:e}");
+    }
+
+    #[test]
+    fn quoted_fluence_scales_with_time() {
+        let f = Facility::rotax();
+        let one = f.quoted_fluence(Seconds(100.0));
+        let two = f.quoted_fluence(Seconds(200.0));
+        assert!((two - 2.0 * one).abs() < 1e-6 * two);
+    }
+
+    #[test]
+    fn chipir_has_a_real_thermal_component() {
+        // The paper quotes 4e5 thermal at ChipIR; our model must keep it.
+        let th = Facility::chipir().thermal_flux().value();
+        assert!(th > 3.5e5 && th < 5.5e5, "thermal = {th:e}");
+    }
+}

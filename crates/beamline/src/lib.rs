@@ -1,0 +1,41 @@
+//! # tn-beamline — accelerated irradiation campaigns
+//!
+//! Simulation of the two ISIS beamlines the paper used and of the
+//! experimental procedure itself:
+//!
+//! * [`Facility::chipir`] — atmospheric-like fast spectrum,
+//!   5.4×10⁶ n/cm²/s above 10 MeV plus a 4×10⁵ thermal component;
+//! * [`Facility::rotax`] — liquid-methane-moderated thermal beam,
+//!   2.72×10⁶ n/cm²/s.
+//!
+//! A [`Campaign`] aligns a device (with its workload) to a beam, runs for
+//! a configured beam time, draws Poisson error counts from the device's
+//! spectrum-folded response scaled by the workload's fault-injection
+//! profile, and reports SDC/DUE cross sections with exact 95 % confidence
+//! intervals — the same arithmetic as a real beam test.
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_beamline::Facility;
+//!
+//! let chipir = Facility::chipir();
+//! let rotax = Facility::rotax();
+//! assert!(chipir.high_energy_flux().value() > rotax.high_energy_flux().value());
+//! assert!(rotax.thermal_flux().value() > chipir.thermal_flux().value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod alignment;
+pub mod campaign;
+pub mod facility;
+pub mod setup;
+pub mod shift;
+
+pub use alignment::BeamProfile;
+pub use campaign::{Campaign, CampaignResult, MeasuredCrossSection};
+pub use facility::Facility;
+pub use setup::{BeamSetup, BoardSlot};
+pub use shift::{BeamShift, DdrRunEnd, DoseLog};

@@ -1,0 +1,152 @@
+//! Physical experiment setup: board alignment and distance derating.
+//!
+//! At ChipIR several boards are aligned with the beam one behind the
+//! other (Figure 3); boards further from the aperture see a reduced,
+//! divergence-derated flux. At ROTAX the device under test stops most of
+//! the incoming thermal neutrons, so only one board can be tested at a
+//! time — encoded here as a hard setup rule.
+
+use serde::{Deserialize, Serialize};
+
+/// One board position in the beam.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardSlot {
+    /// Label (device name).
+    pub label: String,
+    /// Distance from the beam aperture in metres.
+    pub distance_m: f64,
+}
+
+/// A beam-hall arrangement of boards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamSetup {
+    slots: Vec<BoardSlot>,
+    /// Whether the beam is stopped by the first board (thermal beams).
+    opaque_targets: bool,
+}
+
+impl BeamSetup {
+    /// Reference distance at which the quoted flux applies.
+    const REFERENCE_DISTANCE_M: f64 = 1.0;
+
+    /// A ChipIR-style multi-board setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or any distance is below the reference
+    /// distance.
+    pub fn chipir_style(slots: Vec<BoardSlot>) -> Self {
+        assert!(!slots.is_empty(), "setup needs at least one board");
+        assert!(
+            slots.iter().all(|s| s.distance_m >= Self::REFERENCE_DISTANCE_M),
+            "boards cannot sit inside the reference distance"
+        );
+        Self {
+            slots,
+            opaque_targets: false,
+        }
+    }
+
+    /// A ROTAX-style single-board setup: thermal neutrons are stopped by
+    /// the device, so exactly one board is allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one slot is given.
+    pub fn rotax_style(slot: BoardSlot) -> Self {
+        assert!(
+            slot.distance_m >= Self::REFERENCE_DISTANCE_M,
+            "board cannot sit inside the reference distance"
+        );
+        Self {
+            slots: vec![slot],
+            opaque_targets: true,
+        }
+    }
+
+    /// The boards in beam order.
+    pub fn slots(&self) -> &[BoardSlot] {
+        &self.slots
+    }
+
+    /// Whether this setup can legally host more than one board.
+    pub fn supports_multiple_boards(&self) -> bool {
+        !self.opaque_targets
+    }
+
+    /// Tries to add a board; fails on thermal setups (the paper: "In
+    /// ROTAX … we must test one device at a time").
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected slot when the setup's targets are opaque to
+    /// the beam.
+    pub fn add_board(&mut self, slot: BoardSlot) -> Result<(), BoardSlot> {
+        if self.opaque_targets {
+            return Err(slot);
+        }
+        self.slots.push(slot);
+        Ok(())
+    }
+
+    /// Flux derating factor for the board at `index`: inverse-square
+    /// divergence from the reference distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn derating(&self, index: usize) -> f64 {
+        let slot = &self.slots[index];
+        (Self::REFERENCE_DISTANCE_M / slot.distance_m).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(label: &str, d: f64) -> BoardSlot {
+        BoardSlot {
+            label: label.to_string(),
+            distance_m: d,
+        }
+    }
+
+    #[test]
+    fn chipir_hosts_multiple_boards_with_derating() {
+        let setup = BeamSetup::chipir_style(vec![slot("K20", 1.0), slot("TitanX", 2.0)]);
+        assert!(setup.supports_multiple_boards());
+        assert_eq!(setup.derating(0), 1.0);
+        assert_eq!(setup.derating(1), 0.25);
+    }
+
+    #[test]
+    fn rotax_rejects_a_second_board() {
+        let mut setup = BeamSetup::rotax_style(slot("TitanV", 1.0));
+        assert!(!setup.supports_multiple_boards());
+        let rejected = setup.add_board(slot("K20", 2.0));
+        assert!(rejected.is_err());
+        assert_eq!(setup.slots().len(), 1);
+    }
+
+    #[test]
+    fn chipir_accepts_additional_boards() {
+        let mut setup = BeamSetup::chipir_style(vec![slot("K20", 1.0)]);
+        assert!(setup.add_board(slot("APU", 1.5)).is_ok());
+        assert_eq!(setup.slots().len(), 2);
+    }
+
+    #[test]
+    fn derating_decreases_with_distance() {
+        let setup =
+            BeamSetup::chipir_style(vec![slot("a", 1.0), slot("b", 1.5), slot("c", 3.0)]);
+        assert!(setup.derating(0) > setup.derating(1));
+        assert!(setup.derating(1) > setup.derating(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the reference distance")]
+    fn too_close_board_rejected() {
+        let _ = BeamSetup::chipir_style(vec![slot("x", 0.5)]);
+    }
+}

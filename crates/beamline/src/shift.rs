@@ -1,0 +1,243 @@
+//! A beam *shift*: the operational layer of a campaign — scheduled runs,
+//! beam-current wobble, dosimetry logging, and the abort rule that ended
+//! the paper's DDR run at ChipIR ("after few minutes of irradiation …
+//! a high number of permanent faults, impeding further data collection").
+
+use crate::campaign::CampaignResult;
+use crate::facility::Facility;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tn_devices::ddr::{classify, ClassifiedErrors, CorrectLoop, DdrModule};
+use tn_physics::units::{Flux, Seconds};
+
+/// One dosimetry entry: fluence delivered during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoseEntry {
+    /// What was in the beam.
+    pub target: String,
+    /// Start time within the shift (s).
+    pub start: f64,
+    /// Run length (s).
+    pub duration: f64,
+    /// Quoted fluence delivered (n/cm²), including current wobble.
+    pub fluence: f64,
+}
+
+/// The dosimetry log of a shift.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DoseLog {
+    entries: Vec<DoseEntry>,
+}
+
+impl DoseLog {
+    /// All entries in chronological order.
+    pub fn entries(&self) -> &[DoseEntry] {
+        &self.entries
+    }
+
+    /// Total quoted fluence delivered across the shift.
+    pub fn total_fluence(&self) -> f64 {
+        self.entries.iter().map(|e| e.fluence).sum()
+    }
+
+    /// Total beam-on seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|e| e.duration).sum()
+    }
+}
+
+/// How a DDR run on this shift ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DdrRunEnd {
+    /// Ran its allotted time.
+    Completed(ClassifiedErrors),
+    /// Aborted because accumulated permanent faults crossed the limit —
+    /// the ChipIR outcome.
+    Aborted {
+        /// Seconds of beam before the abort.
+        after: f64,
+        /// Permanent faults accumulated at abort time.
+        permanent_faults: u64,
+    },
+}
+
+/// A shift at one facility: runs accumulate into a dosimetry log.
+#[derive(Debug)]
+pub struct BeamShift {
+    facility: Facility,
+    /// RMS relative wobble of the beam current around nominal (ISIS
+    /// operates within a few percent).
+    current_wobble: f64,
+    clock: f64,
+    log: DoseLog,
+    rng: StdRng,
+}
+
+impl BeamShift {
+    /// Permanent-fault count at which a memory run is abandoned.
+    pub const DDR_PERMANENT_LIMIT: u64 = 50;
+
+    /// Opens a shift.
+    pub fn new(facility: Facility, seed: u64) -> Self {
+        Self {
+            facility,
+            current_wobble: 0.03,
+            clock: 0.0,
+            log: DoseLog::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The dosimetry log so far.
+    pub fn dose_log(&self) -> &DoseLog {
+        &self.log
+    }
+
+    /// Current shift clock (s).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Samples the wobbled beam flux for one run.
+    fn wobbled_flux(&mut self) -> Flux {
+        let wobble = 1.0 + self.current_wobble * (2.0 * self.rng.gen::<f64>() - 1.0);
+        self.facility.quoted_flux() * wobble
+    }
+
+    /// Logs an arbitrary device run of `duration` and returns the quoted
+    /// fluence it received.
+    pub fn expose(&mut self, target: impl Into<String>, duration: Seconds) -> f64 {
+        let flux = self.wobbled_flux();
+        let fluence = flux.value() * duration.value();
+        self.log.entries.push(DoseEntry {
+            target: target.into(),
+            start: self.clock,
+            duration: duration.value(),
+            fluence,
+        });
+        self.clock += duration.value();
+        fluence
+    }
+
+    /// Runs a DDR module on this beam with the abort rule armed.
+    ///
+    /// On a thermal beam the module survives its whole slot and the read
+    /// log is classified; on ChipIR the permanent-damage rate crosses
+    /// [`Self::DDR_PERMANENT_LIMIT`] within minutes and the run aborts.
+    pub fn run_ddr(&mut self, module: DdrModule, slot: Seconds, seed: u64) -> DdrRunEnd {
+        let is_fast_beam = self.facility.high_energy_flux().value()
+            > self.facility.thermal_flux().value();
+        if is_fast_beam {
+            // Permanent damage accrues at the fast-beam rate.
+            let rate = module.he_permanent_rate(self.facility.high_energy_flux());
+            let t_abort = Self::DDR_PERMANENT_LIMIT as f64 / rate;
+            if t_abort < slot.value() {
+                self.expose(format!("{} (aborted)", module.generation()), Seconds(t_abort));
+                return DdrRunEnd::Aborted {
+                    after: t_abort,
+                    permanent_faults: Self::DDR_PERMANENT_LIMIT,
+                };
+            }
+        }
+        self.expose(module.generation().to_string(), slot);
+        let mut tester = CorrectLoop::new(module, seed);
+        let log = tester.run(self.facility.thermal_flux(), slot, Seconds(10.0));
+        DdrRunEnd::Completed(classify(&log))
+    }
+
+    /// Attaches an existing campaign result to the dosimetry log (for
+    /// compute devices measured through [`crate::Campaign`]).
+    pub fn log_campaign(&mut self, result: &CampaignResult) {
+        self.log.entries.push(DoseEntry {
+            target: format!("{} / {}", result.device, result.workload),
+            start: self.clock,
+            duration: result.beam_seconds,
+            fluence: result.sdc.fluence,
+        });
+        self.clock += result.beam_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dosimetry_accumulates_runs() {
+        let mut shift = BeamShift::new(Facility::chipir(), 1);
+        shift.expose("K20", Seconds::from_hours(1.0));
+        shift.expose("TitanX", Seconds::from_hours(2.0));
+        assert_eq!(shift.dose_log().entries().len(), 2);
+        assert!((shift.dose_log().total_seconds() - 3.0 * 3600.0).abs() < 1e-9);
+        assert!((shift.clock() - 3.0 * 3600.0).abs() < 1e-9);
+        // Fluence within wobble of nominal.
+        let nominal = Facility::chipir().quoted_flux().value() * 3.0 * 3600.0;
+        let measured = shift.dose_log().total_fluence();
+        assert!((measured / nominal - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ddr_at_chipir_aborts_in_minutes() {
+        let mut shift = BeamShift::new(Facility::chipir(), 2);
+        let end = shift.run_ddr(DdrModule::ddr3(), Seconds::from_hours(2.0), 3);
+        match end {
+            DdrRunEnd::Aborted {
+                after,
+                permanent_faults,
+            } => {
+                assert!(after < 600.0, "aborted after {after} s");
+                assert_eq!(permanent_faults, BeamShift::DDR_PERMANENT_LIMIT);
+            }
+            DdrRunEnd::Completed(_) => panic!("ChipIR DDR run must abort"),
+        }
+    }
+
+    #[test]
+    fn ddr_at_rotax_completes_with_data() {
+        let mut shift = BeamShift::new(Facility::rotax(), 4);
+        let end = shift.run_ddr(DdrModule::ddr3(), Seconds::from_hours(1.0), 5);
+        match end {
+            DdrRunEnd::Completed(classified) => {
+                assert!(classified.total() > 0, "{classified:?}");
+            }
+            DdrRunEnd::Aborted { .. } => panic!("ROTAX DDR run must complete"),
+        }
+    }
+
+    #[test]
+    fn campaign_results_are_logged_with_their_fluence() {
+        use crate::campaign::Campaign;
+        use tn_devices::catalog;
+        use tn_fault_injection::InjectionStats;
+        let k20 = catalog::nvidia_k20();
+        let profile = InjectionStats {
+            masked: 400,
+            sdc: 500,
+            due: 100,
+        };
+        let result = Campaign::new(Facility::chipir(), &k20, "MxM", profile)
+            .beam_time(Seconds::from_hours(1.0))
+            .seed(9)
+            .run();
+        let mut shift = BeamShift::new(Facility::chipir(), 10);
+        shift.log_campaign(&result);
+        let entry = &shift.dose_log().entries()[0];
+        assert!(entry.target.contains("NVIDIA K20"));
+        assert!(entry.target.contains("MxM"));
+        assert_eq!(entry.fluence, result.sdc.fluence);
+        assert_eq!(shift.clock(), result.beam_seconds);
+    }
+
+    #[test]
+    fn wobble_varies_but_stays_bounded() {
+        let mut shift = BeamShift::new(Facility::rotax(), 6);
+        let fluences: Vec<f64> = (0..20)
+            .map(|i| shift.expose(format!("run {i}"), Seconds(100.0)))
+            .collect();
+        let min = fluences.iter().copied().fold(f64::MAX, f64::min);
+        let max = fluences.iter().copied().fold(f64::MIN, f64::max);
+        assert!(max > min, "wobble must vary");
+        assert!(max / min < 1.1, "wobble out of spec: {min}..{max}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # tn-bench — table/figure regeneration harnesses
+//!
+//! Each Criterion bench in `benches/` regenerates one table or figure of
+//! the paper (see DESIGN.md's per-experiment index) and prints the
+//! paper-reported value next to the measured one. This crate hosts the
+//! small shared formatting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+/// Prints a standard experiment header.
+pub fn header(experiment: &str, paper_artifact: &str) {
+    println!("\n================================================================");
+    println!("{experiment} — regenerates {paper_artifact}");
+    println!("================================================================");
+}
+
+/// Formats a paper-vs-measured row.
+pub fn row(label: &str, paper: &str, measured: &str) {
+    println!("{label:<44} paper: {paper:<16} measured: {measured}");
+}
+
+/// Formats a ratio with a check against an expected band.
+pub fn ratio_row(label: &str, paper: f64, measured: f64, tolerance_factor: f64) {
+    let ok = measured > paper / tolerance_factor && measured < paper * tolerance_factor;
+    let mark = if ok { "ok" } else { "DEVIATES" };
+    println!("{label:<44} paper: {paper:<10.2} measured: {measured:<10.2} [{mark}]");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_do_not_panic() {
+        super::header("FIG5", "cross-section ratios");
+        super::row("Xeon Phi SDC", "10.14", "9.8");
+        super::ratio_row("Xeon Phi SDC", 10.14, 9.8, 2.0);
+        super::ratio_row("Xeon Phi SDC", 10.14, 1.0, 2.0);
+    }
+}

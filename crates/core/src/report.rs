@@ -1,0 +1,246 @@
+//! Study results: per-device campaign collections, ratio extraction and
+//! FIT folding — the data behind Figures 1, 5 and the FIT analysis.
+
+use serde::{Deserialize, Serialize};
+use tn_beamline::CampaignResult;
+use tn_environment::Environment;
+use tn_fit::DeviceFit;
+use tn_physics::units::CrossSection;
+
+/// All campaign results for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device name.
+    pub name: String,
+    /// ChipIR (high-energy) campaigns, one per workload.
+    pub chipir: Vec<CampaignResult>,
+    /// ROTAX (thermal) campaigns, one per workload.
+    pub rotax: Vec<CampaignResult>,
+}
+
+impl DeviceReport {
+    fn mean_sigma(results: &[CampaignResult], sdc: bool) -> f64 {
+        if results.is_empty() {
+            return 0.0;
+        }
+        results
+            .iter()
+            .map(|r| if sdc { r.sdc.sigma } else { r.due.sigma })
+            .sum::<f64>()
+            / results.len() as f64
+    }
+
+    /// Device-average high-energy SDC cross section.
+    pub fn sdc_sigma_he(&self) -> CrossSection {
+        CrossSection(Self::mean_sigma(&self.chipir, true))
+    }
+
+    /// Device-average thermal SDC cross section.
+    pub fn sdc_sigma_th(&self) -> CrossSection {
+        CrossSection(Self::mean_sigma(&self.rotax, true))
+    }
+
+    /// Device-average high-energy DUE cross section.
+    pub fn due_sigma_he(&self) -> CrossSection {
+        CrossSection(Self::mean_sigma(&self.chipir, false))
+    }
+
+    /// Device-average thermal DUE cross section.
+    pub fn due_sigma_th(&self) -> CrossSection {
+        CrossSection(Self::mean_sigma(&self.rotax, false))
+    }
+
+    /// Figure-5 style average SDC cross-section ratio (HE / thermal);
+    /// infinite when no thermal SDC was observed.
+    pub fn sdc_ratio(&self) -> f64 {
+        ratio(self.sdc_sigma_he().value(), self.sdc_sigma_th().value())
+    }
+
+    /// Figure-5 style average DUE ratio.
+    pub fn due_ratio(&self) -> f64 {
+        ratio(self.due_sigma_he().value(), self.due_sigma_th().value())
+    }
+
+    /// Folds the device's measured SDC cross sections with an environment.
+    pub fn sdc_fit(&self, env: &Environment) -> DeviceFit {
+        DeviceFit::from_cross_sections(self.sdc_sigma_he(), self.sdc_sigma_th(), env)
+    }
+
+    /// Folds the device's measured DUE cross sections with an environment.
+    pub fn due_fit(&self, env: &Environment) -> DeviceFit {
+        DeviceFit::from_cross_sections(self.due_sigma_he(), self.due_sigma_th(), env)
+    }
+
+    /// Per-workload SDC ratios `(workload, ratio)` — the Figure-1 series.
+    pub fn per_workload_sdc_ratios(&self) -> Vec<(String, f64)> {
+        self.chipir
+            .iter()
+            .filter_map(|he| {
+                let th = self.rotax.iter().find(|r| r.workload == he.workload)?;
+                Some((he.workload.clone(), ratio(he.sdc.sigma, th.sdc.sigma)))
+            })
+            .collect()
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        f64::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// The whole study: one report per device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    devices: Vec<DeviceReport>,
+    /// RNG seed the study ran with.
+    pub seed: u64,
+}
+
+impl StudyReport {
+    /// Assembles a report.
+    pub fn new(devices: Vec<DeviceReport>, seed: u64) -> Self {
+        Self { devices, seed }
+    }
+
+    /// Per-device reports in catalog order.
+    pub fn devices(&self) -> &[DeviceReport] {
+        &self.devices
+    }
+
+    /// Looks a device up by name.
+    pub fn device(&self, name: &str) -> Option<&DeviceReport> {
+        self.devices.iter().find(|d| d.name == name)
+    }
+
+    /// Renders the Figure-5 table (average HE/thermal cross-section
+    /// ratios) as fixed-width text.
+    pub fn render_ratio_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<22} {:>10} {:>10}\n", "device", "SDC", "DUE"));
+        for device in &self.devices {
+            let fmt = |r: f64| {
+                if r.is_finite() {
+                    format!("{r:.2}")
+                } else {
+                    "n/a".to_string()
+                }
+            };
+            out.push_str(&format!(
+                "{:<22} {:>10} {:>10}\n",
+                device.name,
+                fmt(device.sdc_ratio()),
+                fmt(device.due_ratio())
+            ));
+        }
+        out
+    }
+
+    /// Renders the thermal-share FIT table for a set of labelled
+    /// environments.
+    pub fn render_fit_table(&self, environments: &[(&str, Environment)]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<22}", "device"));
+        for (label, _) in environments {
+            out.push_str(&format!(" {:>14}", format!("{label} SDC")));
+            out.push_str(&format!(" {:>14}", format!("{label} DUE")));
+        }
+        out.push('\n');
+        for device in &self.devices {
+            out.push_str(&format!("{:<22}", device.name));
+            for (_, env) in environments {
+                out.push_str(&format!(
+                    " {:>13.1}%",
+                    100.0 * device.sdc_fit(env).thermal_share()
+                ));
+                out.push_str(&format!(
+                    " {:>13.1}%",
+                    100.0 * device.due_fit(env).thermal_share()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_beamline::MeasuredCrossSection;
+
+    fn result(workload: &str, facility: &str, sdc: f64, due: f64) -> CampaignResult {
+        CampaignResult {
+            device: "dev".into(),
+            workload: workload.into(),
+            facility: facility.into(),
+            beam_seconds: 1.0,
+            sdc: MeasuredCrossSection::from_counts((sdc * 1e10) as u64, 1e10),
+            due: MeasuredCrossSection::from_counts((due * 1e10) as u64, 1e10),
+        }
+    }
+
+    fn report() -> DeviceReport {
+        DeviceReport {
+            name: "dev".into(),
+            chipir: vec![result("MxM", "ChipIR", 4.0, 2.0), result("LUD", "ChipIR", 6.0, 4.0)],
+            rotax: vec![result("MxM", "ROTAX", 2.0, 1.0), result("LUD", "ROTAX", 3.0, 2.0)],
+        }
+    }
+
+    #[test]
+    fn mean_cross_sections_average_workloads() {
+        let r = report();
+        assert!((r.sdc_sigma_he().value() - 5.0).abs() < 1e-9);
+        assert!((r.sdc_sigma_th().value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_are_he_over_thermal() {
+        let r = report();
+        assert!((r.sdc_ratio() - 2.0).abs() < 1e-9);
+        assert!((r.due_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_workload_ratios_pair_by_name() {
+        let r = report();
+        let rows = r.per_workload_sdc_ratios();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "MxM");
+        assert!((rows[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_thermal_gives_infinite_ratio() {
+        let mut r = report();
+        r.rotax = vec![result("MxM", "ROTAX", 0.0, 0.0)];
+        assert!(r.sdc_ratio().is_infinite());
+    }
+
+    #[test]
+    fn rendered_tables_contain_every_device_row() {
+        let study = StudyReport::new(vec![report()], 42);
+        let ratio_table = study.render_ratio_table();
+        assert!(ratio_table.contains("dev"));
+        assert!(ratio_table.contains("2.00"));
+        let fit_table = study.render_fit_table(&[
+            ("NYC", Environment::nyc_reference()),
+            ("Leadville", Environment::leadville_machine_room()),
+        ]);
+        assert!(fit_table.contains("NYC SDC"));
+        assert!(fit_table.contains("Leadville DUE"));
+        assert_eq!(fit_table.lines().count(), 2, "header + one device");
+    }
+
+    #[test]
+    fn study_lookup_by_name() {
+        let study = StudyReport::new(vec![report()], 42);
+        assert!(study.device("dev").is_some());
+        assert!(study.device("nope").is_none());
+        assert_eq!(study.devices().len(), 1);
+        assert_eq!(study.seed, 42);
+    }
+}

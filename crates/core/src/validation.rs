@@ -1,0 +1,149 @@
+//! Study-report validation: checks a [`StudyReport`] against the device
+//! catalog's calibration targets and flags drift — the regression harness
+//! a long-lived reproduction needs (model edits that silently break a
+//! published anchor show up here, not in a reviewer's eye).
+
+use crate::report::StudyReport;
+use serde::{Deserialize, Serialize};
+use tn_devices::catalog::all_compute_devices;
+use tn_devices::response::ErrorClass;
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Device the finding concerns.
+    pub device: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Relative deviation that triggered it.
+    pub deviation: f64,
+}
+
+/// Result of validating a study report.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Validation {
+    /// Checks that ran.
+    pub checks: usize,
+    /// Anchors that drifted beyond tolerance.
+    pub findings: Vec<Finding>,
+}
+
+impl Validation {
+    /// Whether every anchor held.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Validates a report against the catalog's Figure-5 targets.
+///
+/// `tolerance` is the allowed relative deviation of a measured ratio from
+/// its calibration target (counting noise at default beam times sits well
+/// under 0.25).
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not strictly positive.
+pub fn validate(report: &StudyReport, tolerance: f64) -> Validation {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut out = Validation::default();
+    for device in all_compute_devices() {
+        let Some(measured) = report.device(device.name()) else {
+            out.findings.push(Finding {
+                device: device.name().to_string(),
+                message: "device missing from study".into(),
+                deviation: f64::INFINITY,
+            });
+            continue;
+        };
+        let (sdc_target, due_target) = device.target_ratios();
+        out.checks += 1;
+        let sdc = measured.sdc_ratio();
+        let sdc_dev = (sdc / sdc_target - 1.0).abs();
+        if sdc_dev > tolerance {
+            out.findings.push(Finding {
+                device: device.name().to_string(),
+                message: format!("SDC ratio {sdc:.2} vs target {sdc_target:.2}"),
+                deviation: sdc_dev,
+            });
+        }
+        match due_target {
+            Some(target) => {
+                out.checks += 1;
+                let due = measured.due_ratio();
+                let due_dev = (due / target - 1.0).abs();
+                if due_dev > tolerance {
+                    out.findings.push(Finding {
+                        device: device.name().to_string(),
+                        message: format!("DUE ratio {due:.2} vs target {target:.2}"),
+                        deviation: due_dev,
+                    });
+                }
+            }
+            None => {
+                // FPGA: the check is structural — zero DUE counts.
+                out.checks += 1;
+                let due_counts: u64 = measured
+                    .chipir
+                    .iter()
+                    .chain(&measured.rotax)
+                    .map(|r| r.due.count)
+                    .sum();
+                if due_counts > 0 {
+                    out.findings.push(Finding {
+                        device: device.name().to_string(),
+                        message: format!("{due_counts} DUEs on a device that never DUEs"),
+                        deviation: due_counts as f64,
+                    });
+                }
+                // Also verify the catalog itself still says "no DUE".
+                debug_assert!(device
+                    .analytic_ratio(ErrorClass::Due)
+                    .is_infinite());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pipeline, PipelineConfig};
+
+    #[test]
+    fn default_pipeline_validates_clean() {
+        let report = Pipeline::new(PipelineConfig::default()).seed(2020).run();
+        let v = validate(&report, 0.5);
+        assert!(v.is_clean(), "findings: {:?}", v.findings);
+        assert_eq!(v.checks, 16, "8 devices x 2 classes");
+    }
+
+    #[test]
+    fn tight_tolerance_surfaces_counting_noise() {
+        // At a 1% tolerance the Poisson noise of a quick run must trip
+        // at least one anchor — proving the validator actually bites.
+        let report = Pipeline::new(PipelineConfig::quick()).seed(3).run();
+        let v = validate(&report, 0.01);
+        assert!(!v.is_clean(), "1% tolerance should flag noise");
+        for f in &v.findings {
+            assert!(f.deviation > 0.01);
+            assert!(!f.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_report_flags_every_device() {
+        let empty = StudyReport::new(vec![], 0);
+        let v = validate(&empty, 0.5);
+        assert_eq!(v.findings.len(), 8);
+        assert!(v.findings.iter().all(|f| f.deviation.is_infinite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn zero_tolerance_rejected() {
+        let report = StudyReport::new(vec![], 0);
+        let _ = validate(&report, 0.0);
+    }
+}

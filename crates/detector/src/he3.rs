@@ -1,0 +1,255 @@
+//! The He-3 proportional counter tubes of the Tin-II detector.
+
+use serde::{Deserialize, Serialize};
+use tn_physics::units::Flux;
+
+/// Tube shielding configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shielding {
+    /// Bare tube: counts thermal neutrons and (weakly) everything else.
+    Bare,
+    /// Cadmium-wrapped tube: blind to thermals, same response to the rest.
+    Cadmium,
+}
+
+/// One He-3 cylindrical detector.
+///
+/// The ³He(n,p)³H reaction gives the tube its huge thermal efficiency;
+/// the epithermal/fast response is orders of magnitude weaker but not
+/// zero, which is exactly why the paper pairs a bare and a Cd-shielded
+/// tube: their *difference* isolates the thermal signal from everything
+/// the shield passes (fast neutrons, gammas, betas).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct He3Tube {
+    shielding: Shielding,
+    /// Absolute efficiency × sensitive area for thermal neutrons
+    /// (counts per n/cm²).
+    thermal_efficiency_cm2: f64,
+    /// Ambient gamma/beta background rate (counts/s) that survives the
+    /// pulse-height discriminator. Identical for both tubes (cadmium is
+    /// transparent to gammas), so the pair subtraction removes it.
+    gamma_background: f64,
+    /// Non-paralyzable dead time per event (s).
+    dead_time: f64,
+}
+
+impl He3Tube {
+    /// Fraction of the thermal efficiency the tube shows to the
+    /// non-thermal field (1/v tail + recoil reactions).
+    const FAST_RELATIVE_EFFICIENCY: f64 = 0.015;
+
+    /// Thermal transmission of the cadmium wrap (essentially opaque).
+    const CADMIUM_THERMAL_LEAK: f64 = 1e-4;
+
+    /// Creates a tube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thermal_efficiency_cm2` is not strictly positive.
+    pub fn new(shielding: Shielding, thermal_efficiency_cm2: f64) -> Self {
+        assert!(
+            thermal_efficiency_cm2 > 0.0,
+            "efficiency must be positive"
+        );
+        Self {
+            shielding,
+            thermal_efficiency_cm2,
+            gamma_background: 0.0,
+            dead_time: 0.0,
+        }
+    }
+
+    /// Adds a discriminator-leakage gamma background (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative.
+    pub fn with_gamma_background(mut self, rate: f64) -> Self {
+        assert!(rate >= 0.0, "background rate must be non-negative");
+        self.gamma_background = rate;
+        self
+    }
+
+    /// Sets the per-event dead time (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead_time_s` is negative.
+    pub fn with_dead_time(mut self, dead_time_s: f64) -> Self {
+        assert!(dead_time_s >= 0.0, "dead time must be non-negative");
+        self.dead_time = dead_time_s;
+        self
+    }
+
+    /// The tube's shielding.
+    pub fn shielding(&self) -> Shielding {
+        self.shielding
+    }
+
+    /// The tube's thermal efficiency-area product.
+    pub fn thermal_efficiency(&self) -> f64 {
+        self.thermal_efficiency_cm2
+    }
+
+    /// Expected *observed* count rate (counts/s) in a mixed field:
+    /// neutron reactions plus the gamma background, throttled by the
+    /// non-paralyzable dead time m = n/(1 + n·τ).
+    pub fn expected_rate(&self, thermal: Flux, fast: Flux) -> f64 {
+        let thermal_response = match self.shielding {
+            Shielding::Bare => 1.0,
+            Shielding::Cadmium => Self::CADMIUM_THERMAL_LEAK,
+        };
+        let true_rate = self.thermal_efficiency_cm2
+            * (thermal.value() * thermal_response
+                + fast.value() * Self::FAST_RELATIVE_EFFICIENCY)
+            + self.gamma_background;
+        true_rate / (1.0 + true_rate * self.dead_time)
+    }
+
+    /// Recovers the true rate from an observed one (inverts the
+    /// non-paralyzable dead-time model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` saturates the dead time (≥ 1/τ).
+    pub fn dead_time_corrected(&self, observed: f64) -> f64 {
+        if self.dead_time == 0.0 {
+            return observed;
+        }
+        assert!(
+            observed * self.dead_time < 1.0,
+            "observed rate saturates the dead time"
+        );
+        observed / (1.0 - observed * self.dead_time)
+    }
+}
+
+/// Reconstructs the thermal flux from the pair's rates: the Tin-II
+/// subtraction `(bare − shielded) / efficiency`.
+///
+/// # Panics
+///
+/// Panics if the tubes' efficiencies differ (they are calibrated to match
+/// before deployment — the paper's "18 hours" calibration run) or the
+/// bare tube is not the bare one.
+pub fn thermal_flux_from_pair(
+    bare: &He3Tube,
+    shielded: &He3Tube,
+    bare_rate: f64,
+    shielded_rate: f64,
+) -> Flux {
+    assert_eq!(bare.shielding(), Shielding::Bare, "first tube must be bare");
+    assert_eq!(
+        shielded.shielding(),
+        Shielding::Cadmium,
+        "second tube must be shielded"
+    );
+    assert!(
+        (bare.thermal_efficiency() - shielded.thermal_efficiency()).abs()
+            < 1e-9 * bare.thermal_efficiency(),
+        "tubes must be calibrated to equal efficiency"
+    );
+    Flux(((bare_rate - shielded_rate) / bare.thermal_efficiency()).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_tube_counts_more_in_thermal_field() {
+        let bare = He3Tube::new(Shielding::Bare, 10.0);
+        let shielded = He3Tube::new(Shielding::Cadmium, 10.0);
+        let (th, fast) = (Flux(1e-3), Flux(2e-3));
+        assert!(bare.expected_rate(th, fast) > 5.0 * shielded.expected_rate(th, fast));
+    }
+
+    #[test]
+    fn shielded_tube_still_sees_fast_component() {
+        let shielded = He3Tube::new(Shielding::Cadmium, 10.0);
+        let rate = shielded.expected_rate(Flux(0.0), Flux(1e-2));
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn pair_subtraction_recovers_thermal_flux() {
+        let bare = He3Tube::new(Shielding::Bare, 10.0);
+        let shielded = He3Tube::new(Shielding::Cadmium, 10.0);
+        let (th, fast) = (Flux(3e-3), Flux(6e-3));
+        let recovered = thermal_flux_from_pair(
+            &bare,
+            &shielded,
+            bare.expected_rate(th, fast),
+            shielded.expected_rate(th, fast),
+        );
+        assert!(
+            (recovered.value() - th.value()).abs() / th.value() < 0.01,
+            "recovered {recovered}"
+        );
+    }
+
+    #[test]
+    fn gamma_background_cancels_in_the_pair_subtraction() {
+        let bare = He3Tube::new(Shielding::Bare, 10.0).with_gamma_background(0.5);
+        let shielded = He3Tube::new(Shielding::Cadmium, 10.0).with_gamma_background(0.5);
+        let (th, fast) = (Flux(3e-3), Flux(6e-3));
+        let recovered = thermal_flux_from_pair(
+            &bare,
+            &shielded,
+            bare.expected_rate(th, fast),
+            shielded.expected_rate(th, fast),
+        );
+        assert!(
+            (recovered.value() - th.value()).abs() / th.value() < 0.01,
+            "recovered {recovered}"
+        );
+    }
+
+    #[test]
+    fn dead_time_suppresses_and_corrects() {
+        let tube = He3Tube::new(Shielding::Bare, 1000.0).with_dead_time(1e-3);
+        let ideal = He3Tube::new(Shielding::Bare, 1000.0);
+        let field = (Flux(1.0), Flux(0.0));
+        let observed = tube.expected_rate(field.0, field.1);
+        let true_rate = ideal.expected_rate(field.0, field.1);
+        assert!(observed < true_rate, "dead time must suppress");
+        let corrected = tube.dead_time_corrected(observed);
+        assert!((corrected - true_rate).abs() / true_rate < 1e-9);
+    }
+
+    #[test]
+    fn zero_dead_time_correction_is_identity() {
+        let tube = He3Tube::new(Shielding::Bare, 10.0);
+        assert_eq!(tube.dead_time_corrected(42.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturates")]
+    fn saturated_rate_rejected() {
+        let tube = He3Tube::new(Shielding::Bare, 10.0).with_dead_time(1.0);
+        let _ = tube.dead_time_corrected(1.5);
+    }
+
+    #[test]
+    fn pair_subtraction_clamps_at_zero() {
+        let bare = He3Tube::new(Shielding::Bare, 10.0);
+        let shielded = He3Tube::new(Shielding::Cadmium, 10.0);
+        let f = thermal_flux_from_pair(&bare, &shielded, 1.0, 2.0);
+        assert_eq!(f.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be bare")]
+    fn pair_subtraction_checks_roles() {
+        let shielded = He3Tube::new(Shielding::Cadmium, 10.0);
+        let _ = thermal_flux_from_pair(&shielded, &shielded, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrated")]
+    fn pair_subtraction_checks_calibration() {
+        let bare = He3Tube::new(Shielding::Bare, 10.0);
+        let shielded = He3Tube::new(Shielding::Cadmium, 12.0);
+        let _ = thermal_flux_from_pair(&bare, &shielded, 1.0, 1.0);
+    }
+}

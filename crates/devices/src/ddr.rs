@@ -1,0 +1,825 @@
+//! DDR3/DDR4 DRAM models, the read/write *correct loop* tester and the
+//! error classifier — the memory half of the paper.
+//!
+//! The paper irradiated a 4 GB DDR3-1866 and an 8 GB DDR4-2133 module
+//! (no ECC, single-rank ×8) with thermal neutrons while running a
+//! continuous correct loop: banks set to 0xFF or 0x00 and re-read, error
+//! counters bumped and banks rewritten on mismatch. Its findings, all
+//! encoded here:
+//!
+//! * DDR4's thermal cross section per Gbit is ≈ 10× *lower* than DDR3's;
+//! * ≥ 95 % of flips go one way — 1→0 on DDR3, 0→1 on DDR4 (complementary
+//!   cell logic);
+//! * error-category mix shifts: permanent errors are < 30 % of DDR3 errors
+//!   but > 50 % on DDR4; both show occasional SEFIs;
+//! * all transient/intermittent errors were single-bit (SECDED would
+//!   catch them); SEFIs corrupt many bits;
+//! * under the ChipIR *fast* beam both modules accumulated permanent
+//!   faults within minutes, aborting data collection.
+//!
+//! The module splits generation (ground truth) from classification
+//! (inference over the read log) so tests can verify the analysis recovers
+//! the truth — the same epistemic position as the experimenters.
+
+use crate::sampling::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tn_physics::units::{CrossSection, Flux, Seconds};
+
+/// DRAM generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DdrGeneration {
+    /// DDR3 (1.5 V, tested at 1866 MT/s).
+    Ddr3,
+    /// DDR4 (1.2 V, tested at 2133 MT/s).
+    Ddr4,
+}
+
+impl std::fmt::Display for DdrGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DdrGeneration::Ddr3 => "DDR3",
+            DdrGeneration::Ddr4 => "DDR4",
+        })
+    }
+}
+
+/// Direction of a bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlipDirection {
+    /// Stored 1 read as 0.
+    OneToZero,
+    /// Stored 0 read as 1.
+    ZeroToOne,
+}
+
+impl FlipDirection {
+    /// The opposite direction.
+    pub fn opposite(self) -> Self {
+        match self {
+            FlipDirection::OneToZero => FlipDirection::ZeroToOne,
+            FlipDirection::ZeroToOne => FlipDirection::OneToZero,
+        }
+    }
+}
+
+/// The data pattern written to the banks before each read sweep.
+///
+/// "banks are set to 0xFF (or 0x00) and continually read … This
+/// read/write loop allows differentiating 1-0 and 0-1 bit flips": with
+/// all-ones only 1→0 flips are *observable* (a 0→1 upset lands on a cell
+/// that already stores 1), and vice versa. Alternating exposes both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// Banks hold 0xFF; only 1→0 flips are visible.
+    AllOnes,
+    /// Banks hold 0x00; only 0→1 flips are visible.
+    AllZeros,
+    /// Sweeps alternate between the two patterns (the paper's loop).
+    #[default]
+    Alternating,
+}
+
+impl DataPattern {
+    /// Whether a flip of the given direction is observable on sweep
+    /// `sweep_index` under this pattern.
+    pub fn observes(self, direction: FlipDirection, sweep_index: u64) -> bool {
+        match self {
+            DataPattern::AllOnes => direction == FlipDirection::OneToZero,
+            DataPattern::AllZeros => direction == FlipDirection::ZeroToOne,
+            DataPattern::Alternating => {
+                if sweep_index % 2 == 0 {
+                    direction == FlipDirection::OneToZero
+                } else {
+                    direction == FlipDirection::ZeroToOne
+                }
+            }
+        }
+    }
+}
+
+/// The paper's four error categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DdrErrorKind {
+    /// One wrong read, gone after rewrite.
+    Transient,
+    /// Recurs at the same location, but not on every read.
+    Intermittent,
+    /// Stuck-at: every read wrong until annealed.
+    Permanent,
+    /// Single-event functional interrupt: control logic burp corrupting a
+    /// large region for one read.
+    Sefi,
+}
+
+impl DdrErrorKind {
+    /// All categories in tabulation order.
+    pub const ALL: [DdrErrorKind; 4] = [
+        DdrErrorKind::Transient,
+        DdrErrorKind::Intermittent,
+        DdrErrorKind::Permanent,
+        DdrErrorKind::Sefi,
+    ];
+}
+
+impl std::fmt::Display for DdrErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DdrErrorKind::Transient => "transient",
+            DdrErrorKind::Intermittent => "intermittent",
+            DdrErrorKind::Permanent => "permanent",
+            DdrErrorKind::Sefi => "SEFI",
+        })
+    }
+}
+
+/// A DDR module's radiation personality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdrModule {
+    generation: DdrGeneration,
+    capacity_gbit: f64,
+    voltage: f64,
+    transfer_mt_s: u32,
+    timings: Vec<u32>,
+    /// Total thermal upset cross section per Gbit (all categories).
+    thermal_sigma_per_gbit: CrossSection,
+    /// Fraction of upsets in the dominant flip direction.
+    dominant_fraction: f64,
+    dominant_direction: FlipDirection,
+    /// Category mix (sums to 1, same order as `DdrErrorKind::ALL`).
+    category_mix: [f64; 4],
+    /// High-energy *permanent-damage* cross section per Gbit — the reason
+    /// the ChipIR run had to be abandoned.
+    he_permanent_sigma_per_gbit: CrossSection,
+}
+
+impl DdrModule {
+    /// The paper's DDR3 module: 4 GB, 1.5 V, 1866 MT/s, 10-11-10.
+    pub fn ddr3() -> Self {
+        Self {
+            generation: DdrGeneration::Ddr3,
+            capacity_gbit: 32.0,
+            voltage: 1.5,
+            transfer_mt_s: 1866,
+            timings: vec![10, 11, 10],
+            thermal_sigma_per_gbit: CrossSection(2.0e-10),
+            dominant_fraction: 0.96,
+            dominant_direction: FlipDirection::OneToZero,
+            // transient, intermittent, permanent, SEFI
+            category_mix: [0.46, 0.24, 0.26, 0.04],
+            he_permanent_sigma_per_gbit: CrossSection(3.0e-9),
+        }
+    }
+
+    /// The paper's DDR4 module: 8 GB, 1.2 V, 2133 MT/s, 13-15-15-28.
+    pub fn ddr4() -> Self {
+        Self {
+            generation: DdrGeneration::Ddr4,
+            capacity_gbit: 64.0,
+            voltage: 1.2,
+            transfer_mt_s: 2133,
+            timings: vec![13, 15, 15, 28],
+            thermal_sigma_per_gbit: CrossSection(2.0e-11),
+            dominant_fraction: 0.97,
+            dominant_direction: FlipDirection::ZeroToOne,
+            category_mix: [0.23, 0.12, 0.55, 0.10],
+            he_permanent_sigma_per_gbit: CrossSection(3.0e-9),
+        }
+    }
+
+    /// Generation.
+    pub fn generation(&self) -> DdrGeneration {
+        self.generation
+    }
+
+    /// Capacity in Gbit.
+    pub fn capacity_gbit(&self) -> f64 {
+        self.capacity_gbit
+    }
+
+    /// Operating voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// Transfer rate in MT/s.
+    pub fn transfer_rate(&self) -> u32 {
+        self.transfer_mt_s
+    }
+
+    /// CAS-style timing tuple.
+    pub fn timings(&self) -> &[u32] {
+        &self.timings
+    }
+
+    /// Total thermal upset cross section per Gbit.
+    pub fn thermal_sigma_per_gbit(&self) -> CrossSection {
+        self.thermal_sigma_per_gbit
+    }
+
+    /// Thermal cross section per Gbit for one category.
+    pub fn thermal_sigma_for(&self, kind: DdrErrorKind) -> CrossSection {
+        let idx = DdrErrorKind::ALL.iter().position(|&k| k == kind).unwrap();
+        self.thermal_sigma_per_gbit * self.category_mix[idx]
+    }
+
+    /// Thermal cross section per Gbit for one flip direction.
+    pub fn thermal_sigma_in_direction(&self, direction: FlipDirection) -> CrossSection {
+        if direction == self.dominant_direction {
+            self.thermal_sigma_per_gbit * self.dominant_fraction
+        } else {
+            self.thermal_sigma_per_gbit * (1.0 - self.dominant_fraction)
+        }
+    }
+
+    /// The dominant flip direction (1→0 for DDR3, 0→1 for DDR4).
+    pub fn dominant_direction(&self) -> FlipDirection {
+        self.dominant_direction
+    }
+
+    /// Whole-module thermal event rate (events/s) in a thermal flux.
+    pub fn thermal_event_rate(&self, thermal_flux: Flux) -> f64 {
+        self.thermal_sigma_per_gbit.value() * self.capacity_gbit * thermal_flux.value()
+    }
+
+    /// Whole-module permanent-damage rate (events/s) in a fast flux — what
+    /// kills the module at ChipIR in minutes.
+    pub fn he_permanent_rate(&self, fast_flux: Flux) -> f64 {
+        self.he_permanent_sigma_per_gbit.value() * self.capacity_gbit * fast_flux.value()
+    }
+
+    /// Expected beam seconds at the given fast flux until `n` permanent
+    /// faults have accumulated.
+    pub fn time_to_permanent_faults(&self, fast_flux: Flux, n: u64) -> Seconds {
+        Seconds(n as f64 / self.he_permanent_rate(fast_flux))
+    }
+}
+
+/// One erroneous bit observed during a read sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitError {
+    /// Word address.
+    pub address: u64,
+    /// Flip direction.
+    pub direction: FlipDirection,
+}
+
+/// All errors seen in one read sweep of the module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadSweep {
+    /// Sweep index (0-based).
+    pub index: u64,
+    /// Time of the sweep since beam-on.
+    pub time: Seconds,
+    /// Erroneous bits.
+    pub errors: Vec<BitError>,
+}
+
+/// The full log of a correct-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrectLoopLog {
+    /// Module generation tested.
+    pub generation: DdrGeneration,
+    /// Data pattern the loop wrote (the classifier needs it to judge how
+    /// often a stuck cell *could* have been seen).
+    pub pattern: DataPattern,
+    /// Thermal fluence accumulated over the run.
+    pub fluence: f64,
+    /// Every read sweep (including clean ones, with empty error lists).
+    pub sweeps: Vec<ReadSweep>,
+}
+
+/// The correct-loop tester: sets the banks, reads them on a cadence, logs
+/// mismatches and rewrites — the procedure of the paper's Section "DDR".
+#[derive(Debug)]
+pub struct CorrectLoop {
+    module: DdrModule,
+    pattern: DataPattern,
+    rng: StdRng,
+    /// Addresses currently stuck (permanent errors), with direction.
+    stuck: BTreeMap<u64, FlipDirection>,
+    /// Addresses intermittently failing, with direction and per-read
+    /// recurrence probability.
+    flaky: BTreeMap<u64, (FlipDirection, f64)>,
+}
+
+impl CorrectLoop {
+    /// Recurrence probability of an intermittent location per sweep.
+    const INTERMITTENT_RECURRENCE: f64 = 0.35;
+    /// Number of corrupted bits a SEFI spreads over (uniformly sampled up
+    /// to this cap).
+    const SEFI_MAX_BITS: usize = 4096;
+
+    /// Creates a tester for the module with a deterministic seed, using
+    /// the alternating 0xFF/0x00 pattern of the paper's loop.
+    pub fn new(module: DdrModule, seed: u64) -> Self {
+        Self {
+            module,
+            pattern: DataPattern::Alternating,
+            rng: StdRng::seed_from_u64(seed),
+            stuck: BTreeMap::new(),
+            flaky: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the data pattern (builder style).
+    pub fn with_pattern(mut self, pattern: DataPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// The pattern in use.
+    pub fn pattern(&self) -> DataPattern {
+        self.pattern
+    }
+
+    /// The module under test.
+    pub fn module(&self) -> &DdrModule {
+        &self.module
+    }
+
+    /// Number of currently stuck (permanent) locations.
+    pub fn stuck_count(&self) -> usize {
+        self.stuck.len()
+    }
+
+    /// Anneals the module (bakes it): displacement damage heals and the
+    /// stuck cells recover — the repair route the paper cites for
+    /// permanent errors. Intermittent locations persist (they are not
+    /// displacement damage).
+    pub fn anneal(&mut self) {
+        self.stuck.clear();
+    }
+
+    fn sample_direction(&mut self) -> FlipDirection {
+        if self.rng.gen::<f64>() < self.module.dominant_fraction {
+            self.module.dominant_direction
+        } else {
+            self.module.dominant_direction.opposite()
+        }
+    }
+
+    fn sample_kind(&mut self) -> DdrErrorKind {
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (i, &k) in DdrErrorKind::ALL.iter().enumerate() {
+            acc += self.module.category_mix[i];
+            if u < acc {
+                return k;
+            }
+        }
+        DdrErrorKind::Sefi
+    }
+
+    fn random_address(&mut self) -> u64 {
+        let words = (self.module.capacity_gbit * 1e9 / 64.0) as u64;
+        self.rng.gen_range(0..words)
+    }
+
+    /// Runs the correct loop under a thermal beam.
+    ///
+    /// `read_interval` is the sweep cadence; events arrive as a Poisson
+    /// process at the module's thermal event rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` or `read_interval` is not strictly positive.
+    pub fn run(&mut self, thermal_flux: Flux, duration: Seconds, read_interval: Seconds) -> CorrectLoopLog {
+        assert!(duration.value() > 0.0, "duration must be positive");
+        assert!(
+            read_interval.value() > 0.0 && read_interval.value() <= duration.value(),
+            "read interval must be positive and no longer than the run"
+        );
+        let rate = self.module.thermal_event_rate(thermal_flux);
+        let sweeps_n = (duration.value() / read_interval.value()).floor() as u64;
+        let mut sweeps = Vec::with_capacity(sweeps_n as usize);
+        for index in 0..sweeps_n {
+            let dt = read_interval.value();
+            // New events since the last sweep.
+            let mean = rate * dt;
+            let n_events = poisson(&mut self.rng, mean);
+            let mut errors: Vec<BitError> = Vec::new();
+            for _ in 0..n_events {
+                let kind = self.sample_kind();
+                let direction = self.sample_direction();
+                let address = self.random_address();
+                let observable = self.pattern.observes(direction, index);
+                match kind {
+                    DdrErrorKind::Transient => {
+                        if observable {
+                            errors.push(BitError { address, direction });
+                        }
+                    }
+                    DdrErrorKind::Intermittent => {
+                        self.flaky
+                            .insert(address, (direction, Self::INTERMITTENT_RECURRENCE));
+                        if observable {
+                            errors.push(BitError { address, direction });
+                        }
+                    }
+                    DdrErrorKind::Permanent => {
+                        self.stuck.insert(address, direction);
+                    }
+                    DdrErrorKind::Sefi => {
+                        // A SEFI corrupts whole words through the control
+                        // path: visible regardless of the stored pattern.
+                        let bits = self.rng.gen_range(64..=Self::SEFI_MAX_BITS);
+                        let base = self.random_address();
+                        for b in 0..bits as u64 {
+                            errors.push(BitError {
+                                address: base.wrapping_add(b),
+                                direction,
+                            });
+                        }
+                    }
+                }
+            }
+            // Stuck cells fail every sweep the pattern exposes them;
+            // flaky cells fail stochastically on exposed sweeps.
+            for (&address, &direction) in &self.stuck {
+                if self.pattern.observes(direction, index) {
+                    errors.push(BitError { address, direction });
+                }
+            }
+            let flaky: Vec<(u64, FlipDirection, f64)> = self
+                .flaky
+                .iter()
+                .map(|(&address, &(direction, p))| (address, direction, p))
+                .collect();
+            for (address, direction, p) in flaky {
+                if self.pattern.observes(direction, index) && self.rng.gen::<f64>() < p {
+                    errors.push(BitError { address, direction });
+                }
+            }
+            sweeps.push(ReadSweep {
+                index,
+                time: Seconds(index as f64 * dt),
+                errors,
+            });
+        }
+        CorrectLoopLog {
+            generation: self.module.generation(),
+            pattern: self.pattern,
+            fluence: thermal_flux.value() * duration.value(),
+            sweeps,
+        }
+    }
+}
+
+/// Classified error counts recovered from a correct-loop log.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassifiedErrors {
+    /// Distinct transient errors.
+    pub transient: u64,
+    /// Distinct intermittent locations.
+    pub intermittent: u64,
+    /// Distinct permanent (stuck) locations.
+    pub permanent: u64,
+    /// SEFI episodes.
+    pub sefi: u64,
+    /// Single-bit observations outside SEFIs, split by direction.
+    pub one_to_zero: u64,
+    /// See `one_to_zero`.
+    pub zero_to_one: u64,
+    /// Bits corrupted by the largest single sweep (SEFI width indicator).
+    pub max_bits_in_sweep: usize,
+}
+
+impl ClassifiedErrors {
+    /// Total distinct classified errors.
+    pub fn total(&self) -> u64 {
+        self.transient + self.intermittent + self.permanent + self.sefi
+    }
+
+    /// Fraction of distinct errors that are permanent.
+    pub fn permanent_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.permanent as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of single-bit observations in the dominant direction.
+    pub fn direction_fraction(&self, direction: FlipDirection) -> f64 {
+        let total = self.one_to_zero + self.zero_to_one;
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match direction {
+            FlipDirection::OneToZero => self.one_to_zero,
+            FlipDirection::ZeroToOne => self.zero_to_one,
+        };
+        n as f64 / total as f64
+    }
+}
+
+/// Threshold above which a sweep's error burst is called a SEFI.
+const SEFI_BIT_THRESHOLD: usize = 32;
+
+/// Classifies a correct-loop log the way the experimenters did: stuck
+/// addresses (wrong on nearly every sweep) are permanent, recurring ones
+/// intermittent, one-shot ones transient, and wide *contiguous* bursts
+/// SEFIs (a control-logic burp corrupts an address run, unlike the
+/// scattered single cells of the other categories).
+pub fn classify(log: &CorrectLoopLog) -> ClassifiedErrors {
+    let mut out = ClassifiedErrors::default();
+    // Address -> sweeps in which it failed (excluding SEFI bursts).
+    let mut history: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut direction_of: BTreeMap<u64, FlipDirection> = BTreeMap::new();
+    let total_sweeps = log.sweeps.len() as u64;
+    for sweep in &log.sweeps {
+        // Cluster this sweep's errors by address adjacency; a cluster of
+        // SEFI width is one SEFI episode and its addresses are excluded
+        // from the per-cell history.
+        let mut addresses: Vec<(u64, FlipDirection)> = sweep
+            .errors
+            .iter()
+            .map(|e| (e.address, e.direction))
+            .collect();
+        addresses.sort_unstable_by_key(|&(a, _)| a);
+        let mut cluster_start = 0usize;
+        let mut widest = 0usize;
+        let flush = |cluster: &[(u64, FlipDirection)],
+                         out: &mut ClassifiedErrors,
+                         history: &mut BTreeMap<u64, Vec<u64>>,
+                         direction_of: &mut BTreeMap<u64, FlipDirection>| {
+            if cluster.len() >= SEFI_BIT_THRESHOLD {
+                out.sefi += 1;
+            } else {
+                for &(address, direction) in cluster {
+                    history.entry(address).or_default().push(sweep.index);
+                    direction_of.insert(address, direction);
+                }
+            }
+        };
+        for i in 1..=addresses.len() {
+            let boundary = i == addresses.len()
+                || addresses[i].0.saturating_sub(addresses[i - 1].0) > 8;
+            if boundary {
+                let cluster = &addresses[cluster_start..i];
+                widest = widest.max(cluster.len());
+                flush(cluster, &mut out, &mut history, &mut direction_of);
+                cluster_start = i;
+            }
+        }
+        out.max_bits_in_sweep = out.max_bits_in_sweep.max(widest);
+    }
+    for (address, sweeps) in &history {
+        let direction = direction_of[address];
+        // A stuck cell fails on (nearly) every sweep whose pattern
+        // exposes its direction, from its first appearance onward;
+        // "nearly" absorbs sweeps swallowed by a concurrent SEFI burst.
+        // Intermittents recur but with gaps beyond the pattern's.
+        let exposed = (sweeps[0]..total_sweeps)
+            .filter(|&i| log.pattern.observes(direction, i))
+            .count()
+            .max(1);
+        let kind = if sweeps.len() > 2 && sweeps.len() as f64 >= 0.8 * exposed as f64 {
+            DdrErrorKind::Permanent
+        } else if sweeps.len() > 1 {
+            DdrErrorKind::Intermittent
+        } else {
+            DdrErrorKind::Transient
+        };
+        match kind {
+            DdrErrorKind::Permanent => out.permanent += 1,
+            DdrErrorKind::Intermittent => out.intermittent += 1,
+            DdrErrorKind::Transient => out.transient += 1,
+            DdrErrorKind::Sefi => unreachable!("SEFIs are classified per sweep"),
+        }
+        match direction {
+            FlipDirection::OneToZero => out.one_to_zero += 1,
+            FlipDirection::ZeroToOne => out.zero_to_one += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_is_an_order_of_magnitude_less_sensitive() {
+        let r = DdrModule::ddr3().thermal_sigma_per_gbit()
+            / DdrModule::ddr4().thermal_sigma_per_gbit();
+        assert!((r - 10.0).abs() < 1.0, "ratio = {r}");
+    }
+
+    #[test]
+    fn dominant_directions_are_opposite() {
+        assert_eq!(DdrModule::ddr3().dominant_direction(), FlipDirection::OneToZero);
+        assert_eq!(DdrModule::ddr4().dominant_direction(), FlipDirection::ZeroToOne);
+    }
+
+    #[test]
+    fn category_mixes_sum_to_one() {
+        for m in [DdrModule::ddr3(), DdrModule::ddr4()] {
+            let sum: f64 = DdrErrorKind::ALL
+                .iter()
+                .map(|&k| m.thermal_sigma_for(k).value())
+                .sum();
+            assert!(
+                (sum - m.thermal_sigma_per_gbit().value()).abs() < 1e-24,
+                "{}",
+                m.generation()
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_mix_matches_paper_bands() {
+        let ddr3 = DdrModule::ddr3();
+        let ddr4 = DdrModule::ddr4();
+        let perm3 = ddr3.thermal_sigma_for(DdrErrorKind::Permanent).value()
+            / ddr3.thermal_sigma_per_gbit().value();
+        let perm4 = ddr4.thermal_sigma_for(DdrErrorKind::Permanent).value()
+            / ddr4.thermal_sigma_per_gbit().value();
+        assert!(perm3 < 0.30, "DDR3 permanent fraction {perm3}");
+        assert!(perm4 > 0.50, "DDR4 permanent fraction {perm4}");
+    }
+
+    #[test]
+    fn direction_asymmetry_is_at_least_95_percent() {
+        for m in [DdrModule::ddr3(), DdrModule::ddr4()] {
+            let dominant = m.thermal_sigma_in_direction(m.dominant_direction());
+            let frac = dominant.value() / m.thermal_sigma_per_gbit().value();
+            assert!(frac >= 0.95, "{}: {frac}", m.generation());
+        }
+    }
+
+    #[test]
+    fn chipir_kills_modules_in_minutes() {
+        // The paper: "after few minutes of irradiation at ChipIR both DDR3
+        // and DDR4 experienced a high number of permanent faults".
+        let chipir_fast = Flux(5.4e6);
+        for m in [DdrModule::ddr3(), DdrModule::ddr4()] {
+            let t = m.time_to_permanent_faults(chipir_fast, 50);
+            assert!(
+                t.value() < 600.0,
+                "{}: {} s to 50 permanents",
+                m.generation(),
+                t.value()
+            );
+        }
+    }
+
+    #[test]
+    fn correct_loop_produces_errors_under_beam() {
+        let mut tester = CorrectLoop::new(DdrModule::ddr3(), 42);
+        let log = tester.run(Flux(2.72e6), Seconds(3000.0), Seconds(10.0));
+        assert_eq!(log.sweeps.len(), 300);
+        let classified = classify(&log);
+        assert!(classified.total() > 10, "{classified:?}");
+    }
+
+    #[test]
+    fn classifier_recovers_direction_asymmetry() {
+        let module = DdrModule::ddr3();
+        let mut tester = CorrectLoop::new(module.clone(), 7);
+        let log = tester.run(Flux(2.72e6), Seconds(6000.0), Seconds(10.0));
+        let classified = classify(&log);
+        let frac = classified.direction_fraction(module.dominant_direction());
+        assert!(frac > 0.85, "dominant-direction fraction = {frac}");
+    }
+
+    #[test]
+    fn classifier_sees_more_permanents_on_ddr4() {
+        let mut t3 = CorrectLoop::new(DdrModule::ddr3(), 11);
+        let mut t4 = CorrectLoop::new(DdrModule::ddr4(), 11);
+        // DDR4 is 10x less sensitive; give it 10x the fluence for similar
+        // counts.
+        let log3 = t3.run(Flux(2.72e6), Seconds(4000.0), Seconds(10.0));
+        let log4 = t4.run(Flux(2.72e7), Seconds(4000.0), Seconds(10.0));
+        let c3 = classify(&log3);
+        let c4 = classify(&log4);
+        assert!(
+            c4.permanent_fraction() > c3.permanent_fraction(),
+            "DDR3 {} vs DDR4 {}",
+            c3.permanent_fraction(),
+            c4.permanent_fraction()
+        );
+    }
+
+    #[test]
+    fn sefis_are_wide_and_detected() {
+        let mut tester = CorrectLoop::new(DdrModule::ddr4(), 13);
+        let log = tester.run(Flux(2.72e7), Seconds(8000.0), Seconds(10.0));
+        let classified = classify(&log);
+        assert!(classified.sefi > 0, "expected at least one SEFI");
+        assert!(
+            classified.max_bits_in_sweep >= SEFI_BIT_THRESHOLD,
+            "max bits {}",
+            classified.max_bits_in_sweep
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let mut tester = CorrectLoop::new(DdrModule::ddr3(), 1);
+        let _ = tester.run(Flux(1.0), Seconds(0.0), Seconds(1.0));
+    }
+
+    #[test]
+    fn all_ones_pattern_sees_only_one_to_zero() {
+        let mut tester =
+            CorrectLoop::new(DdrModule::ddr3(), 51).with_pattern(DataPattern::AllOnes);
+        assert_eq!(tester.pattern(), DataPattern::AllOnes);
+        let log = tester.run(Flux(2.72e6), Seconds(4000.0), Seconds(10.0));
+        for sweep in &log.sweeps {
+            // SEFI bursts are exempt (control-path corruption); single
+            // cells must all be 1->0.
+            if sweep.errors.len() < 32 {
+                for e in &sweep.errors {
+                    assert_eq!(e.direction, FlipDirection::OneToZero);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_zeros_pattern_on_ddr3_sees_almost_nothing() {
+        // DDR3's dominant direction is 1->0; holding 0x00 hides 96% of
+        // its upsets — the reason the loop alternates patterns.
+        let count = |pattern| {
+            let mut tester = CorrectLoop::new(DdrModule::ddr3(), 53).with_pattern(pattern);
+            let log = tester.run(Flux(2.72e6), Seconds(4000.0), Seconds(10.0));
+            classify(&log).total()
+        };
+        let ones = count(DataPattern::AllOnes);
+        let zeros = count(DataPattern::AllZeros);
+        assert!(
+            (zeros as f64) < 0.4 * ones as f64,
+            "0x00 {zeros} vs 0xFF {ones}"
+        );
+    }
+
+    #[test]
+    fn alternating_pattern_recovers_both_directions() {
+        let mut tester = CorrectLoop::new(DdrModule::ddr3(), 55);
+        let log = tester.run(Flux(2.72e6), Seconds(8000.0), Seconds(10.0));
+        let c = classify(&log);
+        assert!(c.one_to_zero > 0);
+        // The 4% minority direction needs statistics; just require the
+        // majority is recovered correctly.
+        let frac = c.direction_fraction(FlipDirection::OneToZero);
+        assert!(frac > 0.8, "dominant fraction {frac}");
+    }
+
+    #[test]
+    fn pattern_observability_table() {
+        use DataPattern::*;
+        assert!(AllOnes.observes(FlipDirection::OneToZero, 0));
+        assert!(!AllOnes.observes(FlipDirection::ZeroToOne, 0));
+        assert!(AllZeros.observes(FlipDirection::ZeroToOne, 7));
+        assert!(!AllZeros.observes(FlipDirection::OneToZero, 7));
+        assert!(Alternating.observes(FlipDirection::OneToZero, 0));
+        assert!(Alternating.observes(FlipDirection::ZeroToOne, 1));
+        assert!(!Alternating.observes(FlipDirection::ZeroToOne, 0));
+    }
+
+    #[test]
+    fn annealing_heals_permanent_errors_only() {
+        let mut tester = CorrectLoop::new(DdrModule::ddr3(), 77);
+        let _ = tester.run(Flux(2.72e6), Seconds(4000.0), Seconds(10.0));
+        assert!(tester.stuck_count() > 0, "need stuck cells to heal");
+        let flaky_before = tester.flaky.len();
+        tester.anneal();
+        assert_eq!(tester.stuck_count(), 0);
+        assert_eq!(tester.flaky.len(), flaky_before, "intermittents persist");
+        // After annealing, a fresh run shows no immediate permanents.
+        let log = tester.run(Flux(2.72e4), Seconds(100.0), Seconds(10.0));
+        let stuck_hits = log
+            .sweeps
+            .first()
+            .map(|s| s.errors.len())
+            .unwrap_or(0);
+        // Only flaky recurrences may appear; far fewer than before.
+        assert!(stuck_hits < 50);
+    }
+
+    #[test]
+    fn module_metadata_matches_paper() {
+        let d3 = DdrModule::ddr3();
+        assert_eq!(d3.capacity_gbit(), 32.0); // 4 GB
+        assert_eq!(d3.voltage(), 1.5);
+        assert_eq!(d3.transfer_rate(), 1866);
+        assert_eq!(d3.timings(), &[10, 11, 10]);
+        let d4 = DdrModule::ddr4();
+        assert_eq!(d4.capacity_gbit(), 64.0); // 8 GB
+        assert_eq!(d4.voltage(), 1.2);
+        assert_eq!(d4.transfer_rate(), 2133);
+        assert_eq!(d4.timings(), &[13, 15, 15, 28]);
+    }
+
+    #[test]
+    fn flip_direction_opposite_is_involutive() {
+        for d in [FlipDirection::OneToZero, FlipDirection::ZeroToOne] {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! SRAM-FPGA configuration-memory model.
+//!
+//! The paper's key observation about FPGAs: configuration-memory upsets
+//! are **persistent** — a flipped bit rewires the implemented circuit
+//! until a new bitstream is loaded — so errors *accumulate* between
+//! reconfigurations, and the experimental procedure reprograms the device
+//! after every observed output error to avoid logging a stream of
+//! corrupted outputs. DUEs were never observed: with no OS or control
+//! flow, it takes a large accumulation of upsets to kill the circuit
+//! outright.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tn_physics::units::{Flux, Seconds};
+
+/// Floating-point precision of a design mapped onto the fabric.
+///
+/// The paper tested MNIST in single and double precision: "the double
+/// precision version takes about twice as many resources … the thermal
+/// neutrons cross section for the double version is particularly higher,
+/// being almost four times larger" than the single-precision one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignPrecision {
+    /// 32-bit floating point.
+    Single,
+    /// 64-bit floating point — ~2× fabric, ~4× thermal cross section.
+    Double,
+}
+
+impl std::fmt::Display for DesignPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DesignPrecision::Single => "single",
+            DesignPrecision::Double => "double",
+        })
+    }
+}
+
+/// The configuration memory of an SRAM FPGA carrying a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    total_bits: u64,
+    /// Fraction of configuration bits that are *essential* to the loaded
+    /// design (flipping one changes the implemented circuit).
+    essential_fraction: f64,
+    /// Upset cross section per configuration bit in the current beam
+    /// (cm²) — thermal or fast, chosen by the caller.
+    sigma_per_bit: f64,
+    flipped_essential: u64,
+    flipped_total: u64,
+}
+
+impl ConfigMemory {
+    /// Creates a configuration memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `essential_fraction` is outside `[0, 1]` or
+    /// `sigma_per_bit` is negative.
+    pub fn new(total_bits: u64, essential_fraction: f64, sigma_per_bit: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&essential_fraction),
+            "essential fraction must be in [0,1]"
+        );
+        assert!(sigma_per_bit >= 0.0, "cross section must be non-negative");
+        Self {
+            total_bits,
+            essential_fraction,
+            sigma_per_bit,
+            flipped_essential: 0,
+            flipped_total: 0,
+        }
+    }
+
+    /// A Zynq-7000-class device (≈ 32 Mbit of configuration) carrying a
+    /// design using a tenth of the fabric, with the given per-bit upset
+    /// cross section.
+    pub fn zynq7000(sigma_per_bit: f64) -> Self {
+        Self::new(32_000_000, 0.10, sigma_per_bit)
+    }
+
+    /// The Zynq carrying the MNIST design at the given precision under a
+    /// *thermal* beam.
+    ///
+    /// Relative to single precision, the double version occupies twice
+    /// the fabric (doubling the essential-bit population, hence the fast
+    /// cross section) and its wider arithmetic concentrates twice the
+    /// boron-adjacent configuration per essential cell — the two factors
+    /// compound to the ≈ 4× thermal cross section the paper measured.
+    pub fn zynq7000_mnist_thermal(precision: DesignPrecision) -> Self {
+        let base_sigma = 2.0e-16;
+        match precision {
+            DesignPrecision::Single => Self::new(32_000_000, 0.10, base_sigma),
+            DesignPrecision::Double => Self::new(32_000_000, 0.20, 2.0 * base_sigma),
+        }
+    }
+
+    /// The same two designs under the *fast* beam: the fast response
+    /// scales with occupied area only (no capture physics), so double
+    /// precision costs 2×, not 4×.
+    pub fn zynq7000_mnist_fast(precision: DesignPrecision) -> Self {
+        let base_sigma = 5.0e-16;
+        match precision {
+            DesignPrecision::Single => Self::new(32_000_000, 0.10, base_sigma),
+            DesignPrecision::Double => Self::new(32_000_000, 0.20, base_sigma),
+        }
+    }
+
+    /// Fraction of configuration bits essential to the loaded design.
+    pub fn essential_fraction(&self) -> f64 {
+        self.essential_fraction
+    }
+
+    /// Total configuration bits.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Currently corrupted essential bits.
+    pub fn flipped_essential(&self) -> u64 {
+        self.flipped_essential
+    }
+
+    /// All currently corrupted bits (essential or not).
+    pub fn flipped_total(&self) -> u64 {
+        self.flipped_total
+    }
+
+    /// Whether the implemented circuit currently differs from the design.
+    pub fn is_corrupted(&self) -> bool {
+        self.flipped_essential > 0
+    }
+
+    /// Expected whole-memory upset rate (events/s) in the beam.
+    pub fn upset_rate(&self, flux: Flux) -> f64 {
+        self.sigma_per_bit * self.total_bits as f64 * flux.value()
+    }
+
+    /// Exposes the memory for `dt` at `flux`, accumulating persistent
+    /// upsets. Returns the number of *new essential* flips.
+    pub fn expose<R: Rng + ?Sized>(&mut self, flux: Flux, dt: Seconds, rng: &mut R) -> u64 {
+        let mean = self.upset_rate(flux) * dt.value();
+        let n = crate::sampling::poisson(rng, mean);
+        self.flipped_total += n;
+        let mut essential = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < self.essential_fraction {
+                essential += 1;
+            }
+        }
+        self.flipped_essential += essential;
+        essential
+    }
+
+    /// Reloads the bitstream, clearing all accumulated corruption — the
+    /// paper's per-error reprogramming step.
+    pub fn reprogram(&mut self) {
+        self.flipped_essential = 0;
+        self.flipped_total = 0;
+    }
+}
+
+/// Outcome of a scrubbed FPGA beam run: how many output errors were seen
+/// and how much fluence was collected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaRun {
+    /// Output errors observed (each followed by a reprogram).
+    pub output_errors: u64,
+    /// Accumulated fluence (n/cm²).
+    pub fluence: f64,
+    /// Beam seconds simulated.
+    pub seconds: f64,
+}
+
+impl FpgaRun {
+    /// Measured per-device output-error cross section.
+    pub fn cross_section(&self) -> f64 {
+        if self.fluence == 0.0 {
+            0.0
+        } else {
+            self.output_errors as f64 / self.fluence
+        }
+    }
+}
+
+/// Runs the paper's FPGA procedure: expose, check output every
+/// `check_interval`, reprogram when an output error is observed.
+///
+/// An output error is observed when at least one essential bit is
+/// corrupted at check time (the corrupted circuit computes wrong values).
+pub fn run_scrubbed(
+    mut memory: ConfigMemory,
+    flux: Flux,
+    duration: Seconds,
+    check_interval: Seconds,
+    seed: u64,
+) -> FpgaRun {
+    assert!(
+        check_interval.value() > 0.0 && duration.value() >= check_interval.value(),
+        "check interval must be positive and fit in the run"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let checks = (duration.value() / check_interval.value()).floor() as u64;
+    let mut output_errors = 0;
+    for _ in 0..checks {
+        memory.expose(flux, check_interval, &mut rng);
+        if memory.is_corrupted() {
+            output_errors += 1;
+            memory.reprogram();
+        }
+    }
+    FpgaRun {
+        output_errors,
+        fluence: flux.value() * duration.value(),
+        seconds: duration.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsets_accumulate_until_reprogram() {
+        let mut mem = ConfigMemory::zynq7000(1e-15);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut essential = 0;
+        for _ in 0..50 {
+            essential += mem.expose(Flux(2.72e6), Seconds(10.0), &mut rng);
+        }
+        assert!(mem.flipped_total() > 0);
+        assert_eq!(mem.flipped_essential(), essential);
+        mem.reprogram();
+        assert!(!mem.is_corrupted());
+        assert_eq!(mem.flipped_total(), 0);
+    }
+
+    #[test]
+    fn essential_flips_track_fraction() {
+        let mut mem = ConfigMemory::new(1_000_000, 0.25, 1e-11);
+        let mut rng = StdRng::seed_from_u64(2);
+        mem.expose(Flux(1e6), Seconds(100.0), &mut rng);
+        let frac = mem.flipped_essential() as f64 / mem.flipped_total() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "essential fraction {frac}");
+    }
+
+    #[test]
+    fn scrubbed_run_counts_errors_proportional_to_fluence() {
+        let short = run_scrubbed(
+            ConfigMemory::zynq7000(1e-16),
+            Flux(2.72e6),
+            Seconds(2_000.0),
+            Seconds(5.0),
+            3,
+        );
+        let long = run_scrubbed(
+            ConfigMemory::zynq7000(1e-16),
+            Flux(2.72e6),
+            Seconds(20_000.0),
+            Seconds(5.0),
+            3,
+        );
+        assert!(long.output_errors > 5 * short.output_errors.max(1) / 2);
+        // Cross sections agree within counting noise.
+        let (a, b) = (short.cross_section(), long.cross_section());
+        assert!((a - b).abs() / b < 0.5, "a {a:e} b {b:e}");
+    }
+
+    #[test]
+    fn cross_section_zero_without_fluence() {
+        let run = FpgaRun {
+            output_errors: 0,
+            fluence: 0.0,
+            seconds: 0.0,
+        };
+        assert_eq!(run.cross_section(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "essential fraction")]
+    fn invalid_essential_fraction_rejected() {
+        let _ = ConfigMemory::new(100, 1.5, 1e-15);
+    }
+
+    #[test]
+    fn double_precision_quadruples_thermal_output_error_rate() {
+        let flux = Flux(2.72e6);
+        let run = |precision| {
+            run_scrubbed(
+                ConfigMemory::zynq7000_mnist_thermal(precision),
+                flux,
+                Seconds(40_000.0),
+                Seconds(2.0),
+                9,
+            )
+        };
+        let single = run(DesignPrecision::Single);
+        let double = run(DesignPrecision::Double);
+        let ratio = double.cross_section() / single.cross_section();
+        assert!((2.5..6.0).contains(&ratio), "thermal ratio = {ratio}");
+    }
+
+    #[test]
+    fn double_precision_doubles_fast_output_error_rate() {
+        let flux = Flux(5.4e6);
+        let run = |precision| {
+            run_scrubbed(
+                ConfigMemory::zynq7000_mnist_fast(precision),
+                flux,
+                Seconds(20_000.0),
+                Seconds(2.0),
+                10,
+            )
+        };
+        let single = run(DesignPrecision::Single);
+        let double = run(DesignPrecision::Double);
+        let ratio = double.cross_section() / single.cross_section();
+        assert!((1.4..3.0).contains(&ratio), "fast ratio = {ratio}");
+    }
+
+    #[test]
+    fn precision_metadata() {
+        assert_eq!(
+            ConfigMemory::zynq7000_mnist_thermal(DesignPrecision::Double).essential_fraction(),
+            0.20
+        );
+        assert_eq!(DesignPrecision::Single.to_string(), "single");
+        assert_eq!(DesignPrecision::Double.to_string(), "double");
+    }
+}

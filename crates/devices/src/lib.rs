@@ -1,0 +1,47 @@
+//! # tn-devices — radiation response models of computing devices
+//!
+//! Sensitive-volume models for the devices the paper irradiated:
+//! Intel Xeon Phi (22 nm), NVIDIA K20 (28 nm planar CMOS), NVIDIA TitanX
+//! (16 nm FinFET), NVIDIA TitanV (12 nm FinFET), the AMD APU (28 nm, CPU /
+//! GPU / CPU+GPU configurations), a Xilinx Zynq-7000 FPGA, and DDR3/DDR4
+//! DRAM modules.
+//!
+//! Each device's **thermal** sensitivity *emerges* from its modelled ¹⁰B
+//! areal density through the 1/v capture law and an alpha-upset
+//! probability, rather than being tabulated; the **fast** sensitivity is a
+//! per-bit interaction constant. DESIGN.md documents how the free
+//! parameters were fitted to the cross-section-ratio bands the paper
+//! reports (its absolute cross sections are business-sensitive and were
+//! never published).
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_devices::catalog;
+//! use tn_physics::units::Energy;
+//!
+//! let k20 = catalog::nvidia_k20();
+//! let phi = catalog::xeon_phi();
+//! // Xeon Phi uses little/depleted boron: its thermal response is far
+//! // weaker relative to its fast response than the K20's.
+//! let k20_ratio = k20.response().fast_sdc_sensitivity().value()
+//!     / k20.response().thermal_sdc_sensitivity(Energy(0.0253)).value();
+//! let phi_ratio = phi.response().fast_sdc_sensitivity().value()
+//!     / phi.response().thermal_sdc_sensitivity(Energy(0.0253)).value();
+//! assert!(phi_ratio > 2.0 * k20_ratio);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod catalog;
+pub mod ddr;
+pub mod sampling;
+pub mod ecc;
+pub mod fpga;
+pub mod response;
+
+pub use catalog::{all_compute_devices, fit_b10_population, Device, DeviceKind, Technology, TransistorKind};
+pub use ddr::{DataPattern, DdrErrorKind, DdrGeneration, DdrModule, FlipDirection};
+pub use fpga::{ConfigMemory, DesignPrecision};
+pub use response::{DeviceResponse, ErrorClass, SensitiveRegion};

@@ -1,0 +1,310 @@
+//! The physical response model mapping a neutron field to device upsets.
+//!
+//! Every device is described by two [`SensitiveRegion`]s:
+//!
+//! * a **datapath** region (register files, caches, flip-flops, config
+//!   bits) whose upsets surface as output corruption — **SDC** candidates,
+//!   subject to program-level masking;
+//! * a **control** region (schedulers, memory controllers, CPU↔GPU
+//!   synchronisation logic) whose upsets hang or kill the run — **DUE**s.
+//!
+//! Each region responds to two mechanisms:
+//!
+//! * **fast neutrons** (elastic/inelastic silicon recoils): a threshold
+//!   response that turns on between 0.2 and 2 MeV and is flat above —
+//!   parameterised directly as a saturated cross section;
+//! * **thermal neutrons** via ¹⁰B(n,α)⁷Li: an exact 1/v response whose
+//!   magnitude is the product of the region's exposed ¹⁰B population and
+//!   the alpha/lithium upset probability — the `b10_effective_atoms`
+//!   parameter. A boron-free device has zero here and is immune, exactly
+//!   as the paper argues.
+
+use serde::{Deserialize, Serialize};
+use tn_physics::capture::b10_capture;
+use tn_physics::units::{CrossSection, Energy, Flux};
+use tn_physics::Spectrum;
+
+/// The two observable error classes of a beam experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// Silent data corruption: wrong output, no symptom.
+    Sdc,
+    /// Detected unrecoverable error: crash, hang, device drop-off.
+    Due,
+}
+
+impl ErrorClass {
+    /// Both classes, in the order tables are printed.
+    pub const ALL: [ErrorClass; 2] = [ErrorClass::Sdc, ErrorClass::Due];
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Sdc => "SDC",
+            ErrorClass::Due => "DUE",
+        })
+    }
+}
+
+/// Energy (eV) below which the fast-recoil mechanism is fully off.
+const FAST_THRESHOLD_LO: f64 = 0.2e6;
+/// Energy (eV) above which the fast-recoil mechanism is saturated.
+const FAST_THRESHOLD_HI: f64 = 2.0e6;
+
+/// One sensitive region of a die: its fast-recoil cross section and its
+/// effective ¹⁰B population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitiveRegion {
+    fast_saturated: CrossSection,
+    b10_effective_atoms: f64,
+}
+
+impl SensitiveRegion {
+    /// Creates a region.
+    ///
+    /// `fast_saturated` is the cross section presented to ≥ 2 MeV
+    /// neutrons. `b10_effective_atoms` is the number of ¹⁰B atoms in the
+    /// region weighted by the probability that their capture products
+    /// upset a cell; it absorbs die area, areal doping density and
+    /// critical charge into one fitted scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is negative or non-finite.
+    pub fn new(fast_saturated: CrossSection, b10_effective_atoms: f64) -> Self {
+        assert!(
+            fast_saturated.value() >= 0.0 && fast_saturated.is_finite(),
+            "fast cross section must be finite and non-negative"
+        );
+        assert!(
+            b10_effective_atoms >= 0.0 && b10_effective_atoms.is_finite(),
+            "B10 population must be finite and non-negative"
+        );
+        Self {
+            fast_saturated,
+            b10_effective_atoms,
+        }
+    }
+
+    /// A region with no ¹⁰B at all (depleted/boron-free process).
+    pub fn boron_free(fast_saturated: CrossSection) -> Self {
+        Self::new(fast_saturated, 0.0)
+    }
+
+    /// The saturated fast-recoil cross section.
+    pub fn fast_saturated(&self) -> CrossSection {
+        self.fast_saturated
+    }
+
+    /// The effective ¹⁰B population.
+    pub fn b10_effective_atoms(&self) -> f64 {
+        self.b10_effective_atoms
+    }
+
+    /// Fast-mechanism cross section at energy `e` (threshold ramp).
+    pub fn fast_cross_section_at(&self, e: Energy) -> CrossSection {
+        let ev = e.value();
+        let weight = if ev <= FAST_THRESHOLD_LO {
+            0.0
+        } else if ev >= FAST_THRESHOLD_HI {
+            1.0
+        } else {
+            (ev - FAST_THRESHOLD_LO) / (FAST_THRESHOLD_HI - FAST_THRESHOLD_LO)
+        };
+        self.fast_saturated * weight
+    }
+
+    /// Thermal-mechanism (¹⁰B capture) cross section at energy `e`;
+    /// exact 1/v law, valid from cold to epithermal energies.
+    pub fn b10_cross_section_at(&self, e: Energy) -> CrossSection {
+        b10_capture(e).to_cross_section() * self.b10_effective_atoms
+    }
+
+    /// Total upset cross section at energy `e`.
+    pub fn cross_section_at(&self, e: Energy) -> CrossSection {
+        self.fast_cross_section_at(e) + self.b10_cross_section_at(e)
+    }
+
+    /// Expected upset rate (events/s) of this region in the given neutron
+    /// field: ∫ σ(E)·φ(E) dE over the spectrum.
+    pub fn event_rate(&self, spectrum: &Spectrum) -> f64 {
+        // Log-grid quadrature over the full tabulation range.
+        let grid = tn_physics::EnergyGrid::log_spaced(Energy(1e-4), Energy(1e10), 800);
+        let pts = grid.points();
+        let mut rate = 0.0;
+        for w in pts.windows(2) {
+            let (e0, e1) = (w[0], w[1]);
+            let f0 = spectrum.density(e0) * self.cross_section_at(e0).value();
+            let f1 = spectrum.density(e1) * self.cross_section_at(e1).value();
+            rate += 0.5 * (f0 + f1) * (e1.value() - e0.value());
+        }
+        rate
+    }
+}
+
+/// A device's full response: one region per error class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceResponse {
+    sdc: SensitiveRegion,
+    due: SensitiveRegion,
+}
+
+impl DeviceResponse {
+    /// Creates a response from the two regions.
+    pub fn new(sdc: SensitiveRegion, due: SensitiveRegion) -> Self {
+        Self { sdc, due }
+    }
+
+    /// The region feeding the given error class.
+    pub fn region(&self, class: ErrorClass) -> &SensitiveRegion {
+        match class {
+            ErrorClass::Sdc => &self.sdc,
+            ErrorClass::Due => &self.due,
+        }
+    }
+
+    /// Expected event rate (events/s) for an error class in a field.
+    pub fn event_rate(&self, class: ErrorClass, spectrum: &Spectrum) -> f64 {
+        self.region(class).event_rate(spectrum)
+    }
+
+    /// Saturated fast SDC cross section (used by FIT arithmetic, where the
+    /// quoting convention is the >10 MeV flux).
+    pub fn fast_sdc_sensitivity(&self) -> CrossSection {
+        self.sdc.fast_saturated()
+    }
+
+    /// Thermal SDC cross section at energy `e`.
+    pub fn thermal_sdc_sensitivity(&self, e: Energy) -> CrossSection {
+        self.sdc.b10_cross_section_at(e)
+    }
+
+    /// Field error rate (events/s) given separate high-energy and thermal
+    /// fluxes — the natural-environment analogue of [`Self::event_rate`],
+    /// using the convention that σ_HE is quoted against the >10 MeV flux
+    /// and σ_th against the full thermal flux.
+    pub fn field_rate(&self, class: ErrorClass, high_energy: Flux, thermal: Flux) -> f64 {
+        let region = self.region(class);
+        region.fast_saturated().value() * high_energy.value()
+            + region
+                .b10_cross_section_at(tn_physics::constants::THERMAL_ENERGY)
+                .value()
+                * thermal.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_physics::constants::{ROOM_TEMPERATURE, THERMAL_ENERGY};
+    use tn_physics::{Shape, Spectrum};
+    use tn_physics::units::Flux;
+
+    fn region() -> SensitiveRegion {
+        SensitiveRegion::new(CrossSection(1e-9), 1e11)
+    }
+
+    #[test]
+    fn fast_threshold_ramp() {
+        let r = region();
+        assert_eq!(r.fast_cross_section_at(Energy(1.0)).value(), 0.0);
+        assert_eq!(r.fast_cross_section_at(Energy(0.1e6)).value(), 0.0);
+        let mid = r.fast_cross_section_at(Energy(1.1e6)).value();
+        assert!(mid > 0.0 && mid < 1e-9);
+        assert_eq!(r.fast_cross_section_at(Energy(10e6)).value(), 1e-9);
+        assert_eq!(r.fast_cross_section_at(Energy(1e9)).value(), 1e-9);
+    }
+
+    #[test]
+    fn thermal_cross_section_follows_one_over_v() {
+        let r = region();
+        let at_thermal = r.b10_cross_section_at(THERMAL_ENERGY).value();
+        let at_4x = r.b10_cross_section_at(Energy(4.0 * THERMAL_ENERGY.value())).value();
+        assert!((at_thermal / at_4x - 2.0).abs() < 1e-9);
+        // 1e11 atoms x 3837 b = 1e11 * 3.837e-21 cm^2 = 3.837e-10 cm^2.
+        assert!((at_thermal - 3.837e-10).abs() < 1e-13);
+    }
+
+    #[test]
+    fn boron_free_region_is_thermal_immune() {
+        let r = SensitiveRegion::boron_free(CrossSection(1e-9));
+        assert_eq!(r.b10_cross_section_at(THERMAL_ENERGY).value(), 0.0);
+        let thermal_beam = Spectrum::named("th").with(
+            Shape::Maxwellian {
+                temperature: ROOM_TEMPERATURE,
+            },
+            Flux(2.72e6),
+        );
+        assert!(r.event_rate(&thermal_beam) < 1e-12);
+    }
+
+    #[test]
+    fn event_rate_in_pure_thermal_beam_matches_closed_form() {
+        let r = SensitiveRegion::new(CrossSection::ZERO, 1e11);
+        let beam = Spectrum::named("th").with(
+            Shape::Maxwellian {
+                temperature: ROOM_TEMPERATURE,
+            },
+            Flux(2.72e6),
+        );
+        // For a 1/v absorber in a Maxwellian flux of temperature T the
+        // spectrum-averaged sigma is sqrt(pi)/2 x sigma(kT).
+        let sigma_kt = r.b10_cross_section_at(Energy::thermal_at(ROOM_TEMPERATURE)).value();
+        let expected = 2.72e6 * sigma_kt * (std::f64::consts::PI.sqrt() / 2.0);
+        let rate = r.event_rate(&beam);
+        assert!(
+            (rate - expected).abs() / expected < 0.03,
+            "rate {rate:e} vs expected {expected:e}"
+        );
+    }
+
+    #[test]
+    fn event_rate_in_fast_beam_matches_closed_form() {
+        let r = SensitiveRegion::boron_free(CrossSection(1e-9));
+        let beam = Spectrum::named("fast").with(
+            Shape::PowerLaw {
+                lo: Energy(10e6),
+                hi: Energy(1e9),
+                gamma: 1.5,
+            },
+            Flux(5.4e6),
+        );
+        // Entire beam is above the saturation threshold.
+        let expected = 5.4e6 * 1e-9;
+        let rate = r.event_rate(&beam);
+        assert!(
+            (rate - expected).abs() / expected < 0.02,
+            "rate {rate:e} vs {expected:e}"
+        );
+    }
+
+    #[test]
+    fn field_rate_combines_both_mechanisms() {
+        let resp = DeviceResponse::new(region(), SensitiveRegion::boron_free(CrossSection(1e-10)));
+        let sdc = resp.field_rate(ErrorClass::Sdc, Flux(10.0), Flux(10.0));
+        let expected = 1e-9 * 10.0 + 3.837e-10 * 10.0;
+        assert!((sdc - expected).abs() / expected < 1e-9);
+        let due = resp.field_rate(ErrorClass::Due, Flux(10.0), Flux(10.0));
+        assert!((due - 1e-10 * 10.0).abs() / (1e-10 * 10.0) < 1e-9);
+    }
+
+    #[test]
+    fn region_accessor_maps_classes() {
+        let resp = DeviceResponse::new(region(), SensitiveRegion::boron_free(CrossSection(5e-10)));
+        assert_eq!(resp.region(ErrorClass::Sdc).b10_effective_atoms(), 1e11);
+        assert_eq!(resp.region(ErrorClass::Due).b10_effective_atoms(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_b10_rejected() {
+        let _ = SensitiveRegion::new(CrossSection(1e-9), -1.0);
+    }
+
+    #[test]
+    fn error_class_display() {
+        assert_eq!(ErrorClass::Sdc.to_string(), "SDC");
+        assert_eq!(ErrorClass::Due.to_string(), "DUE");
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared stochastic sampling helpers for device models.
+//!
+//! The Poisson sampler lives in [`tn_physics::stats`]; it is re-exported
+//! here because every device model draws event counts from it.
+
+pub use tn_physics::stats::poisson;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_is_respected_across_regimes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for mean in [0.5, 5.0, 80.0, 500.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let est = total as f64 / n as f64;
+            assert!((est - mean).abs() / mean < 0.05, "mean {mean}: est {est}");
+        }
+    }
+
+    #[test]
+    fn variance_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean = 12.0;
+        let n = 30_000;
+        let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, mean) as f64).collect();
+        let m: f64 = draws.iter().sum::<f64>() / n as f64;
+        let var: f64 = draws.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((var - mean).abs() / mean < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mean_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based device-model invariants.
+
+use proptest::prelude::*;
+use tn_devices::catalog::{all_compute_devices, fit_b10_population};
+use tn_devices::ddr::{classify, CorrectLoop, DdrModule};
+use tn_devices::fpga::ConfigMemory;
+use tn_devices::response::{ErrorClass, SensitiveRegion};
+use tn_physics::units::{CrossSection, Energy, Flux, Seconds};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn region_cross_section_is_monotone_below_threshold(
+        b10 in 1e8f64..1e14,
+        e1 in 1e-4f64..1e3,
+        factor in 1.5f64..100.0,
+    ) {
+        // In the capture-dominated range (everything below the 0.2 MeV
+        // fast-recoil threshold), lower energy = bigger sigma.
+        let region = SensitiveRegion::new(CrossSection(1e-9), b10);
+        let lo = region.cross_section_at(Energy(e1));
+        let hi = region.cross_section_at(Energy(e1 * factor));
+        prop_assert!(lo.value() >= hi.value());
+    }
+
+    #[test]
+    fn fast_region_saturates(
+        sigma_exp in -10.0f64..-7.0,
+        e_mev in 2.0f64..1000.0,
+    ) {
+        let sigma = CrossSection(10f64.powf(sigma_exp));
+        let region = SensitiveRegion::boron_free(sigma);
+        let at_e = region.cross_section_at(Energy::from_mev(e_mev));
+        prop_assert!((at_e.value() - sigma.value()).abs() < 1e-12 * sigma.value());
+    }
+
+    #[test]
+    fn b10_fit_round_trips_through_the_device(
+        target in 1.2f64..15.0,
+    ) {
+        let sigma = CrossSection(1e-8);
+        let b10 = fit_b10_population(sigma, target);
+        let again = fit_b10_population(sigma, target);
+        prop_assert_eq!(b10, again, "fit must be deterministic");
+        prop_assert!(b10.is_finite() && b10 > 0.0);
+    }
+
+    #[test]
+    fn catalog_devices_have_consistent_due_regions(seed in 0u64..8) {
+        let device = &all_compute_devices()[seed as usize];
+        let due = device.response().region(ErrorClass::Due);
+        let sdc = device.response().region(ErrorClass::Sdc);
+        // Control logic is a minority of the die: DUE fast sigma below
+        // SDC fast sigma for every catalog device.
+        prop_assert!(due.fast_saturated().value() <= sdc.fast_saturated().value());
+    }
+
+    #[test]
+    fn correct_loop_error_count_scales_with_fluence(
+        seed in 0u64..50,
+    ) {
+        let beam = Flux(2.72e6);
+        let short = {
+            let mut t = CorrectLoop::new(DdrModule::ddr3(), seed);
+            classify(&t.run(beam, Seconds(1000.0), Seconds(10.0))).total()
+        };
+        let long = {
+            let mut t = CorrectLoop::new(DdrModule::ddr3(), seed);
+            classify(&t.run(beam, Seconds(16_000.0), Seconds(10.0))).total()
+        };
+        prop_assert!(long > short, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn classified_totals_never_exceed_generated_events(
+        seed in 0u64..30,
+        flux_exp in 5.0f64..7.0,
+    ) {
+        let beam = Flux(10f64.powf(flux_exp));
+        let mut t = CorrectLoop::new(DdrModule::ddr4(), seed);
+        let log = t.run(beam, Seconds(2000.0), Seconds(10.0));
+        let classified = classify(&log);
+        // Expected events = sigma * capacity * fluence; allow 5x headroom
+        // for Poisson upside on small numbers.
+        let expected =
+            DdrModule::ddr4().thermal_event_rate(beam) * 2000.0;
+        prop_assert!(
+            (classified.total() as f64) < 5.0 * expected + 20.0,
+            "classified {} vs expected {expected}",
+            classified.total()
+        );
+    }
+
+    #[test]
+    fn fpga_upsets_scale_with_flux(seed in 0u64..50) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut low = ConfigMemory::zynq7000(1e-15);
+        let mut high = ConfigMemory::zynq7000(1e-15);
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        low.expose(Flux(1e5), Seconds(1000.0), &mut rng1);
+        high.expose(Flux(1e7), Seconds(1000.0), &mut rng2);
+        prop_assert!(high.flipped_total() > low.flipped_total());
+    }
+}

@@ -1,0 +1,186 @@
+//! Synthetic weather sequences: day-by-day weather for a site, so error
+//! rates can be integrated over realistic operating periods rather than
+//! a single condition — the paper's point that "when it rains the error
+//! rate … can be significantly higher than during a sunny day" turned
+//! into a forecastable quantity.
+
+use crate::Weather;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A site's climate: how often each weather state occurs and how sticky
+/// it is day over day (first-order Markov chain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Climate {
+    /// Stationary probability of rain (split between rainy and
+    /// thunderstorm days).
+    pub wet_day_fraction: f64,
+    /// Of wet days, the fraction that escalate to thunderstorms.
+    pub storm_fraction: f64,
+    /// Probability that tomorrow repeats today's wet/dry state.
+    pub persistence: f64,
+    /// Fraction of the year with snowpack (cold sites).
+    pub snow_fraction: f64,
+}
+
+impl Climate {
+    /// A high-desert site like Los Alamos: dry, monsoon bursts, winter
+    /// snow.
+    pub fn high_desert() -> Self {
+        Self {
+            wet_day_fraction: 0.15,
+            storm_fraction: 0.4,
+            persistence: 0.7,
+            snow_fraction: 0.10,
+        }
+    }
+
+    /// A temperate coastal site: frequent rain, few storms.
+    pub fn temperate_coastal() -> Self {
+        Self {
+            wet_day_fraction: 0.35,
+            storm_fraction: 0.15,
+            persistence: 0.6,
+            snow_fraction: 0.05,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (label, p) in [
+            ("wet_day_fraction", self.wet_day_fraction),
+            ("storm_fraction", self.storm_fraction),
+            ("persistence", self.persistence),
+            ("snow_fraction", self.snow_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{label} = {p} not a probability");
+        }
+    }
+
+    /// Draws a daily weather sequence of `days` days.
+    pub fn synthesize(&self, days: usize, seed: u64) -> Vec<Weather> {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(days);
+        let mut wet = rng.gen::<f64>() < self.wet_day_fraction;
+        for _ in 0..days {
+            // Persist or redraw the wet/dry state.
+            if rng.gen::<f64>() >= self.persistence {
+                wet = rng.gen::<f64>() < self.wet_day_fraction;
+            }
+            let weather = if rng.gen::<f64>() < self.snow_fraction {
+                Weather::Snowpack
+            } else if wet {
+                if rng.gen::<f64>() < self.storm_fraction {
+                    Weather::Thunderstorm
+                } else {
+                    Weather::Rainy
+                }
+            } else {
+                Weather::Sunny
+            };
+            out.push(weather);
+        }
+        out
+    }
+
+    /// Long-run mean thermal-flux multiplier of this climate relative to
+    /// permanent fair weather (analytic, no sampling).
+    pub fn mean_thermal_factor(&self) -> f64 {
+        self.validate();
+        let dry = 1.0 - self.wet_day_fraction;
+        let rain = self.wet_day_fraction * (1.0 - self.storm_fraction);
+        let storm = self.wet_day_fraction * self.storm_fraction;
+        // Snow overrides the wet/dry draw with probability snow_fraction.
+        let base = dry * Weather::Sunny.thermal_factor()
+            + rain * Weather::Rainy.thermal_factor()
+            + storm * Weather::Thunderstorm.thermal_factor();
+        (1.0 - self.snow_fraction) * base
+            + self.snow_fraction * Weather::Snowpack.thermal_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_deterministic_per_seed() {
+        let c = Climate::high_desert();
+        assert_eq!(c.synthesize(365, 9), c.synthesize(365, 9));
+        assert_ne!(c.synthesize(365, 9), c.synthesize(365, 10));
+    }
+
+    #[test]
+    fn wet_day_fraction_is_respected() {
+        let c = Climate::temperate_coastal();
+        let days = c.synthesize(20_000, 3);
+        let wet = days
+            .iter()
+            .filter(|w| matches!(w, Weather::Rainy | Weather::Thunderstorm))
+            .count() as f64
+            / days.len() as f64;
+        // Snow days eat into everything; expected wet ≈ 0.35 * 0.95.
+        let expected = 0.35 * 0.95;
+        assert!((wet - expected).abs() < 0.05, "wet fraction {wet}");
+    }
+
+    #[test]
+    fn persistence_creates_runs() {
+        let sticky = Climate {
+            persistence: 0.95,
+            ..Climate::temperate_coastal()
+        };
+        let loose = Climate {
+            persistence: 0.0,
+            ..Climate::temperate_coastal()
+        };
+        let count_transitions = |days: &[Weather]| {
+            days.windows(2)
+                .filter(|w| {
+                    let wet = |x: &Weather| matches!(x, Weather::Rainy | Weather::Thunderstorm);
+                    wet(&w[0]) != wet(&w[1])
+                })
+                .count()
+        };
+        let sticky_t = count_transitions(&sticky.synthesize(5_000, 4));
+        let loose_t = count_transitions(&loose.synthesize(5_000, 4));
+        assert!(sticky_t * 2 < loose_t, "sticky {sticky_t} vs loose {loose_t}");
+    }
+
+    #[test]
+    fn mean_thermal_factor_matches_sampled_mean() {
+        let c = Climate::high_desert();
+        let days = c.synthesize(50_000, 5);
+        let sampled: f64 =
+            days.iter().map(|w| w.thermal_factor()).sum::<f64>() / days.len() as f64;
+        let analytic = c.mean_thermal_factor();
+        assert!(
+            (sampled - analytic).abs() < 0.02,
+            "sampled {sampled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn wetter_climates_run_hotter() {
+        assert!(
+            Climate::temperate_coastal().mean_thermal_factor()
+                > Climate::high_desert().mean_thermal_factor()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_climate_rejected() {
+        let c = Climate {
+            wet_day_fraction: 1.5,
+            ..Climate::high_desert()
+        };
+        c.validate();
+    }
+}

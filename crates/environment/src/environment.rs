@@ -1,0 +1,169 @@
+//! The combined neutron environment a device operates in.
+
+use crate::weather::SolarActivity;
+use crate::{Location, Surroundings, Weather};
+use serde::{Deserialize, Serialize};
+use tn_physics::units::Flux;
+
+/// A complete description of where a device sits: geographic location,
+/// weather, and surrounding materials.
+///
+/// The high-energy flux depends only on the location (and solar activity,
+/// not modelled); the thermal flux is additionally modulated by weather
+/// and surroundings — the paper's central point about thermal-field
+/// variability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    location: Location,
+    weather: Weather,
+    surroundings: Surroundings,
+    #[serde(default)]
+    solar: SolarActivity,
+}
+
+impl Environment {
+    /// Creates an environment.
+    pub fn new(location: Location, weather: Weather, surroundings: Surroundings) -> Self {
+        Self {
+            location,
+            weather,
+            surroundings,
+            solar: SolarActivity::default(),
+        }
+    }
+
+    /// NYC outdoors on a sunny day — the sea-level reference environment.
+    pub fn nyc_reference() -> Self {
+        Self::new(Location::new_york(), Weather::Sunny, Surroundings::outdoors())
+    }
+
+    /// A liquid-cooled machine room at Leadville altitude — the paper's
+    /// worst-case FIT configuration.
+    pub fn leadville_machine_room() -> Self {
+        Self::new(
+            Location::leadville(),
+            Weather::Sunny,
+            Surroundings::hpc_machine_room(),
+        )
+    }
+
+    /// The location.
+    pub fn location(&self) -> &Location {
+        &self.location
+    }
+
+    /// The weather.
+    pub fn weather(&self) -> Weather {
+        self.weather
+    }
+
+    /// The surroundings.
+    pub fn surroundings(&self) -> &Surroundings {
+        &self.surroundings
+    }
+
+    /// Returns a copy with different weather (for sweeps).
+    pub fn with_weather(&self, weather: Weather) -> Self {
+        Self {
+            weather,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with different surroundings.
+    pub fn with_surroundings(&self, surroundings: Surroundings) -> Self {
+        Self {
+            surroundings,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy at a different phase of the solar cycle.
+    pub fn with_solar_activity(&self, solar: SolarActivity) -> Self {
+        Self {
+            solar,
+            ..self.clone()
+        }
+    }
+
+    /// The solar-cycle phase.
+    pub fn solar_activity(&self) -> SolarActivity {
+        self.solar
+    }
+
+    /// High-energy (>10 MeV) flux at the device.
+    pub fn high_energy_flux(&self) -> Flux {
+        self.location.high_energy_flux()
+            * self.weather.high_energy_factor()
+            * self.solar.flux_factor()
+    }
+
+    /// Thermal (<0.5 eV) flux at the device, with all modifiers applied.
+    pub fn thermal_flux(&self) -> Flux {
+        self.location.base_thermal_flux()
+            * self.weather.thermal_factor()
+            * self.surroundings.thermal_factor()
+            * self.solar.flux_factor()
+    }
+
+    /// Thermal-to-high-energy flux ratio — the quantity that decides how
+    /// much the thermal cross section matters for the FIT rate.
+    pub fn thermal_to_high_energy_ratio(&self) -> f64 {
+        self.thermal_flux() / self.high_energy_flux()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_room_raises_only_thermals() {
+        let outdoor = Environment::nyc_reference();
+        let indoor = outdoor.with_surroundings(Surroundings::hpc_machine_room());
+        assert_eq!(
+            outdoor.high_energy_flux().value(),
+            indoor.high_energy_flux().value()
+        );
+        assert!((indoor.thermal_flux() / outdoor.thermal_flux() - 1.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thunderstorm_doubles_thermal_ratio() {
+        let sunny = Environment::nyc_reference();
+        let storm = sunny.with_weather(Weather::Thunderstorm);
+        let r = storm.thermal_to_high_energy_ratio() / sunny.thermal_to_high_energy_ratio();
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leadville_room_is_the_worst_case() {
+        let reference = Environment::nyc_reference();
+        let worst = Environment::leadville_machine_room();
+        assert!(worst.thermal_flux().value() > 15.0 * reference.thermal_flux().value());
+        assert!(worst.high_energy_flux().value() > 10.0 * reference.high_energy_flux().value());
+    }
+
+    #[test]
+    fn solar_maximum_suppresses_both_populations_equally() {
+        let quiet = Environment::nyc_reference();
+        let active = quiet.with_solar_activity(SolarActivity::Maximum);
+        assert!((active.high_energy_flux() / quiet.high_energy_flux() - 0.75).abs() < 1e-12);
+        assert!((active.thermal_flux() / quiet.thermal_flux() - 0.75).abs() < 1e-12);
+        // The thermal *share* of any FIT rate is therefore unchanged.
+        assert!(
+            (active.thermal_to_high_energy_ratio() - quiet.thermal_to_high_energy_ratio()).abs()
+                < 1e-12
+        );
+        assert_eq!(active.solar_activity(), SolarActivity::Maximum);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let env = Environment::leadville_machine_room();
+        assert_eq!(env.location().name(), "Leadville, CO");
+        assert_eq!(env.weather(), Weather::Sunny);
+        assert!(env.surroundings().has_water_cooling());
+    }
+
+}

@@ -1,0 +1,35 @@
+//! # tn-environment — terrestrial neutron environments
+//!
+//! Models of the natural neutron background a computing device actually
+//! sits in: the JESD89A-style high-energy flux scaled for altitude and
+//! geomagnetic location, and the far more volatile thermal-neutron field,
+//! modulated by weather and by the materials surrounding the device
+//! (concrete floors, cooling water, walls).
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_environment::{Location, Surroundings, Weather, Environment};
+//!
+//! let nyc = Environment::new(Location::new_york(), Weather::Sunny, Surroundings::outdoors());
+//! let leadville = Environment::new(Location::leadville(), Weather::Sunny, Surroundings::outdoors());
+//! // High-energy flux grows steeply with altitude.
+//! assert!(leadville.high_energy_flux().value() > 5.0 * nyc.high_energy_flux().value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod climate;
+pub mod environment;
+pub mod location;
+pub mod room;
+pub mod vehicle;
+pub mod weather;
+
+pub use climate::Climate;
+pub use environment::Environment;
+pub use location::Location;
+pub use room::{DataCenterRoom, Surroundings};
+pub use vehicle::{RoadSurface, Vehicle};
+pub use weather::{SolarActivity, Weather};

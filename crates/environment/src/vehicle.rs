@@ -1,0 +1,151 @@
+//! The autonomous-vehicle thermal environment of the paper's motivation
+//! and discussion: "the road material, concrete or asphalt, the vehicle
+//! is driving on makes a difference, as does the weather, and the type
+//! and volume of fuel the vehicle uses. In addition, the number of
+//! passengers will change the thermal neutron flux, as humans are
+//! primarily composed of water".
+
+use crate::{Environment, Location, Surroundings, Weather};
+use serde::{Deserialize, Serialize};
+
+/// Road surface under the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadSurface {
+    /// Asphalt: hydrocarbons moderate, but the layer is thin.
+    Asphalt,
+    /// Concrete: the paper's +20 % parking-lot/slab case.
+    Concrete,
+    /// Wet road: water film adds moderation on top of the surface.
+    WetConcrete,
+}
+
+impl RoadSurface {
+    /// Additive thermal boost contributed by the road.
+    pub fn thermal_boost(self) -> f64 {
+        match self {
+            RoadSurface::Asphalt => 0.10,
+            RoadSurface::Concrete => 0.20,
+            RoadSurface::WetConcrete => 0.30,
+        }
+    }
+}
+
+/// A vehicle configuration: everything around the computing device that
+/// moderates neutrons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vehicle {
+    road: RoadSurface,
+    fuel_litres: f64,
+    passengers: u32,
+}
+
+impl Vehicle {
+    /// Additive thermal boost per litre of hydrocarbon fuel near the
+    /// device (a full 50 L tank ≈ +5 %).
+    pub const BOOST_PER_FUEL_LITRE: f64 = 0.001;
+
+    /// Additive thermal boost per passenger (humans are ~60 % water;
+    /// four passengers ≈ +10 %).
+    pub const BOOST_PER_PASSENGER: f64 = 0.025;
+
+    /// Creates a vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fuel_litres` is negative or above 200 (unit confusion)
+    /// or `passengers > 9`.
+    pub fn new(road: RoadSurface, fuel_litres: f64, passengers: u32) -> Self {
+        assert!(
+            (0.0..=200.0).contains(&fuel_litres),
+            "fuel volume {fuel_litres} L out of range"
+        );
+        assert!(passengers <= 9, "more than 9 passengers in a car?");
+        Self {
+            road,
+            fuel_litres,
+            passengers,
+        }
+    }
+
+    /// A battery-electric vehicle (no fuel tank) with one occupant on
+    /// concrete.
+    pub fn electric_single_occupant() -> Self {
+        Self::new(RoadSurface::Concrete, 0.0, 1)
+    }
+
+    /// A full family car: 50 L of fuel, four passengers, asphalt.
+    pub fn family_car() -> Self {
+        Self::new(RoadSurface::Asphalt, 50.0, 4)
+    }
+
+    /// The road surface.
+    pub fn road(&self) -> RoadSurface {
+        self.road
+    }
+
+    /// Total additive thermal boost of the vehicle configuration.
+    pub fn thermal_boost(&self) -> f64 {
+        self.road.thermal_boost()
+            + self.fuel_litres * Self::BOOST_PER_FUEL_LITRE
+            + self.passengers as f64 * Self::BOOST_PER_PASSENGER
+    }
+
+    /// The vehicle as [`Surroundings`] for the FIT engine.
+    pub fn surroundings(&self) -> Surroundings {
+        Surroundings::outdoors().with_extra_boost(self.thermal_boost())
+    }
+
+    /// The full environment of the in-vehicle device.
+    pub fn environment(&self, location: Location, weather: Weather) -> Environment {
+        Environment::new(location, weather, self.surroundings())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_ordering_is_physical() {
+        assert!(RoadSurface::Asphalt.thermal_boost() < RoadSurface::Concrete.thermal_boost());
+        assert!(RoadSurface::Concrete.thermal_boost() < RoadSurface::WetConcrete.thermal_boost());
+    }
+
+    #[test]
+    fn family_car_boost_combines_all_sources() {
+        let car = Vehicle::family_car();
+        // 0.10 road + 0.05 fuel + 0.10 passengers.
+        assert!((car.thermal_boost() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn passengers_raise_the_thermal_field() {
+        let empty = Vehicle::new(RoadSurface::Concrete, 0.0, 0);
+        let full = Vehicle::new(RoadSurface::Concrete, 0.0, 5);
+        assert!(full.thermal_boost() > empty.thermal_boost());
+    }
+
+    #[test]
+    fn vehicle_environment_reacts_to_weather() {
+        let car = Vehicle::family_car();
+        let sunny = car.environment(Location::new_york(), Weather::Sunny);
+        let storm = car.environment(Location::new_york(), Weather::Thunderstorm);
+        assert!((storm.thermal_flux() / sunny.thermal_flux() - 2.0).abs() < 1e-9);
+        assert_eq!(
+            sunny.high_energy_flux().value(),
+            storm.high_energy_flux().value()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn absurd_fuel_volume_rejected() {
+        let _ = Vehicle::new(RoadSurface::Asphalt, 1000.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "passengers")]
+    fn bus_is_not_a_car() {
+        let _ = Vehicle::new(RoadSurface::Asphalt, 50.0, 40);
+    }
+}

@@ -1,0 +1,190 @@
+//! Outcome decomposition by bit position — which bits hurt.
+//!
+//! The paper observes that thermal and high-energy neutrons manifest
+//! through different fault models and that beam cross sections are the
+//! only window into them. Fault injection can at least decompose the
+//! *program-level* response: flips in an IEEE-754 exponent corrupt
+//! results at any magnitude, while low-mantissa flips vanish below
+//! output quantisation; flips in integer index state crash instead.
+
+use crate::outcome::FaultOutcome;
+use crate::InjectionStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tn_workloads::{Fault, Workload};
+
+/// Coarse regions of a 64-bit word, IEEE-754-double oriented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitRegion {
+    /// Bits 0–25: low mantissa (rounding-level damage).
+    MantissaLow,
+    /// Bits 26–51: high mantissa (relative errors up to ~1e-4 … 0.5).
+    MantissaHigh,
+    /// Bits 52–62: exponent (magnitude blow-ups, NaN/Inf).
+    Exponent,
+    /// Bit 63: sign.
+    Sign,
+}
+
+impl BitRegion {
+    /// All regions in ascending bit order.
+    pub const ALL: [BitRegion; 4] = [
+        BitRegion::MantissaLow,
+        BitRegion::MantissaHigh,
+        BitRegion::Exponent,
+        BitRegion::Sign,
+    ];
+
+    /// Classifies a bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit > 63`.
+    pub fn of(bit: u8) -> Self {
+        assert!(bit < 64, "bit out of range");
+        match bit {
+            0..=25 => BitRegion::MantissaLow,
+            26..=51 => BitRegion::MantissaHigh,
+            52..=62 => BitRegion::Exponent,
+            _ => BitRegion::Sign,
+        }
+    }
+
+    /// Number of bits in the region (for rate normalisation).
+    pub fn width(self) -> u32 {
+        match self {
+            BitRegion::MantissaLow => 26,
+            BitRegion::MantissaHigh => 26,
+            BitRegion::Exponent => 11,
+            BitRegion::Sign => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for BitRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BitRegion::MantissaLow => "mantissa-low",
+            BitRegion::MantissaHigh => "mantissa-high",
+            BitRegion::Exponent => "exponent",
+            BitRegion::Sign => "sign",
+        })
+    }
+}
+
+/// Injection statistics decomposed by bit region.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BitProfile {
+    regions: [InjectionStats; 4],
+}
+
+impl BitProfile {
+    /// Stats for one region.
+    pub fn region(&self, region: BitRegion) -> &InjectionStats {
+        let idx = BitRegion::ALL.iter().position(|&r| r == region).unwrap();
+        &self.regions[idx]
+    }
+
+    fn region_mut(&mut self, region: BitRegion) -> &mut InjectionStats {
+        let idx = BitRegion::ALL.iter().position(|&r| r == region).unwrap();
+        &mut self.regions[idx]
+    }
+
+    /// Records one outcome at a bit position.
+    pub fn record(&mut self, bit: u8, outcome: FaultOutcome) {
+        self.region_mut(BitRegion::of(bit)).record(outcome);
+    }
+
+    /// Aggregate over all regions.
+    pub fn total(&self) -> InjectionStats {
+        let mut out = InjectionStats::default();
+        for r in &self.regions {
+            out.merge(r);
+        }
+        out
+    }
+}
+
+/// Runs a bit-resolved injection campaign: faults are drawn uniformly
+/// over progress and sites, and *stratified* over bit positions so every
+/// region gets comparable statistics.
+pub fn profile_by_bit<W: Workload + ?Sized>(
+    workload: &W,
+    runs_per_region: u64,
+    seed: u64,
+) -> BitProfile {
+    let golden = workload.golden();
+    let sites = workload.state_words().max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut profile = BitProfile::default();
+    for region in BitRegion::ALL {
+        for _ in 0..runs_per_region {
+            let bit = match region {
+                BitRegion::MantissaLow => rng.gen_range(0..26u8),
+                BitRegion::MantissaHigh => rng.gen_range(26..52u8),
+                BitRegion::Exponent => rng.gen_range(52..63u8),
+                BitRegion::Sign => 63,
+            };
+            let fault = Fault::new(rng.gen_range(0.0..1.0), rng.gen_range(0..sites), bit);
+            let outcome = FaultOutcome::classify(&workload.run(Some(fault)), &golden);
+            profile.record(bit, outcome);
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_workloads::hotspot::HotSpot;
+    use tn_workloads::mxm::MxM;
+
+    #[test]
+    fn region_classification_covers_all_bits() {
+        assert_eq!(BitRegion::of(0), BitRegion::MantissaLow);
+        assert_eq!(BitRegion::of(25), BitRegion::MantissaLow);
+        assert_eq!(BitRegion::of(26), BitRegion::MantissaHigh);
+        assert_eq!(BitRegion::of(51), BitRegion::MantissaHigh);
+        assert_eq!(BitRegion::of(52), BitRegion::Exponent);
+        assert_eq!(BitRegion::of(62), BitRegion::Exponent);
+        assert_eq!(BitRegion::of(63), BitRegion::Sign);
+        let total: u32 = BitRegion::ALL.iter().map(|r| r.width()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_64_rejected() {
+        let _ = BitRegion::of(64);
+    }
+
+    #[test]
+    fn stratified_campaign_fills_every_region() {
+        let profile = profile_by_bit(&MxM::new(12, 1), 50, 3);
+        for region in BitRegion::ALL {
+            assert_eq!(profile.region(region).total(), 50, "{region}");
+        }
+        assert_eq!(profile.total().total(), 200);
+    }
+
+    #[test]
+    fn exponent_flips_hurt_more_than_low_mantissa_in_stencils() {
+        // HotSpot damps small perturbations (diffusion + boundary), so
+        // low-mantissa flips mask heavily; exponent flips blow up.
+        let profile = profile_by_bit(&HotSpot::new(16, 24, 2), 120, 5);
+        let low = profile.region(BitRegion::MantissaLow).sdc_fraction();
+        let exp = profile.region(BitRegion::Exponent).sdc_fraction();
+        assert!(
+            exp > low,
+            "exponent SDC {exp} should exceed low-mantissa SDC {low}"
+        );
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let a = profile_by_bit(&MxM::new(12, 1), 40, 9);
+        let b = profile_by_bit(&MxM::new(12, 1), 40, 9);
+        assert_eq!(a, b);
+    }
+}

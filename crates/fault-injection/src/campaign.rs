@@ -1,0 +1,233 @@
+//! Statistical fault-injection campaigns: many random single-bit flips,
+//! outcome bookkeeping, and the AVF-style fractions that scale a device's
+//! raw upset rate into per-code SDC/DUE rates.
+
+use crate::outcome::FaultOutcome;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tn_workloads::{Fault, Workload};
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InjectionStats {
+    /// Faults absorbed without observable effect.
+    pub masked: u64,
+    /// Faults producing silent data corruption.
+    pub sdc: u64,
+    /// Faults producing a crash or hang.
+    pub due: u64,
+}
+
+impl InjectionStats {
+    /// Total injected faults.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.due
+    }
+
+    /// Fraction of faults producing an SDC (the SDC AVF).
+    pub fn sdc_fraction(&self) -> f64 {
+        self.fraction(self.sdc)
+    }
+
+    /// Fraction of faults producing a DUE.
+    pub fn due_fraction(&self) -> f64 {
+        self.fraction(self.due)
+    }
+
+    /// Fraction of faults masked.
+    pub fn masked_fraction(&self) -> f64 {
+        self.fraction(self.masked)
+    }
+
+    fn fraction(&self, n: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: FaultOutcome) {
+        match outcome {
+            FaultOutcome::Masked => self.masked += 1,
+            FaultOutcome::Sdc => self.sdc += 1,
+            FaultOutcome::Due => self.due += 1,
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &InjectionStats) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.due += other.due;
+    }
+}
+
+/// Builder for a fault-injection campaign over one workload.
+#[derive(Debug)]
+pub struct InjectionCampaign<W> {
+    workload: W,
+    runs: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl<W: Workload> InjectionCampaign<W> {
+    /// Creates a campaign with defaults (500 runs, seed 0, all cores).
+    pub fn new(workload: W) -> Self {
+        Self {
+            workload,
+            runs: 500,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Sets the number of injections.
+    pub fn runs(mut self, runs: u64) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the RNG seed (campaigns are reproducible per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// Faults are drawn uniformly over progress, state words and bit
+    /// positions; each fault is injected into a fresh run and classified
+    /// against the golden output. Work is distributed over scoped threads;
+    /// determinism is preserved by pre-drawing every fault from the seed.
+    pub fn execute(&self) -> InjectionStats {
+        let golden = self.workload.golden();
+        let sites = self.workload.state_words().max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let faults: Vec<Fault> = (0..self.runs)
+            .map(|_| {
+                Fault::new(
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0..sites),
+                    rng.gen_range(0..64),
+                )
+            })
+            .collect();
+
+        let stats = Mutex::new(InjectionStats::default());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.threads.min(faults.len().max(1));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let mut local = InjectionStats::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&fault) = faults.get(i) else { break };
+                        let result = self.workload.run(Some(fault));
+                        local.record(FaultOutcome::classify(&result, &golden));
+                    }
+                    stats.lock().merge(&local);
+                });
+            }
+        })
+        .expect("injection worker panicked");
+        stats.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_workloads::bfs::Bfs;
+    use tn_workloads::mxm::MxM;
+    use tn_workloads::sc::StreamCompaction;
+
+    #[test]
+    fn stats_bookkeeping() {
+        let mut s = InjectionStats::default();
+        s.record(FaultOutcome::Masked);
+        s.record(FaultOutcome::Sdc);
+        s.record(FaultOutcome::Sdc);
+        s.record(FaultOutcome::Due);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.sdc_fraction(), 0.5);
+        assert_eq!(s.due_fraction(), 0.25);
+        assert_eq!(s.masked_fraction(), 0.25);
+        let mut t = InjectionStats::default();
+        t.merge(&s);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn empty_stats_fractions_are_zero() {
+        let s = InjectionStats::default();
+        assert_eq!(s.sdc_fraction(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn campaign_is_reproducible_per_seed() {
+        let a = InjectionCampaign::new(MxM::new(12, 1)).runs(100).seed(7).execute();
+        let b = InjectionCampaign::new(MxM::new(12, 1)).runs(100).seed(7).execute();
+        assert_eq!(a, b);
+        let c = InjectionCampaign::new(MxM::new(12, 1)).runs(100).seed(8).execute();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn campaign_counts_every_run() {
+        let s = InjectionCampaign::new(MxM::new(12, 1)).runs(128).seed(1).execute();
+        assert_eq!(s.total(), 128);
+    }
+
+    #[test]
+    fn mxm_has_high_sdc_and_no_due() {
+        let s = InjectionCampaign::new(MxM::new(16, 2)).runs(300).seed(3).execute();
+        assert_eq!(s.due, 0, "pure-data MxM cannot DUE");
+        assert!(s.sdc_fraction() > 0.3, "sdc = {}", s.sdc_fraction());
+        assert!(s.masked > 0, "some faults must mask");
+    }
+
+    #[test]
+    fn bfs_produces_dues() {
+        let s = InjectionCampaign::new(Bfs::new(12, 4)).runs(400).seed(5).execute();
+        assert!(s.due > 0, "index corruption must produce DUEs: {s:?}");
+    }
+
+    #[test]
+    fn sc_produces_all_three_outcomes() {
+        let s = InjectionCampaign::new(StreamCompaction::new(256, 5))
+            .runs(500)
+            .seed(9)
+            .execute();
+        assert!(s.masked > 0 && s.sdc > 0 && s.due > 0, "{s:?}");
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let par = InjectionCampaign::new(MxM::new(12, 1)).runs(64).seed(2).execute();
+        let ser = InjectionCampaign::new(MxM::new(12, 1))
+            .runs(64)
+            .seed(2)
+            .threads(1)
+            .execute();
+        assert_eq!(par, ser);
+    }
+}

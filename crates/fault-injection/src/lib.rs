@@ -1,0 +1,36 @@
+//! # tn-fault-injection — bit-flip injection and outcome classification
+//!
+//! Drives the `tn-workloads` codes under single-bit faults and classifies
+//! every run the way a beam experiment does:
+//!
+//! * output differs from the pre-computed golden copy → **SDC**;
+//! * the program crashes or exceeds its step budget → **DUE**;
+//! * output matches → the fault was **masked**.
+//!
+//! Aggregating over many injections yields each code's Architectural
+//! Vulnerability Factor split — the program-level multiplier that turns a
+//! device's raw upset cross section into the SDC/DUE cross sections a
+//! beamline measures.
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_fault_injection::InjectionCampaign;
+//! use tn_workloads::mxm::MxM;
+//!
+//! let stats = InjectionCampaign::new(MxM::new(16, 3)).runs(200).seed(7).execute();
+//! assert_eq!(stats.total(), 200);
+//! // Matrix multiply propagates most data faults to the output.
+//! assert!(stats.sdc_fraction() > 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bit_profile;
+pub mod campaign;
+pub mod outcome;
+
+pub use bit_profile::{profile_by_bit, BitProfile, BitRegion};
+pub use campaign::{InjectionCampaign, InjectionStats};
+pub use outcome::FaultOutcome;

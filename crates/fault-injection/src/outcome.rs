@@ -1,0 +1,79 @@
+//! Classification of a faulted run against the golden output — the same
+//! decision procedure as a beam experiment's logging station.
+
+use serde::{Deserialize, Serialize};
+use tn_workloads::RunOutcome;
+
+/// What a single injected fault did to the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// Output identical to the golden copy: the fault was absorbed by
+    /// dead data, overwritten state, logical masking or quantisation.
+    Masked,
+    /// Output differs silently — the dangerous case.
+    Sdc,
+    /// The run crashed or hung: detected, unrecoverable.
+    Due,
+}
+
+impl FaultOutcome {
+    /// All outcomes, in tabulation order.
+    pub const ALL: [FaultOutcome; 3] = [FaultOutcome::Masked, FaultOutcome::Sdc, FaultOutcome::Due];
+
+    /// Classifies a run result against the golden output.
+    pub fn classify(result: &RunOutcome, golden: &[u64]) -> Self {
+        match result {
+            RunOutcome::Completed(out) => {
+                if out.as_slice() == golden {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::Sdc
+                }
+            }
+            RunOutcome::Crashed(_) | RunOutcome::Hung => FaultOutcome::Due,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Sdc => "SDC",
+            FaultOutcome::Due => "DUE",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matches_semantics() {
+        let golden = vec![1u64, 2, 3];
+        assert_eq!(
+            FaultOutcome::classify(&RunOutcome::Completed(vec![1, 2, 3]), &golden),
+            FaultOutcome::Masked
+        );
+        assert_eq!(
+            FaultOutcome::classify(&RunOutcome::Completed(vec![1, 2, 4]), &golden),
+            FaultOutcome::Sdc
+        );
+        assert_eq!(
+            FaultOutcome::classify(&RunOutcome::Crashed("x".into()), &golden),
+            FaultOutcome::Due
+        );
+        assert_eq!(
+            FaultOutcome::classify(&RunOutcome::Hung, &golden),
+            FaultOutcome::Due
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FaultOutcome::Sdc.to_string(), "SDC");
+        assert_eq!(FaultOutcome::Masked.to_string(), "masked");
+        assert_eq!(FaultOutcome::Due.to_string(), "DUE");
+    }
+}

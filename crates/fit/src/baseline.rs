@@ -1,0 +1,111 @@
+//! The Weulersse et al. (2018) memory-only baseline the paper compares
+//! against: thermal-to-high-energy sensitivity ratios between 0.03× and
+//! 1.4× measured on SRAMs, configuration logic blocks and caches with
+//! thermal neutrons, 60 MeV protons and 14 MeV neutrons.
+//!
+//! The paper's criticism — and the reason it ran *whole devices executing
+//! codes* instead — is that memory-only numbers miss program masking and
+//! say nothing about SDC-vs-DUE structure. This module encodes the
+//! baseline so benches can show both where our device models fall inside
+//! the published band and what the baseline cannot express.
+
+use serde::Serialize;
+use tn_devices::response::ErrorClass;
+use tn_devices::Device;
+
+/// One memory technology point from Weulersse et al.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemoryPoint {
+    /// Memory description.
+    pub memory: &'static str,
+    /// Thermal sensitivity relative to the high-energy one
+    /// (σ_thermal / σ_HE).
+    pub thermal_over_he: f64,
+}
+
+/// The published baseline band.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WeulersseBaseline {
+    points: Vec<MemoryPoint>,
+}
+
+impl WeulersseBaseline {
+    /// The representative points spanning the published 0.03×–1.4× band.
+    pub fn published() -> Self {
+        Self {
+            points: vec![
+                MemoryPoint { memory: "65 nm SRAM", thermal_over_he: 1.4 },
+                MemoryPoint { memory: "90 nm SRAM", thermal_over_he: 0.6 },
+                MemoryPoint { memory: "FPGA CLB array", thermal_over_he: 0.25 },
+                MemoryPoint { memory: "embedded cache", thermal_over_he: 0.11 },
+                MemoryPoint { memory: "40 nm SRAM (low-B)", thermal_over_he: 0.03 },
+            ],
+        }
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[MemoryPoint] {
+        &self.points
+    }
+
+    /// The published band `(min, max)` of thermal/HE ratios.
+    pub fn band(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in &self.points {
+            lo = lo.min(p.thermal_over_he);
+            hi = hi.max(p.thermal_over_he);
+        }
+        (lo, hi)
+    }
+
+    /// Whether a device's thermal/HE sensitivity ratio (for a class) falls
+    /// inside the published memory band.
+    pub fn contains_device(&self, device: &Device, class: ErrorClass) -> bool {
+        let ratio = 1.0 / device.analytic_ratio(class);
+        let (lo, hi) = self.band();
+        (lo..=hi).contains(&ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_devices::catalog;
+
+    #[test]
+    fn band_matches_publication() {
+        let (lo, hi) = WeulersseBaseline::published().band();
+        assert!((lo - 0.03).abs() < 1e-12);
+        assert!((hi - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_compute_devices_fall_inside_the_memory_band() {
+        // The paper's devices have thermal/HE sensitivity ratios between
+        // ~0.1 (Xeon Phi) and ~0.85 (APU DUE) — inside Weulersse's band,
+        // which is part of why the baseline looked plausible.
+        let baseline = WeulersseBaseline::published();
+        let inside = catalog::all_compute_devices()
+            .iter()
+            .filter(|d| baseline.contains_device(d, ErrorClass::Sdc))
+            .count();
+        assert!(inside >= 6, "only {inside}/8 devices inside the band");
+    }
+
+    #[test]
+    fn fpga_due_is_outside_any_memory_band() {
+        // No DUE at all (infinite HE/thermal ratio) — a structure the
+        // memory-only baseline cannot express.
+        let baseline = WeulersseBaseline::published();
+        let fpga = catalog::xilinx_zynq();
+        assert!(!baseline.contains_device(&fpga, ErrorClass::Due));
+    }
+
+    #[test]
+    fn points_are_named() {
+        for p in WeulersseBaseline::published().points() {
+            assert!(!p.memory.is_empty());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Checkpoint-interval planning from DUE rates — the operational
+//! consequence the paper sketches: "when supercomputer time is allocated,
+//! the checkpoint frequency may need to consider weather conditions."
+//!
+//! Uses Young's first-order optimum t_c = √(2·δ·MTBF) and Daly's
+//! higher-order refinement, with the MTBF derived from a fleet's DUE FIT
+//! rate.
+
+use serde::{Deserialize, Serialize};
+use tn_physics::units::{Fit, Seconds};
+
+/// A machine (or fleet) whose DUE rate drives checkpoint planning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPlan {
+    /// Aggregate DUE FIT across the nodes a job spans.
+    pub due_fit: Fit,
+    /// Time to write one checkpoint.
+    pub checkpoint_cost: Seconds,
+}
+
+impl CheckpointPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIT rate or checkpoint cost is not strictly
+    /// positive.
+    pub fn new(due_fit: Fit, checkpoint_cost: Seconds) -> Self {
+        assert!(due_fit.value() > 0.0, "DUE FIT must be positive");
+        assert!(
+            checkpoint_cost.value() > 0.0,
+            "checkpoint cost must be positive"
+        );
+        Self {
+            due_fit,
+            checkpoint_cost,
+        }
+    }
+
+    /// Mean time between DUE failures.
+    pub fn mtbf(&self) -> Seconds {
+        // FIT = failures per 1e9 device-hours.
+        Seconds(1e9 * 3600.0 / self.due_fit.value())
+    }
+
+    /// Young's optimal checkpoint interval √(2·δ·MTBF).
+    pub fn young_interval(&self) -> Seconds {
+        Seconds((2.0 * self.checkpoint_cost.value() * self.mtbf().value()).sqrt())
+    }
+
+    /// Daly's refined optimum
+    /// δ·(√(2·MTBF/δ)·(1 + √(δ/(2·MTBF))/3) − 1) for δ < 2·MTBF,
+    /// which reduces to Young's for small δ/MTBF.
+    pub fn daly_interval(&self) -> Seconds {
+        let delta = self.checkpoint_cost.value();
+        let m = self.mtbf().value();
+        if delta >= 2.0 * m {
+            return Seconds(m);
+        }
+        let root = (2.0 * m / delta).sqrt();
+        Seconds(delta * (root * (1.0 + (delta / (2.0 * m)).sqrt() / 3.0) - 1.0))
+    }
+
+    /// Fraction of machine time lost to checkpointing plus expected
+    /// rework at interval `t` (first-order model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly positive.
+    pub fn overhead_at(&self, t: Seconds) -> f64 {
+        assert!(t.value() > 0.0, "interval must be positive");
+        let delta = self.checkpoint_cost.value();
+        let m = self.mtbf().value();
+        delta / t.value() + (t.value() + delta) / (2.0 * m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(fit: f64) -> CheckpointPlan {
+        CheckpointPlan::new(Fit(fit), Seconds(120.0))
+    }
+
+    #[test]
+    fn mtbf_from_fit() {
+        // 1e6 FIT => 1e3 device-hours between failures.
+        let p = plan(1e6);
+        assert!((p.mtbf().as_hours() - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn young_matches_hand_calculation() {
+        let p = plan(1e6);
+        let expected = (2.0f64 * 120.0 * 1e3 * 3600.0).sqrt();
+        assert!((p.young_interval().value() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn daly_close_to_young_for_small_delta() {
+        let p = plan(1e5);
+        let young = p.young_interval().value();
+        let daly = p.daly_interval().value();
+        assert!((daly / young - 1.0).abs() < 0.05, "young {young}, daly {daly}");
+    }
+
+    #[test]
+    fn higher_due_rate_means_shorter_interval() {
+        // The paper's weather point: a thunderstorm can double the
+        // thermal DUE rate, shrinking the optimal interval by ~1/sqrt(2)
+        // for a thermal-dominated device.
+        let sunny = plan(1e6).young_interval().value();
+        let stormy = plan(2e6).young_interval().value();
+        assert!((stormy / sunny - 1.0 / 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_interval_minimises_overhead() {
+        let p = plan(1e6);
+        let t_opt = p.young_interval();
+        let at_opt = p.overhead_at(t_opt);
+        assert!(at_opt < p.overhead_at(Seconds(t_opt.value() / 3.0)));
+        assert!(at_opt < p.overhead_at(Seconds(t_opt.value() * 3.0)));
+    }
+
+    #[test]
+    fn degenerate_huge_cost_clamps_to_mtbf() {
+        let p = CheckpointPlan::new(Fit(1e9 * 3600.0 * 10.0), Seconds(1.0));
+        // MTBF = 0.1 s < 2*delta: clamp path.
+        assert!((p.daly_interval().value() - p.mtbf().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_fit_rejected() {
+        let _ = CheckpointPlan::new(Fit(0.0), Seconds(1.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Fleet-scale DDR FIT projection for the Top-10 supercomputers — the
+//! extension analysis sketched by the paper's (companion-figure) "HPC_FIT"
+//! plot: per-site thermal-neutron error rates of the machines' entire
+//! memory populations, driven by each site's altitude and machine-room
+//! surroundings.
+
+use serde::Serialize;
+use tn_devices::ddr::{DdrGeneration, DdrModule};
+use tn_environment::{Environment, Location, Surroundings, Weather};
+use tn_physics::units::{CrossSection, Fit};
+
+/// One supercomputer site (June 2019 Top500 snapshot).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Supercomputer {
+    /// Machine name.
+    pub name: &'static str,
+    /// Site label.
+    pub site: &'static str,
+    /// Site altitude in metres.
+    pub altitude_m: f64,
+    /// Total main-memory capacity in TB.
+    pub memory_tb: f64,
+    /// Dominant DRAM generation installed.
+    pub ddr: DdrGeneration,
+    /// Whether the machine is liquid-cooled (adds the +24 % water boost
+    /// on top of the universal concrete slab).
+    pub liquid_cooled: bool,
+}
+
+/// The June 2019 Top-10 list with site parameters.
+pub const TOP10_2019: [Supercomputer; 10] = [
+    Supercomputer { name: "Summit", site: "Oak Ridge, USA", altitude_m: 266.0, memory_tb: 2_801.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "Sierra", site: "Livermore, USA", altitude_m: 171.0, memory_tb: 1_382.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "Sunway TaihuLight", site: "Wuxi, China", altitude_m: 5.0, memory_tb: 1_310.0, ddr: DdrGeneration::Ddr3, liquid_cooled: true },
+    Supercomputer { name: "Tianhe-2A", site: "Guangzhou, China", altitude_m: 21.0, memory_tb: 2_277.0, ddr: DdrGeneration::Ddr3, liquid_cooled: true },
+    Supercomputer { name: "Frontera", site: "Austin, USA", altitude_m: 149.0, memory_tb: 1_537.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "Piz Daint", site: "Lugano, Switzerland", altitude_m: 273.0, memory_tb: 365.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "Trinity", site: "Los Alamos, USA", altitude_m: 2_231.0, memory_tb: 2_070.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "AI Bridging Cloud (ABCI)", site: "Tokyo, Japan", altitude_m: 10.0, memory_tb: 417.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "SuperMUC-NG", site: "Garching, Germany", altitude_m: 482.0, memory_tb: 719.0, ddr: DdrGeneration::Ddr4, liquid_cooled: true },
+    Supercomputer { name: "Lassen", site: "Livermore, USA", altitude_m: 171.0, memory_tb: 253.0, ddr: DdrGeneration::Ddr4, liquid_cooled: false },
+];
+
+impl Supercomputer {
+    /// The machine's environment: its altitude, a machine room with a
+    /// concrete slab, plus cooling water if liquid-cooled.
+    pub fn environment(&self) -> Environment {
+        let surroundings = if self.liquid_cooled {
+            Surroundings::hpc_machine_room()
+        } else {
+            Surroundings::concrete_floor()
+        };
+        Environment::new(
+            Location::new(self.site, self.altitude_m, 1.0),
+            Weather::Sunny,
+            surroundings,
+        )
+    }
+
+    /// The DDR module model matching the installed generation.
+    pub fn ddr_module(&self) -> DdrModule {
+        match self.ddr {
+            DdrGeneration::Ddr3 => DdrModule::ddr3(),
+            DdrGeneration::Ddr4 => DdrModule::ddr4(),
+        }
+    }
+
+    /// Installed memory in Gbit.
+    pub fn memory_gbit(&self) -> f64 {
+        self.memory_tb * 8.0 * 1000.0 // TB -> Gbit (decimal TB)
+    }
+
+    /// Whole-fleet thermal FIT of the machine's memory: per-Gbit thermal
+    /// cross section × capacity × the site's thermal flux.
+    pub fn memory_thermal_fit(&self) -> Fit {
+        let sigma = CrossSection(
+            self.ddr_module().thermal_sigma_per_gbit().value() * self.memory_gbit(),
+        );
+        sigma.fit_in(self.environment().thermal_flux())
+    }
+
+    /// Expected thermal-neutron memory errors per day of operation.
+    pub fn memory_errors_per_day(&self) -> f64 {
+        // FIT = errors / 1e9 device-hours; one machine-day = 24 h.
+        self.memory_thermal_fit().value() * 24.0 / 1e9
+    }
+
+    /// The same projection on a stormy day (thermal flux doubled).
+    pub fn memory_thermal_fit_in_rain(&self) -> Fit {
+        let env = self.environment().with_weather(Weather::Thunderstorm);
+        let sigma = CrossSection(
+            self.ddr_module().thermal_sigma_per_gbit().value() * self.memory_gbit(),
+        );
+        sigma.fit_in(env.thermal_flux())
+    }
+}
+
+/// Ranks the Top-10 by memory thermal FIT (descending) — the order the
+/// HPC_FIT bar chart paints.
+pub fn ranked_by_thermal_fit() -> Vec<(&'static str, Fit)> {
+    let mut rows: Vec<(&'static str, Fit)> = TOP10_2019
+        .iter()
+        .map(|s| (s.name, s.memory_thermal_fit()))
+        .collect();
+    rows.sort_by(|a, b| b.1.value().total_cmp(&a.1.value()));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_has_ten_machines() {
+        assert_eq!(TOP10_2019.len(), 10);
+    }
+
+    #[test]
+    fn ddr3_giants_and_trinity_top_the_chart() {
+        // Two effects dominate the ranking: the 10× DDR3 per-Gbit
+        // sensitivity (Tianhe-2A, TaihuLight) and Trinity's ~6× altitude
+        // flux at Los Alamos. Tianhe-2A (2.3 PB of DDR3) must lead, and
+        // Trinity must rank in the top three despite having an order of
+        // magnitude less sensitive DRAM than the Chinese systems.
+        let ranked = ranked_by_thermal_fit();
+        assert_eq!(ranked[0].0, "Tianhe-2A", "ranking: {ranked:?}");
+        let trinity_rank = ranked.iter().position(|r| r.0 == "Trinity").unwrap();
+        assert!(trinity_rank <= 2, "Trinity ranked {trinity_rank}: {ranked:?}");
+        // Altitude beats memory size: Summit has 35 % more DDR4 than
+        // Trinity but a tenth of the flux.
+        let summit_rank = ranked.iter().position(|r| r.0 == "Summit").unwrap();
+        assert!(trinity_rank < summit_rank);
+    }
+
+    #[test]
+    fn ddr3_machines_punch_above_their_weight() {
+        // TaihuLight (DDR3, 1.31 PB, sea level) must beat Summit (DDR4,
+        // 2.8 PB, 266 m): the 10x per-Gbit sensitivity wins.
+        let taihu = &TOP10_2019[2];
+        let summit = &TOP10_2019[0];
+        assert!(taihu.memory_thermal_fit().value() > summit.memory_thermal_fit().value());
+    }
+
+    #[test]
+    fn rain_doubles_the_projection() {
+        let trinity = &TOP10_2019[6];
+        let ratio = trinity.memory_thermal_fit_in_rain() / trinity.memory_thermal_fit();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_per_day_are_operationally_plausible() {
+        // Fleet-scale DRAM error rates are "some per day", not thousands.
+        for machine in &TOP10_2019 {
+            let per_day = machine.memory_errors_per_day();
+            assert!(
+                (0.001..200.0).contains(&per_day),
+                "{}: {per_day} errors/day",
+                machine.name
+            );
+        }
+    }
+
+    #[test]
+    fn air_cooled_machine_lacks_the_water_boost() {
+        let lassen = &TOP10_2019[9];
+        assert!(!lassen.environment().surroundings().has_water_cooling());
+        let sierra = &TOP10_2019[1];
+        assert!(sierra.environment().surroundings().has_water_cooling());
+    }
+
+    #[test]
+    fn memory_conversion() {
+        assert_eq!(TOP10_2019[9].memory_gbit(), 253.0 * 8000.0);
+    }
+}

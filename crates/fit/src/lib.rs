@@ -1,0 +1,47 @@
+//! # tn-fit — failure-in-time rate engine
+//!
+//! Converts beam-measured cross sections into field error rates:
+//! FIT = σ × Φ × 10⁹ h, split by neutron population (high-energy vs
+//! thermal) and by failure mode (SDC vs DUE), for any
+//! [`tn_environment::Environment`]. Campaign outputs from the beamline
+//! crate plug in directly (same quoting conventions).
+//!
+//! This is where the paper's headline risk numbers are produced — the
+//! thermal-neutron *share* of the total FIT rate (up to ~40 % for the
+//! devices with the most ¹⁰B), its growth with altitude, with concrete
+//! and cooling water, and on rainy days — plus the extension analyses:
+//! the Top-10-supercomputers DDR FIT projection and the Weulersse et al.
+//! memory-only baseline comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_fit::DeviceFit;
+//! use tn_physics::units::CrossSection;
+//! use tn_environment::{Environment, Location, Surroundings, Weather};
+//!
+//! let env = Environment::new(Location::leadville(), Weather::Sunny, Surroundings::hpc_machine_room());
+//! let fit = DeviceFit::from_cross_sections(
+//!     CrossSection(2e-9), // high-energy SDC cross section
+//!     CrossSection(1e-9), // thermal SDC cross section
+//!     &env,
+//! );
+//! assert!(fit.thermal_share() > 0.0 && fit.thermal_share() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod baseline;
+pub mod checkpoint;
+pub mod hpc;
+pub mod mission;
+pub mod rate;
+pub mod trend;
+
+pub use baseline::WeulersseBaseline;
+pub use checkpoint::CheckpointPlan;
+pub use mission::{MissionLeg, MissionProfile, SafetyBudget};
+pub use hpc::{Supercomputer, TOP10_2019};
+pub use rate::{DeviceFit, FitBreakdown};
+pub use trend::{analyse as analyse_trend, pearson, TrendReport};

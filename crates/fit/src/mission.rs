@@ -1,0 +1,227 @@
+//! Automotive mission profiles: the paper's motivation made quantitative.
+//!
+//! An autonomous vehicle's detection GPU spends its operating life across
+//! a mix of environments (weather, road, altitude). A mission profile
+//! weights device FIT rates over that mix and compares the result against
+//! an ISO 26262-style random-hardware-failure budget, showing how much of
+//! the budget thermal neutrons silently consume — and how it moves on a
+//! rainy day.
+
+use crate::rate::DeviceFit;
+use serde::{Deserialize, Serialize};
+use tn_environment::Environment;
+use tn_physics::units::{CrossSection, Fit};
+
+/// One leg of a mission profile: an environment and the fraction of
+/// operating time spent in it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionLeg {
+    /// Label for reports.
+    pub label: String,
+    /// The environment of this leg.
+    pub environment: Environment,
+    /// Fraction of operating time (all legs must sum to 1).
+    pub fraction: f64,
+}
+
+/// A time-weighted mix of environments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionProfile {
+    legs: Vec<MissionLeg>,
+}
+
+impl MissionProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legs` is empty, any fraction is negative, or the
+    /// fractions do not sum to 1 within 1e-6.
+    pub fn new(legs: Vec<MissionLeg>) -> Self {
+        assert!(!legs.is_empty(), "profile needs at least one leg");
+        assert!(
+            legs.iter().all(|l| l.fraction >= 0.0),
+            "fractions must be non-negative"
+        );
+        let total: f64 = legs.iter().map(|l| l.fraction).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {total}"
+        );
+        Self { legs }
+    }
+
+    /// The legs.
+    pub fn legs(&self) -> &[MissionLeg] {
+        &self.legs
+    }
+
+    /// Mission-averaged FIT for a device with the given beam-measured
+    /// cross sections.
+    pub fn average_fit(&self, sigma_he: CrossSection, sigma_th: CrossSection) -> DeviceFit {
+        let mut he = 0.0;
+        let mut th = 0.0;
+        for leg in &self.legs {
+            let fit = DeviceFit::from_cross_sections(sigma_he, sigma_th, &leg.environment);
+            he += leg.fraction * fit.high_energy.value();
+            th += leg.fraction * fit.thermal.value();
+        }
+        DeviceFit {
+            high_energy: Fit(he),
+            thermal: Fit(th),
+        }
+    }
+
+    /// Per-leg FIT totals, for reporting.
+    pub fn per_leg_fit(
+        &self,
+        sigma_he: CrossSection,
+        sigma_th: CrossSection,
+    ) -> Vec<(String, DeviceFit)> {
+        self.legs
+            .iter()
+            .map(|leg| {
+                (
+                    leg.label.clone(),
+                    DeviceFit::from_cross_sections(sigma_he, sigma_th, &leg.environment),
+                )
+            })
+            .collect()
+    }
+}
+
+/// An ISO 26262-style random-hardware-failure budget check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyBudget {
+    /// Maximum tolerated total FIT for the element.
+    pub budget: Fit,
+}
+
+impl SafetyBudget {
+    /// The conventional ASIL-D random-hardware-failure target
+    /// (< 10 FIT for the item; an element gets a slice of it).
+    pub fn asil_d_element(fit: f64) -> Self {
+        Self { budget: Fit(fit) }
+    }
+
+    /// Fraction of the budget a device consumes under a mission profile.
+    pub fn utilisation(&self, fit: DeviceFit) -> f64 {
+        fit.total().value() / self.budget.value()
+    }
+
+    /// Whether the device fits the budget.
+    pub fn is_met(&self, fit: DeviceFit) -> bool {
+        self.utilisation(fit) <= 1.0
+    }
+
+    /// Fraction of the *budget* silently consumed by thermal neutrons —
+    /// the quantity an integrator who ignored thermals would have
+    /// unknowingly spent.
+    pub fn hidden_thermal_utilisation(&self, fit: DeviceFit) -> f64 {
+        fit.thermal.value() / self.budget.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_environment::{Location, Vehicle, Weather};
+
+    fn commuter_profile() -> MissionProfile {
+        let car = Vehicle::family_car();
+        let denver = Location::new("Denver, CO", 1609.0, 1.0);
+        MissionProfile::new(vec![
+            MissionLeg {
+                label: "dry commute".into(),
+                environment: car.environment(denver.clone(), Weather::Sunny),
+                fraction: 0.8,
+            },
+            MissionLeg {
+                label: "rain".into(),
+                environment: car.environment(denver.clone(), Weather::Rainy),
+                fraction: 0.15,
+            },
+            MissionLeg {
+                label: "thunderstorm".into(),
+                environment: car.environment(denver, Weather::Thunderstorm),
+                fraction: 0.05,
+            },
+        ])
+    }
+
+    #[test]
+    fn average_fit_is_between_leg_extremes() {
+        let p = commuter_profile();
+        let (he, th) = (CrossSection(2e-9), CrossSection(1e-9));
+        let avg = p.average_fit(he, th).total().value();
+        let legs = p.per_leg_fit(he, th);
+        let min = legs.iter().map(|(_, f)| f.total().value()).fold(f64::MAX, f64::min);
+        let max = legs.iter().map(|(_, f)| f.total().value()).fold(f64::MIN, f64::max);
+        assert!(min <= avg && avg <= max, "avg {avg} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn rain_legs_raise_the_average_thermal_share() {
+        let (he, th) = (CrossSection(2e-9), CrossSection(1e-9));
+        let mixed = commuter_profile().average_fit(he, th);
+        let car = Vehicle::family_car();
+        let dry_only = MissionProfile::new(vec![MissionLeg {
+            label: "dry".into(),
+            environment: car.environment(Location::new("Denver, CO", 1609.0, 1.0), Weather::Sunny),
+            fraction: 1.0,
+        }])
+        .average_fit(he, th);
+        assert!(mixed.thermal_share() > dry_only.thermal_share());
+    }
+
+    #[test]
+    fn budget_arithmetic() {
+        let budget = SafetyBudget::asil_d_element(10.0);
+        let fit = DeviceFit {
+            high_energy: Fit(6.0),
+            thermal: Fit(3.0),
+        };
+        assert!((budget.utilisation(fit) - 0.9).abs() < 1e-12);
+        assert!(budget.is_met(fit));
+        assert!((budget.hidden_thermal_utilisation(fit) - 0.3).abs() < 1e-12);
+        let over = DeviceFit {
+            high_energy: Fit(8.0),
+            thermal: Fit(4.0),
+        };
+        assert!(!budget.is_met(over));
+    }
+
+    #[test]
+    fn thermal_can_break_an_otherwise_met_budget() {
+        // The paper's warning, in budget form: HE-only analysis says ok,
+        // the thermal share blows it.
+        let budget = SafetyBudget::asil_d_element(10.0);
+        let fit = DeviceFit {
+            high_energy: Fit(9.0),
+            thermal: Fit(3.5),
+        };
+        let he_only = DeviceFit {
+            high_energy: fit.high_energy,
+            thermal: Fit(0.0),
+        };
+        assert!(budget.is_met(he_only));
+        assert!(!budget.is_met(fit));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn fractions_must_sum_to_one() {
+        let car = Vehicle::family_car();
+        let _ = MissionProfile::new(vec![MissionLeg {
+            label: "x".into(),
+            environment: car.environment(Location::new_york(), Weather::Sunny),
+            fraction: 0.5,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leg")]
+    fn empty_profile_rejected() {
+        let _ = MissionProfile::new(vec![]);
+    }
+}

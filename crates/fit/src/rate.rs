@@ -1,0 +1,173 @@
+//! FIT arithmetic: cross sections × environment fluxes, and the thermal
+//! share of the total error rate.
+
+use serde::{Deserialize, Serialize};
+use tn_environment::Environment;
+use tn_physics::units::{CrossSection, Fit};
+
+/// The high-energy and thermal FIT contributions of one error class
+/// (SDC or DUE) for one device in one environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFit {
+    /// FIT from the high-energy (>10 MeV) flux.
+    pub high_energy: Fit,
+    /// FIT from the thermal flux.
+    pub thermal: Fit,
+}
+
+impl DeviceFit {
+    /// Combines beam-measured cross sections with an environment.
+    ///
+    /// `sigma_he` is quoted against the >10 MeV flux (ChipIR convention),
+    /// `sigma_th` against the thermal flux (ROTAX convention) — the same
+    /// conventions the `tn-beamline` campaigns use, so their outputs plug in
+    /// directly.
+    pub fn from_cross_sections(
+        sigma_he: CrossSection,
+        sigma_th: CrossSection,
+        env: &Environment,
+    ) -> Self {
+        Self {
+            high_energy: sigma_he.fit_in(env.high_energy_flux()),
+            thermal: sigma_th.fit_in(env.thermal_flux()),
+        }
+    }
+
+    /// Total FIT.
+    pub fn total(&self) -> Fit {
+        self.high_energy + self.thermal
+    }
+
+    /// Fraction of the total FIT contributed by thermal neutrons — the
+    /// number the paper's FIT chart reports per device/location.
+    pub fn thermal_share(&self) -> f64 {
+        let total = self.total().value();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.thermal.value() / total
+        }
+    }
+
+    /// How much the FIT rate is *underestimated* if thermal neutrons are
+    /// ignored: `total / high_energy`.
+    pub fn underestimation_factor(&self) -> f64 {
+        if self.high_energy.value() == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total().value() / self.high_energy.value()
+        }
+    }
+}
+
+/// A labelled FIT table row (device × class × environment), used by the
+/// report printers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitBreakdown {
+    /// Device name.
+    pub device: String,
+    /// Error class label ("SDC"/"DUE").
+    pub class: String,
+    /// Environment label.
+    pub environment: String,
+    /// The two contributions.
+    pub fit: DeviceFit,
+}
+
+impl FitBreakdown {
+    /// Builds a row.
+    pub fn new(
+        device: impl Into<String>,
+        class: impl Into<String>,
+        environment: impl Into<String>,
+        fit: DeviceFit,
+    ) -> Self {
+        Self {
+            device: device.into(),
+            class: class.into(),
+            environment: environment.into(),
+            fit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_environment::{Location, Surroundings, Weather};
+
+    fn nyc() -> Environment {
+        Environment::nyc_reference()
+    }
+
+    #[test]
+    fn fit_is_sigma_times_flux() {
+        let fit = DeviceFit::from_cross_sections(CrossSection(1e-9), CrossSection(0.0), &nyc());
+        // 1e-9 cm² × 13/3600 n/cm²/s × 3.6e12 s/10⁹h = 13 FIT.
+        assert!((fit.high_energy.value() - 13.0 * 1e-9 * 1e9).abs() < 1e-6);
+        assert_eq!(fit.thermal.value(), 0.0);
+        assert_eq!(fit.thermal_share(), 0.0);
+        assert_eq!(fit.underestimation_factor(), 1.0);
+    }
+
+    #[test]
+    fn thermal_share_grows_with_machine_room_and_altitude() {
+        let sigma_he = CrossSection(2e-9);
+        let sigma_th = CrossSection(1e-9);
+        let outdoor = DeviceFit::from_cross_sections(sigma_he, sigma_th, &nyc());
+        let worst = DeviceFit::from_cross_sections(
+            sigma_he,
+            sigma_th,
+            &Environment::leadville_machine_room(),
+        );
+        // Same altitude scaling applies to both populations, so the share
+        // moves only through the surroundings factor.
+        assert!(worst.thermal_share() > outdoor.thermal_share());
+    }
+
+    #[test]
+    fn rain_doubles_only_the_thermal_part() {
+        let sigma = CrossSection(1e-9);
+        let sunny = DeviceFit::from_cross_sections(sigma, sigma, &nyc());
+        let storm = DeviceFit::from_cross_sections(
+            sigma,
+            sigma,
+            &nyc().with_weather(Weather::Thunderstorm),
+        );
+        assert_eq!(sunny.high_energy, storm.high_energy);
+        assert!((storm.thermal.value() / sunny.thermal.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underestimation_factor_matches_share() {
+        let fit = DeviceFit {
+            high_energy: Fit(60.0),
+            thermal: Fit(40.0),
+        };
+        assert!((fit.thermal_share() - 0.4).abs() < 1e-12);
+        assert!((fit.underestimation_factor() - 100.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_row_builds() {
+        let fit = DeviceFit {
+            high_energy: Fit(1.0),
+            thermal: Fit(1.0),
+        };
+        let row = FitBreakdown::new("K20", "SDC", "NYC", fit);
+        assert_eq!(row.device, "K20");
+        assert_eq!(row.fit.thermal_share(), 0.5);
+    }
+
+    #[test]
+    fn zero_he_cross_section_gives_infinite_underestimation() {
+        let env = Environment::new(
+            Location::new_york(),
+            Weather::Sunny,
+            Surroundings::outdoors(),
+        );
+        let fit = DeviceFit::from_cross_sections(CrossSection(0.0), CrossSection(1e-9), &env);
+        assert!(fit.underestimation_factor().is_infinite());
+        assert_eq!(fit.thermal_share(), 1.0);
+    }
+}

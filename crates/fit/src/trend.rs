@@ -1,0 +1,162 @@
+//! Technology-trend analysis: the paper's claim that "¹⁰B presence does
+//! not depend on the technology node but on the quality of the
+//! manufacturing process (smaller transistors will have less Boron, but
+//! also less Silicon…)".
+//!
+//! Quantified two ways over the device catalog: the Pearson correlation
+//! between feature size and thermal-relative sensitivity (weak), and the
+//! spread *between foundries* at the same node (large) — process quality,
+//! not geometry, is the variable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tn_devices::response::ErrorClass;
+use tn_devices::Device;
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must pair up");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Thermal-relative sensitivity of a device: σ_thermal/σ_HE for SDCs
+/// (the inverse of the Figure-5 ratio).
+pub fn thermal_relative_sensitivity(device: &Device) -> f64 {
+    1.0 / device.analytic_ratio(ErrorClass::Sdc)
+}
+
+/// Summary of the node-vs-boron question over a device set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// Pearson r between node (nm) and thermal-relative sensitivity.
+    pub node_correlation: f64,
+    /// Per-foundry mean thermal-relative sensitivity.
+    pub foundry_means: Vec<(String, f64)>,
+    /// Max/min ratio across foundries *at the same node* (28 nm), the
+    /// paper's strongest evidence that process beats geometry.
+    pub same_node_spread: Option<f64>,
+}
+
+/// Analyses a device set.
+///
+/// # Panics
+///
+/// Panics if fewer than two devices are given.
+pub fn analyse(devices: &[Device]) -> TrendReport {
+    assert!(devices.len() >= 2, "need at least two devices");
+    let nodes: Vec<f64> = devices.iter().map(|d| d.technology().node_nm as f64).collect();
+    let sens: Vec<f64> = devices.iter().map(thermal_relative_sensitivity).collect();
+    let node_correlation = pearson(&nodes, &sens);
+
+    let mut by_foundry: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for (d, &s) in devices.iter().zip(&sens) {
+        by_foundry.entry(d.technology().foundry).or_default().push(s);
+    }
+    let foundry_means = by_foundry
+        .iter()
+        .map(|(f, v)| (f.to_string(), v.iter().sum::<f64>() / v.len() as f64))
+        .collect();
+
+    // Same-node comparison: every 28 nm device across foundries.
+    let at_28: Vec<f64> = devices
+        .iter()
+        .zip(&sens)
+        .filter(|(d, _)| d.technology().node_nm == 28)
+        .map(|(_, &s)| s)
+        .collect();
+    let same_node_spread = if at_28.len() >= 2 {
+        let max = at_28.iter().copied().fold(f64::MIN, f64::max);
+        let min = at_28.iter().copied().fold(f64::MAX, f64::min);
+        Some(max / min)
+    } else {
+        None
+    };
+
+    TrendReport {
+        node_correlation,
+        foundry_means,
+        same_node_spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_devices::catalog::all_compute_devices;
+
+    #[test]
+    fn pearson_of_perfect_line_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_rejected() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn node_does_not_explain_boron() {
+        // The paper's claim on our catalog: node size is a weak predictor
+        // of thermal sensitivity…
+        let devices = all_compute_devices();
+        let report = analyse(&devices);
+        assert!(
+            report.node_correlation.abs() < 0.6,
+            "node correlation {}",
+            report.node_correlation
+        );
+        // …while same-node (28 nm) devices from different processes spread
+        // widely (K20 vs APU vs Zynq).
+        let spread = report.same_node_spread.expect("three 28 nm devices");
+        assert!(spread > 1.2, "28 nm spread {spread}");
+    }
+
+    #[test]
+    fn intel_is_the_low_boron_foundry() {
+        let report = analyse(&all_compute_devices());
+        let intel = report
+            .foundry_means
+            .iter()
+            .find(|(f, _)| f == "Intel")
+            .map(|&(_, m)| m)
+            .unwrap();
+        for (foundry, mean) in &report.foundry_means {
+            if foundry != "Intel" {
+                assert!(
+                    *mean > intel,
+                    "{foundry} ({mean}) should exceed Intel ({intel})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Neutron capture physics, centred on the ¹⁰B(n,α)⁷Li reaction that makes
+//! boron-doped silicon sensitive to thermal neutrons.
+//!
+//! Capture cross sections of ¹⁰B (and ³He, and Cd to a first approximation)
+//! follow the **1/v law** in the thermal and epithermal range: σ(E) =
+//! σ₀·√(E₀/E) with σ₀ quoted at the conventional 2200 m/s point
+//! (E₀ = 25.3 meV). This single law is why *thermal* neutrons dominate the
+//! boron-capture error rate: at 25 meV the ¹⁰B cross section is 3837 b,
+//! at 1 MeV it has fallen below a barn.
+
+use crate::constants::{
+    B10_ALPHA_ENERGY, B10_ALPHA_ENERGY_GROUND, B10_EXCITED_BRANCH, B10_LI7_ENERGY,
+    B10_THERMAL_CAPTURE, HE3_THERMAL_CAPTURE, THERMAL_ENERGY,
+};
+use crate::units::{ArealDensity, Barns, Energy};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Evaluates a 1/v-law capture cross section at energy `e`, given the
+/// thermal-point (25.3 meV) value `sigma0`.
+///
+/// # Panics
+///
+/// Panics if `e` is not strictly positive.
+pub fn one_over_v(sigma0: Barns, e: Energy) -> Barns {
+    assert!(e.value() > 0.0, "1/v law requires a positive energy");
+    Barns(sigma0.value() * (THERMAL_ENERGY.value() / e.value()).sqrt())
+}
+
+/// ¹⁰B(n,α)⁷Li capture cross section at energy `e`.
+pub fn b10_capture(e: Energy) -> Barns {
+    one_over_v(B10_THERMAL_CAPTURE, e)
+}
+
+/// ³He(n,p)³H capture cross section at energy `e` (Tin-II detector gas).
+pub fn he3_capture(e: Energy) -> Barns {
+    one_over_v(HE3_THERMAL_CAPTURE, e)
+}
+
+/// Spectrum-averaged ¹⁰B capture cross section over a thermal Maxwellian.
+///
+/// For a 1/v absorber in a Maxwellian flux the Westcott factor is
+/// √(π)/2 ≈ 0.886 relative to the 2200 m/s value at the same temperature.
+pub fn b10_maxwellian_average(temperature_kt: Energy) -> Barns {
+    let at_kt = b10_capture(temperature_kt);
+    Barns(at_kt.value() * (std::f64::consts::PI.sqrt() / 2.0))
+}
+
+/// Secondary particles emitted by a ¹⁰B capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptureProducts {
+    /// Alpha-particle energy (1.47 MeV for 94 % of captures).
+    pub alpha: Energy,
+    /// ⁷Li recoil energy.
+    pub lithium: Energy,
+    /// Whether the decay went to the ⁷Li ground state (6 % branch).
+    pub ground_state: bool,
+}
+
+/// Samples the decay branch of a ¹⁰B(n,α)⁷Li capture.
+pub fn sample_b10_products<R: Rng + ?Sized>(rng: &mut R) -> CaptureProducts {
+    if rng.gen::<f64>() < B10_EXCITED_BRANCH {
+        CaptureProducts {
+            alpha: B10_ALPHA_ENERGY,
+            lithium: B10_LI7_ENERGY,
+            ground_state: false,
+        }
+    } else {
+        CaptureProducts {
+            alpha: B10_ALPHA_ENERGY_GROUND,
+            // Ground-state branch Q = 2.79 MeV: Li carries ~1.01 MeV.
+            lithium: Energy(1.01e6),
+            ground_state: true,
+        }
+    }
+}
+
+/// Probability that a neutron of energy `e` traversing a layer with ¹⁰B
+/// areal density `n_b10` is captured.
+///
+/// Thin-layer physics: p = 1 − exp(−N·σ(E)). For realistic device doping
+/// (≤ 1e16 atoms/cm²) this is ≪ 1, but the exact exponential form keeps the
+/// model valid for thick borated shields too.
+pub fn b10_capture_probability(n_b10: ArealDensity, e: Energy) -> f64 {
+    let sigma_cm2 = b10_capture(e).to_cross_section().value();
+    1.0 - (-n_b10.value() * sigma_cm2).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn b10_thermal_point_value() {
+        let sigma = b10_capture(THERMAL_ENERGY);
+        assert!((sigma.value() - 3837.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_over_v_falls_with_sqrt_energy() {
+        let at_4x = b10_capture(Energy(4.0 * THERMAL_ENERGY.value()));
+        assert!((at_4x.value() - 3837.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn b10_capture_negligible_at_mev() {
+        let sigma = b10_capture(Energy::from_mev(1.0));
+        assert!(sigma.value() < 1.0, "sigma = {:?}", sigma);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive energy")]
+    fn one_over_v_rejects_zero() {
+        let _ = b10_capture(Energy::ZERO);
+    }
+
+    #[test]
+    fn he3_larger_than_b10_at_thermal() {
+        assert!(he3_capture(THERMAL_ENERGY).value() > b10_capture(THERMAL_ENERGY).value());
+    }
+
+    #[test]
+    fn westcott_average_below_peak() {
+        let avg = b10_maxwellian_average(THERMAL_ENERGY);
+        assert!(avg.value() < 3837.0);
+        assert!((avg.value() / 3837.0 - 0.886).abs() < 0.01);
+    }
+
+    #[test]
+    fn branching_ratio_close_to_94_percent() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let excited = (0..n)
+            .filter(|_| !sample_b10_products(&mut rng).ground_state)
+            .count();
+        let frac = excited as f64 / n as f64;
+        assert!((frac - 0.94).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn products_conserve_branch_energies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = sample_b10_products(&mut rng);
+            if p.ground_state {
+                assert!((p.alpha.as_mev() - 1.78).abs() < 1e-9);
+            } else {
+                assert!((p.alpha.as_mev() - 1.47).abs() < 1e-9);
+                assert!((p.lithium.as_mev() - 0.84).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn capture_probability_is_small_for_device_doping() {
+        // 1e15 atoms/cm^2 of B10 at thermal: p ~ 1e15 * 3.8e-21 ~ 4e-6.
+        let p = b10_capture_probability(ArealDensity(1e15), THERMAL_ENERGY);
+        assert!(p > 1e-6 && p < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn capture_probability_saturates_for_thick_shield() {
+        // Inches of boron plastic: ~1e22 atoms/cm^2 -> opaque to thermals.
+        let p = b10_capture_probability(ArealDensity(1e22), THERMAL_ENERGY);
+        assert!(p > 0.999_999);
+    }
+
+    #[test]
+    fn capture_probability_monotone_in_energy() {
+        let thick = ArealDensity(1e18);
+        let p_thermal = b10_capture_probability(thick, THERMAL_ENERGY);
+        let p_epithermal = b10_capture_probability(thick, Energy(1.0));
+        let p_fast = b10_capture_probability(thick, Energy::from_mev(1.0));
+        assert!(p_thermal > p_epithermal && p_epithermal > p_fast);
+    }
+}

@@ -1,0 +1,131 @@
+//! Nuclear and terrestrial-environment constants used across the workspace.
+//!
+//! Values follow the references the paper leans on: Ziegler & Puchner (2004),
+//! Baumann (2005), JESD89A for the sea-level reference flux, and standard
+//! nuclear data for the ¹⁰B(n,α)⁷Li reaction.
+
+use crate::units::{Barns, Energy, Flux, Temperature};
+
+/// Most probable energy of a room-temperature Maxwellian neutron spectrum
+/// (the conventional "thermal point", 25.3 meV).
+pub const THERMAL_ENERGY: Energy = Energy(0.0253);
+
+/// Conventional upper bound of the thermal band used by the paper
+/// (`E < 0.5 eV`, the cadmium cut-off).
+pub const THERMAL_CUTOFF: Energy = Energy(0.5);
+
+/// Conventional lower bound of the "high energy" band used when quoting
+/// atmospheric-like fluxes (`E > 10 MeV`).
+pub const HIGH_ENERGY_CUTOFF: Energy = Energy(10.0e6);
+
+/// Lower bound of the fast band (1 MeV) — the paper quotes fast neutrons as
+/// "1 to over 1,000 MeV".
+pub const FAST_CUTOFF: Energy = Energy(1.0e6);
+
+/// Room temperature used for thermal spectra.
+pub const ROOM_TEMPERATURE: Temperature = Temperature(293.6);
+
+/// Effective neutron temperature of the ROTAX liquid-methane moderator.
+///
+/// Liquid CH₄ moderates to ≈ 110 K, giving ROTAX its cold/thermal spectrum.
+pub const LIQUID_METHANE_TEMPERATURE: Temperature = Temperature(110.0);
+
+/// ¹⁰B thermal (2200 m/s) capture cross section for the (n,α) channel.
+///
+/// 3837 b at 25.3 meV; scales as 1/v across the thermal and epithermal range.
+pub const B10_THERMAL_CAPTURE: Barns = Barns(3837.0);
+
+/// Natural isotopic abundance of ¹⁰B (the rest is essentially ¹¹B).
+///
+/// The paper: "Approximately 20% of naturally occurring Boron is ¹⁰B".
+pub const B10_NATURAL_ABUNDANCE: f64 = 0.199;
+
+/// Branching ratio of ¹⁰B(n,α)⁷Li decays that go to the ⁷Li first excited
+/// state (alpha energy 1.47 MeV); the remaining 6 % go to the ground state
+/// (alpha energy 1.78 MeV).
+pub const B10_EXCITED_BRANCH: f64 = 0.94;
+
+/// Alpha-particle energy of the dominant ¹⁰B(n,α)⁷Li* branch.
+pub const B10_ALPHA_ENERGY: Energy = Energy(1.47e6);
+
+/// Alpha-particle energy of the ground-state branch.
+pub const B10_ALPHA_ENERGY_GROUND: Energy = Energy(1.78e6);
+
+/// ⁷Li recoil energy of the dominant branch (0.84 MeV), itself ionising
+/// enough to upset scaled technologies.
+pub const B10_LI7_ENERGY: Energy = Energy(0.84e6);
+
+/// ³He(n,p)³H thermal capture cross section (the Tin-II detector gas).
+pub const HE3_THERMAL_CAPTURE: Barns = Barns(5333.0);
+
+/// ¹¹³Cd thermal capture cross section; natural Cd is dominated by ¹¹³Cd
+/// (12.2 % abundance, ≈ 20,600 b), giving natural cadmium an effective
+/// thermal capture of ≈ 2,520 b — the classic thermal-neutron shutter.
+pub const CD_NATURAL_THERMAL_CAPTURE: Barns = Barns(2520.0);
+
+/// JESD89A reference high-energy (>10 MeV) neutron flux at sea level,
+/// New York City: 13 n/cm²/h.
+pub const NYC_HIGH_ENERGY_FLUX: Flux = Flux(13.0 / 3600.0);
+
+/// Representative outdoor thermal-neutron flux at NYC sea level
+/// (Ziegler 2003-style field measurements; same order as the fast flux).
+pub const NYC_THERMAL_FLUX: Flux = Flux(4.0 / 3600.0);
+
+/// ChipIR beam flux above 10 MeV (Cazzaniga 2018 / Chiesa 2018).
+pub const CHIPIR_HIGH_ENERGY_FLUX: Flux = Flux(5.4e6);
+
+/// ChipIR residual thermal component (E < 0.5 eV).
+pub const CHIPIR_THERMAL_FLUX: Flux = Flux(4.0e5);
+
+/// ROTAX thermal beam flux.
+pub const ROTAX_THERMAL_FLUX: Flux = Flux(2.72e6);
+
+/// Acceleration factor conventions: one year of natural exposure at NYC is
+/// compressed into roughly this many seconds of ChipIR beam.
+pub const SECONDS_PER_YEAR: f64 = 3.1557e7;
+
+/// Avogadro's number (atoms per mole).
+pub const AVOGADRO: f64 = 6.022_140_76e23;
+
+/// Neutron mass in MeV/c² (used for kinematics sanity checks only).
+pub const NEUTRON_MASS_MEV: f64 = 939.565;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_point_is_in_the_thermal_band() {
+        assert!(THERMAL_ENERGY.value() < THERMAL_CUTOFF.value());
+    }
+
+    #[test]
+    fn band_edges_are_ordered() {
+        assert!(THERMAL_CUTOFF.value() < FAST_CUTOFF.value());
+        assert!(FAST_CUTOFF.value() < HIGH_ENERGY_CUTOFF.value());
+    }
+
+    #[test]
+    fn chipir_thermal_component_is_small_fraction_of_fast() {
+        // The paper: 5.4e6 fast vs 4e5 thermal, i.e. thermal is ~7% of fast.
+        let ratio = CHIPIR_THERMAL_FLUX / CHIPIR_HIGH_ENERGY_FLUX;
+        assert!(ratio > 0.05 && ratio < 0.10, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn nyc_reference_flux_matches_jesd89a() {
+        assert!((NYC_HIGH_ENERGY_FLUX.per_hour() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn b10_energy_balance_is_q_value() {
+        // Q = 2.31 MeV for the excited branch: alpha 1.47 + Li 0.84.
+        let q = B10_ALPHA_ENERGY + B10_LI7_ENERGY;
+        assert!((q.as_mev() - 2.31).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_energies_ordered_by_branch() {
+        assert!(B10_ALPHA_ENERGY_GROUND.value() > B10_ALPHA_ENERGY.value());
+    }
+}

@@ -1,0 +1,48 @@
+//! # tn-physics — neutron physics substrate
+//!
+//! Foundation crate for the thermal-neutron reliability study: typed
+//! physical quantities, nuclear constants, analytic neutron spectra,
+//! capture physics (the ¹⁰B(n,α)⁷Li reaction), bulk material data and
+//! Poisson counting statistics.
+//!
+//! Everything downstream — the Monte-Carlo transport, the beamline
+//! campaigns, the Tin-II detector and the FIT engine — is built on these
+//! primitives.
+//!
+//! ## Example
+//!
+//! Evaluate how strongly a boron-doped layer captures thermal versus fast
+//! neutrons:
+//!
+//! ```
+//! use tn_physics::capture::b10_capture_probability;
+//! use tn_physics::units::{ArealDensity, Energy};
+//!
+//! let doping = ArealDensity(1e15); // atoms of B10 per cm^2
+//! let p_thermal = b10_capture_probability(doping, Energy(0.0253));
+//! let p_fast = b10_capture_probability(doping, Energy::from_mev(10.0));
+//! assert!(p_thermal > 1_000.0 * p_fast);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod capture;
+pub mod constants;
+pub mod materials;
+pub mod spectrum;
+pub mod stats;
+pub mod tabulated;
+pub mod units;
+
+pub use capture::{b10_capture, b10_capture_probability, he3_capture, one_over_v};
+pub use materials::{Constituent, Material, Nuclide};
+pub use spectrum::{
+    chipir_reference, rotax_reference, EnergyBand, EnergyGrid, Shape, Spectrum, SpectrumComponent,
+};
+pub use stats::{erf, poisson, PoissonInterval, RunningStats};
+pub use tabulated::TabulatedSpectrum;
+pub use units::{
+    ArealDensity, Barns, CrossSection, Energy, Fit, Fluence, Flux, Length, NumberDensity, Seconds,
+    Temperature,
+};

@@ -1,0 +1,657 @@
+//! Neutron energy spectra: analytic component shapes, composite spectra,
+//! band integration, lethargy representation and Monte-Carlo sampling.
+//!
+//! The two ISIS beamlines used by the paper are modelled as composites:
+//!
+//! * **ChipIR** — an atmospheric-like spectrum: Watt-style evaporation/
+//!   cascade tail above ~0.1 MeV, a 1/E epithermal joining region, and a
+//!   small room-return thermal Maxwellian.
+//! * **ROTAX** — a cold/thermal Maxwellian from the liquid-methane
+//!   moderator with a weak epithermal tail.
+//!
+//! A spectrum is a differential flux density φ(E) in n/cm²/s/eV. The
+//! lethargy representation E·φ(E) (per unit lethargy) is what Figure 2 of
+//! the paper plots; areas under the lethargy curve on a log-E axis are
+//! proportional to flux.
+
+use crate::constants::{FAST_CUTOFF, HIGH_ENERGY_CUTOFF, THERMAL_CUTOFF};
+use crate::units::{Energy, Flux, Temperature};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Conventional energy bands used when quoting integral fluxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyBand {
+    /// `E < 0.5 eV` — the cadmium cut-off; the paper's "thermal neutrons".
+    Thermal,
+    /// `0.5 eV ≤ E < 1 MeV` — the joining region (epithermal + intermediate).
+    Epithermal,
+    /// `1 MeV ≤ E < 10 MeV` — fast but below the ">10 MeV" quoting threshold.
+    Fast,
+    /// `E ≥ 10 MeV` — the band in which atmospheric fluxes are quoted.
+    HighEnergy,
+}
+
+impl EnergyBand {
+    /// All bands in ascending energy order.
+    pub const ALL: [EnergyBand; 4] = [
+        EnergyBand::Thermal,
+        EnergyBand::Epithermal,
+        EnergyBand::Fast,
+        EnergyBand::HighEnergy,
+    ];
+
+    /// Classifies an energy into its band.
+    pub fn of(energy: Energy) -> Self {
+        if energy.value() < THERMAL_CUTOFF.value() {
+            EnergyBand::Thermal
+        } else if energy.value() < FAST_CUTOFF.value() {
+            EnergyBand::Epithermal
+        } else if energy.value() < HIGH_ENERGY_CUTOFF.value() {
+            EnergyBand::Fast
+        } else {
+            EnergyBand::HighEnergy
+        }
+    }
+
+    /// Inclusive lower and exclusive upper edge of the band in eV.
+    ///
+    /// The outer edges are the conventional plotting limits
+    /// (0.1 meV and 10 GeV) rather than physical bounds.
+    pub fn edges(self) -> (Energy, Energy) {
+        match self {
+            EnergyBand::Thermal => (Energy(1e-4), THERMAL_CUTOFF),
+            EnergyBand::Epithermal => (THERMAL_CUTOFF, FAST_CUTOFF),
+            EnergyBand::Fast => (FAST_CUTOFF, HIGH_ENERGY_CUTOFF),
+            EnergyBand::HighEnergy => (HIGH_ENERGY_CUTOFF, Energy(1e10)),
+        }
+    }
+}
+
+/// A log-spaced energy grid for tabulating spectra.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyGrid {
+    points: Vec<Energy>,
+}
+
+impl EnergyGrid {
+    /// Builds a log-spaced grid of `n` points between `lo` and `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, or if the bounds are not strictly positive and
+    /// increasing.
+    pub fn log_spaced(lo: Energy, hi: Energy, n: usize) -> Self {
+        assert!(n >= 2, "grid needs at least two points");
+        assert!(
+            lo.value() > 0.0 && hi.value() > lo.value(),
+            "grid bounds must be positive and increasing"
+        );
+        let (llo, lhi) = (lo.value().ln(), hi.value().ln());
+        let points = (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                Energy((llo + t * (lhi - llo)).exp())
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// The standard 12-decade grid (0.1 meV – 10 GeV) used for Figure 2.
+    pub fn standard() -> Self {
+        Self::log_spaced(Energy(1e-4), Energy(1e10), 601)
+    }
+
+    /// Grid points in ascending order.
+    pub fn points(&self) -> &[Energy] {
+        &self.points
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the grid has no points (never true for constructed
+    /// grids, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Analytic spectral component shapes.
+///
+/// Each shape is an *unnormalised* differential density s(E); a
+/// [`SpectrumComponent`] scales it so its integral over all energies equals
+/// the component's total flux.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Maxwell–Boltzmann flux spectrum at temperature `T`:
+    /// s(E) ∝ (E/(kT)²)·exp(−E/kT).
+    Maxwellian {
+        /// Moderator temperature.
+        temperature: Temperature,
+    },
+    /// 1/E slowing-down spectrum between two energies.
+    OneOverE {
+        /// Lower energy bound.
+        lo: Energy,
+        /// Upper energy bound.
+        hi: Energy,
+    },
+    /// Watt-like evaporation spectrum, s(E) ∝ exp(−E/a)·sinh(√(b·E)),
+    /// with `a`,`b` in eV and 1/eV respectively; used for the spallation
+    /// fast tail.
+    Watt {
+        /// Evaporation temperature parameter.
+        a: Energy,
+        /// The `b` parameter in 1/eV.
+        b_inv_ev: f64,
+    },
+    /// High-energy cascade power-law tail s(E) ∝ E^(−γ) between two
+    /// energies, approximating the atmospheric >10 MeV shape.
+    PowerLaw {
+        /// Lower energy bound.
+        lo: Energy,
+        /// Upper energy bound.
+        hi: Energy,
+        /// Spectral index.
+        gamma: f64,
+    },
+}
+
+impl Shape {
+    /// Unnormalised density at `e` (per eV).
+    pub fn density(&self, e: Energy) -> f64 {
+        let ev = e.value();
+        if ev <= 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Shape::Maxwellian { temperature } => {
+                let kt = Energy::thermal_at(temperature).value();
+                (ev / (kt * kt)) * (-ev / kt).exp()
+            }
+            Shape::OneOverE { lo, hi } => {
+                if ev >= lo.value() && ev < hi.value() {
+                    1.0 / ev
+                } else {
+                    0.0
+                }
+            }
+            Shape::Watt { a, b_inv_ev } => {
+                let x = ev / a.value();
+                // Guard the exponential underflow far above the evaporation
+                // temperature; sinh grows slower than exp decays.
+                if x > 700.0 {
+                    0.0
+                } else {
+                    (-x).exp() * (b_inv_ev * ev).sqrt().sinh()
+                }
+            }
+            Shape::PowerLaw { lo, hi, gamma } => {
+                if ev >= lo.value() && ev < hi.value() {
+                    ev.powf(-gamma)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Integral of the unnormalised density over `[lo, hi]`, by adaptive
+    /// log-trapezoid quadrature.
+    fn integral(&self, lo: Energy, hi: Energy) -> f64 {
+        integrate_log(lo, hi, 2000, |e| self.density(e))
+    }
+}
+
+/// One flux-weighted component of a composite spectrum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumComponent {
+    shape: Shape,
+    flux: Flux,
+    norm: f64,
+}
+
+impl SpectrumComponent {
+    /// Creates a component whose *total* integrated flux is `flux`.
+    pub fn new(shape: Shape, flux: Flux) -> Self {
+        let raw = shape.integral(Energy(1e-6), Energy(1e10));
+        assert!(raw > 0.0, "shape integrates to zero: {shape:?}");
+        Self {
+            shape,
+            flux,
+            norm: flux.value() / raw,
+        }
+    }
+
+    /// Differential flux density at `e` in n/cm²/s/eV.
+    pub fn density(&self, e: Energy) -> f64 {
+        self.norm * self.shape.density(e)
+    }
+
+    /// The component's total flux.
+    pub fn flux(&self) -> Flux {
+        self.flux
+    }
+
+    /// The component's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+}
+
+/// A composite neutron spectrum: a sum of flux-normalised components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    name: String,
+    components: Vec<SpectrumComponent>,
+}
+
+impl Spectrum {
+    /// Creates an empty named spectrum; add parts with [`Spectrum::with`].
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds a component carrying `flux` with the given `shape` (builder
+    /// style, consuming).
+    pub fn with(mut self, shape: Shape, flux: Flux) -> Self {
+        self.components.push(SpectrumComponent::new(shape, flux));
+        self
+    }
+
+    /// The spectrum's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spectrum's components.
+    pub fn components(&self) -> &[SpectrumComponent] {
+        &self.components
+    }
+
+    /// Differential flux density φ(E) at `e` in n/cm²/s/eV.
+    pub fn density(&self, e: Energy) -> f64 {
+        self.components.iter().map(|c| c.density(e)).sum()
+    }
+
+    /// Lethargy-representation density E·φ(E) (n/cm²/s per unit lethargy),
+    /// the quantity plotted by the paper's Figure 2.
+    pub fn lethargy_density(&self, e: Energy) -> f64 {
+        e.value() * self.density(e)
+    }
+
+    /// Integral flux over `[lo, hi)`.
+    pub fn flux_between(&self, lo: Energy, hi: Energy) -> Flux {
+        Flux(integrate_log(lo, hi, 4000, |e| self.density(e)))
+    }
+
+    /// Integral flux in a conventional band.
+    pub fn flux_in(&self, band: EnergyBand) -> Flux {
+        let (lo, hi) = band.edges();
+        self.flux_between(lo, hi)
+    }
+
+    /// Total flux carried by the spectrum.
+    pub fn total_flux(&self) -> Flux {
+        self.components.iter().map(|c| c.flux()).sum()
+    }
+
+    /// Tabulates the lethargy density on a grid; used to regenerate Fig. 2.
+    pub fn tabulate_lethargy(&self, grid: &EnergyGrid) -> Vec<(Energy, f64)> {
+        grid.points()
+            .iter()
+            .map(|&e| (e, self.lethargy_density(e)))
+            .collect()
+    }
+
+    /// Draws a neutron energy from the spectrum.
+    ///
+    /// Component selection is flux-weighted; within a component, sampling
+    /// uses shape-specific inversion or rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum has no components.
+    pub fn sample_energy<R: Rng + ?Sized>(&self, rng: &mut R) -> Energy {
+        assert!(!self.components.is_empty(), "cannot sample an empty spectrum");
+        let total = self.total_flux().value();
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = &self.components[self.components.len() - 1];
+        for c in &self.components {
+            if pick < c.flux().value() {
+                chosen = c;
+                break;
+            }
+            pick -= c.flux().value();
+        }
+        sample_shape(chosen.shape(), rng)
+    }
+}
+
+fn sample_shape<R: Rng + ?Sized>(shape: &Shape, rng: &mut R) -> Energy {
+    match *shape {
+        Shape::Maxwellian { temperature } => {
+            // Flux-weighted Maxwellian E·exp(-E/kT)/kT² is a Gamma(2, kT)
+            // distribution: the sum of two exponentials.
+            let kt = Energy::thermal_at(temperature).value();
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            Energy(-kt * (u1.ln() + u2.ln()))
+        }
+        Shape::OneOverE { lo, hi } => {
+            // Inverse CDF of 1/E on [lo, hi): E = lo * (hi/lo)^u.
+            let u: f64 = rng.gen();
+            Energy(lo.value() * (hi.value() / lo.value()).powf(u))
+        }
+        Shape::Watt { a, b_inv_ev } => {
+            // Standard Watt sampling (e.g. MCNP manual): E = a·(w + k·v²
+            // + 2·sqrt(k·w)·v·cosθ) simplified via the rejection-free
+            // algorithm of Everett & Cashwell.
+            let k = 1.0 + a.value() * b_inv_ev / 8.0;
+            let l = a.value() * (k + (k * k - 1.0).sqrt());
+            let m = l * b_inv_ev - 1.0;
+            loop {
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let x = -u1.ln();
+                let y = -u2.ln();
+                if (y - m * (x + 1.0)).powi(2) <= b_inv_ev * l * x {
+                    return Energy(l * x);
+                }
+            }
+        }
+        Shape::PowerLaw { lo, hi, gamma } => {
+            // Inverse CDF of E^-gamma on [lo, hi).
+            let u: f64 = rng.gen();
+            if (gamma - 1.0).abs() < 1e-9 {
+                Energy(lo.value() * (hi.value() / lo.value()).powf(u))
+            } else {
+                let p = 1.0 - gamma;
+                let (a, b) = (lo.value().powf(p), hi.value().powf(p));
+                Energy((a + u * (b - a)).powf(1.0 / p))
+            }
+        }
+    }
+}
+
+/// Reference model of the ChipIR (ISIS TS2) atmospheric-like spectrum:
+/// a hard >10 MeV cascade tail carrying the quoted 5.4×10⁶ n/cm²/s, an
+/// evaporation/epithermal 1/E continuum, and the measured 4×10⁵ n/cm²/s
+/// thermal component (Cazzaniga 2018; Chiesa 2018).
+pub fn chipir_reference() -> Spectrum {
+    use crate::constants::{CHIPIR_HIGH_ENERGY_FLUX, CHIPIR_THERMAL_FLUX, ROOM_TEMPERATURE};
+    Spectrum::named("ChipIR")
+        .with(
+            Shape::PowerLaw {
+                lo: Energy(10.0e6),
+                hi: Energy(800.0e6),
+                gamma: 1.3,
+            },
+            CHIPIR_HIGH_ENERGY_FLUX,
+        )
+        .with(
+            Shape::OneOverE {
+                lo: Energy(0.5),
+                hi: Energy(10.0e6),
+            },
+            Flux(3.0e6),
+        )
+        .with(
+            Shape::Maxwellian {
+                temperature: ROOM_TEMPERATURE,
+            },
+            CHIPIR_THERMAL_FLUX,
+        )
+}
+
+/// Reference model of the ROTAX thermal beam: a liquid-methane-moderated
+/// cold Maxwellian carrying the quoted 2.72×10⁶ n/cm²/s plus a weak
+/// epithermal tail (Tietze 1989).
+pub fn rotax_reference() -> Spectrum {
+    use crate::constants::{LIQUID_METHANE_TEMPERATURE, ROTAX_THERMAL_FLUX};
+    Spectrum::named("ROTAX")
+        .with(
+            Shape::Maxwellian {
+                temperature: LIQUID_METHANE_TEMPERATURE,
+            },
+            ROTAX_THERMAL_FLUX,
+        )
+        .with(
+            Shape::OneOverE {
+                lo: Energy(0.5),
+                hi: Energy(1.0e5),
+            },
+            Flux(0.05e6),
+        )
+}
+
+/// Trapezoid quadrature on a log-energy grid; robust for densities spanning
+/// many decades.
+fn integrate_log(lo: Energy, hi: Energy, n: usize, f: impl Fn(Energy) -> f64) -> f64 {
+    assert!(
+        lo.value() > 0.0 && hi.value() > lo.value(),
+        "integration bounds must be positive and increasing"
+    );
+    let (llo, lhi) = (lo.value().ln(), hi.value().ln());
+    let mut sum = 0.0;
+    let mut prev_e = lo.value();
+    let mut prev_f = f(lo);
+    for i in 1..=n {
+        let e = (llo + (lhi - llo) * i as f64 / n as f64).exp();
+        let fe = f(Energy(e));
+        sum += 0.5 * (prev_f + fe) * (e - prev_e);
+        prev_e = e;
+        prev_f = fe;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::ROOM_TEMPERATURE;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn thermal_spectrum(flux: f64) -> Spectrum {
+        Spectrum::named("thermal").with(
+            Shape::Maxwellian {
+                temperature: ROOM_TEMPERATURE,
+            },
+            Flux(flux),
+        )
+    }
+
+    #[test]
+    fn band_classification_matches_edges() {
+        assert_eq!(EnergyBand::of(Energy(0.0253)), EnergyBand::Thermal);
+        assert_eq!(EnergyBand::of(Energy(1.0)), EnergyBand::Epithermal);
+        assert_eq!(EnergyBand::of(Energy(2e6)), EnergyBand::Fast);
+        assert_eq!(EnergyBand::of(Energy(50e6)), EnergyBand::HighEnergy);
+    }
+
+    #[test]
+    fn band_edges_tile_the_energy_axis() {
+        for pair in EnergyBand::ALL.windows(2) {
+            assert_eq!(pair[0].edges().1, pair[1].edges().0);
+        }
+    }
+
+    #[test]
+    fn grid_is_log_spaced_and_ordered() {
+        let g = EnergyGrid::log_spaced(Energy(1e-3), Energy(1e9), 13);
+        assert_eq!(g.len(), 13);
+        assert!(!g.is_empty());
+        let pts = g.points();
+        assert!((pts[0].value() - 1e-3).abs() < 1e-12);
+        assert!((pts[12].value() - 1e9).abs() / 1e9 < 1e-9);
+        // Constant ratio between consecutive points.
+        let r0 = pts[1].value() / pts[0].value();
+        for w in pts.windows(2) {
+            assert!(((w[1].value() / w[0].value()) - r0).abs() / r0 < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn grid_rejects_single_point() {
+        let _ = EnergyGrid::log_spaced(Energy(1.0), Energy(2.0), 1);
+    }
+
+    #[test]
+    fn maxwellian_component_carries_its_flux() {
+        let s = thermal_spectrum(2.72e6);
+        let total = s.flux_between(Energy(1e-6), Energy(100.0)).value();
+        assert!((total - 2.72e6).abs() / 2.72e6 < 0.01, "total = {total:e}");
+    }
+
+    #[test]
+    fn maxwellian_peaks_near_kt_in_lethargy() {
+        let s = thermal_spectrum(1.0);
+        let grid = EnergyGrid::log_spaced(Energy(1e-4), Energy(10.0), 400);
+        let table = s.tabulate_lethargy(&grid);
+        let (peak_e, _) = table
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        // Lethargy density E²·exp(-E/kT) peaks at 2kT ≈ 50 meV.
+        let two_kt = 2.0 * Energy::thermal_at(ROOM_TEMPERATURE).value();
+        assert!(
+            (peak_e.value() - two_kt).abs() / two_kt < 0.15,
+            "peak at {peak_e}"
+        );
+    }
+
+    #[test]
+    fn most_maxwellian_flux_is_thermal() {
+        let s = thermal_spectrum(1e6);
+        let thermal = s.flux_in(EnergyBand::Thermal).value();
+        assert!(thermal / 1e6 > 0.99, "thermal fraction {}", thermal / 1e6);
+    }
+
+    #[test]
+    fn one_over_e_flux_splits_by_decades() {
+        let s = Spectrum::named("epithermal").with(
+            Shape::OneOverE {
+                lo: Energy(1.0),
+                hi: Energy(1e4),
+            },
+            Flux(4.0),
+        );
+        // 4 decades carrying 4 units of flux -> 1 unit per decade.
+        let one_decade = s.flux_between(Energy(10.0), Energy(100.0)).value();
+        assert!((one_decade - 1.0).abs() < 0.02, "decade flux {one_decade}");
+    }
+
+    #[test]
+    fn sampled_energies_follow_band_fractions() {
+        let s = Spectrum::named("mix")
+            .with(
+                Shape::Maxwellian {
+                    temperature: ROOM_TEMPERATURE,
+                },
+                Flux(1.0),
+            )
+            .with(
+                Shape::PowerLaw {
+                    lo: Energy(10e6),
+                    hi: Energy(1e9),
+                    gamma: 1.5,
+                },
+                Flux(3.0),
+            );
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let thermal = (0..n)
+            .filter(|_| EnergyBand::of(s.sample_energy(&mut rng)) == EnergyBand::Thermal)
+            .count();
+        let frac = thermal as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "thermal fraction {frac}");
+    }
+
+    #[test]
+    fn watt_sampling_mean_is_reasonable() {
+        // Watt with a = 1 MeV, b = 1/MeV has mean a(3/2 + ab/4) ≈ 1.75 MeV.
+        let shape = Shape::Watt {
+            a: Energy::from_mev(1.0),
+            b_inv_ev: 1e-6,
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 30_000;
+        let mean_mev: f64 = (0..n)
+            .map(|_| sample_shape(&shape, &mut rng).as_mev())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_mev - 1.75).abs() < 0.1, "mean = {mean_mev} MeV");
+    }
+
+    #[test]
+    fn power_law_sampling_stays_in_bounds() {
+        let shape = Shape::PowerLaw {
+            lo: Energy(10e6),
+            hi: Energy(1e9),
+            gamma: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let e = sample_shape(&shape, &mut rng);
+            assert!(e.value() >= 10e6 && e.value() <= 1e9, "e = {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty spectrum")]
+    fn sampling_empty_spectrum_panics() {
+        let s = Spectrum::named("empty");
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = s.sample_energy(&mut rng);
+    }
+
+    #[test]
+    fn chipir_reference_band_fluxes_match_publication() {
+        let s = chipir_reference();
+        let he = s.flux_in(EnergyBand::HighEnergy).value();
+        assert!((he - 5.4e6).abs() / 5.4e6 < 0.02, "HE flux {he:e}");
+        let th = s.flux_in(EnergyBand::Thermal).value();
+        // Thermal band: the 4e5 Maxwellian plus a sliver of the 1/E tail.
+        assert!(th > 3.8e5 && th < 5.0e5, "thermal flux {th:e}");
+    }
+
+    #[test]
+    fn rotax_reference_is_thermal_dominated() {
+        let s = rotax_reference();
+        let th = s.flux_in(EnergyBand::Thermal).value();
+        assert!((th - 2.72e6).abs() / 2.72e6 < 0.03, "thermal flux {th:e}");
+        let he = s.flux_in(EnergyBand::HighEnergy).value();
+        assert_eq!(he, 0.0, "ROTAX has no >10 MeV component");
+    }
+
+    #[test]
+    fn chipir_is_fast_dominated_rotax_thermal_dominated() {
+        // The property Figure 2 conveys.
+        let chipir = chipir_reference();
+        let rotax = rotax_reference();
+        assert!(
+            chipir.flux_in(EnergyBand::HighEnergy).value()
+                > 10.0 * chipir.flux_in(EnergyBand::Thermal).value()
+        );
+        assert!(
+            rotax.flux_in(EnergyBand::Thermal).value()
+                > 10.0 * (rotax.flux_in(EnergyBand::Fast).value()
+                    + rotax.flux_in(EnergyBand::HighEnergy).value())
+        );
+    }
+
+    #[test]
+    fn integrate_log_handles_flat_function() {
+        let v = integrate_log(Energy(1.0), Energy(11.0), 2000, |_| 2.0);
+        assert!((v - 20.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,200 @@
+//! Tabulated spectra: ingest a *measured* differential flux table (the
+//! form beamline facilities actually publish) and use it anywhere an
+//! analytic [`crate::Spectrum`] is used.
+//!
+//! Interpolation is log-log (power-law between points), the standard
+//! treatment for neutron spectra spanning many decades.
+
+use crate::units::{Energy, Flux};
+use serde::{Deserialize, Serialize};
+
+/// A spectrum defined by measured `(energy, differential flux)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabulatedSpectrum {
+    name: String,
+    /// Strictly increasing energies (eV).
+    energies: Vec<f64>,
+    /// Differential flux densities at those energies (n/cm²/s/eV).
+    densities: Vec<f64>,
+}
+
+impl TabulatedSpectrum {
+    /// Builds a tabulated spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, energies are not
+    /// strictly increasing and positive, or any density is negative.
+    pub fn new(name: impl Into<String>, points: &[(Energy, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        let mut energies = Vec::with_capacity(points.len());
+        let mut densities = Vec::with_capacity(points.len());
+        for &(e, d) in points {
+            assert!(e.value() > 0.0, "energies must be positive");
+            if let Some(&last) = energies.last() {
+                assert!(e.value() > last, "energies must be strictly increasing");
+            }
+            assert!(d >= 0.0, "densities must be non-negative");
+            energies.push(e.value());
+            densities.push(d);
+        }
+        Self {
+            name: name.into(),
+            energies,
+            densities,
+        }
+    }
+
+    /// The spectrum's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tabulated points.
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Always false for constructed spectra (≥ 2 points enforced).
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+
+    /// Differential flux density at `e`, log-log interpolated; zero
+    /// outside the tabulated range.
+    pub fn density(&self, e: Energy) -> f64 {
+        let ev = e.value();
+        if ev < self.energies[0] || ev > *self.energies.last().unwrap() {
+            return 0.0;
+        }
+        let idx = match self
+            .energies
+            .binary_search_by(|probe| probe.total_cmp(&ev))
+        {
+            Ok(i) => return self.densities[i],
+            Err(i) => i,
+        };
+        let (e0, e1) = (self.energies[idx - 1], self.energies[idx]);
+        let (d0, d1) = (self.densities[idx - 1], self.densities[idx]);
+        if d0 == 0.0 || d1 == 0.0 {
+            // Log-log undefined through zero: fall back to linear.
+            return d0 + (d1 - d0) * (ev - e0) / (e1 - e0);
+        }
+        // Power law d = d0 * (E/e0)^p with p from the bracketing points.
+        let p = (d1 / d0).ln() / (e1 / e0).ln();
+        d0 * (ev / e0).powf(p)
+    }
+
+    /// Integral flux between two energies (log-trapezoid over a refined
+    /// grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not positive and increasing.
+    pub fn flux_between(&self, lo: Energy, hi: Energy) -> Flux {
+        assert!(
+            lo.value() > 0.0 && hi.value() > lo.value(),
+            "bounds must be positive and increasing"
+        );
+        let n = 2000;
+        let (llo, lhi) = (lo.value().ln(), hi.value().ln());
+        let mut sum = 0.0;
+        let mut prev_e = lo.value();
+        let mut prev_d = self.density(lo);
+        for i in 1..=n {
+            let e = (llo + (lhi - llo) * i as f64 / n as f64).exp();
+            let d = self.density(Energy(e));
+            sum += 0.5 * (prev_d + d) * (e - prev_e);
+            prev_e = e;
+            prev_d = d;
+        }
+        Flux(sum)
+    }
+
+    /// Lethargy density E·φ(E) at `e` — the Figure-2 plotting quantity.
+    pub fn lethargy_density(&self, e: Energy) -> f64 {
+        e.value() * self.density(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_over_e_table() -> TabulatedSpectrum {
+        // Ten decades of an exact 1/E spectrum, tabulated sparsely.
+        let points: Vec<(Energy, f64)> = (0..11)
+            .map(|i| {
+                let e = 10f64.powi(i - 2);
+                (Energy(e), 1.0 / e)
+            })
+            .collect();
+        TabulatedSpectrum::new("1/E", &points)
+    }
+
+    #[test]
+    fn log_log_interpolation_is_exact_for_power_laws() {
+        let s = one_over_e_table();
+        // Between tabulated decades, 1/E must be reproduced exactly.
+        for e in [0.3, 7.0, 55.0, 4.2e3] {
+            let d = s.density(Energy(e));
+            assert!((d - 1.0 / e).abs() / (1.0 / e) < 1e-12, "at {e}: {d}");
+        }
+    }
+
+    #[test]
+    fn integral_of_one_over_e_is_ln() {
+        let s = one_over_e_table();
+        let flux = s.flux_between(Energy(1.0), Energy(100.0)).value();
+        let expected = (100f64 / 1.0).ln();
+        assert!((flux - expected).abs() / expected < 1e-3, "flux {flux}");
+    }
+
+    #[test]
+    fn zero_outside_the_table() {
+        let s = one_over_e_table();
+        assert_eq!(s.density(Energy(1e-9)), 0.0);
+        assert_eq!(s.density(Energy(1e12)), 0.0);
+    }
+
+    #[test]
+    fn exact_points_round_trip() {
+        let s = one_over_e_table();
+        assert_eq!(s.density(Energy(10.0)), 0.1);
+        assert_eq!(s.len(), 11);
+        assert!(!s.is_empty());
+        assert_eq!(s.name(), "1/E");
+    }
+
+    #[test]
+    fn lethargy_of_one_over_e_is_flat() {
+        let s = one_over_e_table();
+        let a = s.lethargy_density(Energy(0.5));
+        let b = s.lethargy_density(Energy(500.0));
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn zero_density_segments_interpolate_linearly() {
+        let s = TabulatedSpectrum::new(
+            "edge",
+            &[(Energy(1.0), 0.0), (Energy(3.0), 2.0)],
+        );
+        assert!((s.density(Energy(2.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_energies_rejected() {
+        let _ = TabulatedSpectrum::new(
+            "bad",
+            &[(Energy(2.0), 1.0), (Energy(1.0), 1.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        let _ = TabulatedSpectrum::new("bad", &[(Energy(1.0), 1.0)]);
+    }
+}

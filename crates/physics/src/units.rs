@@ -1,0 +1,502 @@
+//! Strongly-typed physical quantities used throughout the workspace.
+//!
+//! Every quantity is a newtype over `f64` ([C-NEWTYPE]); arithmetic is only
+//! provided where it is physically meaningful (e.g. `CrossSection * Fluence`
+//! is a dimensionless expected event count, `CrossSection * Flux` is an event
+//! rate). This statically rules out a whole class of unit bugs — confusing a
+//! flux with a fluence, or a barn with a cm², silently corrupts every FIT
+//! number downstream.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Implements the boilerplate shared by all scalar quantity newtypes.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw `f64` magnitude in the canonical unit.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the magnitude is finite (not NaN or ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*e} {}", precision, self.0, $unit)
+                } else {
+                    write!(f, "{:e} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Neutron kinetic energy in electron-volts (eV).
+    ///
+    /// The workspace canonical energy unit is the eV because thermal-neutron
+    /// physics lives around 25.3 meV while spallation tails reach the GeV
+    /// scale; `f64` covers the full 12-decade range losslessly.
+    Energy, "eV"
+);
+
+quantity!(
+    /// Microscopic cross section in barns (1 b = 1e-24 cm²).
+    Barns, "b"
+);
+
+quantity!(
+    /// Macroscopic or device cross section in cm².
+    ///
+    /// For a device under beam this is `observed events / fluence`: the
+    /// effective sensitive area presented to the incoming neutron field.
+    CrossSection, "cm^2"
+);
+
+quantity!(
+    /// Neutron flux in neutrons / cm² / s.
+    Flux, "n/cm^2/s"
+);
+
+quantity!(
+    /// Neutron fluence (time-integrated flux) in neutrons / cm².
+    Fluence, "n/cm^2"
+);
+
+quantity!(
+    /// Failure-In-Time rate: expected failures per 10⁹ device-hours.
+    Fit, "FIT"
+);
+
+quantity!(
+    /// Absolute temperature in kelvin.
+    Temperature, "K"
+);
+
+quantity!(
+    /// Areal number density in atoms / cm².
+    ArealDensity, "atoms/cm^2"
+);
+
+quantity!(
+    /// Volumetric number density in atoms / cm³.
+    NumberDensity, "atoms/cm^3"
+);
+
+quantity!(
+    /// Length in centimetres.
+    Length, "cm"
+);
+
+quantity!(
+    /// Duration in seconds. Distinct from `std::time::Duration` because
+    /// simulated campaign times routinely exceed `Duration`'s convenient
+    /// arithmetic and need fractional scaling.
+    Seconds, "s"
+);
+
+impl Energy {
+    /// Boltzmann constant in eV/K.
+    pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+    /// Constructs an energy from a magnitude in eV.
+    #[inline]
+    pub fn from_ev(ev: f64) -> Self {
+        Self(ev)
+    }
+
+    /// Constructs an energy from a magnitude in meV.
+    #[inline]
+    pub fn from_mev_milli(mev: f64) -> Self {
+        Self(mev * 1e-3)
+    }
+
+    /// Constructs an energy from a magnitude in keV.
+    #[inline]
+    pub fn from_kev(kev: f64) -> Self {
+        Self(kev * 1e3)
+    }
+
+    /// Constructs an energy from a magnitude in MeV.
+    #[inline]
+    pub fn from_mev(mev: f64) -> Self {
+        Self(mev * 1e6)
+    }
+
+    /// Returns the magnitude in MeV.
+    #[inline]
+    pub fn as_mev(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Returns the most probable thermal energy `kT` at temperature `t`.
+    #[inline]
+    pub fn thermal_at(t: Temperature) -> Self {
+        Self(Self::BOLTZMANN_EV_PER_K * t.0)
+    }
+
+    /// Lethargy `u = ln(E_ref / E)` of this energy relative to `reference`.
+    ///
+    /// Lethargy increases as neutrons slow down, which makes moderation
+    /// bookkeeping additive: each elastic collision adds on average `ξ`
+    /// (the moderator's mean lethargy gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either energy is not strictly positive.
+    #[inline]
+    pub fn lethargy_from(self, reference: Energy) -> f64 {
+        assert!(
+            self.0 > 0.0 && reference.0 > 0.0,
+            "lethargy requires strictly positive energies"
+        );
+        (reference.0 / self.0).ln()
+    }
+}
+
+impl Barns {
+    /// One barn expressed in cm².
+    pub const CM2_PER_BARN: f64 = 1e-24;
+
+    /// Converts a microscopic cross section to cm².
+    #[inline]
+    pub fn to_cross_section(self) -> CrossSection {
+        CrossSection(self.0 * Self::CM2_PER_BARN)
+    }
+}
+
+impl CrossSection {
+    /// Converts to barns.
+    #[inline]
+    pub fn to_barns(self) -> Barns {
+        Barns(self.0 / Barns::CM2_PER_BARN)
+    }
+}
+
+impl Flux {
+    /// Integrates this flux over an exposure time, yielding a fluence.
+    #[inline]
+    pub fn over(self, time: Seconds) -> Fluence {
+        Fluence(self.0 * time.0)
+    }
+
+    /// Converts from the n/cm²/h convention used by JESD89A field data.
+    #[inline]
+    pub fn from_per_hour(per_hour: f64) -> Self {
+        Self(per_hour / 3600.0)
+    }
+
+    /// Returns the flux in n/cm²/h.
+    #[inline]
+    pub fn per_hour(self) -> f64 {
+        self.0 * 3600.0
+    }
+}
+
+impl Mul<Seconds> for Flux {
+    type Output = Fluence;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Fluence {
+        self.over(rhs)
+    }
+}
+
+impl Mul<Fluence> for CrossSection {
+    /// Expected number of events for a device of this cross section exposed
+    /// to the given fluence (dimensionless).
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Fluence) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+impl Mul<CrossSection> for Fluence {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: CrossSection) -> f64 {
+        rhs * self
+    }
+}
+
+impl CrossSection {
+    /// Seconds in 10⁹ hours — the FIT normalisation constant.
+    const SECONDS_PER_GIGAHOUR: f64 = 3.6e12;
+
+    /// Failure rate of a device with this cross section in a field of the
+    /// given flux, expressed in FIT (failures per 10⁹ device-hours).
+    #[inline]
+    pub fn fit_in(self, flux: Flux) -> Fit {
+        Fit(self.0 * flux.0 * Self::SECONDS_PER_GIGAHOUR)
+    }
+}
+
+impl Seconds {
+    /// Constructs a duration from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self(hours * 3600.0)
+    }
+
+    /// Constructs a duration from days.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Self(days * 86_400.0)
+    }
+
+    /// Returns the duration in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+impl Mul<Length> for NumberDensity {
+    /// Number density × path length = areal density.
+    type Output = ArealDensity;
+    #[inline]
+    fn mul(self, rhs: Length) -> ArealDensity {
+        ArealDensity(self.0 * rhs.0)
+    }
+}
+
+impl Length {
+    /// Constructs a length from inches (the paper reports "2 inches of
+    /// water" over the Tin-II detector).
+    #[inline]
+    pub fn from_inches(inches: f64) -> Self {
+        Self(inches * 2.54)
+    }
+
+    /// Constructs a length from micrometres (sensitive-volume scale).
+    #[inline]
+    pub fn from_um(um: f64) -> Self {
+        Self(um * 1e-4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_conversions_round_trip() {
+        let e = Energy::from_mev(10.0);
+        assert_eq!(e.value(), 1e7);
+        assert_eq!(e.as_mev(), 10.0);
+        assert_eq!(Energy::from_kev(1.0).value(), 1e3);
+        assert_eq!(Energy::from_mev_milli(25.3).value(), 0.0253);
+    }
+
+    #[test]
+    fn thermal_energy_at_room_temperature_is_25_mev() {
+        let kt = Energy::thermal_at(Temperature(293.6));
+        assert!((kt.value() - 0.0253).abs() < 2e-4, "kT = {kt}");
+    }
+
+    #[test]
+    fn lethargy_increases_as_energy_decreases() {
+        let reference = Energy::from_mev(2.0);
+        let slow = Energy::from_ev(0.025);
+        let fast = Energy::from_mev(1.0);
+        assert!(slow.lethargy_from(reference) > fast.lethargy_from(reference));
+        assert!((fast.lethargy_from(reference) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn lethargy_rejects_zero_energy() {
+        let _ = Energy::ZERO.lethargy_from(Energy::from_mev(2.0));
+    }
+
+    #[test]
+    fn barns_to_cm2() {
+        let sigma = Barns(3837.0);
+        let cs = sigma.to_cross_section();
+        assert!((cs.value() - 3.837e-21).abs() < 1e-30);
+        assert!((cs.to_barns().value() - 3837.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flux_times_time_is_fluence() {
+        let fluence = Flux(5.4e6) * Seconds::from_hours(1.0);
+        assert!((fluence.value() - 5.4e6 * 3600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_section_times_fluence_counts_events() {
+        let events = CrossSection(1e-9) * Fluence(2e10);
+        assert!((events - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_normalisation_matches_hand_calculation() {
+        // sigma = 1e-14 cm^2 in a 13 n/cm^2/h field:
+        // rate = 1e-14 * 13 per hour = 1.3e-13/h -> * 1e9 h = 1.3e-4 FIT.
+        let fit = CrossSection(1e-14).fit_in(Flux::from_per_hour(13.0));
+        assert!((fit.value() - 1.3e-4).abs() < 1e-12, "fit = {fit}");
+    }
+
+    #[test]
+    fn per_hour_flux_round_trips() {
+        let f = Flux::from_per_hour(13.0);
+        assert!((f.per_hour() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        assert_eq!(CrossSection(4.0) / CrossSection(2.0), 2.0);
+        assert_eq!(Fit(39.0) / Fit(100.0), 0.39);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.2}", Flux(2.72e6)), "2.72e6 n/cm^2/s");
+        assert_eq!(format!("{:.1}", Fit(1.5)), "1.5e0 FIT");
+    }
+
+    #[test]
+    fn length_conversions() {
+        assert!((Length::from_inches(2.0).value() - 5.08).abs() < 1e-12);
+        assert!((Length::from_um(1.0).value() - 1e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        assert_eq!(Seconds::from_days(2.0).value(), 172_800.0);
+        assert_eq!(Seconds::from_hours(2.0).as_hours(), 2.0);
+    }
+
+    #[test]
+    fn areal_density_from_number_density_and_path() {
+        let n = NumberDensity(1e22);
+        let d = n * Length::from_um(1.0);
+        assert!((d.value() - 1e18).abs() < 1e6);
+    }
+
+    #[test]
+    fn quantity_arithmetic_and_sum() {
+        let total: Fluence = [Fluence(1.0), Fluence(2.0), Fluence(3.0)].into_iter().sum();
+        assert_eq!(total.value(), 6.0);
+        let mut f = Flux(1.0);
+        f += Flux(2.0);
+        assert_eq!(f.value(), 3.0);
+        assert_eq!((Flux(5.0) - Flux(2.0)).value(), 3.0);
+        assert_eq!((-Flux(5.0)).value(), -5.0);
+        assert_eq!((Flux(5.0) * 2.0).value(), 10.0);
+        assert_eq!((2.0 * Flux(5.0)).value(), 10.0);
+        assert_eq!((Flux(5.0) / 2.0).value(), 2.5);
+        assert_eq!(Flux(1.0).max(Flux(2.0)).value(), 2.0);
+        assert_eq!(Flux(1.0).min(Flux(2.0)).value(), 1.0);
+        assert_eq!(Flux(-1.5).abs().value(), 1.5);
+        assert!(Flux(1.0).is_finite());
+        assert!(!Flux(f64::NAN).is_finite());
+    }
+}

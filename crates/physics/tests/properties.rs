@@ -1,0 +1,124 @@
+//! Property-based tests for the physics substrate invariants.
+
+use proptest::prelude::*;
+use tn_physics::capture::{b10_capture, b10_capture_probability};
+use tn_physics::spectrum::{EnergyBand, EnergyGrid, Shape, Spectrum};
+use tn_physics::stats::{chi_square_quantile, ln_gamma, reg_lower_gamma, PoissonInterval};
+use tn_physics::units::{ArealDensity, Barns, CrossSection, Energy, Fluence, Flux, Seconds, Temperature};
+
+proptest! {
+    #[test]
+    fn one_over_v_is_monotone_decreasing(e1 in 1e-4f64..1e8, factor in 1.01f64..1e3) {
+        let lo = b10_capture(Energy(e1));
+        let hi = b10_capture(Energy(e1 * factor));
+        prop_assert!(hi.value() < lo.value());
+    }
+
+    #[test]
+    fn capture_probability_is_a_probability(n in 1e10f64..1e24, e in 1e-4f64..1e9) {
+        let p = b10_capture_probability(ArealDensity(n), Energy(e));
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn capture_probability_monotone_in_doping(n in 1e10f64..1e22, mult in 1.1f64..100.0) {
+        let e = Energy(0.0253);
+        let p1 = b10_capture_probability(ArealDensity(n), e);
+        let p2 = b10_capture_probability(ArealDensity(n * mult), e);
+        prop_assert!(p2 >= p1);
+    }
+
+    #[test]
+    fn band_of_energy_is_consistent_with_edges(e in 1e-4f64..1e9) {
+        let band = EnergyBand::of(Energy(e));
+        let (lo, hi) = band.edges();
+        prop_assert!(e >= lo.value() && e < hi.value());
+    }
+
+    #[test]
+    fn fluence_scales_linearly_with_time(flux in 1e-3f64..1e8, hours in 0.01f64..1e4) {
+        let f1 = Flux(flux).over(Seconds::from_hours(hours));
+        let f2 = Flux(flux).over(Seconds::from_hours(2.0 * hours));
+        prop_assert!((f2.value() - 2.0 * f1.value()).abs() <= 1e-9 * f2.value());
+    }
+
+    #[test]
+    fn expected_events_commute(sigma in 1e-20f64..1e-5, fluence in 1.0f64..1e14) {
+        let a = CrossSection(sigma) * Fluence(fluence);
+        let b = Fluence(fluence) * CrossSection(sigma);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barns_round_trip(b in 1e-6f64..1e6) {
+        let back = Barns(b).to_cross_section().to_barns();
+        prop_assert!((back.value() - b).abs() < 1e-9 * b);
+    }
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence(x in 0.1f64..50.0) {
+        // Gamma(x+1) = x * Gamma(x).
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x = {x}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn reg_gamma_is_monotone_in_x(a in 0.5f64..20.0, x in 0.0f64..50.0, dx in 0.01f64..5.0) {
+        let p1 = reg_lower_gamma(a, x);
+        let p2 = reg_lower_gamma(a, x + dx);
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+
+    #[test]
+    fn chi_square_quantile_inverts_cdf(p in 0.01f64..0.99, k in 1.0f64..40.0) {
+        let x = chi_square_quantile(p, k);
+        let back = reg_lower_gamma(k / 2.0, x / 2.0);
+        prop_assert!((back - p).abs() < 1e-6, "p = {p}, back = {back}");
+    }
+
+    #[test]
+    fn poisson_interval_ordering(k in 0u64..5000) {
+        let ci = PoissonInterval::ninety_five(k);
+        prop_assert!(ci.lower <= k as f64);
+        prop_assert!(ci.upper > k as f64);
+        prop_assert!(ci.lower >= 0.0);
+    }
+
+    #[test]
+    fn poisson_interval_widens_with_confidence(k in 1u64..1000) {
+        let c90 = PoissonInterval::exact(k, 0.90);
+        let c99 = PoissonInterval::exact(k, 0.99);
+        prop_assert!(c99.lower <= c90.lower);
+        prop_assert!(c99.upper >= c90.upper);
+    }
+
+    #[test]
+    fn maxwellian_flux_is_conserved(flux in 1.0f64..1e7, temp in 50.0f64..600.0) {
+        let s = Spectrum::named("t").with(
+            Shape::Maxwellian { temperature: Temperature(temp) },
+            Flux(flux),
+        );
+        let integral = s.flux_between(Energy(1e-6), Energy(1e3)).value();
+        prop_assert!((integral - flux).abs() / flux < 0.02, "integral = {integral}");
+    }
+
+    #[test]
+    fn lethargy_density_is_nonnegative(e in 1e-4f64..1e9) {
+        let s = Spectrum::named("t")
+            .with(Shape::Maxwellian { temperature: Temperature(293.0) }, Flux(1.0))
+            .with(Shape::OneOverE { lo: Energy(0.5), hi: Energy(1e5) }, Flux(1.0));
+        prop_assert!(s.lethargy_density(Energy(e)) >= 0.0);
+    }
+
+    #[test]
+    fn grid_points_are_sorted(lo_exp in -4.0f64..2.0, span in 1.0f64..10.0, n in 2usize..200) {
+        let lo = 10f64.powf(lo_exp);
+        let hi = 10f64.powf(lo_exp + span);
+        let g = EnergyGrid::log_spaced(Energy(lo), Energy(hi), n);
+        prop_assert_eq!(g.len(), n);
+        for w in g.points().windows(2) {
+            prop_assert!(w[1].value() > w[0].value());
+        }
+    }
+}

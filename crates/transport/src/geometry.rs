@@ -1,0 +1,176 @@
+//! One-dimensional slab geometry for neutron transport.
+//!
+//! The experiments in the paper that involve bulk matter — water over the
+//! Tin-II detector, concrete floors, cadmium or borated-plastic shields —
+//! are all well approximated by normally- or diffusely-illuminated slabs,
+//! so the transport engine works on a stack of homogeneous layers along
+//! the z axis.
+
+use serde::Serialize;
+use tn_physics::units::Length;
+use tn_physics::Material;
+
+/// A homogeneous layer of material with a thickness.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Layer {
+    material: Material,
+    thickness: Length,
+}
+
+impl Layer {
+    /// Creates a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness` is not strictly positive.
+    pub fn new(material: Material, thickness: Length) -> Self {
+        assert!(
+            thickness.value() > 0.0,
+            "layer thickness must be positive, got {thickness}"
+        );
+        Self {
+            material,
+            thickness,
+        }
+    }
+
+    /// The layer's material.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// The layer's thickness.
+    pub fn thickness(&self) -> Length {
+        self.thickness
+    }
+}
+
+/// A stack of layers along +z. Neutrons enter at `z = 0` travelling in +z;
+/// leaving through `z = 0` is *reflection*, leaving through the far face is
+/// *transmission*.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SlabStack {
+    layers: Vec<Layer>,
+    total: Length,
+}
+
+impl SlabStack {
+    /// Builds a stack from layers, front first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "slab stack needs at least one layer");
+        let total = Length(layers.iter().map(|l| l.thickness().value()).sum());
+        Self { layers, total }
+    }
+
+    /// Convenience constructor for a single-material slab.
+    pub fn single(material: Material, thickness: Length) -> Self {
+        Self::new(vec![Layer::new(material, thickness)])
+    }
+
+    /// The layers, front first.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total stack thickness.
+    pub fn total_thickness(&self) -> Length {
+        self.total
+    }
+
+    /// Returns the layer containing position `z`, or `None` outside the
+    /// stack. The boundary `z = total` belongs to the outside.
+    pub fn layer_at(&self, z: Length) -> Option<&Layer> {
+        if z.value() < 0.0 || z.value() >= self.total.value() {
+            return None;
+        }
+        let mut acc = 0.0;
+        for layer in &self.layers {
+            acc += layer.thickness().value();
+            if z.value() < acc {
+                return Some(layer);
+            }
+        }
+        None
+    }
+
+    /// Distance from `z` (moving with direction cosine `mu`) to the next
+    /// layer boundary or stack face.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is 0 or `z` lies outside the stack.
+    pub fn distance_to_boundary(&self, z: Length, mu: f64) -> Length {
+        assert!(mu != 0.0, "direction cosine must be nonzero");
+        let zv = z.value();
+        assert!(
+            (0.0..self.total.value()).contains(&zv),
+            "z = {z} outside stack"
+        );
+        let mut acc = 0.0;
+        for layer in &self.layers {
+            let lo = acc;
+            acc += layer.thickness().value();
+            if zv < acc {
+                let edge = if mu > 0.0 { acc } else { lo };
+                return Length(((edge - zv) / mu).abs());
+            }
+        }
+        unreachable!("z verified inside stack");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer() -> SlabStack {
+        SlabStack::new(vec![
+            Layer::new(Material::water(), Length(2.0)),
+            Layer::new(Material::concrete(), Length(3.0)),
+        ])
+    }
+
+    #[test]
+    fn total_thickness_sums_layers() {
+        assert_eq!(two_layer().total_thickness(), Length(5.0));
+    }
+
+    #[test]
+    fn layer_lookup_by_position() {
+        let s = two_layer();
+        assert_eq!(s.layer_at(Length(0.5)).unwrap().material().name(), "water");
+        assert_eq!(
+            s.layer_at(Length(2.5)).unwrap().material().name(),
+            "concrete"
+        );
+        assert!(s.layer_at(Length(5.0)).is_none());
+        assert!(s.layer_at(Length(-0.1)).is_none());
+    }
+
+    #[test]
+    fn boundary_distance_forward_and_backward() {
+        let s = two_layer();
+        // In water layer at z=0.5 going forward: boundary at z=2.
+        assert!((s.distance_to_boundary(Length(0.5), 1.0).value() - 1.5).abs() < 1e-12);
+        // Going backward: face at z=0.
+        assert!((s.distance_to_boundary(Length(0.5), -1.0).value() - 0.5).abs() < 1e-12);
+        // Oblique: path length scales with 1/|mu|.
+        assert!((s.distance_to_boundary(Length(0.5), 0.5).value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_thickness_layer_rejected() {
+        let _ = Layer::new(Material::water(), Length(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_stack_rejected() {
+        let _ = SlabStack::new(vec![]);
+    }
+}

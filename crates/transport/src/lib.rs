@@ -1,0 +1,41 @@
+//! # tn-transport — Monte-Carlo neutron transport
+//!
+//! Analog Monte-Carlo transport of neutrons through 1-D slab stacks, built
+//! on the [`tn_physics`] material data. It exists to *derive* (rather than
+//! hard-code) the environmental effects the paper reports:
+//!
+//! * water and concrete **moderate** fast neutrons into the thermal band
+//!   (the +24 % Tin-II water-box step, the +20 % concrete-floor effect);
+//! * thin **cadmium** blocks thermals while passing fast neutrons (the
+//!   Tin-II shielded tube, and the shielding discussion);
+//! * inches of **borated polyethylene** absorb the thermal field.
+//!
+//! Fidelity is intentionally "reactor physics 101": isotropic elastic
+//! scattering, 1/v absorption, no thermal upscattering. The paper's claims
+//! are order-of-magnitude statements about flux ratios, which survive this
+//! approximation; DESIGN.md documents the substitution.
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_physics::{Material, units::{Energy, Length}};
+//! use tn_transport::{SlabStack, Transport};
+//!
+//! // 1 mm of cadmium: opaque to thermal neutrons.
+//! let cd = Transport::new(SlabStack::single(Material::cadmium(), Length(0.1)));
+//! let tally = cd.run_beam(Energy(0.0253), 2_000, 42);
+//! assert_eq!(tally.transmitted_thermal, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod geometry;
+pub mod mc;
+pub mod moderation;
+pub mod tally;
+
+pub use geometry::{Layer, SlabStack};
+pub use mc::{Fate, Neutron, Tally, Transport};
+pub use moderation::{AttenuationCurve, SlabEffect};
+pub use tally::{beam_spectrum, SpectrumTally};

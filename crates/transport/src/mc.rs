@@ -1,0 +1,446 @@
+//! Analog Monte-Carlo neutron transport through a slab stack.
+//!
+//! Physics model (deliberately at "reactor physics 101" fidelity — see the
+//! crate docs for why that is sufficient for the paper's claims):
+//!
+//! * free flight lengths sampled from the local macroscopic total cross
+//!   section Σ_t(E);
+//! * at each collision the target nuclide is picked ∝ its macroscopic
+//!   cross section; absorption happens with probability σ_a/(σ_s+σ_a)
+//!   (1/v law), otherwise elastic scattering;
+//! * elastic scattering is isotropic in the centre-of-mass frame, so the
+//!   outgoing energy is uniform on [αE, E] with α = ((A−1)/(A+1))²;
+//!   the lab direction is resampled isotropically (fair once a neutron has
+//!   scattered once or twice, which dominates moderation problems);
+//! * below 25.3 meV the energy is clamped to the thermal point (upscattering
+//!   to the Maxwellian equilibrium is not modelled).
+
+use crate::geometry::SlabStack;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tn_physics::constants::THERMAL_CUTOFF;
+use tn_physics::units::{Energy, Length};
+
+/// Minimum tracked energy; below this the neutron is considered fully
+/// thermalised and is clamped.
+const ENERGY_FLOOR: Energy = Energy(0.0253);
+
+/// Hard cap on collisions per history (a diffusing thermal neutron in a
+/// thick weak absorber can otherwise bounce for a very long time).
+const MAX_COLLISIONS: usize = 100_000;
+
+/// Terminal fate of one transported neutron.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fate {
+    /// Left through the far face with the given energy.
+    Transmitted {
+        /// Exit energy.
+        energy: Energy,
+    },
+    /// Left back through the entry face with the given energy.
+    Reflected {
+        /// Exit energy.
+        energy: Energy,
+    },
+    /// Absorbed inside the stack at depth `z`.
+    Absorbed {
+        /// Absorption depth from the entry face.
+        z: Length,
+    },
+    /// Exceeded the collision cap (counted separately; should be rare).
+    Lost,
+}
+
+impl Fate {
+    /// Energy carried out of the stack, if the neutron escaped.
+    pub fn exit_energy(&self) -> Option<Energy> {
+        match *self {
+            Fate::Transmitted { energy } | Fate::Reflected { energy } => Some(energy),
+            _ => None,
+        }
+    }
+
+    /// True if the neutron escaped (either face) in the thermal band.
+    pub fn escaped_thermal(&self) -> bool {
+        self.exit_energy()
+            .is_some_and(|e| e.value() < THERMAL_CUTOFF.value())
+    }
+}
+
+/// Aggregated tallies over many histories.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tally {
+    /// Histories run.
+    pub histories: u64,
+    /// Transmitted with E < 0.5 eV.
+    pub transmitted_thermal: u64,
+    /// Transmitted with E ≥ 0.5 eV.
+    pub transmitted_fast: u64,
+    /// Reflected with E < 0.5 eV.
+    pub reflected_thermal: u64,
+    /// Reflected with E ≥ 0.5 eV.
+    pub reflected_fast: u64,
+    /// Absorbed in the stack.
+    pub absorbed: u64,
+    /// Hit the collision cap.
+    pub lost: u64,
+}
+
+impl Tally {
+    /// Records one fate.
+    pub fn record(&mut self, fate: Fate) {
+        self.histories += 1;
+        match fate {
+            Fate::Transmitted { energy } => {
+                if energy.value() < THERMAL_CUTOFF.value() {
+                    self.transmitted_thermal += 1;
+                } else {
+                    self.transmitted_fast += 1;
+                }
+            }
+            Fate::Reflected { energy } => {
+                if energy.value() < THERMAL_CUTOFF.value() {
+                    self.reflected_thermal += 1;
+                } else {
+                    self.reflected_fast += 1;
+                }
+            }
+            Fate::Absorbed { .. } => self.absorbed += 1,
+            Fate::Lost => self.lost += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.histories += other.histories;
+        self.transmitted_thermal += other.transmitted_thermal;
+        self.transmitted_fast += other.transmitted_fast;
+        self.reflected_thermal += other.reflected_thermal;
+        self.reflected_fast += other.reflected_fast;
+        self.absorbed += other.absorbed;
+        self.lost += other.lost;
+    }
+
+    /// Fraction helper.
+    fn frac(&self, n: u64) -> f64 {
+        if self.histories == 0 {
+            0.0
+        } else {
+            n as f64 / self.histories as f64
+        }
+    }
+
+    /// Fraction transmitted in the thermal band.
+    pub fn transmitted_thermal_fraction(&self) -> f64 {
+        self.frac(self.transmitted_thermal)
+    }
+
+    /// Fraction transmitted at any energy.
+    pub fn transmitted_fraction(&self) -> f64 {
+        self.frac(self.transmitted_thermal + self.transmitted_fast)
+    }
+
+    /// Fraction reflected in the thermal band (the thermal albedo).
+    pub fn reflected_thermal_fraction(&self) -> f64 {
+        self.frac(self.reflected_thermal)
+    }
+
+    /// Fraction absorbed.
+    pub fn absorbed_fraction(&self) -> f64 {
+        self.frac(self.absorbed)
+    }
+
+    /// Fraction escaping (either face) in the thermal band.
+    pub fn thermal_escape_fraction(&self) -> f64 {
+        self.frac(self.transmitted_thermal + self.reflected_thermal)
+    }
+}
+
+/// An in-flight neutron state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neutron {
+    /// Kinetic energy.
+    pub energy: Energy,
+    /// Depth in the stack (cm from the entry face).
+    pub z: Length,
+    /// Direction cosine against +z; +1 is straight in.
+    pub mu: f64,
+}
+
+impl Neutron {
+    /// A neutron entering the front face head-on with energy `e`.
+    pub fn incident(e: Energy) -> Self {
+        Self {
+            energy: e,
+            z: Length(0.0),
+            mu: 1.0,
+        }
+    }
+
+    /// A neutron entering the front face with an isotropic-flux-weighted
+    /// direction (cosine-law, μ = √u), as from a diffuse ambient field.
+    pub fn diffuse_incident<R: Rng + ?Sized>(e: Energy, rng: &mut R) -> Self {
+        Self {
+            energy: e,
+            z: Length(0.0),
+            mu: rng.gen::<f64>().sqrt().max(1e-6),
+        }
+    }
+}
+
+/// The transport engine for one slab stack.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    stack: SlabStack,
+}
+
+impl Transport {
+    /// Creates an engine for a stack.
+    pub fn new(stack: SlabStack) -> Self {
+        Self { stack }
+    }
+
+    /// The geometry being transported through.
+    pub fn stack(&self) -> &SlabStack {
+        &self.stack
+    }
+
+    /// Transports one neutron to its fate.
+    pub fn run_history<R: Rng + ?Sized>(&self, mut n: Neutron, rng: &mut R) -> Fate {
+        // Nudge the entry position just inside the stack.
+        let eps = 1e-12 * self.stack.total_thickness().value().max(1.0);
+        if n.z.value() <= 0.0 {
+            n.z = Length(eps);
+        }
+        for _ in 0..MAX_COLLISIONS {
+            let layer = match self.stack.layer_at(n.z) {
+                Some(l) => l,
+                None => {
+                    // Already outside (numerical edge); classify by side.
+                    return if n.z.value() <= 0.0 {
+                        Fate::Reflected { energy: n.energy }
+                    } else {
+                        Fate::Transmitted { energy: n.energy }
+                    };
+                }
+            };
+            let sigma_t = layer.material().sigma_total(n.energy);
+            if sigma_t <= 0.0 {
+                // Vacuum-like layer: stream to the boundary.
+                let d = self.stack.distance_to_boundary(n.z, n.mu);
+                n.z = Length(n.z.value() + n.mu * (d.value() + eps));
+            } else {
+                let free_path = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / sigma_t;
+                let to_boundary = self.stack.distance_to_boundary(n.z, n.mu).value();
+                if free_path >= to_boundary {
+                    // Crosses into the next layer (or escapes).
+                    n.z = Length(n.z.value() + n.mu * (to_boundary + eps));
+                } else {
+                    // Collides inside this layer.
+                    n.z = Length(n.z.value() + n.mu * free_path);
+                    let nuclide = *layer
+                        .material()
+                        .pick_collision_nuclide(n.energy, rng.gen::<f64>());
+                    let sigma_s = nuclide.elastic_at(n.energy).to_cross_section().value();
+                    let sigma_a = nuclide.absorption_at(n.energy).to_cross_section().value();
+                    if rng.gen::<f64>() < sigma_a / (sigma_a + sigma_s) {
+                        return Fate::Absorbed { z: n.z };
+                    }
+                    if n.energy.value() <= ENERGY_FLOOR.value() {
+                        // Fully thermalised: isotropic diffusion, no
+                        // further energy loss (target motion keeps the
+                        // neutron in equilibrium with the Maxwellian).
+                        n.mu = 2.0 * rng.gen::<f64>() - 1.0;
+                    } else {
+                        // Elastic scatter, isotropic in the CM frame.
+                        // Energy and lab deflection are correlated through
+                        // the CM cosine; hydrogen (A = 1) can only scatter
+                        // forward in the lab, which is what lets MeV
+                        // neutrons penetrate centimetres of water.
+                        let a = nuclide.mass_number;
+                        let cos_cm = 2.0 * rng.gen::<f64>() - 1.0;
+                        let denom_sq = a * a + 2.0 * a * cos_cm + 1.0;
+                        let e_ratio = denom_sq / ((a + 1.0) * (a + 1.0));
+                        n.energy =
+                            Energy((n.energy.value() * e_ratio).max(ENERGY_FLOOR.value()));
+                        let mu_scatter = (1.0 + a * cos_cm) / denom_sq.sqrt();
+                        let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+                        let sin_terms = ((1.0 - n.mu * n.mu).max(0.0)
+                            * (1.0 - mu_scatter * mu_scatter).max(0.0))
+                        .sqrt();
+                        n.mu = (n.mu * mu_scatter + sin_terms * phi.cos()).clamp(-1.0, 1.0);
+                    }
+                    if n.mu == 0.0 {
+                        n.mu = 1e-9;
+                    }
+                }
+            }
+            if n.z.value() <= 0.0 {
+                return Fate::Reflected { energy: n.energy };
+            }
+            if n.z.value() >= self.stack.total_thickness().value() {
+                return Fate::Transmitted { energy: n.energy };
+            }
+        }
+        Fate::Lost
+    }
+
+    /// Runs `histories` monoenergetic, normally-incident neutrons.
+    pub fn run_beam(&self, e: Energy, histories: u64, seed: u64) -> Tally {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tally = Tally::default();
+        for _ in 0..histories {
+            tally.record(self.run_history(Neutron::incident(e), &mut rng));
+        }
+        tally
+    }
+
+    /// Runs `histories` monoenergetic neutrons from a diffuse (cosine-law)
+    /// ambient field.
+    pub fn run_diffuse(&self, e: Energy, histories: u64, seed: u64) -> Tally {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tally = Tally::default();
+        for _ in 0..histories {
+            tally.record(self.run_history(Neutron::diffuse_incident(e, &mut rng), &mut rng));
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Layer, SlabStack};
+    use tn_physics::Material;
+
+    fn water_slab(cm: f64) -> Transport {
+        Transport::new(SlabStack::single(Material::water(), Length(cm)))
+    }
+
+    #[test]
+    fn thin_air_is_transparent() {
+        let t = Transport::new(SlabStack::single(Material::air(), Length(10.0)));
+        let tally = t.run_beam(Energy::from_mev(1.0), 2000, 1);
+        assert!(
+            tally.transmitted_fraction() > 0.99,
+            "transmitted {}",
+            tally.transmitted_fraction()
+        );
+    }
+
+    #[test]
+    fn thick_water_moderates_fast_neutrons() {
+        let tally = water_slab(30.0).run_beam(Energy::from_mev(2.0), 4000, 2);
+        // A 30 cm water slab is a classic shield: very little fast leakage,
+        // most neutrons absorbed (H capture) or escaping thermalised.
+        assert!((tally.transmitted_fast as f64) / (tally.histories as f64) < 0.05);
+        assert!(tally.absorbed_fraction() > 0.3, "{tally:?}");
+    }
+
+    #[test]
+    fn five_cm_water_produces_thermal_albedo() {
+        // The "2 inches of water" case: fast neutrons in, a substantial
+        // fraction comes back out thermalised.
+        let tally = water_slab(5.08).run_beam(Energy::from_mev(2.0), 6000, 3);
+        let back = tally.reflected_thermal_fraction();
+        assert!(back > 0.05 && back < 0.6, "thermal albedo = {back}");
+    }
+
+    #[test]
+    fn cadmium_blocks_thermal_but_not_fast() {
+        let cd = Transport::new(SlabStack::single(
+            Material::cadmium(),
+            Length(0.1), // 1 mm sheet
+        ));
+        let thermal = cd.run_beam(Energy(0.0253), 4000, 4);
+        assert_eq!(
+            thermal.transmitted_thermal, 0,
+            "thermal leaked through 1 mm Cd"
+        );
+        let fast = cd.run_beam(Energy::from_mev(1.0), 4000, 5);
+        assert!(
+            fast.transmitted_fraction() > 0.9,
+            "fast transmitted {}",
+            fast.transmitted_fraction()
+        );
+    }
+
+    #[test]
+    fn borated_pe_absorbs_thermal_flux() {
+        let shield = Transport::new(SlabStack::single(
+            Material::borated_polyethylene(),
+            Length::from_inches(2.0),
+        ));
+        let tally = shield.run_beam(Energy(0.0253), 4000, 6);
+        assert!(
+            tally.transmitted_thermal_fraction() < 0.01,
+            "transmitted {}",
+            tally.transmitted_thermal_fraction()
+        );
+    }
+
+    #[test]
+    fn layered_stack_transports_in_order() {
+        let stack = SlabStack::new(vec![
+            Layer::new(Material::water(), Length(2.0)),
+            Layer::new(Material::cadmium(), Length(0.1)),
+        ]);
+        let t = Transport::new(stack);
+        // Thermalised neutrons produced in the water die in the Cd backing:
+        // thermal transmission ~ 0.
+        let tally = t.run_beam(Energy::from_mev(1.0), 4000, 7);
+        assert!(tally.transmitted_thermal_fraction() < 0.01);
+    }
+
+    #[test]
+    fn tallies_account_for_every_history() {
+        let tally = water_slab(5.0).run_beam(Energy::from_mev(1.0), 3000, 8);
+        let sum = tally.transmitted_thermal
+            + tally.transmitted_fast
+            + tally.reflected_thermal
+            + tally.reflected_fast
+            + tally.absorbed
+            + tally.lost;
+        assert_eq!(sum, tally.histories);
+    }
+
+    #[test]
+    fn merge_adds_tallies() {
+        let a = water_slab(5.0).run_beam(Energy::from_mev(1.0), 1000, 9);
+        let b = water_slab(5.0).run_beam(Energy::from_mev(1.0), 1000, 10);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.histories, 2000);
+        assert_eq!(
+            merged.absorbed,
+            a.absorbed + b.absorbed
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = water_slab(5.0).run_beam(Energy::from_mev(1.0), 500, 42);
+        let b = water_slab(5.0).run_beam(Energy::from_mev(1.0), 500, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fate_helpers() {
+        assert!(Fate::Reflected { energy: Energy(0.1) }.escaped_thermal());
+        assert!(!Fate::Transmitted { energy: Energy(1e6) }.escaped_thermal());
+        assert_eq!(Fate::Absorbed { z: Length(1.0) }.exit_energy(), None);
+        assert_eq!(Fate::Lost.exit_energy(), None);
+    }
+
+    #[test]
+    fn diffuse_incidence_reflects_more_than_normal() {
+        // Oblique entries see a thicker slab, so more comes back.
+        let t = water_slab(5.0);
+        let normal = t.run_beam(Energy::from_mev(1.0), 6000, 11);
+        let diffuse = t.run_diffuse(Energy::from_mev(1.0), 6000, 12);
+        let refl_n = normal.frac(normal.reflected_thermal + normal.reflected_fast);
+        let refl_d = diffuse.frac(diffuse.reflected_thermal + diffuse.reflected_fast);
+        assert!(refl_d > refl_n, "diffuse {refl_d} vs normal {refl_n}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Derived moderation experiments: what a slab of material does to the
+//! thermal-neutron field next to it.
+//!
+//! This module answers the paper's Section VI question quantitatively:
+//! *"when water is placed over the detector the thermal neutron counts
+//! abruptly increase"* — because the slab converts part of the incident
+//! fast flux into thermal neutrons leaking out of its far face, at the
+//! price of attenuating the thermal flux that was already there.
+
+use crate::geometry::SlabStack;
+use crate::mc::Transport;
+use serde::{Deserialize, Serialize};
+use tn_physics::units::{Energy, Flux, Length};
+use tn_physics::Material;
+
+/// Monte-Carlo characterisation of a slab's effect on a diffuse ambient
+/// field arriving on its front face, as seen by an observer behind its
+/// back face.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlabEffect {
+    /// Fraction of incident *thermal* flux that still emerges thermal from
+    /// the back face.
+    pub thermal_transmission: f64,
+    /// Fraction of incident *fast* flux that emerges from the back face in
+    /// the thermal band (moderated).
+    pub fast_to_thermal_yield: f64,
+    /// Fraction of incident fast flux that emerges fast (un-moderated).
+    pub fast_transmission: f64,
+    /// Histories used per incident energy.
+    pub histories: u64,
+}
+
+impl SlabEffect {
+    /// Characterises `material` of the given `thickness` with Monte-Carlo
+    /// transport: a diffuse thermal field (25.3 meV) and a diffuse fast
+    /// field (`fast_energy`) are pushed through the slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `histories` is zero.
+    pub fn characterise(
+        material: Material,
+        thickness: Length,
+        fast_energy: Energy,
+        histories: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(histories > 0, "need at least one history");
+        let transport = Transport::new(SlabStack::single(material, thickness));
+        let thermal = transport.run_diffuse(Energy(0.0253), histories, seed);
+        let fast = transport.run_diffuse(fast_energy, histories, seed ^ 0x9e37_79b9);
+        Self {
+            thermal_transmission: thermal.transmitted_thermal_fraction(),
+            fast_to_thermal_yield: fast.transmitted_thermal_fraction(),
+            fast_transmission: fast.transmitted_fast as f64 / fast.histories as f64,
+            histories,
+        }
+    }
+
+    /// Thermal flux behind the slab, given ambient thermal and fast fluxes
+    /// in front of it.
+    pub fn thermal_flux_behind(&self, ambient_thermal: Flux, ambient_fast: Flux) -> Flux {
+        Flux(
+            ambient_thermal.value() * self.thermal_transmission
+                + ambient_fast.value() * self.fast_to_thermal_yield,
+        )
+    }
+
+    /// Relative change in the thermal flux seen by a detector when the slab
+    /// is interposed between it and the ambient field:
+    /// `(behind − ambient_thermal) / ambient_thermal`.
+    ///
+    /// Positive values mean the slab *adds* thermal neutrons — the Tin-II
+    /// water-box effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ambient_thermal` is not strictly positive.
+    pub fn thermal_boost(&self, ambient_thermal: Flux, ambient_fast: Flux) -> f64 {
+        assert!(
+            ambient_thermal.value() > 0.0,
+            "ambient thermal flux must be positive"
+        );
+        let behind = self.thermal_flux_behind(ambient_thermal, ambient_fast);
+        behind / ambient_thermal - 1.0
+    }
+}
+
+/// Transmission of a monoenergetic diffuse field through increasing
+/// thicknesses of a shield material — the data behind the paper's
+/// "thin layers of cadmium or some inches of boron plastic" remark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttenuationCurve {
+    /// Material name.
+    pub material: String,
+    /// Probe energy.
+    pub energy: Energy,
+    /// `(thickness, transmitted fraction at any energy)` pairs.
+    pub points: Vec<(Length, f64)>,
+}
+
+impl AttenuationCurve {
+    /// Sweeps shield thicknesses with Monte-Carlo transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thicknesses` is empty or `histories` is zero.
+    pub fn sweep(
+        material: &Material,
+        energy: Energy,
+        thicknesses: &[Length],
+        histories: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!thicknesses.is_empty(), "need at least one thickness");
+        assert!(histories > 0, "need at least one history");
+        let points = thicknesses
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let transport = Transport::new(SlabStack::single(material.clone(), t));
+                let tally = transport.run_beam(energy, histories, seed.wrapping_add(i as u64));
+                (t, tally.transmitted_fraction())
+            })
+            .collect();
+        Self {
+            material: material.name().to_string(),
+            energy,
+            points,
+        }
+    }
+
+    /// The thinnest swept thickness achieving at least `reduction`
+    /// (e.g. `0.99` for a 100× flux reduction), if any.
+    pub fn thickness_for_reduction(&self, reduction: f64) -> Option<Length> {
+        self.points
+            .iter()
+            .find(|(_, transmitted)| 1.0 - transmitted >= reduction)
+            .map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_slab_boosts_a_strongly_fast_dominated_field() {
+        let effect = SlabEffect::characterise(
+            Material::water(),
+            Length::from_inches(2.0),
+            Energy::from_mev(1.0),
+            8000,
+            1,
+        );
+        // Ground-level cascades carry far more non-thermal than thermal
+        // flux; at 15:1 the moderated gain outweighs the thermal loss.
+        let boost = effect.thermal_boost(Flux(1.0), Flux(15.0));
+        assert!(boost > 0.0, "boost = {boost}");
+        // In a thermal-rich field the same slab *shields* instead.
+        let shielding = effect.thermal_boost(Flux(1.0), Flux(2.0));
+        assert!(shielding < 0.0, "shielding boost = {shielding}");
+    }
+
+    #[test]
+    fn cadmium_slab_kills_the_thermal_field() {
+        let effect = SlabEffect::characterise(
+            Material::cadmium(),
+            Length(0.1),
+            Energy::from_mev(1.0),
+            4000,
+            2,
+        );
+        let boost = effect.thermal_boost(Flux(1.0), Flux(5.0));
+        assert!(boost < -0.9, "boost = {boost}");
+    }
+
+    #[test]
+    fn thermal_flux_behind_is_linear_in_inputs() {
+        let effect = SlabEffect {
+            thermal_transmission: 0.5,
+            fast_to_thermal_yield: 0.1,
+            fast_transmission: 0.4,
+            histories: 1,
+        };
+        let behind = effect.thermal_flux_behind(Flux(2.0), Flux(10.0));
+        assert!((behind.value() - 2.0).abs() < 1e-12);
+        assert!((effect.thermal_boost(Flux(2.0), Flux(10.0)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn boost_rejects_zero_ambient() {
+        let effect = SlabEffect {
+            thermal_transmission: 1.0,
+            fast_to_thermal_yield: 0.0,
+            fast_transmission: 1.0,
+            histories: 1,
+        };
+        let _ = effect.thermal_boost(Flux(0.0), Flux(1.0));
+    }
+
+    #[test]
+    fn attenuation_decreases_with_thickness() {
+        let curve = AttenuationCurve::sweep(
+            &Material::borated_polyethylene(),
+            Energy(0.0253),
+            &[Length(0.2), Length(1.0), Length(5.0)],
+            2000,
+            3,
+        );
+        let t: Vec<f64> = curve.points.iter().map(|&(_, f)| f).collect();
+        assert!(t[0] >= t[1] && t[1] >= t[2], "curve = {t:?}");
+        assert!(
+            curve.thickness_for_reduction(0.99).is_some(),
+            "5 cm borated PE should stop 99% of thermals"
+        );
+    }
+
+    #[test]
+    fn attenuation_reduction_lookup_none_when_unreachable() {
+        let curve = AttenuationCurve::sweep(
+            &Material::air(),
+            Energy(0.0253),
+            &[Length(1.0)],
+            500,
+            4,
+        );
+        assert!(curve.thickness_for_reduction(0.5).is_none());
+    }
+}

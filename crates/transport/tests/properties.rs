@@ -1,0 +1,95 @@
+//! Property-based transport invariants: conservation, energy ordering and
+//! attenuation monotonicity.
+
+use proptest::prelude::*;
+use tn_physics::units::{Energy, Length};
+use tn_physics::Material;
+use tn_transport::{Fate, Neutron, SlabStack, Transport};
+
+fn materials() -> Vec<Material> {
+    vec![
+        Material::water(),
+        Material::concrete(),
+        Material::liquid_methane(),
+        Material::borated_polyethylene(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_history_has_exactly_one_fate(
+        mat_idx in 0usize..4,
+        thickness in 0.5f64..20.0,
+        e_mev in 0.1f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let material = materials()[mat_idx].clone();
+        let t = Transport::new(SlabStack::single(material, Length(thickness)));
+        let tally = t.run_beam(Energy::from_mev(e_mev), 300, seed);
+        let sum = tally.transmitted_thermal
+            + tally.transmitted_fast
+            + tally.reflected_thermal
+            + tally.reflected_fast
+            + tally.absorbed
+            + tally.lost;
+        prop_assert_eq!(sum, tally.histories);
+        prop_assert_eq!(tally.histories, 300);
+    }
+
+    #[test]
+    fn neutrons_never_gain_energy(
+        mat_idx in 0usize..4,
+        thickness in 0.5f64..10.0,
+        e_mev in 0.1f64..5.0,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let material = materials()[mat_idx].clone();
+        let transport = Transport::new(SlabStack::single(material, Length(thickness)));
+        let incident = Energy::from_mev(e_mev);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let fate = transport.run_history(Neutron::incident(incident), &mut rng);
+            if let Fate::Transmitted { energy } | Fate::Reflected { energy } = fate {
+                prop_assert!(
+                    energy.value() <= incident.value() * (1.0 + 1e-12),
+                    "exit {energy} above incident {incident}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thicker_slabs_transmit_less(
+        mat_idx in 0usize..3, // skip borated PE: transmission is ~0 already
+        e_mev in 0.5f64..5.0,
+        seed in 0u64..200,
+    ) {
+        let material = materials()[mat_idx].clone();
+        let thin = Transport::new(SlabStack::single(material.clone(), Length(1.0)))
+            .run_beam(Energy::from_mev(e_mev), 2_000, seed);
+        let thick = Transport::new(SlabStack::single(material, Length(12.0)))
+            .run_beam(Energy::from_mev(e_mev), 2_000, seed ^ 1);
+        prop_assert!(
+            thick.transmitted_fraction() <= thin.transmitted_fraction() + 0.03,
+            "thin {} vs thick {}",
+            thin.transmitted_fraction(),
+            thick.transmitted_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed(
+        thickness in 1.0f64..8.0,
+        e_mev in 0.2f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        let t = Transport::new(SlabStack::single(Material::water(), Length(thickness)));
+        let a = t.run_beam(Energy::from_mev(e_mev), 200, seed);
+        let b = t.run_beam(Energy::from_mev(e_mev), 200, seed);
+        prop_assert_eq!(a, b);
+    }
+}

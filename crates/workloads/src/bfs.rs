@@ -1,0 +1,238 @@
+//! Breadth-First Search (BFS) — the paper's non-uniform-memory-access
+//! graph code (GPS-navigation style road networks).
+//!
+//! The graph is a deterministic road-network-like mesh: a 2-D grid with
+//! random diagonal shortcuts, stored in CSR form. The CSR column indices
+//! and the frontier are live integer state: bit flips there can send the
+//! traversal out of bounds (crash → DUE) or into a livelock (hang → DUE),
+//! which is exactly why graph codes show DUE-heavy beam profiles.
+
+use crate::mxm::splitmix;
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// BFS over a synthetic road network.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    nodes: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    source: u32,
+}
+
+impl Bfs {
+    /// Creates a `side×side` grid graph with extra shortcut edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 2`.
+    pub fn new(side: usize, seed: u64) -> Self {
+        assert!(side >= 2, "grid side must be at least 2");
+        let nodes = side * side;
+        let mut gen = splitmix(seed);
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        let add = |adj: &mut Vec<Vec<u32>>, a: usize, b: usize| {
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        };
+        for y in 0..side {
+            for x in 0..side {
+                let n = y * side + x;
+                if x + 1 < side {
+                    add(&mut adjacency, n, n + 1);
+                }
+                if y + 1 < side {
+                    add(&mut adjacency, n, n + side);
+                }
+            }
+        }
+        // Shortcuts: ~5% of nodes get a long-range edge (highways).
+        for n in 0..nodes {
+            if gen() % 20 == 0 {
+                let m = (gen() as usize) % nodes;
+                if m != n {
+                    add(&mut adjacency, n, m);
+                }
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(nodes + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0u32);
+        for adj in &adjacency {
+            col_idx.extend_from_slice(adj);
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self {
+            nodes,
+            row_ptr,
+            col_idx,
+            source: 0,
+        }
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Edge (directed-slot) count.
+    pub fn edge_slots(&self) -> usize {
+        self.col_idx.len()
+    }
+}
+
+impl Workload for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Heterogeneous
+    }
+
+    fn state_words(&self) -> usize {
+        // Column indices dominate; levels are also injectable.
+        self.col_idx.len() + self.nodes
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let mut col_idx = self.col_idx.clone();
+        let mut levels = vec![u32::MAX; self.nodes];
+        levels[self.source as usize] = 0;
+        let mut frontier = vec![self.source];
+        // Step granularity: BFS levels. A grid's diameter bounds them.
+        let max_levels = 4 * self.nodes.max(4);
+        let mut processed = 0usize;
+        let step_budget = 16 * (self.nodes + self.col_idx.len());
+        let total_steps = (2 * (self.nodes as f64).sqrt() as usize).max(4);
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            if let Some(f) = fault_due_at(fault, (level as usize).min(total_steps - 1), total_steps)
+            {
+                let site = f.site % (self.col_idx.len() + self.nodes);
+                if site < col_idx.len() {
+                    let flipped =
+                        (col_idx[site] as u64) ^ (1u64 << (f.bit % 32));
+                    col_idx[site] = flipped as u32;
+                } else {
+                    let idx = site - col_idx.len();
+                    levels[idx] ^= 1u32 << (f.bit % 32);
+                }
+            }
+            let mut next = Vec::new();
+            for &node in &frontier {
+                let n = node as usize;
+                if n >= self.nodes {
+                    return RunOutcome::Crashed(format!("frontier node {n} out of bounds"));
+                }
+                let (lo, hi) = (self.row_ptr[n] as usize, self.row_ptr[n + 1] as usize);
+                for &neighbour in &col_idx[lo..hi] {
+                    processed += 1;
+                    if processed > step_budget {
+                        return RunOutcome::Hung;
+                    }
+                    let m = neighbour as usize;
+                    if m >= self.nodes {
+                        return RunOutcome::Crashed(format!(
+                            "edge target {m} out of bounds ({} nodes)",
+                            self.nodes
+                        ));
+                    }
+                    if levels[m] == u32::MAX {
+                        levels[m] = level + 1;
+                        next.push(neighbour);
+                    }
+                }
+            }
+            level += 1;
+            if level as usize > max_levels {
+                return RunOutcome::Hung;
+            }
+            frontier = next;
+        }
+        RunOutcome::Completed(levels.iter().map(|&l| l as u64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Bfs {
+        Bfs::new(12, 4)
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        assert_eq!(small().golden(), small().golden());
+    }
+
+    #[test]
+    fn all_nodes_reached_with_grid_distances() {
+        let w = small();
+        let levels = w.golden();
+        assert!(levels.iter().all(|&l| l != u32::MAX as u64));
+        // Node 1 is adjacent to the source.
+        assert_eq!(levels[1], 1);
+        assert_eq!(levels[0], 0);
+        // Opposite corner is at most the Manhattan distance away.
+        assert!(levels[143] <= 22);
+    }
+
+    #[test]
+    fn csr_is_symmetric() {
+        let w = small();
+        for n in 0..w.nodes {
+            let (lo, hi) = (w.row_ptr[n] as usize, w.row_ptr[n + 1] as usize);
+            for &m in &w.col_idx[lo..hi] {
+                let m = m as usize;
+                let (mlo, mhi) = (w.row_ptr[m] as usize, w.row_ptr[m + 1] as usize);
+                assert!(
+                    w.col_idx[mlo..mhi].contains(&(n as u32)),
+                    "edge {n}->{m} missing its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_index_fault_can_crash() {
+        let w = small();
+        let crash = (16..32).any(|bit| {
+            matches!(
+                w.run(Some(Fault::new(0.0, 0, bit))),
+                RunOutcome::Crashed(_)
+            )
+        });
+        assert!(crash, "high-bit edge corruption should crash BFS");
+    }
+
+    #[test]
+    fn low_bit_edge_fault_usually_silent_or_sdc() {
+        let w = small();
+        let mut sdc = 0;
+        let mut masked = 0;
+        for site in 0..24 {
+            match w.run(Some(Fault::new(0.0, site, 0))) {
+                RunOutcome::Completed(out) => {
+                    if out == w.golden() {
+                        masked += 1;
+                    } else {
+                        sdc += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(sdc + masked > 0, "some low-bit faults must complete");
+    }
+
+    #[test]
+    fn visited_level_fault_changes_levels() {
+        let w = small();
+        let n_edges = w.edge_slots();
+        let out = w.run(Some(Fault::new(0.0, n_edges + 100, 3)));
+        if let RunOutcome::Completed(levels) = out {
+            assert_ne!(levels, w.golden());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Canny Edge Detection (CED) — the APU heterogeneous image pipeline:
+//! Gaussian blur → Sobel gradients → non-maximum suppression →
+//! hysteresis-free threshold. The output is the packed edge bitmap.
+
+use crate::mxm::{splitmix, unit_f64};
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// Edge detection over a synthetic frame containing deterministic
+/// geometric features (so there are real edges to find).
+#[derive(Debug, Clone)]
+pub struct CannyEdge {
+    width: usize,
+    height: usize,
+    frame: Vec<f64>,
+}
+
+impl CannyEdge {
+    /// Number of pipeline stages (the step granularity for injection).
+    const STAGES: usize = 4;
+
+    /// Creates a `width×height` frame from `seed`: a noisy background
+    /// with a bright rectangle and a diagonal stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 8.
+    pub fn new(width: usize, height: usize, seed: u64) -> Self {
+        assert!(width >= 8 && height >= 8, "frame must be at least 8x8");
+        let mut gen = splitmix(seed);
+        let mut frame = vec![0.0f64; width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = 40.0 + 10.0 * unit_f64(&mut gen);
+                // Bright rectangle.
+                if (width / 4..width / 2).contains(&x) && (height / 4..height / 2).contains(&y) {
+                    v += 120.0;
+                }
+                // Diagonal stripe.
+                if x + height - y < width + 4 && x + height - y > width - 4 {
+                    v += 80.0;
+                }
+                frame[y * width + x] = v;
+            }
+        }
+        Self {
+            width,
+            height,
+            frame,
+        }
+    }
+
+    fn convolve3(&self, src: &[f64], kernel: &[f64; 9], scale: f64) -> Vec<f64> {
+        let (w, h) = (self.width, self.height);
+        let mut dst = vec![0.0f64; w * h];
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let mut acc = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += kernel[ky * 3 + kx] * src[(y + ky - 1) * w + (x + kx - 1)];
+                    }
+                }
+                dst[y * w + x] = acc * scale;
+            }
+        }
+        dst
+    }
+}
+
+impl Workload for CannyEdge {
+    fn name(&self) -> &'static str {
+        "CED"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Heterogeneous
+    }
+
+    fn state_words(&self) -> usize {
+        self.frame.len()
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let (w, h) = (self.width, self.height);
+        let mut stage_buffer = self.frame.clone();
+        let inject = |buf: &mut Vec<f64>, f: Fault| {
+            let site = f.site % buf.len();
+            buf[site] = f.apply_to_f64(buf[site]);
+        };
+
+        // Stage 0: Gaussian blur.
+        if let Some(f) = fault_due_at(fault, 0, Self::STAGES) {
+            inject(&mut stage_buffer, f);
+        }
+        let gauss = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
+        let mut blurred = self.convolve3(&stage_buffer, &gauss, 1.0 / 16.0);
+
+        // Stage 1: Sobel gradients.
+        if let Some(f) = fault_due_at(fault, 1, Self::STAGES) {
+            inject(&mut blurred, f);
+        }
+        let sobel_x = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+        let sobel_y = [-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0];
+        let gx = self.convolve3(&blurred, &sobel_x, 1.0);
+        let gy = self.convolve3(&blurred, &sobel_y, 1.0);
+        let mut magnitude: Vec<f64> = gx
+            .iter()
+            .zip(&gy)
+            .map(|(&a, &b)| (a * a + b * b).sqrt())
+            .collect();
+
+        // Stage 2: non-maximum suppression along the dominant axis.
+        if let Some(f) = fault_due_at(fault, 2, Self::STAGES) {
+            inject(&mut magnitude, f);
+        }
+        let mut suppressed = vec![0.0f64; w * h];
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let idx = y * w + x;
+                let horizontal = gx[idx].abs() >= gy[idx].abs();
+                let (n1, n2) = if horizontal {
+                    (magnitude[idx - 1], magnitude[idx + 1])
+                } else {
+                    (magnitude[idx - w], magnitude[idx + w])
+                };
+                if magnitude[idx] >= n1 && magnitude[idx] >= n2 {
+                    suppressed[idx] = magnitude[idx];
+                }
+            }
+        }
+
+        // Stage 3: threshold and pack into a bitmap.
+        if let Some(f) = fault_due_at(fault, 3, Self::STAGES) {
+            inject(&mut suppressed, f);
+        }
+        let threshold = 60.0;
+        let mut bitmap = vec![0u64; (w * h).div_ceil(64)];
+        for (idx, &v) in suppressed.iter().enumerate() {
+            if v.is_nan() || v > threshold {
+                bitmap[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+        RunOutcome::Completed(bitmap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CannyEdge {
+        CannyEdge::new(48, 48, 3)
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        assert_eq!(small().golden(), small().golden());
+    }
+
+    #[test]
+    fn detects_some_edges_but_not_everything() {
+        let w = small();
+        let bits: u32 = w.golden().iter().map(|b| b.count_ones()).sum();
+        let total = 48 * 48;
+        assert!(bits > 20, "found only {bits} edge pixels");
+        assert!((bits as usize) < total / 2, "too many edge pixels: {bits}");
+    }
+
+    #[test]
+    fn rectangle_edge_is_found() {
+        let w = small();
+        let bitmap = w.golden();
+        // The rectangle's top edge lies at y = 12, x in 12..24.
+        let idx = 12 * 48 + 16;
+        let near_edge = (idx - 48..=idx + 48)
+            .any(|i| bitmap[i / 64] & (1 << (i % 64)) != 0);
+        assert!(near_edge, "no edge found near the rectangle boundary");
+    }
+
+    #[test]
+    fn early_fault_can_change_the_edge_map() {
+        let w = small();
+        // Flip a huge exponent bit in the middle of the rectangle.
+        let site = 20 * 48 + 20;
+        let changed = (50..60).any(|bit| {
+            w.run(Some(Fault::new(0.0, site, bit)))
+                .output()
+                .unwrap()
+                != w.golden().as_slice()
+        });
+        assert!(changed, "no fault changed the edge map");
+    }
+
+    #[test]
+    fn low_mantissa_faults_are_usually_masked() {
+        let w = small();
+        let golden = w.golden();
+        let masked = (0..20).filter(|&site| {
+            w.run(Some(Fault::new(0.75, site, 0)))
+                .output()
+                .unwrap()
+                == golden.as_slice()
+        });
+        assert!(masked.count() > 15, "thresholding should mask tiny faults");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn tiny_frame_rejected() {
+        let _ = CannyEdge::new(4, 4, 0);
+    }
+}

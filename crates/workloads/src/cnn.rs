@@ -1,0 +1,381 @@
+//! Minimal convolutional-network substrate shared by the MNIST and YOLO
+//! workloads: tensors, conv/pool/dense layers with deterministic
+//! pseudo-random weights, and a fault-injectable forward pass.
+//!
+//! The networks are *fixed-weight* (seeded) rather than trained — the
+//! paper's reliability question is about fault propagation through the
+//! arithmetic of a CNN forward pass, not about accuracy, and seeded
+//! weights make every run bit-reproducible.
+
+use crate::mxm::{splitmix, unit_f64};
+use crate::workload::Fault;
+use serde::{Deserialize, Serialize};
+
+/// A dense CHW tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Row-major CHW data.
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f64 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f64 {
+        &mut self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// One layer of the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 3×3 same-padding convolution + ReLU; weights `[out][in][9]`.
+    Conv3x3 {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel weights, `out_c * in_c * 9` values.
+        weights: Vec<f64>,
+        /// Per-output-channel bias.
+        bias: Vec<f64>,
+    },
+    /// 2×2 max pooling (stride 2).
+    MaxPool2,
+    /// Fully connected + optional ReLU; weights `[out][in]`.
+    Dense {
+        /// Input features (flattened).
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Weights, `out_f * in_f` values.
+        weights: Vec<f64>,
+        /// Per-output bias.
+        bias: Vec<f64>,
+        /// Apply ReLU to the output.
+        relu: bool,
+    },
+}
+
+impl Layer {
+    /// Builds a conv layer with seeded weights in `[-s, s]`.
+    pub fn conv(in_c: usize, out_c: usize, seed: u64) -> Self {
+        let mut gen = splitmix(seed);
+        let scale = (2.0 / (in_c as f64 * 9.0)).sqrt();
+        let weights = (0..out_c * in_c * 9)
+            .map(|_| (unit_f64(&mut gen) * 2.0 - 1.0) * scale)
+            .collect();
+        let bias = (0..out_c).map(|_| (unit_f64(&mut gen) - 0.5) * 0.1).collect();
+        Layer::Conv3x3 {
+            in_c,
+            out_c,
+            weights,
+            bias,
+        }
+    }
+
+    /// Builds a dense layer with seeded weights.
+    pub fn dense(in_f: usize, out_f: usize, relu: bool, seed: u64) -> Self {
+        let mut gen = splitmix(seed);
+        let scale = (2.0 / in_f as f64).sqrt();
+        let weights = (0..out_f * in_f)
+            .map(|_| (unit_f64(&mut gen) * 2.0 - 1.0) * scale)
+            .collect();
+        let bias = (0..out_f).map(|_| (unit_f64(&mut gen) - 0.5) * 0.1).collect();
+        Layer::Dense {
+            in_f,
+            out_f,
+            weights,
+            bias,
+            relu,
+        }
+    }
+
+    /// Number of injectable parameter words in this layer.
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            Layer::Conv3x3 { weights, bias, .. } => weights.len() + bias.len(),
+            Layer::MaxPool2 => 0,
+            Layer::Dense { weights, bias, .. } => weights.len() + bias.len(),
+        }
+    }
+
+    fn flip_parameter(&mut self, site: usize, fault: &Fault) {
+        let flip = |v: &mut f64| *v = fault.apply_to_f64(*v);
+        match self {
+            Layer::Conv3x3 { weights, bias, .. } | Layer::Dense { weights, bias, .. } => {
+                if site < weights.len() {
+                    flip(&mut weights[site]);
+                } else {
+                    let b = (site - weights.len()) % bias.len().max(1);
+                    flip(&mut bias[b]);
+                }
+            }
+            Layer::MaxPool2 => {}
+        }
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv3x3 {
+                in_c,
+                out_c,
+                weights,
+                bias,
+            } => {
+                let (h, w) = (input.h, input.w);
+                let mut out = Tensor::zeros(*out_c, h, w);
+                for oc in 0..*out_c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let mut acc = bias[oc];
+                            for ic in 0..*in_c {
+                                for ky in 0..3usize {
+                                    for kx in 0..3usize {
+                                        let sy = y + ky;
+                                        let sx = x + kx;
+                                        if sy == 0 || sx == 0 || sy > h || sx > w {
+                                            continue; // zero padding
+                                        }
+                                        let v = input.at(ic, sy - 1, sx - 1);
+                                        acc += v * weights[(oc * in_c + ic) * 9 + ky * 3 + kx];
+                                    }
+                                }
+                            }
+                            *out.at_mut(oc, y, x) = acc.max(0.0); // ReLU
+                        }
+                    }
+                }
+                out
+            }
+            Layer::MaxPool2 => {
+                let (c, h, w) = (input.c, input.h / 2, input.w / 2);
+                let mut out = Tensor::zeros(c, h, w);
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let m = input
+                                .at(ch, 2 * y, 2 * x)
+                                .max(input.at(ch, 2 * y, 2 * x + 1))
+                                .max(input.at(ch, 2 * y + 1, 2 * x))
+                                .max(input.at(ch, 2 * y + 1, 2 * x + 1));
+                            *out.at_mut(ch, y, x) = m;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::Dense {
+                in_f,
+                out_f,
+                weights,
+                bias,
+                relu,
+            } => {
+                assert_eq!(
+                    input.len(),
+                    *in_f,
+                    "dense layer expects {in_f} inputs, got {}",
+                    input.len()
+                );
+                let mut out = Tensor::zeros(1, 1, *out_f);
+                for o in 0..*out_f {
+                    let mut acc = bias[o];
+                    for (i, &v) in input.data.iter().enumerate() {
+                        acc += v * weights[o * in_f + i];
+                    }
+                    out.data[o] = if *relu { acc.max(0.0) } else { acc };
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A sequential network with a fault-injectable forward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Builds a network from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        Self { layers }
+    }
+
+    /// Number of layers (the injection step granularity).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total injectable words: every parameter plus the input activations
+    /// (handled by the caller).
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Layer::parameter_count).sum()
+    }
+
+    /// Runs the forward pass. If a fault is given, it strikes before its
+    /// target layer: either a parameter of that layer (site inside the
+    /// layer's parameter span) or the current activation buffer.
+    pub fn forward(&self, input: Tensor, fault: Option<Fault>) -> Tensor {
+        let mut layers = self.layers.clone();
+        let total = layers.len();
+        let mut activation = input;
+        for (i, layer) in layers.iter_mut().enumerate() {
+            if let Some(f) = crate::workload::fault_due_at(fault, i, total) {
+                let params = layer.parameter_count();
+                let span = params + activation.len();
+                let site = f.site % span.max(1);
+                if site < params {
+                    layer.flip_parameter(site, &f);
+                } else {
+                    let a = site - params;
+                    activation.data[a] = f.apply_to_f64(activation.data[a]);
+                }
+            }
+            activation = layer.forward(&activation);
+        }
+        activation
+    }
+}
+
+/// Quantises network outputs for comparison the way a detection pipeline
+/// does (absolute tolerances, not bit equality): fixed-point at 1e-3.
+pub fn quantise(outputs: &[f64]) -> Vec<u64> {
+    outputs
+        .iter()
+        .map(|&x| {
+            if x.is_nan() {
+                u64::MAX // NaN is always an observable corruption
+            } else {
+                (x * 1000.0).round().clamp(-1e15, 1e15) as i64 as u64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        Network::new(vec![
+            Layer::conv(1, 2, 10),
+            Layer::MaxPool2,
+            Layer::dense(2 * 4 * 4, 4, false, 11),
+        ])
+    }
+
+    fn input() -> Tensor {
+        let mut t = Tensor::zeros(1, 8, 8);
+        for (i, v) in t.data.iter_mut().enumerate() {
+            *v = (i % 7) as f64 / 7.0;
+        }
+        t
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = tiny_net();
+        let a = net.forward(input(), None);
+        let b = net.forward(input(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_shape_matches_head() {
+        let out = tiny_net().forward(input(), None);
+        assert_eq!((out.c, out.h, out.w), (1, 1, 4));
+    }
+
+    #[test]
+    fn maxpool_halves_dimensions() {
+        let out = Layer::MaxPool2.forward(&input());
+        assert_eq!((out.c, out.h, out.w), (1, 4, 4));
+        // Pooled value dominates its quad.
+        assert!(out.at(0, 0, 0) >= input().at(0, 0, 0));
+    }
+
+    #[test]
+    fn conv_relu_output_is_nonnegative() {
+        let out = Layer::conv(1, 3, 5).forward(&input());
+        assert!(out.data.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn weight_fault_changes_output() {
+        let net = tiny_net();
+        let clean = net.forward(input(), None);
+        let f = Fault::new(0.0, 3, 55);
+        let faulty = net.forward(input(), Some(f));
+        assert_ne!(quantise(&clean.data), quantise(&faulty.data));
+    }
+
+    #[test]
+    fn low_bit_faults_are_quantised_away() {
+        let net = tiny_net();
+        let clean = quantise(&net.forward(input(), None).data);
+        let masked = (0..10).filter(|&site| {
+            let f = Fault::new(0.0, site, 0);
+            quantise(&net.forward(input(), Some(f)).data) == clean
+        });
+        assert!(masked.count() >= 8, "quantisation should absorb LSB flips");
+    }
+
+    #[test]
+    fn quantise_flags_nan() {
+        assert_eq!(quantise(&[f64::NAN])[0], u64::MAX);
+        assert_eq!(quantise(&[1.0005])[0], 1001u64);
+    }
+
+    #[test]
+    fn parameter_count_sums_layers() {
+        let net = tiny_net();
+        // conv: 2*1*9 + 2 = 20; dense: 4*32 + 4 = 132.
+        assert_eq!(net.parameter_count(), 20 + 132);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::new(vec![]);
+    }
+}

@@ -1,0 +1,147 @@
+//! HotSpot — the Rodinia stencil solver the paper runs: estimates a
+//! processor's temperature map from an architectural floor plan and
+//! simulated power dissipation.
+
+use crate::mxm::{splitmix, unit_f64};
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// An `n×n` transient thermal simulation: `k` explicit Jacobi steps of the
+/// heat equation with a per-cell power source.
+#[derive(Debug, Clone)]
+pub struct HotSpot {
+    n: usize,
+    iterations: usize,
+    temp: Vec<f64>,
+    power: Vec<f64>,
+}
+
+impl HotSpot {
+    /// Ambient temperature (K).
+    const AMBIENT: f64 = 318.0;
+
+    /// Creates an `n×n` grid evolved for `iterations` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (the stencil needs an interior) or
+    /// `iterations == 0`.
+    pub fn new(n: usize, iterations: usize, seed: u64) -> Self {
+        assert!(n >= 3, "grid must be at least 3x3");
+        assert!(iterations > 0, "need at least one iteration");
+        let mut gen = splitmix(seed);
+        let temp = vec![Self::AMBIENT; n * n];
+        let power = (0..n * n).map(|_| unit_f64(&mut gen) * 5.0).collect();
+        Self {
+            n,
+            iterations,
+            temp,
+            power,
+        }
+    }
+
+    /// Grid side length.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+}
+
+impl Workload for HotSpot {
+    fn name(&self) -> &'static str {
+        "HotSpot"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Hpc
+    }
+
+    fn state_words(&self) -> usize {
+        2 * self.n * self.n // temperature field and power map
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let n = self.n;
+        let mut temp = self.temp.clone();
+        let mut power = self.power.clone();
+        let mut next = temp.clone();
+        for step in 0..self.iterations {
+            if let Some(f) = fault_due_at(fault, step, self.iterations) {
+                let site = f.site % (2 * n * n);
+                if site < n * n {
+                    temp[site] = f.apply_to_f64(temp[site]);
+                } else {
+                    power[site - n * n] = f.apply_to_f64(power[site - n * n]);
+                }
+            }
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    let idx = i * n + j;
+                    let laplacian = temp[idx - 1] + temp[idx + 1] + temp[idx - n] + temp[idx + n]
+                        - 4.0 * temp[idx];
+                    next[idx] = temp[idx] + 0.2 * laplacian + 0.1 * power[idx]
+                        - 0.02 * (temp[idx] - Self::AMBIENT);
+                }
+            }
+            // Dirichlet boundary stays at ambient.
+            std::mem::swap(&mut temp, &mut next);
+        }
+        RunOutcome::Completed(temp.iter().map(|x| x.to_bits()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HotSpot {
+        HotSpot::new(16, 20, 9)
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        assert_eq!(small().golden(), small().golden());
+    }
+
+    #[test]
+    fn temperatures_rise_above_ambient_in_the_interior() {
+        let w = small();
+        let t: Vec<f64> = w.golden().iter().map(|&b| f64::from_bits(b)).collect();
+        // Row 1, interior columns 1..15.
+        let interior_mean: f64 = t[17..31].iter().sum::<f64>() / 14.0;
+        assert!(interior_mean > HotSpot::AMBIENT, "mean = {interior_mean}");
+    }
+
+    #[test]
+    fn boundary_stays_at_ambient() {
+        let w = small();
+        let t: Vec<f64> = w.golden().iter().map(|&b| f64::from_bits(b)).collect();
+        for j in 0..16 {
+            assert_eq!(t[j], HotSpot::AMBIENT);
+            assert_eq!(t[15 * 16 + j], HotSpot::AMBIENT);
+        }
+    }
+
+    #[test]
+    fn early_fault_diffuses_into_output() {
+        let w = small();
+        // Flip an exponent bit of an interior temperature early on.
+        let f = Fault::new(0.0, 17, 55);
+        match w.run(Some(f)) {
+            RunOutcome::Completed(bits) => assert_ne!(bits, w.golden()),
+            other => panic!("HotSpot cannot {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_low_bit_fault_may_be_dampened_but_output_differs_or_masks() {
+        let w = small();
+        let f = Fault::new(0.95, 17, 0);
+        // Either masked (boundary/overwritten) or a tiny SDC; both legal.
+        let _ = w.run(Some(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3x3")]
+    fn tiny_grid_rejected() {
+        let _ = HotSpot::new(2, 5, 0);
+    }
+}

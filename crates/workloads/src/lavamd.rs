@@ -1,0 +1,188 @@
+//! LavaMD — particle-interaction kernel (Rodinia): for every particle,
+//! accumulate a short-range potential against all particles in the home
+//! and neighbour boxes. Compute-bound, dot-product heavy.
+
+use crate::mxm::{splitmix, unit_f64};
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// A 3-D grid of boxes of particles with a cut-off pair interaction.
+#[derive(Debug, Clone)]
+pub struct LavaMd {
+    boxes_per_axis: usize,
+    particles_per_box: usize,
+    /// Interleaved x,y,z,q per particle.
+    particles: Vec<f64>,
+}
+
+impl LavaMd {
+    /// Creates a `boxes³` grid with `particles_per_box` particles each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(boxes_per_axis: usize, particles_per_box: usize, seed: u64) -> Self {
+        assert!(
+            boxes_per_axis > 0 && particles_per_box > 0,
+            "dimensions must be positive"
+        );
+        let n_boxes = boxes_per_axis.pow(3);
+        let mut gen = splitmix(seed);
+        let mut particles = Vec::with_capacity(n_boxes * particles_per_box * 4);
+        for b in 0..n_boxes {
+            let (bx, by, bz) = (
+                b % boxes_per_axis,
+                (b / boxes_per_axis) % boxes_per_axis,
+                b / (boxes_per_axis * boxes_per_axis),
+            );
+            for _ in 0..particles_per_box {
+                particles.push(bx as f64 + unit_f64(&mut gen)); // x
+                particles.push(by as f64 + unit_f64(&mut gen)); // y
+                particles.push(bz as f64 + unit_f64(&mut gen)); // z
+                particles.push(unit_f64(&mut gen) * 2.0 - 1.0); // charge
+            }
+        }
+        Self {
+            boxes_per_axis,
+            particles_per_box,
+            particles,
+        }
+    }
+
+    fn box_count(&self) -> usize {
+        self.boxes_per_axis.pow(3)
+    }
+
+    fn box_particles(&self, b: usize) -> std::ops::Range<usize> {
+        let per = self.particles_per_box;
+        b * per..(b + 1) * per
+    }
+
+    fn neighbours(&self, b: usize) -> Vec<usize> {
+        let n = self.boxes_per_axis as isize;
+        let (bx, by, bz) = (
+            (b % self.boxes_per_axis) as isize,
+            ((b / self.boxes_per_axis) % self.boxes_per_axis) as isize,
+            (b / (self.boxes_per_axis * self.boxes_per_axis)) as isize,
+        );
+        let mut out = Vec::new();
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let (x, y, z) = (bx + dx, by + dy, bz + dz);
+                    if (0..n).contains(&x) && (0..n).contains(&y) && (0..n).contains(&z) {
+                        out.push((x + y * n + z * n * n) as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Workload for LavaMd {
+    fn name(&self) -> &'static str {
+        "LavaMD"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Hpc
+    }
+
+    fn state_words(&self) -> usize {
+        self.particles.len()
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let mut particles = self.particles.clone();
+        let n_boxes = self.box_count();
+        let per = self.particles_per_box;
+        let mut potentials = vec![0.0f64; n_boxes * per];
+        for b in 0..n_boxes {
+            if let Some(f) = fault_due_at(fault, b, n_boxes) {
+                let site = f.site % particles.len();
+                particles[site] = f.apply_to_f64(particles[site]);
+            }
+            let neighbours = self.neighbours(b);
+            for i in self.box_particles(b) {
+                let (xi, yi, zi, qi) = (
+                    particles[i * 4],
+                    particles[i * 4 + 1],
+                    particles[i * 4 + 2],
+                    particles[i * 4 + 3],
+                );
+                let mut v = 0.0;
+                for &nb in &neighbours {
+                    for j in self.box_particles(nb) {
+                        if i == j {
+                            continue;
+                        }
+                        let dx = xi - particles[j * 4];
+                        let dy = yi - particles[j * 4 + 1];
+                        let dz = zi - particles[j * 4 + 2];
+                        let r2 = dx * dx + dy * dy + dz * dz;
+                        // Screened Coulomb-like kernel with cut-off 2.0.
+                        if r2 < 4.0 {
+                            v += qi * particles[j * 4 + 3] * (-r2).exp();
+                        }
+                    }
+                }
+                potentials[i] = v;
+            }
+        }
+        RunOutcome::Completed(potentials.iter().map(|x| x.to_bits()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LavaMd {
+        LavaMd::new(2, 8, 7)
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        assert_eq!(small().golden(), small().golden());
+    }
+
+    #[test]
+    fn output_has_one_potential_per_particle() {
+        let w = small();
+        assert_eq!(w.golden().len(), 8 * 8);
+    }
+
+    #[test]
+    fn neighbours_of_corner_box_in_2x2x2_is_all() {
+        let w = small();
+        assert_eq!(w.neighbours(0).len(), 8);
+    }
+
+    #[test]
+    fn neighbours_of_interior_box_is_27() {
+        let w = LavaMd::new(4, 1, 1);
+        // Box at (1,1,1).
+        let b = 1 + 4 + 16;
+        assert_eq!(w.neighbours(b).len(), 27);
+    }
+
+    #[test]
+    fn early_position_fault_changes_potentials() {
+        let w = small();
+        let f = Fault::new(0.0, 0, 51);
+        let out = w.run(Some(f));
+        assert_ne!(out.output().unwrap(), w.golden().as_slice());
+    }
+
+    #[test]
+    fn charge_symmetry_holds_for_fault_free_run() {
+        // Sum of pairwise-symmetric kernel with q_i q_j is symmetric: the
+        // total potential is finite and reproducible.
+        let total: f64 = small()
+            .golden()
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .sum();
+        assert!(total.is_finite());
+    }
+}

@@ -1,0 +1,46 @@
+//! # tn-workloads — the paper's benchmark codes
+//!
+//! Full Rust implementations of the nine codes the paper irradiates,
+//! each with a deterministic input, a golden output, and a fault-injection
+//! hook exposing its live state:
+//!
+//! * **HPC** (Xeon Phi & GPUs): `MxM`, `LUD`, `LavaMD`, `HotSpot`;
+//! * **heterogeneous** (AMD APU): `SC` (stream compaction),
+//!   `CED` (Canny edge detection), `BFS`;
+//! * **neural networks** (GPUs & FPGA): `YOLO`-lite and `MNIST`
+//!   convolutional networks.
+//!
+//! A workload runs step-by-step so a fault can be injected at a chosen
+//! point of its progress; the outcome is classified against the golden
+//! output by the `tn-fault-injection` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_workloads::{mxm::MxM, Workload, RunOutcome};
+//!
+//! let w = MxM::new(24, 7);
+//! match w.run(None) {
+//!     RunOutcome::Completed(output) => assert_eq!(output, w.golden()),
+//!     other => panic!("fault-free run must complete, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bfs;
+pub mod ced;
+pub mod cnn;
+pub mod hotspot;
+pub mod lavamd;
+pub mod lud;
+pub mod mnist;
+pub mod mxm;
+pub mod sc;
+pub mod suite;
+pub mod workload;
+pub mod yolo;
+
+pub use suite::{full_suite, SuiteSize};
+pub use workload::{Fault, RunOutcome, Workload, WorkloadClass};

@@ -1,0 +1,159 @@
+//! LU decomposition (LUD) — solves a square linear system; compute-bound
+//! linear algebra from the Rodinia suite the paper runs.
+
+use crate::mxm::{splitmix, unit_f64};
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// In-place Doolittle LU decomposition of a diagonally-dominant `n×n`
+/// matrix (dominance guarantees the fault-free run never needs pivoting —
+/// a *faulted* run may still hit a zero pivot, which is a genuine DUE).
+#[derive(Debug, Clone)]
+pub struct Lud {
+    n: usize,
+    m: Vec<f64>,
+}
+
+impl Lud {
+    /// Creates an `n×n` decomposition problem from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        let mut gen = splitmix(seed);
+        let mut m: Vec<f64> = (0..n * n).map(|_| unit_f64(&mut gen)).collect();
+        // Make it diagonally dominant so the decomposition is stable.
+        for i in 0..n {
+            m[i * n + i] += n as f64;
+        }
+        Self { n, m }
+    }
+
+    /// Matrix dimension.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+}
+
+impl Workload for Lud {
+    fn name(&self) -> &'static str {
+        "LUD"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Hpc
+    }
+
+    fn state_words(&self) -> usize {
+        self.n * self.n
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let n = self.n;
+        let mut m = self.m.clone();
+        for pivot in 0..n {
+            if let Some(f) = fault_due_at(fault, pivot, n) {
+                let site = f.site % m.len();
+                m[site] = f.apply_to_f64(m[site]);
+            }
+            let p = m[pivot * n + pivot];
+            if p == 0.0 || !p.is_finite() {
+                return RunOutcome::Crashed(format!("singular pivot at {pivot}"));
+            }
+            for row in (pivot + 1)..n {
+                let factor = m[row * n + pivot] / p;
+                m[row * n + pivot] = factor;
+                for col in (pivot + 1)..n {
+                    m[row * n + col] -= factor * m[pivot * n + col];
+                }
+            }
+        }
+        RunOutcome::Completed(m.iter().map(|x| x.to_bits()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_is_deterministic() {
+        let w = Lud::new(16, 1);
+        assert_eq!(w.golden(), w.golden());
+    }
+
+    #[test]
+    fn decomposition_reconstructs_the_matrix() {
+        let n = 12;
+        let w = Lud::new(n, 2);
+        let lu: Vec<f64> = w.golden().iter().map(|&b| f64::from_bits(b)).collect();
+        // Rebuild A = L·U (unit-diagonal L below, U on and above the
+        // diagonal) and compare to the input.
+        for i in 0..n {
+            for j in 0..n {
+                let acc: f64 = (0..=i.min(j))
+                    .map(|k| {
+                        let l = if k == i { 1.0 } else { lu[i * n + k] };
+                        l * lu[k * n + j]
+                    })
+                    .sum();
+                let expected = w.m[i * n + j];
+                assert!(
+                    (acc - expected).abs() < 1e-9,
+                    "A[{i}][{j}]: {acc} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_fault_corrupts_output() {
+        let w = Lud::new(12, 3);
+        let f = Fault::new(0.0, 5, 50);
+        let out = w.run(Some(f));
+        match out {
+            RunOutcome::Completed(bits) => assert_ne!(bits, w.golden()),
+            RunOutcome::Crashed(_) => {} // also a legitimate outcome
+            RunOutcome::Hung => panic!("LUD cannot hang"),
+        }
+    }
+
+    #[test]
+    fn exponent_fault_on_pivot_can_crash() {
+        let w = Lud::new(12, 3);
+        // Hunt for a fault that produces a crash (zero/NaN pivot): flip
+        // the exponent field of the current pivot element.
+        let n = 12;
+        let crash_found = (0..64).any(|bit| {
+            let f = Fault::new(0.0, 0, bit);
+            let _ = f;
+            // site 0 = m[0][0], the first pivot.
+            matches!(
+                w.run(Some(Fault::new(0.0, 0, bit))),
+                RunOutcome::Crashed(_)
+            ) || (0..n).any(|p| {
+                matches!(
+                    w.run(Some(Fault::new(
+                        p as f64 / n as f64,
+                        p * n + p,
+                        bit
+                    ))),
+                    RunOutcome::Crashed(_)
+                )
+            })
+        });
+        assert!(crash_found, "no pivot-killing fault found");
+    }
+
+    #[test]
+    fn late_fault_in_finished_region_is_masked_or_benign() {
+        let w = Lud::new(12, 4);
+        // Inject into m[0][0] at the very last pivot step: row 0 is final.
+        // The flip persists in the *output* though — LUD's output is the
+        // whole matrix — so this is an SDC, not masked.
+        let f = Fault::new(0.99, 0, 1);
+        let out = w.run(Some(f));
+        assert_ne!(out.output().unwrap(), w.golden().as_slice());
+    }
+}

@@ -1,0 +1,156 @@
+//! Matrix multiplication (MxM) — the paper's representative of highly
+//! arithmetic compute-bound HPC codes (and of CNN feature extraction).
+
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// Dense `n×n` matrix multiplication `C = A·B` with deterministic inputs.
+#[derive(Debug, Clone)]
+pub struct MxM {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl MxM {
+    /// Creates an `n×n` multiplication with inputs derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        let mut gen = splitmix(seed);
+        let a = (0..n * n).map(|_| unit_f64(&mut gen)).collect();
+        let b = (0..n * n).map(|_| unit_f64(&mut gen)).collect();
+        Self { n, a, b }
+    }
+
+    /// Matrix dimension.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+}
+
+impl Workload for MxM {
+    fn name(&self) -> &'static str {
+        "MxM"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Hpc
+    }
+
+    fn state_words(&self) -> usize {
+        3 * self.n * self.n // A, B and C
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let n = self.n;
+        let mut a = self.a.clone();
+        let mut b = self.b.clone();
+        let mut c = vec![0.0f64; n * n];
+        // One step per output row; a fault lands before its target row.
+        for row in 0..n {
+            if let Some(f) = fault_due_at(fault, row, n) {
+                let site = f.site % (3 * n * n);
+                let (vec_ref, idx): (&mut Vec<f64>, usize) = if site < n * n {
+                    (&mut a, site)
+                } else if site < 2 * n * n {
+                    (&mut b, site - n * n)
+                } else {
+                    (&mut c, site - 2 * n * n)
+                };
+                vec_ref[idx] = f.apply_to_f64(vec_ref[idx]);
+            }
+            for col in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[row * n + k] * b[k * n + col];
+                }
+                c[row * n + col] = acc;
+            }
+        }
+        RunOutcome::Completed(c.iter().map(|x| x.to_bits()).collect())
+    }
+}
+
+/// SplitMix64: tiny deterministic generator for input synthesis (keeps
+/// workload inputs independent of the `rand` crate's stream stability).
+pub(crate) fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Uniform f64 in [0, 1) from a u64 generator.
+pub(crate) fn unit_f64(gen: &mut impl FnMut() -> u64) -> f64 {
+    (gen() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_is_deterministic() {
+        let w = MxM::new(16, 1);
+        assert_eq!(w.golden(), w.golden());
+        assert_eq!(w.run(None), w.run(None));
+    }
+
+    #[test]
+    fn different_seeds_different_outputs() {
+        assert_ne!(MxM::new(16, 1).golden(), MxM::new(16, 2).golden());
+    }
+
+    #[test]
+    fn fault_in_input_corrupts_output() {
+        let w = MxM::new(8, 3);
+        // Flip a high mantissa bit of A[0] before the first row.
+        let f = Fault::new(0.0, 0, 51);
+        let out = w.run(Some(f));
+        assert_ne!(out.output().unwrap(), w.golden().as_slice());
+    }
+
+    #[test]
+    fn fault_in_already_written_output_row_persists() {
+        let w = MxM::new(8, 3);
+        // Corrupt C[0] (site 2n²) late: row 0 was written at step 0 and is
+        // never recomputed, so the flip survives to the output.
+        let f = Fault::new(0.9, 2 * 64, 40);
+        let out = w.run(Some(f));
+        assert_ne!(out.output().unwrap(), w.golden().as_slice());
+    }
+
+    #[test]
+    fn fault_in_consumed_input_is_masked() {
+        let w = MxM::new(8, 3);
+        // Corrupt A's first row AFTER every row that reads it has run:
+        // A[0] feeds only C row 0, computed at step 0; injecting at the
+        // last step touches nothing downstream.
+        let f = Fault::new(0.99, 0, 51);
+        let out = w.run(Some(f));
+        assert_eq!(out.output().unwrap(), w.golden().as_slice());
+    }
+
+    #[test]
+    fn output_matches_reference_for_identity_like_case() {
+        // Sanity: C dims and magnitudes (entries ~ n * E[u^2] = n/4).
+        let n = 32;
+        let w = MxM::new(n, 5);
+        let c: Vec<f64> = w.golden().iter().map(|&b| f64::from_bits(b)).collect();
+        assert_eq!(c.len(), n * n);
+        let mean = c.iter().sum::<f64>() / c.len() as f64;
+        assert!((mean - n as f64 / 4.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn state_words_covers_all_three_matrices() {
+        assert_eq!(MxM::new(8, 1).state_words(), 3 * 64);
+    }
+}

@@ -1,0 +1,189 @@
+//! Stream Compaction (SC) — the memory-bound heterogeneous code the paper
+//! runs on the APU: remove the elements failing a predicate from an
+//! array, preserving order (database / image-processing primitive).
+//!
+//! The implementation mirrors the two-phase GPU formulation: an exclusive
+//! prefix-sum of predicate flags computes scatter indices, then a scatter
+//! writes survivors. The scatter indices are *live integer state* — a bit
+//! flip there is how this workload produces genuine out-of-bounds
+//! crashes (DUEs), which pure-data codes like MxM cannot.
+
+use crate::mxm::splitmix;
+use crate::workload::{fault_due_at, Fault, RunOutcome, Workload, WorkloadClass};
+
+/// Stream compaction of a `u64` array: keep elements with a nonzero low
+/// byte (≈ 75 % survive for uniform inputs).
+#[derive(Debug, Clone)]
+pub struct StreamCompaction {
+    data: Vec<u64>,
+    chunk: usize,
+}
+
+impl StreamCompaction {
+    /// Creates a compaction problem of `len` elements from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize, seed: u64) -> Self {
+        assert!(len > 0, "array must be non-empty");
+        let mut gen = splitmix(seed);
+        // Map ~25% of elements to a zero low byte so the predicate prunes.
+        let data = (0..len)
+            .map(|_| {
+                let v = gen();
+                if v % 4 == 0 {
+                    v & !0xff
+                } else {
+                    v | 1
+                }
+            })
+            .collect();
+        Self {
+            data,
+            chunk: 16.max(len / 16),
+        }
+    }
+
+    fn keep(v: u64) -> bool {
+        v & 0xff != 0
+    }
+
+    fn steps(&self) -> usize {
+        self.data.len().div_ceil(self.chunk) + 1
+    }
+}
+
+impl Workload for StreamCompaction {
+    fn name(&self) -> &'static str {
+        "SC"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::Heterogeneous
+    }
+
+    fn state_words(&self) -> usize {
+        2 * self.data.len() // data plus scatter-index array
+    }
+
+    fn run(&self, fault: Option<Fault>) -> RunOutcome {
+        let n = self.data.len();
+        let mut data = self.data.clone();
+        let mut indices = vec![0u64; n];
+        let total_steps = self.steps();
+        // Phase 1: per-chunk exclusive prefix sum of predicate flags.
+        let mut running = 0u64;
+        for (step, chunk_start) in (0..n).step_by(self.chunk).enumerate() {
+            if let Some(f) = fault_due_at(fault, step, total_steps) {
+                let site = f.site % (2 * n);
+                if site < n {
+                    data[site] = f.apply_to_word(data[site]);
+                } else {
+                    indices[site - n] = f.apply_to_word(indices[site - n]);
+                }
+            }
+            for i in chunk_start..(chunk_start + self.chunk).min(n) {
+                indices[i] = running;
+                if Self::keep(data[i]) {
+                    running += 1;
+                }
+            }
+        }
+        // A fault can land after the scan, corrupting a scatter index.
+        if let Some(f) = fault_due_at(fault, total_steps - 1, total_steps) {
+            let site = f.site % (2 * n);
+            if site < n {
+                data[site] = f.apply_to_word(data[site]);
+            } else {
+                indices[site - n] = f.apply_to_word(indices[site - n]);
+            }
+        }
+        // Phase 2: scatter survivors through the index array.
+        let survivors = running as usize;
+        let mut out = vec![0u64; survivors];
+        for i in 0..n {
+            if Self::keep(data[i]) {
+                let dst = indices[i] as usize;
+                match out.get_mut(dst) {
+                    Some(slot) => *slot = data[i],
+                    None => {
+                        return RunOutcome::Crashed(format!(
+                            "scatter index {dst} out of bounds (len {survivors})"
+                        ))
+                    }
+                }
+            }
+        }
+        RunOutcome::Completed(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StreamCompaction {
+        StreamCompaction::new(256, 5)
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        assert_eq!(small().golden(), small().golden());
+    }
+
+    #[test]
+    fn compaction_keeps_exactly_the_survivors_in_order() {
+        let w = small();
+        let expected: Vec<u64> = w
+            .data
+            .iter()
+            .copied()
+            .filter(|&v| StreamCompaction::keep(v))
+            .collect();
+        assert_eq!(w.golden(), expected);
+        // The predicate prunes roughly a quarter.
+        let frac = expected.len() as f64 / w.data.len() as f64;
+        assert!((0.6..0.9).contains(&frac), "survivor fraction {frac}");
+    }
+
+    #[test]
+    fn data_fault_produces_sdc_or_mask() {
+        let w = small();
+        let f = Fault::new(0.0, 3, 7); // flip a payload bit in data
+        match w.run(Some(f)) {
+            RunOutcome::Completed(out) => {
+                // Either the element was pruned anyway (mask) or corrupted.
+                let _ = out;
+            }
+            other => panic!("data fault should not {other:?}"),
+        }
+    }
+
+    #[test]
+    fn high_bit_index_fault_crashes() {
+        let w = small();
+        let n = 256;
+        // Flip a high bit of a scatter index right before the scatter.
+        let crash = (40..60).any(|bit| {
+            matches!(
+                w.run(Some(Fault::new(0.99, n + 10, bit))),
+                RunOutcome::Crashed(_)
+            )
+        });
+        assert!(crash, "index corruption should be able to crash SC");
+    }
+
+    #[test]
+    fn some_faults_are_masked() {
+        let w = small();
+        let golden = w.golden();
+        let masked = (0..32).any(|site| {
+            matches!(
+                w.run(Some(Fault::new(0.9, site, 8))),
+                RunOutcome::Completed(ref out) if *out == golden
+            )
+        });
+        assert!(masked, "late data faults on pruned elements should mask");
+    }
+}

@@ -1,0 +1,126 @@
+//! Named workload suites: the paper's three benchmark families as
+//! ready-made collections, plus helpers for filtering and sizing.
+
+use crate::{
+    bfs::Bfs, ced::CannyEdge, hotspot::HotSpot, lavamd::LavaMd, lud::Lud, mnist::Mnist,
+    mxm::MxM, sc::StreamCompaction, yolo::Yolo, Workload, WorkloadClass,
+};
+
+/// Problem sizing for a suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteSize {
+    /// Tiny problems for smoke tests (~milliseconds per run).
+    Small,
+    /// The default campaign sizing.
+    Standard,
+    /// Larger problems for masking-behaviour studies.
+    Large,
+}
+
+impl SuiteSize {
+    fn scale(self) -> usize {
+        match self {
+            SuiteSize::Small => 1,
+            SuiteSize::Standard => 2,
+            SuiteSize::Large => 4,
+        }
+    }
+}
+
+/// Builds the HPC family (MxM, LUD, LavaMD, HotSpot).
+pub fn hpc_suite(size: SuiteSize, seed: u64) -> Vec<Box<dyn Workload>> {
+    let s = size.scale();
+    vec![
+        Box::new(MxM::new(12 * s, seed)),
+        Box::new(Lud::new(12 * s, seed ^ 1)),
+        Box::new(LavaMd::new(2, 4 * s, seed ^ 2)),
+        Box::new(HotSpot::new(8 * s, 12 * s, seed ^ 3)),
+    ]
+}
+
+/// Builds the heterogeneous family (SC, CED, BFS).
+pub fn heterogeneous_suite(size: SuiteSize, seed: u64) -> Vec<Box<dyn Workload>> {
+    let s = size.scale();
+    vec![
+        Box::new(StreamCompaction::new(128 * s, seed ^ 5)),
+        Box::new(CannyEdge::new(24 * s, 24 * s, seed ^ 6)),
+        Box::new(Bfs::new(6 * s, seed ^ 7)),
+    ]
+}
+
+/// Builds the neural-network family (YOLO, MNIST).
+pub fn neural_suite(seed: u64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Yolo::new(seed ^ 8)),
+        Box::new(Mnist::new(1, seed ^ 9)),
+    ]
+}
+
+/// Builds all nine codes.
+pub fn full_suite(size: SuiteSize, seed: u64) -> Vec<Box<dyn Workload>> {
+    let mut suite = hpc_suite(size, seed);
+    suite.extend(heterogeneous_suite(size, seed));
+    suite.extend(neural_suite(seed));
+    suite
+}
+
+/// Filters a suite to one family.
+pub fn of_class(
+    suite: Vec<Box<dyn Workload>>,
+    class: WorkloadClass,
+) -> Vec<Box<dyn Workload>> {
+    suite.into_iter().filter(|w| w.class() == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_has_all_nine_codes() {
+        let suite = full_suite(SuiteSize::Small, 1);
+        assert_eq!(suite.len(), 9);
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        for expected in ["MxM", "LUD", "LavaMD", "HotSpot", "SC", "CED", "BFS", "YOLO", "MNIST"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn families_partition_the_suite() {
+        let total = full_suite(SuiteSize::Small, 2).len();
+        let split: usize = [
+            WorkloadClass::Hpc,
+            WorkloadClass::Heterogeneous,
+            WorkloadClass::NeuralNetwork,
+        ]
+        .into_iter()
+        .map(|c| of_class(full_suite(SuiteSize::Small, 2), c).len())
+        .sum();
+        assert_eq!(total, split);
+        assert_eq!(
+            of_class(full_suite(SuiteSize::Small, 2), WorkloadClass::Hpc).len(),
+            4
+        );
+    }
+
+    #[test]
+    fn sizes_scale_state() {
+        let small = hpc_suite(SuiteSize::Small, 3);
+        let large = hpc_suite(SuiteSize::Large, 3);
+        for (s, l) in small.iter().zip(&large) {
+            assert!(
+                l.state_words() > s.state_words(),
+                "{} did not scale",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_suite_member_runs_clean() {
+        for w in full_suite(SuiteSize::Small, 4) {
+            assert!(!w.golden().is_empty(), "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests over all nine workloads: determinism, fault
+//! purity (a fault changes one run, never the workload), and outcome
+//! sanity for arbitrary single-bit faults.
+
+use proptest::prelude::*;
+use tn_workloads::{
+    bfs::Bfs, ced::CannyEdge, hotspot::HotSpot, lavamd::LavaMd, lud::Lud, mnist::Mnist,
+    mxm::MxM, sc::StreamCompaction, yolo::Yolo, Fault, RunOutcome, Workload,
+};
+
+fn all_workloads(seed: u64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(MxM::new(12, seed)),
+        Box::new(Lud::new(12, seed)),
+        Box::new(LavaMd::new(2, 4, seed)),
+        Box::new(HotSpot::new(12, 10, seed)),
+        Box::new(StreamCompaction::new(96, seed)),
+        Box::new(CannyEdge::new(24, 24, seed)),
+        Box::new(Bfs::new(8, seed)),
+        Box::new(Yolo::new(seed)),
+        Box::new(Mnist::new(1, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_workload_is_deterministic(seed in 0u64..1000) {
+        for w in all_workloads(seed) {
+            prop_assert_eq!(w.run(None), w.run(None), "{} not deterministic", w.name());
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible(
+        seed in 0u64..100,
+        progress in 0.0f64..1.0,
+        site in 0usize..100_000,
+        bit in 0u8..64,
+    ) {
+        let progress = progress.min(0.999_999);
+        let fault = Fault::new(progress, site, bit);
+        for w in all_workloads(seed) {
+            let a = w.run(Some(fault));
+            let b = w.run(Some(fault));
+            prop_assert_eq!(a, b, "{} faulted run not reproducible", w.name());
+        }
+    }
+
+    #[test]
+    fn faults_never_corrupt_the_workload_itself(
+        seed in 0u64..100,
+        site in 0usize..100_000,
+        bit in 0u8..64,
+    ) {
+        // Running with a fault must not change subsequent fault-free runs
+        // (the workload is immutable; state is per-run).
+        for w in all_workloads(seed) {
+            let golden = w.golden();
+            let _ = w.run(Some(Fault::new(0.3, site, bit)));
+            prop_assert_eq!(w.golden(), golden, "{} state leaked", w.name());
+        }
+    }
+
+    #[test]
+    fn outcome_is_always_one_of_the_three(
+        progress in 0.0f64..1.0,
+        site in 0usize..1_000_000,
+        bit in 0u8..64,
+    ) {
+        let progress = progress.min(0.999_999);
+        let fault = Fault::new(progress, site, bit);
+        for w in all_workloads(7) {
+            match w.run(Some(fault)) {
+                RunOutcome::Completed(out) => prop_assert!(!out.is_empty()),
+                RunOutcome::Crashed(msg) => prop_assert!(!msg.is_empty()),
+                RunOutcome::Hung => {}
+            }
+        }
+    }
+
+    #[test]
+    fn state_words_is_positive_and_stable(seed in 0u64..1000) {
+        for w in all_workloads(seed) {
+            prop_assert!(w.state_words() > 0, "{}", w.name());
+            prop_assert_eq!(w.state_words(), w.state_words());
+        }
+    }
+}

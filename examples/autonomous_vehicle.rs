@@ -1,0 +1,101 @@
+//! Autonomous-vehicle scenario from the paper's motivation: a COTS GPU
+//! running YOLO object detection in a car. How does its error rate move
+//! with the weather and the materials around it, and what would shielding
+//! cost?
+//!
+//! ```text
+//! cargo run --release --example autonomous_vehicle
+//! ```
+
+use tn_core::beamline::{Campaign, Facility};
+use tn_core::devices::catalog;
+use tn_core::environment::{Environment, Location, Surroundings, Weather};
+use tn_core::fault_injection::InjectionCampaign;
+use tn_core::fit::DeviceFit;
+use tn_core::physics::units::{Energy, Length, Seconds};
+use tn_core::physics::Material;
+use tn_core::transport::AttenuationCurve;
+use tn_core::workloads::yolo::Yolo;
+
+fn main() {
+    // Profile YOLO's fault response once.
+    let yolo_profile = InjectionCampaign::new(Yolo::new(99)).runs(400).seed(1).execute();
+    println!(
+        "YOLO fault-injection profile: {:.0}% masked, {:.0}% SDC, {:.0}% DUE",
+        100.0 * yolo_profile.masked_fraction(),
+        100.0 * yolo_profile.sdc_fraction(),
+        100.0 * yolo_profile.due_fraction()
+    );
+
+    // Beam-test the vehicle's GPU (a TitanX-class part) on both lines.
+    let gpu = catalog::nvidia_titanx();
+    let beam_time = Seconds::from_hours(20.0);
+    let chipir = Campaign::new(Facility::chipir(), &gpu, "YOLO", yolo_profile)
+        .beam_time(beam_time)
+        .seed(7)
+        .run();
+    let rotax = Campaign::new(Facility::rotax(), &gpu, "YOLO", yolo_profile)
+        .beam_time(beam_time)
+        .seed(8)
+        .run();
+    println!("\nBeam campaign ({}):", gpu.name());
+    println!(
+        "  ChipIR: sigma_SDC = {:.3e} cm^2 [{:.2e}, {:.2e}]",
+        chipir.sdc.sigma, chipir.sdc.ci.0, chipir.sdc.ci.1
+    );
+    println!(
+        "  ROTAX:  sigma_SDC = {:.3e} cm^2 [{:.2e}, {:.2e}]",
+        rotax.sdc.sigma, rotax.sdc.ci.0, rotax.sdc.ci.1
+    );
+    println!("  HE/thermal ratio: {:.2}", chipir.sdc.sigma / rotax.sdc.sigma);
+
+    // Field rates on the road: Denver altitude, weather sweep. The road
+    // slab and the passengers moderate like a machine-room floor.
+    let car_surroundings = Surroundings::concrete_floor().with_extra_boost(0.10);
+    println!("\nOn-road SDC FIT vs weather (Denver):");
+    for weather in Weather::ALL {
+        let env = Environment::new(
+            Location::new("Denver, CO", 1609.0, 1.0),
+            weather,
+            car_surroundings,
+        );
+        let fit = DeviceFit::from_cross_sections(
+            tn_core::physics::units::CrossSection(chipir.sdc.sigma),
+            tn_core::physics::units::CrossSection(rotax.sdc.sigma),
+            &env,
+        );
+        println!(
+            "  {:<13} total {:>7.2} FIT, thermal share {:>4.1}%",
+            weather.to_string(),
+            fit.total().value(),
+            100.0 * fit.thermal_share()
+        );
+    }
+
+    // Shielding: what the paper says (and why it is impractical).
+    println!("\nThermal-neutron shielding options (transmission of a thermal beam):");
+    let cd = AttenuationCurve::sweep(
+        &Material::cadmium(),
+        Energy(0.0253),
+        &[Length(0.05), Length(0.1)],
+        4000,
+        3,
+    );
+    let bpe = AttenuationCurve::sweep(
+        &Material::borated_polyethylene(),
+        Energy(0.0253),
+        &[Length::from_inches(1.0), Length::from_inches(2.0)],
+        4000,
+        4,
+    );
+    for (t, f) in &cd.points {
+        println!("  cadmium {:>4.1} mm: {:.4}  (toxic, cannot sit near hot parts)", 10.0 * t.value(), f);
+    }
+    for (t, f) in &bpe.points {
+        println!(
+            "  borated PE {:>4.1} in: {:.4}  (thermally insulates the device)",
+            t.value() / 2.54,
+            f
+        );
+    }
+}

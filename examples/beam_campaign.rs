@@ -1,0 +1,81 @@
+//! A single beam shift, end to end: align boards at ChipIR with distance
+//! derating, test one device at a time at ROTAX, and report per-code
+//! cross sections with their 95% Poisson confidence intervals — the raw
+//! material of the paper's Figures 1 and 5.
+//!
+//! ```text
+//! cargo run --release --example beam_campaign
+//! ```
+
+use tn_core::beamline::{BeamSetup, BoardSlot, Campaign, Facility};
+use tn_core::devices::catalog;
+use tn_core::fault_injection::InjectionCampaign;
+use tn_core::physics::units::Seconds;
+use tn_core::workloads::{
+    ced::CannyEdge, sc::StreamCompaction, Workload,
+};
+
+fn main() {
+    // --- ChipIR shift: several boards share the beam ---------------------
+    let apu = catalog::amd_apu_hybrid();
+    let fpga = catalog::xilinx_zynq();
+    let mut setup = BeamSetup::chipir_style(vec![BoardSlot {
+        label: apu.name().to_string(),
+        distance_m: 1.0,
+    }]);
+    setup
+        .add_board(BoardSlot {
+            label: fpga.name().to_string(),
+            distance_m: 2.0,
+        })
+        .expect("ChipIR hosts multiple boards");
+    println!("ChipIR setup: {} boards aligned with the beam", setup.slots().len());
+    for (i, slot) in setup.slots().iter().enumerate() {
+        println!("  {} at {} m (derating {:.2})", slot.label, slot.distance_m, setup.derating(i));
+    }
+
+    // --- ROTAX: the device stops the beam, one board only ----------------
+    let mut rotax_setup = BeamSetup::rotax_style(BoardSlot {
+        label: apu.name().to_string(),
+        distance_m: 1.0,
+    });
+    let rejected = rotax_setup.add_board(BoardSlot {
+        label: fpga.name().to_string(),
+        distance_m: 2.0,
+    });
+    println!(
+        "\nROTAX setup: single board only — adding a second was {}",
+        if rejected.is_err() { "rejected" } else { "accepted?!" }
+    );
+
+    // --- Campaigns over the heterogeneous codes --------------------------
+    let beam_time = Seconds::from_hours(12.0);
+    let codes: Vec<(Box<dyn Workload>, u64)> = vec![
+        (Box::new(StreamCompaction::new(256, 1)), 11),
+        (Box::new(CannyEdge::new(48, 48, 2)), 12),
+    ];
+    println!("\n{:<6} {:>24} {:>24} {:>8}", "code", "ChipIR sigma_SDC [CI]", "ROTAX sigma_SDC [CI]", "ratio");
+    for (workload, seed) in codes {
+        let profile = InjectionCampaign::new(&*workload).runs(300).seed(seed).execute();
+        let chipir = Campaign::new(Facility::chipir(), &apu, workload.name(), profile)
+            .beam_time(beam_time)
+            .derating(1.0)
+            .seed(seed)
+            .run();
+        let rotax = Campaign::new(Facility::rotax(), &apu, workload.name(), profile)
+            .beam_time(beam_time)
+            .seed(seed ^ 0xff)
+            .run();
+        println!(
+            "{:<6} {:>10.2e} [{:.1e},{:.1e}] {:>10.2e} [{:.1e},{:.1e}] {:>8.2}",
+            workload.name(),
+            chipir.sdc.sigma,
+            chipir.sdc.ci.0,
+            chipir.sdc.ci.1,
+            rotax.sdc.sigma,
+            rotax.sdc.ci.0,
+            rotax.sdc.ci.1,
+            chipir.sdc.sigma / rotax.sdc.sigma
+        );
+    }
+}

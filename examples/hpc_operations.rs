@@ -1,0 +1,86 @@
+//! Operating a supercomputer under the thermal-neutron threat: fleet FIT
+//! projections for the Top-10 machines, weather-aware checkpoint
+//! planning, a beam shift with dosimetry (including the DDR abort at
+//! ChipIR), and annealing a damaged module back to health.
+//!
+//! ```text
+//! cargo run --release --example hpc_operations
+//! ```
+
+use tn_core::beamline::{BeamShift, DdrRunEnd, Facility};
+use tn_core::devices::ddr::{CorrectLoop, DdrModule};
+use tn_core::environment::{Environment, Location, Surroundings, Weather};
+use tn_core::fit::hpc::{ranked_by_thermal_fit, TOP10_2019};
+use tn_core::fit::CheckpointPlan;
+use tn_core::physics::units::{Flux, Seconds};
+use tn_core::{Pipeline, PipelineConfig};
+
+fn main() {
+    // --- Fleet memory FIT, Top-10 2019 ----------------------------------
+    println!("Top-10 supercomputers, projected DDR thermal FIT:");
+    for (rank, (name, fit)) in ranked_by_thermal_fit().iter().take(5).enumerate() {
+        println!("  {}. {:<22} {:.2e} FIT", rank + 1, name, fit.value());
+    }
+    let trinity = &TOP10_2019[6];
+    println!(
+        "  Trinity expects {:.1} thermal memory errors/day (rainy: {:.1})",
+        trinity.memory_errors_per_day(),
+        trinity.memory_errors_per_day() * 2.0
+    );
+
+    // --- Checkpoint planning vs weather ----------------------------------
+    let report = Pipeline::new(PipelineConfig::default()).seed(2020).run();
+    let apu = report.device("AMD APU (CPU+GPU)").unwrap();
+    println!("\nCheckpoint intervals for a 4,000-node APU fleet at Los Alamos:");
+    for weather in [Weather::Sunny, Weather::Thunderstorm] {
+        let env = Environment::new(
+            Location::los_alamos(),
+            weather,
+            Surroundings::hpc_machine_room(),
+        );
+        let plan = CheckpointPlan::new(apu.due_fit(&env).total() * 4_000.0, Seconds(180.0));
+        println!(
+            "  {:<13} MTBF {:>7.1} h -> checkpoint every {:>5.1} min ({:.1}% overhead)",
+            weather.to_string(),
+            plan.mtbf().as_hours(),
+            plan.young_interval().value() / 60.0,
+            100.0 * plan.overhead_at(plan.young_interval())
+        );
+    }
+
+    // --- A beam shift with dosimetry -------------------------------------
+    println!("\nA ChipIR shift with the DDR abort rule:");
+    let mut shift = BeamShift::new(Facility::chipir(), 7);
+    match shift.run_ddr(DdrModule::ddr3(), Seconds::from_hours(2.0), 1) {
+        DdrRunEnd::Aborted {
+            after,
+            permanent_faults,
+        } => println!(
+            "  DDR3 run aborted after {after:.0} s with {permanent_faults} permanent faults \
+             (the paper's experience)"
+        ),
+        DdrRunEnd::Completed(_) => println!("  DDR3 unexpectedly survived"),
+    }
+    let mut rotax_shift = BeamShift::new(Facility::rotax(), 8);
+    if let DdrRunEnd::Completed(classified) =
+        rotax_shift.run_ddr(DdrModule::ddr3(), Seconds::from_hours(1.0), 2)
+    {
+        println!(
+            "  at ROTAX the same module collects clean statistics: {} errors classified",
+            classified.total()
+        );
+    }
+    println!(
+        "  dosimetry: {:.2e} n/cm2 over {:.0} s of beam",
+        rotax_shift.dose_log().total_fluence(),
+        rotax_shift.dose_log().total_seconds()
+    );
+
+    // --- Annealing the damaged module -------------------------------------
+    println!("\nAnnealing repairs displacement damage:");
+    let mut tester = CorrectLoop::new(DdrModule::ddr3(), 3);
+    let _ = tester.run(Flux(2.72e6), Seconds(4000.0), Seconds(10.0));
+    println!("  stuck cells after irradiation: {}", tester.stuck_count());
+    tester.anneal();
+    println!("  stuck cells after bake:        {}", tester.stuck_count());
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run the whole study pipeline and print the paper's
+//! headline numbers — per-device high-energy/thermal cross-section
+//! ratios (Figure 5) and the thermal share of the FIT rate at two
+//! locations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tn_core::environment::Environment;
+use tn_core::{Pipeline, PipelineConfig};
+
+fn main() {
+    let report = Pipeline::new(PipelineConfig::default()).seed(2020).run();
+
+    println!("Figure 5 — average cross-section ratio (high energy / thermal)");
+    println!("{:<22} {:>10} {:>10}", "device", "SDC", "DUE");
+    for device in report.devices() {
+        let fmt = |r: f64| {
+            if r.is_infinite() {
+                "n/a".to_string()
+            } else {
+                format!("{r:.2}")
+            }
+        };
+        println!(
+            "{:<22} {:>10} {:>10}",
+            device.name,
+            fmt(device.sdc_ratio()),
+            fmt(device.due_ratio())
+        );
+    }
+
+    println!("\nThermal share of the SDC FIT rate");
+    let nyc = Environment::nyc_reference();
+    let leadville = Environment::leadville_machine_room();
+    println!(
+        "{:<22} {:>14} {:>22}",
+        "device", "NYC outdoors", "Leadville machine room"
+    );
+    for device in report.devices() {
+        println!(
+            "{:<22} {:>13.1}% {:>21.1}%",
+            device.name,
+            100.0 * device.sdc_fit(&nyc).thermal_share(),
+            100.0 * device.sdc_fit(&leadville).thermal_share()
+        );
+    }
+    println!(
+        "\nIgnoring thermal neutrons underestimates the worst device's FIT by {:.2}x at Leadville.",
+        report
+            .devices()
+            .iter()
+            .map(|d| d.sdc_fit(&leadville).underestimation_factor())
+            .fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,91 @@
+//! ISO 26262-style safety budgeting for an autonomous-vehicle GPU: run
+//! the beam campaigns, build a commuter mission profile, and see how much
+//! of an ASIL random-hardware-failure budget thermal neutrons silently
+//! consume — the paper's automotive motivation as an engineering check.
+//!
+//! ```text
+//! cargo run --release --example safety_budget
+//! ```
+
+use tn_core::beamline::{Campaign, Facility};
+use tn_core::devices::catalog;
+use tn_core::environment::{Location, RoadSurface, Vehicle, Weather};
+use tn_core::fault_injection::InjectionCampaign;
+use tn_core::fit::mission::{MissionLeg, MissionProfile, SafetyBudget};
+use tn_core::physics::units::{CrossSection, Seconds};
+use tn_core::workloads::yolo::Yolo;
+
+fn main() {
+    // Beam-measure the detection GPU.
+    let gpu = catalog::nvidia_titanx();
+    let profile = InjectionCampaign::new(Yolo::new(42)).runs(400).seed(1).execute();
+    let beam = Seconds::from_hours(30.0);
+    let he = Campaign::new(Facility::chipir(), &gpu, "YOLO", profile)
+        .beam_time(beam)
+        .seed(2)
+        .run();
+    let th = Campaign::new(Facility::rotax(), &gpu, "YOLO", profile)
+        .beam_time(beam)
+        .seed(3)
+        .run();
+    let (sigma_he, sigma_th) = (CrossSection(he.due.sigma), CrossSection(th.due.sigma));
+    println!(
+        "{} DUE cross sections: HE {:.2e} cm^2, thermal {:.2e} cm^2",
+        gpu.name(),
+        sigma_he.value(),
+        sigma_th.value()
+    );
+
+    // A Denver commuter's mission mix.
+    let car = Vehicle::new(RoadSurface::Concrete, 50.0, 2);
+    let denver = || Location::new("Denver, CO", 1609.0, 1.0);
+    let mission = MissionProfile::new(vec![
+        MissionLeg {
+            label: "dry driving".into(),
+            environment: car.environment(denver(), Weather::Sunny),
+            fraction: 0.78,
+        },
+        MissionLeg {
+            label: "rain".into(),
+            environment: car.environment(denver(), Weather::Rainy),
+            fraction: 0.15,
+        },
+        MissionLeg {
+            label: "thunderstorm".into(),
+            environment: car.environment(denver(), Weather::Thunderstorm),
+            fraction: 0.04,
+        },
+        MissionLeg {
+            label: "snow".into(),
+            environment: car.environment(denver(), Weather::Snowpack),
+            fraction: 0.03,
+        },
+    ]);
+
+    println!("\nper-leg DUE FIT:");
+    for (label, fit) in mission.per_leg_fit(sigma_he, sigma_th) {
+        println!(
+            "  {:<14} {:>8.2} FIT (thermal share {:>4.1}%)",
+            label,
+            fit.total().value(),
+            100.0 * fit.thermal_share()
+        );
+    }
+
+    let average = mission.average_fit(sigma_he, sigma_th);
+    println!(
+        "\nmission-average: {:.2} FIT, thermal share {:.1}%",
+        average.total().value(),
+        100.0 * average.thermal_share()
+    );
+
+    // Check against an element budget.
+    let budget = SafetyBudget::asil_d_element(100.0);
+    println!(
+        "budget check (100 FIT element): {:.0}% used, {:.0}% of the budget is \
+         thermal-neutron risk an HE-only analysis would never see -> {}",
+        100.0 * budget.utilisation(average),
+        100.0 * budget.hidden_thermal_utilisation(average),
+        if budget.is_met(average) { "MET" } else { "EXCEEDED" }
+    );
+}

@@ -1,0 +1,3 @@
+//! Workspace umbrella package hosting the runnable examples and
+//! cross-crate integration tests. See `tn_core` for the library API.
+pub use tn_core as core_api;

@@ -1,0 +1,136 @@
+//! `thermal-neutrons` — command-line front end for the study.
+//!
+//! ```text
+//! thermal-neutrons figure5 [--seed N] [--quick]
+//! thermal-neutrons fit [--seed N]
+//! thermal-neutrons waterbox [--seed N]
+//! thermal-neutrons ddr [--seed N]
+//! thermal-neutrons spectra
+//! ```
+
+use thermal_neutrons::core_api as tn;
+use tn::environment::{Environment, Location, Surroundings, Weather};
+use tn::{Pipeline, PipelineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let seed = flag_value(&args, "--seed").unwrap_or(2020);
+    let quick = args.iter().any(|a| a == "--quick");
+
+    match command {
+        "figure5" => figure5(seed, quick),
+        "fit" => fit(seed, quick),
+        "waterbox" => waterbox(seed),
+        "ddr" => ddr(seed),
+        "spectra" => spectra(),
+        "help" | "--help" | "-h" => help(),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    let idx = args.iter().position(|a| a == flag)?;
+    args.get(idx + 1)?.parse().ok()
+}
+
+fn config(quick: bool) -> PipelineConfig {
+    if quick {
+        PipelineConfig::quick()
+    } else {
+        PipelineConfig::default()
+    }
+}
+
+fn figure5(seed: u64, quick: bool) {
+    let report = Pipeline::new(config(quick)).seed(seed).run();
+    println!("Average cross-section ratio (high energy / thermal), seed {seed}:\n");
+    print!("{}", report.render_ratio_table());
+}
+
+fn fit(seed: u64, quick: bool) {
+    let report = Pipeline::new(config(quick)).seed(seed).run();
+    let room = Surroundings::hpc_machine_room();
+    let environments = [
+        (
+            "NYC",
+            Environment::new(Location::new_york(), Weather::Sunny, room),
+        ),
+        (
+            "Leadville",
+            Environment::new(Location::leadville(), Weather::Sunny, room),
+        ),
+    ];
+    println!("Thermal share of the total FIT rate (machine-room field), seed {seed}:\n");
+    print!("{}", report.render_fit_table(&environments));
+}
+
+fn waterbox(seed: u64) {
+    let env = Environment::new(
+        Location::los_alamos(),
+        Weather::Sunny,
+        Surroundings::concrete_floor(),
+    );
+    let outcome = tn::detector::WaterBoxExperiment::paper_configuration(env).run(seed);
+    println!(
+        "Tin-II water box: derived boost {:+.1}%, observed step {:+.1}% (paper: +24%)",
+        100.0 * outcome.derived_boost,
+        100.0 * outcome.step()
+    );
+    for (day, chunk) in outcome.series.chunks(24).enumerate() {
+        let mean = chunk.iter().map(|s| s.bare as f64).sum::<f64>() / chunk.len() as f64;
+        let bar = "#".repeat((mean / 200.0) as usize);
+        let marker = if day >= 4 { " <- water" } else { "" };
+        println!("  day {:>2}: {:>6.0} {}{}", day + 1, mean, bar, marker);
+    }
+}
+
+fn ddr(seed: u64) {
+    use tn::devices::ddr::{classify, CorrectLoop, DdrModule};
+    use tn::physics::units::{Flux, Seconds};
+    for (module, hours) in [(DdrModule::ddr3(), 2.0), (DdrModule::ddr4(), 20.0)] {
+        let generation = module.generation();
+        let mut tester = CorrectLoop::new(module, seed);
+        let log = tester.run(Flux(2.72e6), Seconds::from_hours(hours), Seconds(10.0));
+        let c = classify(&log);
+        println!(
+            "{generation}: {} transient, {} intermittent, {} permanent, {} SEFI \
+             (permanent {:.0}%)",
+            c.transient,
+            c.intermittent,
+            c.permanent,
+            c.sefi,
+            100.0 * c.permanent_fraction()
+        );
+    }
+}
+
+fn spectra() {
+    use tn::physics::spectrum::{chipir_reference, rotax_reference};
+    use tn::physics::EnergyBand;
+    for s in [chipir_reference(), rotax_reference()] {
+        println!("{}:", s.name());
+        for band in EnergyBand::ALL {
+            println!("  {band:?}: {:.3e} n/cm2/s", s.flux_in(band).value());
+        }
+    }
+}
+
+fn help() {
+    println!(
+        "thermal-neutrons — simulation study of thermal-neutron reliability risk\n\
+         \n\
+         commands:\n\
+         \x20 figure5    per-device HE/thermal cross-section ratios (paper Fig. 5)\n\
+         \x20 fit        thermal share of device FIT rates at NYC and Leadville\n\
+         \x20 waterbox   the Tin-II water-box experiment (paper Fig. 6)\n\
+         \x20 ddr        DDR3/DDR4 correct-loop classification (paper Fig. 4)\n\
+         \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
+         \n\
+         options: --seed N (default 2020), --quick (fast low-statistics run)"
+    );
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: campaign arithmetic, environment folding and
+//! experiment-procedure rules working together through public APIs only.
+
+use thermal_neutrons::core_api as tn;
+use tn::beamline::{BeamSetup, BoardSlot, Campaign, Facility};
+use tn::devices::catalog;
+use tn::environment::Environment;
+use tn::fault_injection::{InjectionCampaign, InjectionStats};
+use tn::fit::DeviceFit;
+use tn::physics::units::{CrossSection, Seconds};
+use tn::workloads::mxm::MxM;
+
+fn profile() -> InjectionStats {
+    InjectionCampaign::new(MxM::new(16, 1)).runs(200).seed(3).execute()
+}
+
+#[test]
+fn campaign_cross_sections_feed_fit_directly() {
+    let k20 = catalog::nvidia_k20();
+    let p = profile();
+    let he = Campaign::new(Facility::chipir(), &k20, "MxM", p)
+        .beam_time(Seconds::from_hours(20.0))
+        .seed(1)
+        .run();
+    let th = Campaign::new(Facility::rotax(), &k20, "MxM", p)
+        .beam_time(Seconds::from_hours(20.0))
+        .seed(2)
+        .run();
+    let fit = DeviceFit::from_cross_sections(
+        CrossSection(he.sdc.sigma),
+        CrossSection(th.sdc.sigma),
+        &Environment::leadville_machine_room(),
+    );
+    assert!(fit.total().value() > 0.0);
+    assert!(fit.thermal_share() > 0.05 && fit.thermal_share() < 0.6);
+}
+
+#[test]
+fn derated_far_board_agrees_with_near_board() {
+    let apu = catalog::amd_apu_hybrid();
+    let p = profile();
+    let setup = BeamSetup::chipir_style(vec![
+        BoardSlot { label: "near".into(), distance_m: 1.0 },
+        BoardSlot { label: "far".into(), distance_m: 2.0 },
+    ]);
+    let long = Seconds::from_hours(60.0);
+    let near = Campaign::new(Facility::chipir(), &apu, "MxM", p)
+        .beam_time(long)
+        .derating(setup.derating(0))
+        .seed(5)
+        .run();
+    let far = Campaign::new(Facility::chipir(), &apu, "MxM", p)
+        .beam_time(long)
+        .derating(setup.derating(1))
+        .seed(6)
+        .run();
+    // Fewer counts far from the aperture…
+    assert!(far.sdc.count < near.sdc.count);
+    // …but the *cross section* estimate is distance-invariant.
+    let rel = (near.sdc.sigma - far.sdc.sigma).abs() / near.sdc.sigma;
+    assert!(rel < 0.25, "near {:e} vs far {:e}", near.sdc.sigma, far.sdc.sigma);
+}
+
+#[test]
+fn same_device_both_beams_is_the_procedure() {
+    // The paper stresses using the same physical device on both lines.
+    // Our Device is cloneable state, so the same instance feeds both
+    // campaigns; the ratio uses identical response parameters.
+    let titan = catalog::nvidia_titanx();
+    let p = profile();
+    let he = Campaign::new(Facility::chipir(), &titan, "MxM", p)
+        .beam_time(Seconds::from_hours(30.0))
+        .seed(9)
+        .run();
+    let th = Campaign::new(Facility::rotax(), &titan, "MxM", p)
+        .beam_time(Seconds::from_hours(30.0))
+        .seed(10)
+        .run();
+    let ratio = he.sdc.sigma / th.sdc.sigma;
+    let (target, _) = titan.target_ratios();
+    assert!(
+        (ratio / target - 1.0).abs() < 0.35,
+        "ratio {ratio:.2} vs target {target}"
+    );
+}
+
+#[test]
+fn confidence_intervals_shrink_with_beam_time() {
+    let k20 = catalog::nvidia_k20();
+    let p = profile();
+    let short = Campaign::new(Facility::rotax(), &k20, "MxM", p)
+        .beam_time(Seconds::from_hours(1.0))
+        .seed(11)
+        .run();
+    let long = Campaign::new(Facility::rotax(), &k20, "MxM", p)
+        .beam_time(Seconds::from_hours(64.0))
+        .seed(12)
+        .run();
+    let (a, b) = (
+        short.sdc.relative_uncertainty().unwrap_or(f64::INFINITY),
+        long.sdc.relative_uncertainty().unwrap_or(f64::INFINITY),
+    );
+    assert!(b < a, "short {a}, long {b}");
+}
+
+#[test]
+fn acceleration_factor_contextualises_beam_hours() {
+    // One ChipIR hour is centuries of NYC field exposure: the reason beam
+    // experiments are the only way to measure these rates.
+    let years_per_hour = Facility::chipir()
+        .acceleration_factor(Environment::nyc_reference().high_energy_flux())
+        / (365.25 * 24.0);
+    assert!(
+        years_per_hour > 100_000.0,
+        "{years_per_hour} field-years per beam-hour"
+    );
+}
+
+#[test]
+fn workspace_umbrella_reexports_are_usable() {
+    // The root package exposes the core API under `core_api`.
+    let report = tn::Pipeline::new(tn::PipelineConfig::quick()).seed(1).run();
+    assert_eq!(report.devices().len(), 8);
+}

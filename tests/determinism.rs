@@ -1,0 +1,57 @@
+//! Reproducibility guarantees across the whole stack: identical seeds
+//! must give identical results regardless of parallelism, and distinct
+//! seeds must actually vary.
+
+use thermal_neutrons::core_api as tn;
+use tn::fault_injection::InjectionCampaign;
+use tn::workloads::mxm::MxM;
+use tn::{Pipeline, PipelineConfig};
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let a = Pipeline::new(PipelineConfig::quick()).seed(11).run();
+    let b = Pipeline::new(PipelineConfig::quick()).seed(11).run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pipeline_varies_with_seed() {
+    let a = Pipeline::new(PipelineConfig::quick()).seed(11).run();
+    let b = Pipeline::new(PipelineConfig::quick()).seed(12).run();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn injection_campaign_thread_count_is_irrelevant() {
+    let one = InjectionCampaign::new(MxM::new(12, 5))
+        .runs(96)
+        .seed(9)
+        .threads(1)
+        .execute();
+    let many = InjectionCampaign::new(MxM::new(12, 5))
+        .runs(96)
+        .seed(9)
+        .threads(8)
+        .execute();
+    assert_eq!(one, many);
+}
+
+#[test]
+fn detector_and_transport_streams_are_seed_stable() {
+    use tn::environment::{Environment, Location, Surroundings, Weather};
+    let env = Environment::new(
+        Location::los_alamos(),
+        Weather::Sunny,
+        Surroundings::concrete_floor(),
+    );
+    let a = tn::detector::WaterBoxExperiment::paper_configuration(env.clone()).run(77);
+    let b = tn::detector::WaterBoxExperiment::paper_configuration(env).run(77);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn validation_passes_on_the_canonical_seed() {
+    let report = Pipeline::new(PipelineConfig::default()).seed(2020).run();
+    let v = tn::validation::validate(&report, 0.5);
+    assert!(v.is_clean(), "{:?}", v.findings);
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration tests: every paper artefact's *shape* must
+//! survive the full public-API pipeline (these are the same claims the
+//! benches print, locked in as assertions).
+
+use thermal_neutrons::core_api as tn;
+use tn::environment::{Environment, Location, Surroundings, Weather};
+use tn::physics::spectrum::{chipir_reference, rotax_reference};
+use tn::physics::EnergyBand;
+use tn::{Pipeline, PipelineConfig};
+
+fn study() -> tn::StudyReport {
+    Pipeline::new(PipelineConfig::default()).seed(2020).run()
+}
+
+#[test]
+fn fig2_beamline_fluxes_match_publication() {
+    let chipir = chipir_reference();
+    let rotax = rotax_reference();
+    let he = chipir.flux_in(EnergyBand::HighEnergy).value();
+    assert!((he - 5.4e6).abs() / 5.4e6 < 0.02, "ChipIR HE {he:e}");
+    let th = chipir.flux_in(EnergyBand::Thermal).value();
+    assert!((0.8..1.3).contains(&(th / 4.0e5)), "ChipIR thermal {th:e}");
+    let rt = rotax.flux_in(EnergyBand::Thermal).value();
+    assert!((rt - 2.72e6).abs() / 2.72e6 < 0.03, "ROTAX thermal {rt:e}");
+}
+
+#[test]
+fn fig5_sdc_ratios_reproduce_within_forty_percent() {
+    let report = study();
+    let expected = [
+        ("Intel Xeon Phi", 10.14),
+        ("NVIDIA K20", 2.0),
+        ("NVIDIA TitanX", 3.0),
+        ("AMD APU (CPU+GPU)", 2.5),
+        ("Xilinx Zynq-7000", 2.33),
+    ];
+    for (name, paper) in expected {
+        let measured = report.device(name).unwrap().sdc_ratio();
+        assert!(
+            (measured / paper - 1.0).abs() < 0.4,
+            "{name}: measured {measured:.2} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn fig5_due_ordering_matches_paper() {
+    let report = study();
+    let due = |name: &str| report.device(name).unwrap().due_ratio();
+    // TitanX (FinFET) DUE ratio far above K20 (planar).
+    assert!(due("NVIDIA TitanX") > 1.5 * due("NVIDIA K20"));
+    // The APU hybrid's DUE is near thermal parity — the paper's headline.
+    assert!(due("AMD APU (CPU+GPU)") < 2.0);
+    // Xeon Phi's thermal weakness shows in both classes.
+    assert!(due("Intel Xeon Phi") > 4.0);
+}
+
+#[test]
+fn fig1_apu_thermal_sensitivity_is_not_negligible() {
+    let report = study();
+    for name in ["AMD APU (CPU)", "AMD APU (GPU)", "AMD APU (CPU+GPU)"] {
+        let device = report.device(name).unwrap();
+        for (code, ratio) in device.per_workload_sdc_ratios() {
+            assert!(
+                ratio < 8.0,
+                "{name}/{code}: HE/thermal ratio {ratio} — thermal should be significant"
+            );
+        }
+    }
+}
+
+#[test]
+fn fit_anchor_points_land_in_paper_bands() {
+    let report = study();
+    let room = Surroundings::hpc_machine_room();
+    let nyc = Environment::new(Location::new_york(), Weather::Sunny, room);
+    let leadville = Environment::new(Location::leadville(), Weather::Sunny, room);
+
+    // Xeon Phi SDC @ NYC: paper 4.2%.
+    let phi = report.device("Intel Xeon Phi").unwrap();
+    let share = phi.sdc_fit(&nyc).thermal_share();
+    assert!((0.02..0.08).contains(&share), "Xeon Phi NYC SDC share {share}");
+
+    // K20 SDC @ Leadville: paper 29%.
+    let k20 = report.device("NVIDIA K20").unwrap();
+    let share = k20.sdc_fit(&leadville).thermal_share();
+    assert!((0.18..0.42).contains(&share), "K20 Leadville SDC share {share}");
+
+    // APU CPU+GPU DUE @ Leadville: paper 39%.
+    let apu = report.device("AMD APU (CPU+GPU)").unwrap();
+    let share = apu.due_fit(&leadville).thermal_share();
+    assert!((0.25..0.55).contains(&share), "APU Leadville DUE share {share}");
+
+    // "the thermal neutron contribution … can be up to 40%".
+    let max = report
+        .devices()
+        .iter()
+        .flat_map(|d| {
+            [
+                d.sdc_fit(&leadville).thermal_share(),
+                d.due_fit(&leadville).thermal_share(),
+            ]
+        })
+        .fold(0.0, f64::max);
+    assert!((0.30..0.60).contains(&max), "max thermal share {max}");
+}
+
+#[test]
+fn fig6_water_box_step_matches_paper_band() {
+    let env = Environment::new(
+        Location::los_alamos(),
+        Weather::Sunny,
+        Surroundings::concrete_floor(),
+    );
+    let outcome = tn::detector::WaterBoxExperiment::paper_configuration(env).run(20190420);
+    // Paper: +24%. Accept the MC band around it.
+    assert!(
+        (0.10..0.40).contains(&outcome.step()),
+        "water step {} (paper 0.24)",
+        outcome.step()
+    );
+}
+
+#[test]
+fn fig4_ddr_structure_holds_end_to_end() {
+    use tn::devices::ddr::{classify, CorrectLoop, DdrModule};
+    use tn::physics::units::{Flux, Seconds};
+    let beam = Flux(2.72e6);
+    let mut t3 = CorrectLoop::new(DdrModule::ddr3(), 99);
+    let c3 = classify(&t3.run(beam, Seconds::from_hours(3.0), Seconds(10.0)));
+    let mut t4 = CorrectLoop::new(DdrModule::ddr4(), 99);
+    let c4 = classify(&t4.run(beam, Seconds::from_hours(30.0), Seconds(10.0)));
+
+    // Direction asymmetry, opposite per generation.
+    assert!(c3.direction_fraction(tn::devices::FlipDirection::OneToZero) > 0.85);
+    assert!(c4.direction_fraction(tn::devices::FlipDirection::ZeroToOne) > 0.85);
+    // Category shift.
+    assert!(c4.permanent_fraction() > c3.permanent_fraction());
+    // Both generations show SEFIs over long runs.
+    assert!(c3.sefi + c4.sefi > 0);
+}
