@@ -7,12 +7,11 @@
 //! cross section must be corrected by the intercepted fraction — another
 //! derating, alongside the distance one in [`crate::BeamSetup`].
 
-use serde::{Deserialize, Serialize};
 use tn_physics::stats::erf;
 use tn_physics::units::Length;
 
 /// A 2-D Gaussian beam spot (axially symmetric).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeamProfile {
     sigma: Length,
 }

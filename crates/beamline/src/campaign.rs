@@ -14,9 +14,7 @@
 //!    estimator a real campaign applies.
 
 use crate::facility::Facility;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_devices::response::ErrorClass;
 use tn_devices::Device;
 use tn_fault_injection::InjectionStats;
@@ -24,7 +22,7 @@ use tn_physics::stats::PoissonInterval;
 use tn_physics::units::Seconds;
 
 /// A cross section measured from counts over fluence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasuredCrossSection {
     /// Observed error count.
     pub count: u64,
@@ -65,7 +63,7 @@ impl MeasuredCrossSection {
 }
 
 /// Result of one campaign: a device+workload pair on one beam.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// Device name.
     pub device: String,
@@ -157,7 +155,7 @@ impl<'a> Campaign<'a> {
     /// Runs the campaign: Poisson-draws counts at the expected rates and
     /// forms the quoted cross sections.
     pub fn run(&self) -> CampaignResult {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let (sdc_rate, due_rate) = self.expected_rates();
         let t = self.beam_time.value();
         let sdc_count = tn_devices::sampling::poisson(&mut rng, sdc_rate * t);

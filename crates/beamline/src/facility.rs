@@ -1,13 +1,12 @@
 //! The two ISIS beamlines as spectral + flux models.
 
-use serde::{Deserialize, Serialize};
 use tn_physics::spectrum::{chipir_reference, rotax_reference};
 use tn_physics::units::{Flux, Seconds};
 use tn_physics::{EnergyBand, Spectrum};
 
 /// Which band a facility quotes its fluence in — real campaigns divide
 /// error counts by the *quoted* fluence, not the total one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuotingConvention {
     /// Fluence counted above 10 MeV (ChipIR, atmospheric-like practice).
     HighEnergy,
@@ -16,7 +15,7 @@ pub enum QuotingConvention {
 }
 
 /// An irradiation facility: a spectrum plus the fluence-quoting band.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Facility {
     spectrum: Spectrum,
     quoting: QuotingConvention,

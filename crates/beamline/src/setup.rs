@@ -6,10 +6,9 @@
 //! the incoming thermal neutrons, so only one board can be tested at a
 //! time — encoded here as a hard setup rule.
 
-use serde::{Deserialize, Serialize};
 
 /// One board position in the beam.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoardSlot {
     /// Label (device name).
     pub label: String,
@@ -18,7 +17,7 @@ pub struct BoardSlot {
 }
 
 /// A beam-hall arrangement of boards.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BeamSetup {
     slots: Vec<BoardSlot>,
     /// Whether the beam is stopped by the first board (thermal beams).

@@ -5,14 +5,12 @@
 
 use crate::campaign::CampaignResult;
 use crate::facility::Facility;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_devices::ddr::{classify, ClassifiedErrors, CorrectLoop, DdrModule};
 use tn_physics::units::{Flux, Seconds};
 
 /// One dosimetry entry: fluence delivered during a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DoseEntry {
     /// What was in the beam.
     pub target: String,
@@ -25,7 +23,7 @@ pub struct DoseEntry {
 }
 
 /// The dosimetry log of a shift.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DoseLog {
     entries: Vec<DoseEntry>,
 }
@@ -48,7 +46,7 @@ impl DoseLog {
 }
 
 /// How a DDR run on this shift ended.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DdrRunEnd {
     /// Ran its allotted time.
     Completed(ClassifiedErrors),
@@ -71,7 +69,7 @@ pub struct BeamShift {
     current_wobble: f64,
     clock: f64,
     log: DoseLog,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl BeamShift {
@@ -85,7 +83,7 @@ impl BeamShift {
             current_wobble: 0.03,
             clock: 0.0,
             log: DoseLog::default(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -101,7 +99,7 @@ impl BeamShift {
 
     /// Samples the wobbled beam flux for one run.
     fn wobbled_flux(&mut self) -> Flux {
-        let wobble = 1.0 + self.current_wobble * (2.0 * self.rng.gen::<f64>() - 1.0);
+        let wobble = 1.0 + self.current_wobble * (2.0 * self.rng.gen_f64() - 1.0);
         self.facility.quoted_flux() * wobble
     }
 

@@ -1,35 +1,40 @@
-//! Property-based campaign invariants.
+//! Property-style campaign invariants, driven by fixed-seed `tn_rng`
+//! generator loops.
 
-use proptest::prelude::*;
+use tn_rng::Rng;
 use tn_beamline::{Campaign, Facility, MeasuredCrossSection};
 use tn_devices::catalog;
 use tn_fault_injection::InjectionStats;
 use tn_physics::units::Seconds;
 
+const CASES: usize = 24;
+
 fn profile(masked: u64, sdc: u64, due: u64) -> InjectionStats {
     InjectionStats { masked, sdc, due }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn measured_cross_section_ci_brackets_the_estimate(
-        count in 0u64..10_000,
-        fluence_exp in 6.0f64..14.0,
-    ) {
+#[test]
+fn measured_cross_section_ci_brackets_the_estimate() {
+    let mut rng = Rng::seed_from_u64(0xb01);
+    for _ in 0..CASES {
+        let count = rng.gen_range(0u64..10_000);
+        let fluence_exp = rng.gen_range(6.0..14.0);
         let m = MeasuredCrossSection::from_counts(count, 10f64.powf(fluence_exp));
-        prop_assert!(m.ci.0 <= m.sigma + 1e-30);
-        prop_assert!(m.sigma <= m.ci.1);
+        assert!(m.ci.0 <= m.sigma + 1e-30);
+        assert!(m.sigma <= m.ci.1);
         if count > 0 {
-            prop_assert!(m.ci.0 > 0.0);
+            assert!(m.ci.0 > 0.0);
         } else {
-            prop_assert_eq!(m.ci.0, 0.0);
+            assert_eq!(m.ci.0, 0.0);
         }
     }
+}
 
-    #[test]
-    fn campaigns_are_deterministic(seed in 0u64..10_000) {
+#[test]
+fn campaigns_are_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xb02);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..10_000);
         let k20 = catalog::nvidia_k20();
         let p = profile(300, 600, 100);
         let mk = || {
@@ -38,14 +43,16 @@ proptest! {
                 .seed(seed)
                 .run()
         };
-        prop_assert_eq!(mk(), mk());
+        assert_eq!(mk(), mk());
     }
+}
 
-    #[test]
-    fn more_sdc_prone_workloads_measure_bigger_sdc_sigma(
-        seed in 0u64..500,
-        sdc_lo in 100u64..400,
-    ) {
+#[test]
+fn more_sdc_prone_workloads_measure_bigger_sdc_sigma() {
+    let mut rng = Rng::seed_from_u64(0xb03);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
+        let sdc_lo = rng.gen_range(100u64..400);
         let apu = catalog::amd_apu_hybrid();
         let low = profile(1000 - sdc_lo, sdc_lo, 0);
         let high = profile(100, 900, 0);
@@ -60,30 +67,38 @@ proptest! {
             .run();
         // 900/1000 vs at most 400/1000 SDC fraction: the measured sigma
         // ordering must survive counting noise at 40 beam-hours.
-        prop_assert!(
+        assert!(
             b.sdc.sigma > a.sdc.sigma,
             "high {:e} <= low {:e}",
             b.sdc.sigma,
             a.sdc.sigma
         );
     }
+}
 
-    #[test]
-    fn due_only_profile_yields_no_sdc(seed in 0u64..1000) {
+#[test]
+fn due_only_profile_yields_no_sdc() {
+    let mut rng = Rng::seed_from_u64(0xb04);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
         let phi = catalog::xeon_phi();
         let p = profile(500, 0, 500);
         let result = Campaign::new(Facility::chipir(), &phi, "X", p)
             .beam_time(Seconds::from_hours(2.0))
             .seed(seed)
             .run();
-        prop_assert_eq!(result.sdc.count, 0);
+        assert_eq!(result.sdc.count, 0);
     }
+}
 
-    #[test]
-    fn fluence_scales_linearly_with_beam_time(hours in 1.0f64..50.0) {
+#[test]
+fn fluence_scales_linearly_with_beam_time() {
+    let mut rng = Rng::seed_from_u64(0xb05);
+    for _ in 0..CASES {
+        let hours = rng.gen_range(1.0..50.0);
         let f = Facility::rotax();
         let one = f.quoted_fluence(Seconds::from_hours(hours));
         let two = f.quoted_fluence(Seconds::from_hours(2.0 * hours));
-        prop_assert!((two - 2.0 * one).abs() < 1e-9 * two);
+        assert!((two - 2.0 * one).abs() < 1e-9 * two);
     }
 }

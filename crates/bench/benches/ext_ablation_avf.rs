@@ -7,7 +7,7 @@
 //! masking, which the fault-injection profiles supply; a flat AVF
 //! flattens it to zero.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_beamline::{Campaign, Facility};
 use tn_devices::catalog;
@@ -78,7 +78,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let mxm = MxM::new(16, 1);
     c.bench_function("abl2_profile_mxm_100", |b| {
@@ -86,9 +87,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! predicts. A flat tabulated σ_th misses that spectral hardening
 //! entirely, which is why the capture law is load-bearing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row, row};
 use tn_devices::catalog;
 use tn_devices::response::{ErrorClass, SensitiveRegion};
@@ -52,7 +52,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(20);
     regenerate();
     let k20 = catalog::nvidia_k20();
     let region = *k20.response().region(ErrorClass::Sdc);
@@ -60,9 +61,3 @@ fn bench(c: &mut Criterion) {
     c.bench_function("abl1_spectrum_fold", |b| b.iter(|| region.event_rate(&cold)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! relative to the published memory band, and what the baseline cannot
 //! express (per-code masking, SDC/DUE structure).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_devices::response::ErrorClass;
 use tn_devices::catalog;
@@ -41,7 +41,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let baseline = WeulersseBaseline::published();
     let devices = catalog::all_compute_devices();
@@ -55,9 +56,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

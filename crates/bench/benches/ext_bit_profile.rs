@@ -4,7 +4,7 @@
 //! manifest through different fault models whose program-level imprint
 //! only beam experiments (or, here, injection) can reveal.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::header;
 use tn_fault_injection::{profile_by_bit, BitRegion};
 use tn_workloads::{bfs::Bfs, hotspot::HotSpot, mxm::MxM, yolo::Yolo, Workload};
@@ -42,7 +42,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let mxm = MxM::new(16, 1);
     c.bench_function("ext_bit_profile_mxm_40pr", |b| {
@@ -50,9 +51,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! only SEFIs corrupt many bits. Regenerates the distribution and the
 //! SECDED replay results.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_devices::ddr::{classify, CorrectLoop, DdrModule};
 use tn_devices::ecc::{replay_with_ecc, secded_sufficient_outside_sefis};
@@ -49,7 +49,8 @@ fn regenerate() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let mut tester = CorrectLoop::new(DdrModule::ddr4(), 3);
     let log = tester.run(Flux(2.72e7), Seconds(2000.0), Seconds(10.0));
@@ -57,9 +58,3 @@ fn bench(c: &mut Criterion) {
     c.bench_function("ext_ddr_classify", |b| b.iter(|| classify(&log)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! (Leadville DUE); K20 29 % of SDC FIT at Leadville; APU CPU+GPU 39 %
 //! of DUEs thermal; overall "up to ~40 %".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row};
 use tn_core::{Pipeline, PipelineConfig, StudyReport};
 use tn_environment::{Environment, Location, Surroundings, Weather};
@@ -86,7 +86,8 @@ fn regenerate(report: &StudyReport) {
     ratio_row("max thermal share (paper: up to ~40%)", 0.40, max_share, 1.5);
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     let report = Pipeline::new(PipelineConfig::thorough()).seed(2020).run();
     regenerate(&report);
     let [(_, nyc), _] = environments();
@@ -96,9 +97,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! (the Ziegler 2003 / Tin-II numbers the paper's discussion rests on),
 //! derived from the Monte-Carlo room model and swept across environments.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row};
 use tn_environment::{DataCenterRoom, Environment, Location, Surroundings, Weather};
 
@@ -74,7 +74,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let room = DataCenterRoom::liquid_cooled();
     c.bench_function("ext_room_mc_derivation_2k", |b| {
@@ -82,9 +83,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! about twice the resources; its fast cross section doubles with the
 //! area, but its *thermal* cross section grows almost fourfold.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row};
 use tn_devices::fpga::{run_scrubbed, ConfigMemory, DesignPrecision};
 use tn_physics::units::{Flux, Seconds};
@@ -61,7 +61,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     c.bench_function("ext_fpga_scrubbed_run_4000s", |b| {
         b.iter(|| {
@@ -76,9 +77,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

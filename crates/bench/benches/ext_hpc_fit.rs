@@ -2,7 +2,7 @@
 //! June-2019 Top-10 supercomputers, from each site's altitude, cooling
 //! design and installed memory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_fit::hpc::{ranked_by_thermal_fit, TOP10_2019};
 
@@ -43,14 +43,9 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(30);
     regenerate();
     c.bench_function("ext_hpc_rank_top10", |b| b.iter(ranked_by_thermal_fit));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench
-}
-criterion_main!(benches);

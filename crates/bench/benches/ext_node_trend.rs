@@ -3,7 +3,7 @@
 //! correlation and same-node foundry spread over the catalog, plus the
 //! climate-integrated error forecast that weather variability implies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_devices::catalog::all_compute_devices;
 use tn_environment::{Climate, Environment, Location, Surroundings, Weather};
@@ -65,7 +65,8 @@ fn regenerate() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(20);
     regenerate();
     let devices = all_compute_devices();
     c.bench_function("ext_trend_analysis", |b| b.iter(|| analyse(&devices)));
@@ -73,9 +74,3 @@ fn bench(c: &mut Criterion) {
     c.bench_function("ext_climate_year", |b| b.iter(|| climate.synthesize(365, 1)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! with 95 % Poisson error bars, "normalized to the lowest cross section
 //! for each vendor".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_core::{Pipeline, PipelineConfig, StudyReport};
 
@@ -62,7 +62,8 @@ fn regenerate(report: &StudyReport) {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     let report = Pipeline::new(PipelineConfig::thorough()).seed(2020).run();
     regenerate(&report);
     c.bench_function("ext_per_code_table_render", |b| {
@@ -76,9 +77,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! device with thin layers of cadmium or some inches of boron plastic"
 //! — and why neither is practical near an HPC device.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_physics::units::{Energy, Length};
 use tn_physics::Material;
@@ -70,7 +70,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let cd = Material::cadmium();
     c.bench_function("ext_shield_sweep_cd_2k", |b| {
@@ -80,9 +81,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

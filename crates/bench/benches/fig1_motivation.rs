@@ -7,7 +7,7 @@
 //! section per vendor, as the paper does to avoid leaking absolute
 //! (business-sensitive) numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_beamline::{Campaign, Facility};
 use tn_bench::{header, row};
 use tn_devices::catalog;
@@ -81,7 +81,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let apu = catalog::amd_apu_hybrid();
     let sc = StreamCompaction::new(256, 1);
@@ -101,9 +102,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! standard 12-decade grid and checks the published integral fluxes:
 //! 5.4e6 n/cm²/s above 10 MeV + 4e5 thermal (ChipIR), 2.72e6 (ROTAX).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, row};
 use tn_physics::spectrum::{chipir_reference, rotax_reference};
 use tn_physics::{EnergyBand, EnergyGrid};
@@ -53,7 +53,8 @@ fn regenerate() {
     println!("         thermal peak on the left (ROTAX), cascade on the right (ChipIR)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(20);
     regenerate();
     let chipir = chipir_reference();
     let grid = EnergyGrid::standard();
@@ -65,9 +66,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! category, plus the two structural findings (DDR4 ≈ 10× less sensitive;
 //! opposite dominant flip directions) and the ChipIR abort.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row, row};
 use tn_devices::ddr::{classify, CorrectLoop, DdrErrorKind, DdrModule, FlipDirection};
 use tn_physics::units::{Flux, Seconds};
@@ -68,7 +68,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     c.bench_function("fig4_correct_loop_1000s", |b| {
         b.iter(|| {
@@ -79,9 +80,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ratios for SDC and DUE, measured by the full simulated-campaign
 //! pipeline and compared against the published values.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row};
 use tn_core::{Pipeline, PipelineConfig};
 
@@ -50,16 +50,11 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     c.bench_function("fig5_quick_pipeline", |b| {
         b.iter(|| Pipeline::new(PipelineConfig::quick()).seed(1).run())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

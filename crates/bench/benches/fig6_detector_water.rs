@@ -4,7 +4,7 @@
 //! derived from Monte-Carlo moderation rather than hard-coded. Also
 //! prints the fixed-+24 % ablation for comparison (DESIGN.md §5.3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tn_bench::Harness;
 use tn_bench::{header, ratio_row, row};
 use tn_detector::WaterBoxExperiment;
 use tn_environment::{Environment, Location, Surroundings, Weather};
@@ -48,7 +48,8 @@ fn regenerate() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new(10);
     regenerate();
     let experiment = WaterBoxExperiment::paper_configuration(building()).days(1.0, 1.0);
     c.bench_function("fig6_waterbox_two_days", |b| {
@@ -56,9 +57,3 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

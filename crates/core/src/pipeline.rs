@@ -94,9 +94,9 @@ impl Pipeline {
         }
         let profiles = &profiles;
         let mut reports: Vec<Option<DeviceReport>> = (0..roster.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (d_idx, (entry, slot)) in roster.iter().zip(reports.iter_mut()).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut chipir = Vec::new();
                     let mut rotax = Vec::new();
                     for (w_idx, workload) in entry.workloads.iter().enumerate() {
@@ -133,8 +133,7 @@ impl Pipeline {
                     });
                 });
             }
-        })
-        .expect("pipeline worker panicked");
+        });
         let reports = reports
             .into_iter()
             .map(|r| r.expect("every device slot filled"))

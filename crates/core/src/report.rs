@@ -1,14 +1,18 @@
 //! Study results: per-device campaign collections, ratio extraction and
 //! FIT folding — the data behind Figures 1, 5 and the FIT analysis.
+//!
+//! Machine-readable export is a hand-rolled JSON writer ([`StudyReport::to_json`])
+//! rather than a serde derive: the hermetic-build policy keeps external
+//! crates out of the build graph, and the report shape is small and stable
+//! enough that a page of formatting code covers it.
 
-use serde::{Deserialize, Serialize};
 use tn_beamline::CampaignResult;
 use tn_environment::Environment;
 use tn_fit::DeviceFit;
 use tn_physics::units::CrossSection;
 
 /// All campaign results for one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceReport {
     /// Device name.
     pub name: String,
@@ -91,8 +95,76 @@ fn ratio(num: f64, den: f64) -> f64 {
     }
 }
 
+/// Appends a JSON string literal (with escaping) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number; non-finite values (e.g. an unbounded upper
+/// confidence limit) have no JSON encoding and are emitted as `null`.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:e}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_cross_section(out: &mut String, m: &tn_beamline::MeasuredCrossSection) {
+    out.push_str("{\"count\":");
+    out.push_str(&m.count.to_string());
+    out.push_str(",\"fluence\":");
+    push_json_f64(out, m.fluence);
+    out.push_str(",\"sigma\":");
+    push_json_f64(out, m.sigma);
+    out.push_str(",\"ci\":[");
+    push_json_f64(out, m.ci.0);
+    out.push(',');
+    push_json_f64(out, m.ci.1);
+    out.push_str("]}");
+}
+
+fn push_json_campaign(out: &mut String, r: &CampaignResult) {
+    out.push_str("{\"device\":");
+    push_json_str(out, &r.device);
+    out.push_str(",\"workload\":");
+    push_json_str(out, &r.workload);
+    out.push_str(",\"facility\":");
+    push_json_str(out, &r.facility);
+    out.push_str(",\"beam_seconds\":");
+    push_json_f64(out, r.beam_seconds);
+    out.push_str(",\"sdc\":");
+    push_json_cross_section(out, &r.sdc);
+    out.push_str(",\"due\":");
+    push_json_cross_section(out, &r.due);
+    out.push('}');
+}
+
+fn push_json_campaigns(out: &mut String, rs: &[CampaignResult]) {
+    out.push('[');
+    for (i, r) in rs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_campaign(out, r);
+    }
+    out.push(']');
+}
+
 /// The whole study: one report per device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyReport {
     devices: Vec<DeviceReport>,
     /// RNG seed the study ran with.
@@ -113,6 +185,33 @@ impl StudyReport {
     /// Looks a device up by name.
     pub fn device(&self, name: &str) -> Option<&DeviceReport> {
         self.devices.iter().find(|d| d.name == name)
+    }
+
+    /// Serializes the whole study as a single-line JSON document.
+    ///
+    /// The layout mirrors the struct tree:
+    /// `{"seed":N,"devices":[{"name":...,"chipir":[...],"rotax":[...]}]}`,
+    /// with every campaign carrying its counts, fluence, sigma and 95 %
+    /// confidence bounds. Non-finite bounds encode as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"devices\":[");
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &d.name);
+            out.push_str(",\"chipir\":");
+            push_json_campaigns(&mut out, &d.chipir);
+            out.push_str(",\"rotax\":");
+            push_json_campaigns(&mut out, &d.rotax);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Renders the Figure-5 table (average HE/thermal cross-section
@@ -233,6 +332,41 @@ mod tests {
         assert!(fit_table.contains("NYC SDC"));
         assert!(fit_table.contains("Leadville DUE"));
         assert_eq!(fit_table.lines().count(), 2, "header + one device");
+    }
+
+    #[test]
+    fn json_export_has_the_full_tree() {
+        let study = StudyReport::new(vec![report()], 42);
+        let json = study.to_json();
+        assert!(json.starts_with("{\"seed\":42,\"devices\":["));
+        assert!(json.ends_with("]}"));
+        for key in ["\"name\":", "\"chipir\":", "\"rotax\":", "\"workload\":\"MxM\"",
+                    "\"facility\":\"ChipIR\"", "\"count\":", "\"sigma\":", "\"ci\":["] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced structure: every opened brace/bracket closes.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_values() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        push_json_f64(&mut out, 2.5e-10);
+        assert_eq!(out, "2.5e-10");
+    }
+
+    #[test]
+    fn json_export_is_deterministic() {
+        let study = StudyReport::new(vec![report()], 7);
+        assert_eq!(study.to_json(), study.to_json());
     }
 
     #[test]

@@ -4,12 +4,11 @@
 //! published anchor show up here, not in a reviewer's eye).
 
 use crate::report::StudyReport;
-use serde::{Deserialize, Serialize};
 use tn_devices::catalog::all_compute_devices;
 use tn_devices::response::ErrorClass;
 
 /// One validation finding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// Device the finding concerns.
     pub device: String,
@@ -20,7 +19,7 @@ pub struct Finding {
 }
 
 /// Result of validating a study report.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Validation {
     /// Checks that ran.
     pub checks: usize,

@@ -8,15 +8,13 @@
 //! one tube wrapped in cadmium and the pair deployed.
 
 use crate::he3::{He3Tube, Shielding};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_environment::Environment;
 use tn_physics::stats::poisson;
 use tn_physics::units::Seconds;
 
 /// Result of a side-by-side calibration run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationResult {
     /// Counts in tube A.
     pub counts_a: u64,
@@ -59,7 +57,7 @@ pub fn calibrate_pair(
         "efficiencies must be positive"
     );
     assert!(duration.value() > 0.0, "duration must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let thermal = env.thermal_flux();
     let fast = env.thermal_flux() * fast_to_thermal_ratio;
     let tube_a = He3Tube::new(Shielding::Bare, efficiency_a_cm2);

@@ -1,10 +1,9 @@
 //! The He-3 proportional counter tubes of the Tin-II detector.
 
-use serde::{Deserialize, Serialize};
 use tn_physics::units::Flux;
 
 /// Tube shielding configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Shielding {
     /// Bare tube: counts thermal neutrons and (weakly) everything else.
     Bare,
@@ -19,7 +18,7 @@ pub enum Shielding {
 /// zero, which is exactly why the paper pairs a bare and a Cd-shielded
 /// tube: their *difference* isolates the thermal signal from everything
 /// the shield passes (fast neutrons, gammas, betas).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct He3Tube {
     shielding: Shielding,
     /// Absolute efficiency × sensitive area for thermal neutrons

@@ -2,16 +2,14 @@
 //! counting time series, and the paper's water-box experiment (Figure 6).
 
 use crate::he3::{thermal_flux_from_pair, He3Tube, Shielding};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_environment::Environment;
 use tn_physics::units::{Energy, Flux, Length, Seconds};
 use tn_physics::Material;
 use tn_transport::SlabEffect;
 
 /// One counting bin of the time series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CountSample {
     /// Bin start, in hours since the campaign began.
     pub hour: f64,
@@ -24,7 +22,7 @@ pub struct CountSample {
 }
 
 /// The deployed detector pair.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TinII {
     bare: He3Tube,
     shielded: He3Tube,
@@ -83,7 +81,7 @@ impl TinII {
         duration: Seconds,
         thermal_scale: f64,
         start_hour: f64,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Vec<CountSample> {
         assert!(thermal_scale >= 0.0, "scale must be non-negative");
         let thermal = env.thermal_flux() * thermal_scale;
@@ -120,7 +118,7 @@ impl Default for TinII {
 }
 
 /// Outcome of the water-box experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaterBoxOutcome {
     /// Hourly samples across the whole campaign.
     pub series: Vec<CountSample>,
@@ -147,7 +145,7 @@ impl WaterBoxOutcome {
 
 /// The Figure-6 experiment: count for `days_before`, place two inches of
 /// water over the detector, count for `days_after`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaterBoxExperiment {
     detector: TinII,
     environment: Environment,
@@ -213,7 +211,7 @@ impl WaterBoxExperiment {
 
     /// Runs the full campaign.
     pub fn run(&self, seed: u64) -> WaterBoxOutcome {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let boost = self.derive_boost(seed ^ 0x5ca1e);
         let before = self.detector.count_series(
             &self.environment,
@@ -260,7 +258,7 @@ mod tests {
     #[test]
     fn count_series_has_hourly_bins() {
         let det = TinII::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let series = det.count_series(&lanl_building(), Seconds::from_days(1.0), 1.0, 0.0, &mut rng);
         assert_eq!(series.len(), 24);
         assert!((series[5].hour - 5.0).abs() < 1e-12);
@@ -269,7 +267,7 @@ mod tests {
     #[test]
     fn bare_counts_exceed_shielded_counts() {
         let det = TinII::new();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let series = det.count_series(&lanl_building(), Seconds::from_days(2.0), 1.0, 0.0, &mut rng);
         let bare: u64 = series.iter().map(|s| s.bare).sum();
         let shielded: u64 = series.iter().map(|s| s.shielded).sum();
@@ -280,7 +278,7 @@ mod tests {
     fn reconstructed_flux_matches_environment() {
         let det = TinII::new();
         let env = lanl_building();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let series = det.count_series(&env, Seconds::from_days(4.0), 1.0, 0.0, &mut rng);
         let mean_flux: f64 =
             series.iter().map(|s| s.thermal_flux.value()).sum::<f64>() / series.len() as f64;

@@ -1,11 +1,12 @@
-//! Property-based detector invariants.
+//! Property-style detector invariants, driven by fixed-seed `tn_rng`
+//! generator loops.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tn_rng::Rng;
 use tn_detector::{calibrate_pair, He3Tube, Shielding, TinII};
 use tn_environment::{Environment, Location, Surroundings, Weather};
 use tn_physics::units::{Flux, Seconds};
+
+const CASES: usize = 16;
 
 fn site(altitude: f64) -> Environment {
     Environment::new(
@@ -15,51 +16,59 @@ fn site(altitude: f64) -> Environment {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn bare_rate_dominates_shielded_rate(
-        eff in 1.0f64..1000.0,
-        th in 1e-4f64..1e-1,
-        fast_mult in 1.0f64..30.0,
-    ) {
+#[test]
+fn bare_rate_dominates_shielded_rate() {
+    let mut rng = Rng::seed_from_u64(0xde01);
+    for _ in 0..CASES {
+        let eff = rng.gen_range(1.0..1000.0);
+        let th = 10f64.powf(rng.gen_range(-4.0..-1.0));
+        let fast_mult = rng.gen_range(1.0..30.0);
         let bare = He3Tube::new(Shielding::Bare, eff);
         let shielded = He3Tube::new(Shielding::Cadmium, eff);
         let thermal = Flux(th);
         let fast = Flux(th * fast_mult);
-        prop_assert!(bare.expected_rate(thermal, fast) > shielded.expected_rate(thermal, fast));
+        assert!(bare.expected_rate(thermal, fast) > shielded.expected_rate(thermal, fast));
     }
+}
 
-    #[test]
-    fn expected_rates_are_linear_in_flux(
-        eff in 1.0f64..500.0,
-        th in 1e-4f64..1e-1,
-    ) {
+#[test]
+fn expected_rates_are_linear_in_flux() {
+    let mut rng = Rng::seed_from_u64(0xde02);
+    for _ in 0..CASES {
+        let eff = rng.gen_range(1.0..500.0);
+        let th = 10f64.powf(rng.gen_range(-4.0..-1.0));
         let bare = He3Tube::new(Shielding::Bare, eff);
         let r1 = bare.expected_rate(Flux(th), Flux(0.0));
         let r2 = bare.expected_rate(Flux(2.0 * th), Flux(0.0));
-        prop_assert!((r2 - 2.0 * r1).abs() < 1e-12 * r2.max(1e-300));
+        assert!((r2 - 2.0 * r1).abs() < 1e-12 * r2.max(1e-300));
     }
+}
 
-    #[test]
-    fn count_series_mean_tracks_ambient(altitude in 0.0f64..3000.0, seed in 0u64..100) {
+#[test]
+fn count_series_mean_tracks_ambient() {
+    let mut rng = Rng::seed_from_u64(0xde03);
+    for _ in 0..CASES {
+        let altitude = rng.gen_range(0.0..3000.0);
+        let seed = rng.gen_range(0u64..100);
         let env = site(altitude);
         let detector = TinII::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let series =
-            detector.count_series(&env, Seconds::from_days(2.0), 1.0, 0.0, &mut rng);
+        let mut series_rng = Rng::seed_from_u64(seed);
+        let series = detector.count_series(&env, Seconds::from_days(2.0), 1.0, 0.0, &mut series_rng);
         let mean: f64 =
             series.iter().map(|s| s.thermal_flux.value()).sum::<f64>() / series.len() as f64;
         let expected = env.thermal_flux().value();
-        prop_assert!(
+        assert!(
             (mean - expected).abs() / expected < 0.25,
             "mean {mean:e} vs ambient {expected:e}"
         );
     }
+}
 
-    #[test]
-    fn matched_tubes_calibrate_clean(seed in 0u64..200) {
+#[test]
+fn matched_tubes_calibrate_clean() {
+    let mut rng = Rng::seed_from_u64(0xde04);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..200);
         let result = calibrate_pair(
             100.0,
             100.0,
@@ -68,19 +77,23 @@ proptest! {
             Seconds::from_hours(18.0),
             seed,
         );
-        prop_assert!(result.tubes_match(4.0), "{result:?}");
+        assert!(result.tubes_match(4.0), "{result:?}");
     }
+}
 
-    #[test]
-    fn thermal_scale_moves_counts_monotonically(scale in 1.1f64..3.0, seed in 0u64..50) {
+#[test]
+fn thermal_scale_moves_counts_monotonically() {
+    let mut rng = Rng::seed_from_u64(0xde05);
+    for _ in 0..CASES {
+        let scale = rng.gen_range(1.1..3.0);
+        let seed = rng.gen_range(0u64..50);
         let env = site(2231.0);
         let detector = TinII::new();
-        let mut rng1 = StdRng::seed_from_u64(seed);
-        let mut rng2 = StdRng::seed_from_u64(seed);
+        let mut rng1 = Rng::seed_from_u64(seed);
+        let mut rng2 = Rng::seed_from_u64(seed);
         let base = detector.count_series(&env, Seconds::from_days(2.0), 1.0, 0.0, &mut rng1);
-        let boosted =
-            detector.count_series(&env, Seconds::from_days(2.0), scale, 0.0, &mut rng2);
+        let boosted = detector.count_series(&env, Seconds::from_days(2.0), scale, 0.0, &mut rng2);
         let sum = |s: &[tn_detector::CountSample]| s.iter().map(|c| c.bare).sum::<u64>();
-        prop_assert!(sum(&boosted) > sum(&base));
+        assert!(sum(&boosted) > sum(&base));
     }
 }

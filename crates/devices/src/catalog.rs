@@ -29,7 +29,6 @@
 //! infer the boron content.
 
 use crate::response::{DeviceResponse, ErrorClass, SensitiveRegion};
-use serde::{Deserialize, Serialize};
 use tn_physics::constants::THERMAL_CUTOFF;
 use tn_physics::spectrum::{chipir_reference, rotax_reference};
 use tn_physics::units::{CrossSection, Energy};
@@ -37,7 +36,7 @@ use tn_physics::{EnergyBand, Spectrum};
 
 /// Transistor structure, which the paper correlates with thermal
 /// sensitivity (planar CMOS devices looked more susceptible than FinFET).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransistorKind {
     /// Planar bulk CMOS.
     PlanarCmos,
@@ -48,7 +47,7 @@ pub enum TransistorKind {
 }
 
 /// Manufacturing technology of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Technology {
     /// Feature size in nanometres.
     pub node_nm: u32,
@@ -59,7 +58,7 @@ pub struct Technology {
 }
 
 /// Broad device category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Many-core HPC accelerator (Xeon Phi).
     ManyCore,
@@ -76,7 +75,7 @@ pub enum DeviceKind {
 }
 
 /// A catalog device: identity, technology and fitted radiation response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     name: String,
     vendor: &'static str,
@@ -175,6 +174,9 @@ pub fn fit_b10_population(fast_saturated: CrossSection, target: f64) -> f64 {
     f_chipir * phi_th / denom
 }
 
+// Internal constructor mirroring the catalog's table layout: one argument
+// per column is clearer here than a builder.
+#[allow(clippy::too_many_arguments)]
 fn device(
     name: &str,
     vendor: &'static str,

@@ -22,14 +22,12 @@
 //! the truth — the same epistemic position as the experimenters.
 
 use crate::sampling::poisson;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use std::collections::BTreeMap;
 use tn_physics::units::{CrossSection, Flux, Seconds};
 
 /// DRAM generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DdrGeneration {
     /// DDR3 (1.5 V, tested at 1866 MT/s).
     Ddr3,
@@ -47,7 +45,7 @@ impl std::fmt::Display for DdrGeneration {
 }
 
 /// Direction of a bit flip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlipDirection {
     /// Stored 1 read as 0.
     OneToZero,
@@ -71,7 +69,7 @@ impl FlipDirection {
 /// read/write loop allows differentiating 1-0 and 0-1 bit flips": with
 /// all-ones only 1→0 flips are *observable* (a 0→1 upset lands on a cell
 /// that already stores 1), and vice versa. Alternating exposes both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataPattern {
     /// Banks hold 0xFF; only 1→0 flips are visible.
     AllOnes,
@@ -101,7 +99,7 @@ impl DataPattern {
 }
 
 /// The paper's four error categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DdrErrorKind {
     /// One wrong read, gone after rewrite.
     Transient,
@@ -136,7 +134,7 @@ impl std::fmt::Display for DdrErrorKind {
 }
 
 /// A DDR module's radiation personality.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DdrModule {
     generation: DdrGeneration,
     capacity_gbit: f64,
@@ -258,7 +256,7 @@ impl DdrModule {
 }
 
 /// One erroneous bit observed during a read sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitError {
     /// Word address.
     pub address: u64,
@@ -267,7 +265,7 @@ pub struct BitError {
 }
 
 /// All errors seen in one read sweep of the module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReadSweep {
     /// Sweep index (0-based).
     pub index: u64,
@@ -278,7 +276,7 @@ pub struct ReadSweep {
 }
 
 /// The full log of a correct-loop run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorrectLoopLog {
     /// Module generation tested.
     pub generation: DdrGeneration,
@@ -297,7 +295,7 @@ pub struct CorrectLoopLog {
 pub struct CorrectLoop {
     module: DdrModule,
     pattern: DataPattern,
-    rng: StdRng,
+    rng: Rng,
     /// Addresses currently stuck (permanent errors), with direction.
     stuck: BTreeMap<u64, FlipDirection>,
     /// Addresses intermittently failing, with direction and per-read
@@ -318,7 +316,7 @@ impl CorrectLoop {
         Self {
             module,
             pattern: DataPattern::Alternating,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             stuck: BTreeMap::new(),
             flaky: BTreeMap::new(),
         }
@@ -354,7 +352,7 @@ impl CorrectLoop {
     }
 
     fn sample_direction(&mut self) -> FlipDirection {
-        if self.rng.gen::<f64>() < self.module.dominant_fraction {
+        if self.rng.gen_f64() < self.module.dominant_fraction {
             self.module.dominant_direction
         } else {
             self.module.dominant_direction.opposite()
@@ -362,7 +360,7 @@ impl CorrectLoop {
     }
 
     fn sample_kind(&mut self) -> DdrErrorKind {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         let mut acc = 0.0;
         for (i, &k) in DdrErrorKind::ALL.iter().enumerate() {
             acc += self.module.category_mix[i];
@@ -449,7 +447,7 @@ impl CorrectLoop {
                 .map(|(&address, &(direction, p))| (address, direction, p))
                 .collect();
             for (address, direction, p) in flaky {
-                if self.pattern.observes(direction, index) && self.rng.gen::<f64>() < p {
+                if self.pattern.observes(direction, index) && self.rng.gen_f64() < p {
                     errors.push(BitError { address, direction });
                 }
             }
@@ -469,7 +467,7 @@ impl CorrectLoop {
 }
 
 /// Classified error counts recovered from a correct-loop log.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClassifiedErrors {
     /// Distinct transient errors.
     pub transient: u64,

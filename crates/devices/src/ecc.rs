@@ -8,14 +8,13 @@
 //! a classified error log into corrected/detected/uncorrected counts.
 
 use crate::ddr::{ClassifiedErrors, CorrectLoopLog};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// ECC word width in data bits (the standard x72/x64 DIMM organisation).
 pub const DATA_BITS_PER_WORD: u64 = 64;
 
 /// Outcome of pushing one memory word through SECDED.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EccOutcome {
     /// No erroneous bits.
     Clean,
@@ -38,7 +37,7 @@ pub fn secded_outcome(bad_bits_in_word: u32) -> EccOutcome {
 }
 
 /// Aggregate ECC results over a correct-loop log.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EccReport {
     /// Words with a single corrected bit.
     pub corrected: u64,

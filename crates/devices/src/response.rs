@@ -19,13 +19,12 @@
 //!   parameter. A boron-free device has zero here and is immune, exactly
 //!   as the paper argues.
 
-use serde::{Deserialize, Serialize};
 use tn_physics::capture::b10_capture;
 use tn_physics::units::{CrossSection, Energy, Flux};
 use tn_physics::Spectrum;
 
 /// The two observable error classes of a beam experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorClass {
     /// Silent data corruption: wrong output, no symptom.
     Sdc,
@@ -54,7 +53,7 @@ const FAST_THRESHOLD_HI: f64 = 2.0e6;
 
 /// One sensitive region of a die: its fast-recoil cross section and its
 /// effective ¹⁰B population.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensitiveRegion {
     fast_saturated: CrossSection,
     b10_effective_atoms: f64,
@@ -144,7 +143,7 @@ impl SensitiveRegion {
 }
 
 /// A device's full response: one region per error class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceResponse {
     sdc: SensitiveRegion,
     due: SensitiveRegion,

@@ -8,12 +8,11 @@ pub use tn_physics::stats::poisson;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tn_rng::Rng;
 
     #[test]
     fn mean_is_respected_across_regimes() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for mean in [0.5, 5.0, 80.0, 500.0] {
             let n = 20_000;
             let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
@@ -24,7 +23,7 @@ mod tests {
 
     #[test]
     fn variance_matches_mean() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let mean = 12.0;
         let n = 30_000;
         let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, mean) as f64).collect();
@@ -35,14 +34,14 @@ mod tests {
 
     #[test]
     fn zero_mean_is_zero() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }
 
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_mean_rejected() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let _ = poisson(&mut rng, -1.0);
     }
 }

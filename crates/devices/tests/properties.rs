@@ -1,65 +1,77 @@
-//! Property-based device-model invariants.
+//! Property-style device-model invariants, driven by fixed-seed `tn_rng`
+//! generator loops.
 
-use proptest::prelude::*;
+use tn_rng::Rng;
 use tn_devices::catalog::{all_compute_devices, fit_b10_population};
 use tn_devices::ddr::{classify, CorrectLoop, DdrModule};
 use tn_devices::fpga::ConfigMemory;
 use tn_devices::response::{ErrorClass, SensitiveRegion};
 use tn_physics::units::{CrossSection, Energy, Flux, Seconds};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn region_cross_section_is_monotone_below_threshold(
-        b10 in 1e8f64..1e14,
-        e1 in 1e-4f64..1e3,
-        factor in 1.5f64..100.0,
-    ) {
-        // In the capture-dominated range (everything below the 0.2 MeV
-        // fast-recoil threshold), lower energy = bigger sigma.
+fn log_uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    10f64.powf(rng.gen_range(lo.log10()..hi.log10()))
+}
+
+#[test]
+fn region_cross_section_is_monotone_below_threshold() {
+    // In the capture-dominated range (everything below the 0.2 MeV
+    // fast-recoil threshold), lower energy = bigger sigma.
+    let mut rng = Rng::seed_from_u64(0xd01);
+    for _ in 0..CASES {
+        let b10 = log_uniform(&mut rng, 1e8, 1e14);
+        let e1 = log_uniform(&mut rng, 1e-4, 1e3);
+        let factor = rng.gen_range(1.5..100.0);
         let region = SensitiveRegion::new(CrossSection(1e-9), b10);
         let lo = region.cross_section_at(Energy(e1));
         let hi = region.cross_section_at(Energy(e1 * factor));
-        prop_assert!(lo.value() >= hi.value());
+        assert!(lo.value() >= hi.value());
     }
+}
 
-    #[test]
-    fn fast_region_saturates(
-        sigma_exp in -10.0f64..-7.0,
-        e_mev in 2.0f64..1000.0,
-    ) {
+#[test]
+fn fast_region_saturates() {
+    let mut rng = Rng::seed_from_u64(0xd02);
+    for _ in 0..CASES {
+        let sigma_exp = rng.gen_range(-10.0..-7.0);
+        let e_mev = rng.gen_range(2.0..1000.0);
         let sigma = CrossSection(10f64.powf(sigma_exp));
         let region = SensitiveRegion::boron_free(sigma);
         let at_e = region.cross_section_at(Energy::from_mev(e_mev));
-        prop_assert!((at_e.value() - sigma.value()).abs() < 1e-12 * sigma.value());
+        assert!((at_e.value() - sigma.value()).abs() < 1e-12 * sigma.value());
     }
+}
 
-    #[test]
-    fn b10_fit_round_trips_through_the_device(
-        target in 1.2f64..15.0,
-    ) {
+#[test]
+fn b10_fit_round_trips_through_the_device() {
+    let mut rng = Rng::seed_from_u64(0xd03);
+    for _ in 0..CASES {
+        let target = rng.gen_range(1.2..15.0);
         let sigma = CrossSection(1e-8);
         let b10 = fit_b10_population(sigma, target);
         let again = fit_b10_population(sigma, target);
-        prop_assert_eq!(b10, again, "fit must be deterministic");
-        prop_assert!(b10.is_finite() && b10 > 0.0);
+        assert_eq!(b10, again, "fit must be deterministic");
+        assert!(b10.is_finite() && b10 > 0.0);
     }
+}
 
-    #[test]
-    fn catalog_devices_have_consistent_due_regions(seed in 0u64..8) {
-        let device = &all_compute_devices()[seed as usize];
+#[test]
+fn catalog_devices_have_consistent_due_regions() {
+    for device in &all_compute_devices() {
         let due = device.response().region(ErrorClass::Due);
         let sdc = device.response().region(ErrorClass::Sdc);
         // Control logic is a minority of the die: DUE fast sigma below
         // SDC fast sigma for every catalog device.
-        prop_assert!(due.fast_saturated().value() <= sdc.fast_saturated().value());
+        assert!(due.fast_saturated().value() <= sdc.fast_saturated().value());
     }
+}
 
-    #[test]
-    fn correct_loop_error_count_scales_with_fluence(
-        seed in 0u64..50,
-    ) {
+#[test]
+fn correct_loop_error_count_scales_with_fluence() {
+    let mut rng = Rng::seed_from_u64(0xd04);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0u64..50);
         let beam = Flux(2.72e6);
         let short = {
             let mut t = CorrectLoop::new(DdrModule::ddr3(), seed);
@@ -69,39 +81,42 @@ proptest! {
             let mut t = CorrectLoop::new(DdrModule::ddr3(), seed);
             classify(&t.run(beam, Seconds(16_000.0), Seconds(10.0))).total()
         };
-        prop_assert!(long > short, "short {short}, long {long}");
+        assert!(long > short, "short {short}, long {long}");
     }
+}
 
-    #[test]
-    fn classified_totals_never_exceed_generated_events(
-        seed in 0u64..30,
-        flux_exp in 5.0f64..7.0,
-    ) {
+#[test]
+fn classified_totals_never_exceed_generated_events() {
+    let mut rng = Rng::seed_from_u64(0xd05);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0u64..30);
+        let flux_exp = rng.gen_range(5.0..7.0);
         let beam = Flux(10f64.powf(flux_exp));
         let mut t = CorrectLoop::new(DdrModule::ddr4(), seed);
         let log = t.run(beam, Seconds(2000.0), Seconds(10.0));
         let classified = classify(&log);
         // Expected events = sigma * capacity * fluence; allow 5x headroom
         // for Poisson upside on small numbers.
-        let expected =
-            DdrModule::ddr4().thermal_event_rate(beam) * 2000.0;
-        prop_assert!(
+        let expected = DdrModule::ddr4().thermal_event_rate(beam) * 2000.0;
+        assert!(
             (classified.total() as f64) < 5.0 * expected + 20.0,
             "classified {} vs expected {expected}",
             classified.total()
         );
     }
+}
 
-    #[test]
-    fn fpga_upsets_scale_with_flux(seed in 0u64..50) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+#[test]
+fn fpga_upsets_scale_with_flux() {
+    let mut rng = Rng::seed_from_u64(0xd06);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..50);
         let mut low = ConfigMemory::zynq7000(1e-15);
         let mut high = ConfigMemory::zynq7000(1e-15);
-        let mut rng1 = StdRng::seed_from_u64(seed);
-        let mut rng2 = StdRng::seed_from_u64(seed);
+        let mut rng1 = Rng::seed_from_u64(seed);
+        let mut rng2 = Rng::seed_from_u64(seed);
         low.expose(Flux(1e5), Seconds(1000.0), &mut rng1);
         high.expose(Flux(1e7), Seconds(1000.0), &mut rng2);
-        prop_assert!(high.flipped_total() > low.flipped_total());
+        assert!(high.flipped_total() > low.flipped_total());
     }
 }

@@ -5,13 +5,11 @@
 //! into a forecastable quantity.
 
 use crate::Weather;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 
 /// A site's climate: how often each weather state occurs and how sticky
 /// it is day over day (first-order Markov chain).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Climate {
     /// Stationary probability of rain (split between rainy and
     /// thunderstorm days).
@@ -65,18 +63,18 @@ impl Climate {
     /// Draws a daily weather sequence of `days` days.
     pub fn synthesize(&self, days: usize, seed: u64) -> Vec<Weather> {
         self.validate();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(days);
-        let mut wet = rng.gen::<f64>() < self.wet_day_fraction;
+        let mut wet = rng.gen_f64() < self.wet_day_fraction;
         for _ in 0..days {
             // Persist or redraw the wet/dry state.
-            if rng.gen::<f64>() >= self.persistence {
-                wet = rng.gen::<f64>() < self.wet_day_fraction;
+            if rng.gen_f64() >= self.persistence {
+                wet = rng.gen_f64() < self.wet_day_fraction;
             }
-            let weather = if rng.gen::<f64>() < self.snow_fraction {
+            let weather = if rng.gen_f64() < self.snow_fraction {
                 Weather::Snowpack
             } else if wet {
-                if rng.gen::<f64>() < self.storm_fraction {
+                if rng.gen_f64() < self.storm_fraction {
                     Weather::Thunderstorm
                 } else {
                     Weather::Rainy

@@ -2,7 +2,6 @@
 
 use crate::weather::SolarActivity;
 use crate::{Location, Surroundings, Weather};
-use serde::{Deserialize, Serialize};
 use tn_physics::units::Flux;
 
 /// A complete description of where a device sits: geographic location,
@@ -12,12 +11,11 @@ use tn_physics::units::Flux;
 /// not modelled); the thermal flux is additionally modulated by weather
 /// and surroundings — the paper's central point about thermal-field
 /// variability.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
     location: Location,
     weather: Weather,
     surroundings: Surroundings,
-    #[serde(default)]
     solar: SolarActivity,
 }
 

@@ -8,7 +8,6 @@
 //! comparison point — comes out at ≈ 13× NYC, which also reproduces the
 //! well-known ≈ 3.8× factor for Denver.
 
-use serde::{Deserialize, Serialize};
 use tn_physics::constants::{NYC_HIGH_ENERGY_FLUX, NYC_THERMAL_FLUX};
 use tn_physics::units::Flux;
 
@@ -18,7 +17,7 @@ const ALTITUDE_COEFF_PER_M: f64 = 8.29e-4;
 /// The thermal field scales *faster* with altitude than the fast field:
 /// the thermal population is produced locally by moderation of the
 /// growing cascade plus ground albedo, so its altitude exponent exceeds
-/// 1. The value 1.24 is fitted to the FIT shares the paper quotes
+/// one. The value 1.24 is fitted to the FIT shares the paper quotes
 /// (K20 29 % SDC and APU CPU+GPU 39 % DUE at Leadville, Xeon Phi 4.2 %
 /// SDC at NYC) and is consistent with published thermal/fast ratios
 /// rising between sea level and mountain altitudes.
@@ -26,7 +25,7 @@ pub const THERMAL_ALTITUDE_EXPONENT: f64 = 1.24;
 
 /// A geographic site with the parameters that set its natural neutron
 /// background.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Location {
     name: String,
     altitude_m: f64,

@@ -11,7 +11,6 @@
 //!   is *derived* with Monte-Carlo moderation (`tn-transport`), used to
 //!   validate that the calibrated numbers are physically sensible.
 
-use serde::{Deserialize, Serialize};
 use tn_physics::units::{Energy, Flux, Length};
 use tn_physics::Material;
 use tn_transport::SlabEffect;
@@ -29,7 +28,7 @@ pub const WATER_COOLING_BOOST: f64 = 0.24;
 /// Boosts combine additively, matching the paper's arithmetic: concrete
 /// (+20 %) and water cooling (+24 %) give "an overall increase of 44 % in
 /// the thermal flux".
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Surroundings {
     concrete_floor: bool,
     water_cooling: bool,
@@ -117,7 +116,7 @@ pub const COOLING_VIEW_FACTOR: f64 = 0.20;
 
 /// A physical machine-room description for deriving (rather than assuming)
 /// the thermal boost by Monte-Carlo moderation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataCenterRoom {
     floor: Material,
     floor_thickness: Length,
@@ -193,7 +192,7 @@ impl DataCenterRoom {
             self.floor_thickness,
         ));
         let mut tally = tn_transport::Tally::default();
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut rng = tn_rng::Rng::seed_from_u64(seed);
         for _ in 0..histories {
             let n = tn_transport::Neutron::diffuse_incident(Energy::from_mev(1.0), &mut rng);
             tally.record(transport.run_history(n, &mut rng));

@@ -6,10 +6,9 @@
 //! primarily composed of water".
 
 use crate::{Environment, Location, Surroundings, Weather};
-use serde::{Deserialize, Serialize};
 
 /// Road surface under the vehicle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoadSurface {
     /// Asphalt: hydrocarbons moderate, but the layer is thin.
     Asphalt,
@@ -32,7 +31,7 @@ impl RoadSurface {
 
 /// A vehicle configuration: everything around the computing device that
 /// moderates neutrons.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Vehicle {
     road: RoadSurface,
     fuel_litres: f64,

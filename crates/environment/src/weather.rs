@@ -5,7 +5,6 @@
 //! on a sunny day" (paper, Section VI). Snow cover conversely shields the
 //! ground-albedo thermal component.
 
-use serde::{Deserialize, Serialize};
 
 /// Phase of the 11-year solar cycle.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// *both* neutron populations drop by ~25 % relative to solar minimum
 /// (JESD89A models this explicitly; the paper notes fluxes hold "under
 /// normal solar conditions").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolarActivity {
     /// Quiet sun: maximum cosmic-ray flux (the conservative default).
     #[default]
@@ -37,7 +36,7 @@ impl SolarActivity {
 }
 
 /// Weather conditions affecting the thermal field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Weather {
     /// Fair weather — the reference condition.
     #[default]

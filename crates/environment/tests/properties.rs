@@ -1,58 +1,69 @@
-//! Property-based environment-model invariants.
+//! Property-style environment-model invariants, driven by fixed-seed
+//! `tn_rng` generator loops.
 
-use proptest::prelude::*;
+use tn_rng::Rng;
 use tn_environment::{
     Climate, Environment, Location, RoadSurface, SolarActivity, Surroundings, Vehicle, Weather,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn flux_grows_monotonically_with_altitude(
-        a1 in 0.0f64..4000.0,
-        delta in 10.0f64..2000.0,
-    ) {
+#[test]
+fn flux_grows_monotonically_with_altitude() {
+    let mut rng = Rng::seed_from_u64(0xe01);
+    for _ in 0..CASES {
+        let a1 = rng.gen_range(0.0..4000.0);
+        let delta = rng.gen_range(10.0..2000.0);
         let a2 = (a1 + delta).min(8000.0);
         let lo = Location::new("lo", a1, 1.0);
         let hi = Location::new("hi", a2, 1.0);
-        prop_assert!(hi.high_energy_flux().value() > lo.high_energy_flux().value());
-        prop_assert!(hi.base_thermal_flux().value() > lo.base_thermal_flux().value());
+        assert!(hi.high_energy_flux().value() > lo.high_energy_flux().value());
+        assert!(hi.base_thermal_flux().value() > lo.base_thermal_flux().value());
     }
+}
 
-    #[test]
-    fn thermal_grows_faster_than_fast_with_altitude(
-        a1 in 100.0f64..3000.0,
-    ) {
+#[test]
+fn thermal_grows_faster_than_fast_with_altitude() {
+    let mut rng = Rng::seed_from_u64(0xe02);
+    for _ in 0..CASES {
+        let a1 = rng.gen_range(100.0..3000.0);
         let site = Location::new("s", a1, 1.0);
         let nyc = Location::new_york();
         let fast_ratio = site.high_energy_flux() / nyc.high_energy_flux();
         let thermal_ratio = site.base_thermal_flux() / nyc.base_thermal_flux();
-        prop_assert!(thermal_ratio >= fast_ratio - 1e-12);
+        assert!(thermal_ratio >= fast_ratio - 1e-12);
     }
+}
 
-    #[test]
-    fn surroundings_factor_is_never_negative(extra in -1.0f64..5.0) {
+#[test]
+fn surroundings_factor_is_never_negative() {
+    let mut rng = Rng::seed_from_u64(0xe03);
+    for _ in 0..CASES {
+        let extra = rng.gen_range(-1.0..5.0);
         let s = Surroundings::hpc_machine_room().with_extra_boost(extra);
-        prop_assert!(s.thermal_factor() >= 0.0);
+        assert!(s.thermal_factor() >= 0.0);
     }
+}
 
-    #[test]
-    fn vehicle_boost_is_monotone_in_occupancy_and_fuel(
-        fuel in 0.0f64..150.0,
-        passengers in 0u32..8,
-    ) {
+#[test]
+fn vehicle_boost_is_monotone_in_occupancy_and_fuel() {
+    let mut rng = Rng::seed_from_u64(0xe04);
+    for _ in 0..CASES {
+        let fuel = rng.gen_range(0.0..150.0);
+        let passengers = rng.gen_range(0u32..8);
         let base = Vehicle::new(RoadSurface::Asphalt, fuel, passengers);
         let more_people = Vehicle::new(RoadSurface::Asphalt, fuel, passengers + 1);
         let more_fuel = Vehicle::new(RoadSurface::Asphalt, fuel + 10.0, passengers);
-        prop_assert!(more_people.thermal_boost() > base.thermal_boost());
-        prop_assert!(more_fuel.thermal_boost() > base.thermal_boost());
+        assert!(more_people.thermal_boost() > base.thermal_boost());
+        assert!(more_fuel.thermal_boost() > base.thermal_boost());
     }
+}
 
-    #[test]
-    fn solar_activity_preserves_the_thermal_share(
-        altitude in 0.0f64..3000.0,
-    ) {
+#[test]
+fn solar_activity_preserves_the_thermal_share() {
+    let mut rng = Rng::seed_from_u64(0xe05);
+    for _ in 0..CASES {
+        let altitude = rng.gen_range(0.0..3000.0);
         let env = Environment::new(
             Location::new("s", altitude, 1.0),
             Weather::Rainy,
@@ -60,39 +71,39 @@ proptest! {
         );
         for solar in [SolarActivity::Average, SolarActivity::Maximum] {
             let modulated = env.with_solar_activity(solar);
-            prop_assert!(
-                (modulated.thermal_to_high_energy_ratio()
-                    - env.thermal_to_high_energy_ratio())
-                .abs()
+            assert!(
+                (modulated.thermal_to_high_energy_ratio() - env.thermal_to_high_energy_ratio())
+                    .abs()
                     < 1e-12
             );
-            prop_assert!(modulated.thermal_flux().value() < env.thermal_flux().value());
+            assert!(modulated.thermal_flux().value() < env.thermal_flux().value());
         }
     }
+}
 
-    #[test]
-    fn climate_sequences_have_requested_length(
-        days in 1usize..2000,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn climate_sequences_have_requested_length() {
+    let mut rng = Rng::seed_from_u64(0xe06);
+    for _ in 0..CASES {
+        let days = rng.gen_range(1usize..2000);
+        let seed = rng.gen_range(0u64..1000);
         let seq = Climate::high_desert().synthesize(days, seed);
-        prop_assert_eq!(seq.len(), days);
+        assert_eq!(seq.len(), days);
     }
+}
 
-    #[test]
-    fn mean_thermal_factor_is_within_weather_extremes(
-        wet in 0.0f64..1.0,
-        storm in 0.0f64..1.0,
-        snow in 0.0f64..0.5,
-    ) {
+#[test]
+fn mean_thermal_factor_is_within_weather_extremes() {
+    let mut rng = Rng::seed_from_u64(0xe07);
+    for _ in 0..CASES {
         let c = Climate {
-            wet_day_fraction: wet,
-            storm_fraction: storm,
+            wet_day_fraction: rng.gen_range(0.0..1.0),
+            storm_fraction: rng.gen_range(0.0..1.0),
             persistence: 0.5,
-            snow_fraction: snow,
+            snow_fraction: rng.gen_range(0.0..0.5),
         };
         let m = c.mean_thermal_factor();
-        prop_assert!(m >= Weather::Snowpack.thermal_factor() - 1e-12);
-        prop_assert!(m <= Weather::Thunderstorm.thermal_factor() + 1e-12);
+        assert!(m >= Weather::Snowpack.thermal_factor() - 1e-12);
+        assert!(m <= Weather::Thunderstorm.thermal_factor() + 1e-12);
     }
 }

@@ -9,13 +9,11 @@
 
 use crate::outcome::FaultOutcome;
 use crate::InjectionStats;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_workloads::{Fault, Workload};
 
 /// Coarse regions of a 64-bit word, IEEE-754-double oriented.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BitRegion {
     /// Bits 0–25: low mantissa (rounding-level damage).
     MantissaLow,
@@ -74,7 +72,7 @@ impl std::fmt::Display for BitRegion {
 }
 
 /// Injection statistics decomposed by bit region.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BitProfile {
     regions: [InjectionStats; 4],
 }
@@ -116,7 +114,7 @@ pub fn profile_by_bit<W: Workload + ?Sized>(
 ) -> BitProfile {
     let golden = workload.golden();
     let sites = workload.state_words().max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut profile = BitProfile::default();
     for region in BitRegion::ALL {
         for _ in 0..runs_per_region {

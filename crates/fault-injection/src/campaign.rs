@@ -3,14 +3,12 @@
 //! raw upset rate into per-code SDC/DUE rates.
 
 use crate::outcome::FaultOutcome;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use tn_rng::Rng;
 use tn_workloads::{Fault, Workload};
 
 /// Aggregated campaign results.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct InjectionStats {
     /// Faults absorbed without observable effect.
     pub masked: u64,
@@ -119,13 +117,13 @@ impl<W: Workload> InjectionCampaign<W> {
     pub fn execute(&self) -> InjectionStats {
         let golden = self.workload.golden();
         let sites = self.workload.state_words().max(1);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let faults: Vec<Fault> = (0..self.runs)
             .map(|_| {
                 Fault::new(
                     rng.gen_range(0.0..1.0),
                     rng.gen_range(0..sites),
-                    rng.gen_range(0..64),
+                    rng.gen_range(0..64u8),
                 )
             })
             .collect();
@@ -133,9 +131,9 @@ impl<W: Workload> InjectionCampaign<W> {
         let stats = Mutex::new(InjectionStats::default());
         let next = std::sync::atomic::AtomicUsize::new(0);
         let workers = self.threads.min(faults.len().max(1));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local = InjectionStats::default();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -143,12 +141,11 @@ impl<W: Workload> InjectionCampaign<W> {
                         let result = self.workload.run(Some(fault));
                         local.record(FaultOutcome::classify(&result, &golden));
                     }
-                    stats.lock().merge(&local);
+                    stats.lock().expect("stats lock poisoned").merge(&local);
                 });
             }
-        })
-        .expect("injection worker panicked");
-        stats.into_inner()
+        });
+        stats.into_inner().expect("stats lock poisoned")
     }
 }
 

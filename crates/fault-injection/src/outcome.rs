@@ -1,11 +1,10 @@
 //! Classification of a faulted run against the golden output — the same
 //! decision procedure as a beam experiment's logging station.
 
-use serde::{Deserialize, Serialize};
 use tn_workloads::RunOutcome;
 
 /// What a single injected fault did to the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultOutcome {
     /// Output identical to the golden copy: the fault was absorbed by
     /// dead data, overwritten state, logical masking or quantisation.

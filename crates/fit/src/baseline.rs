@@ -9,12 +9,11 @@
 //! baseline so benches can show both where our device models fall inside
 //! the published band and what the baseline cannot express.
 
-use serde::Serialize;
 use tn_devices::response::ErrorClass;
 use tn_devices::Device;
 
 /// One memory technology point from Weulersse et al.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryPoint {
     /// Memory description.
     pub memory: &'static str,
@@ -24,7 +23,7 @@ pub struct MemoryPoint {
 }
 
 /// The published baseline band.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeulersseBaseline {
     points: Vec<MemoryPoint>,
 }

@@ -6,11 +6,10 @@
 //! higher-order refinement, with the MTBF derived from a fleet's DUE FIT
 //! rate.
 
-use serde::{Deserialize, Serialize};
 use tn_physics::units::{Fit, Seconds};
 
 /// A machine (or fleet) whose DUE rate drives checkpoint planning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointPlan {
     /// Aggregate DUE FIT across the nodes a job spans.
     pub due_fit: Fit,

@@ -4,13 +4,12 @@
 //! memory populations, driven by each site's altitude and machine-room
 //! surroundings.
 
-use serde::Serialize;
 use tn_devices::ddr::{DdrGeneration, DdrModule};
 use tn_environment::{Environment, Location, Surroundings, Weather};
 use tn_physics::units::{CrossSection, Fit};
 
 /// One supercomputer site (June 2019 Top500 snapshot).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Supercomputer {
     /// Machine name.
     pub name: &'static str,

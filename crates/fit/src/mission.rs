@@ -8,13 +8,12 @@
 //! rainy day.
 
 use crate::rate::DeviceFit;
-use serde::{Deserialize, Serialize};
 use tn_environment::Environment;
 use tn_physics::units::{CrossSection, Fit};
 
 /// One leg of a mission profile: an environment and the fraction of
 /// operating time spent in it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MissionLeg {
     /// Label for reports.
     pub label: String,
@@ -25,7 +24,7 @@ pub struct MissionLeg {
 }
 
 /// A time-weighted mix of environments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MissionProfile {
     legs: Vec<MissionLeg>,
 }
@@ -91,7 +90,7 @@ impl MissionProfile {
 }
 
 /// An ISO 26262-style random-hardware-failure budget check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SafetyBudget {
     /// Maximum tolerated total FIT for the element.
     pub budget: Fit,

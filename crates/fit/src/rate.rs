@@ -1,13 +1,12 @@
 //! FIT arithmetic: cross sections × environment fluxes, and the thermal
 //! share of the total error rate.
 
-use serde::{Deserialize, Serialize};
 use tn_environment::Environment;
 use tn_physics::units::{CrossSection, Fit};
 
 /// The high-energy and thermal FIT contributions of one error class
 /// (SDC or DUE) for one device in one environment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceFit {
     /// FIT from the high-energy (>10 MeV) flux.
     pub high_energy: Fit,
@@ -62,7 +61,7 @@ impl DeviceFit {
 
 /// A labelled FIT table row (device × class × environment), used by the
 /// report printers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitBreakdown {
     /// Device name.
     pub device: String,

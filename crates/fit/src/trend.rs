@@ -8,7 +8,6 @@
 //! spread *between foundries* at the same node (large) — process quality,
 //! not geometry, is the variable.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tn_devices::response::ErrorClass;
 use tn_devices::Device;
@@ -46,7 +45,7 @@ pub fn thermal_relative_sensitivity(device: &Device) -> f64 {
 }
 
 /// Summary of the node-vs-boron question over a device set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrendReport {
     /// Pearson r between node (nm) and thermal-relative sensitivity.
     pub node_correlation: f64,

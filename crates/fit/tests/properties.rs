@@ -1,6 +1,7 @@
-//! Property-based FIT-engine invariants.
+//! Property-style FIT-engine invariants, driven by fixed-seed `tn_rng`
+//! generator loops.
 
-use proptest::prelude::*;
+use tn_rng::Rng;
 use tn_environment::{Environment, Location, Surroundings, Weather};
 use tn_fit::checkpoint::CheckpointPlan;
 use tn_fit::mission::{MissionLeg, MissionProfile};
@@ -8,29 +9,31 @@ use tn_fit::rate::DeviceFit;
 use tn_fit::trend::pearson;
 use tn_physics::units::{CrossSection, Fit, Seconds};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn fit_is_linear_in_cross_section(
-        sigma_exp in -12.0f64..-7.0,
-        scale in 1.5f64..100.0,
-    ) {
+#[test]
+fn fit_is_linear_in_cross_section() {
+    let mut rng = Rng::seed_from_u64(0xf01);
+    for _ in 0..CASES {
+        let sigma_exp = rng.gen_range(-12.0..-7.0);
+        let scale = rng.gen_range(1.5..100.0);
         let env = Environment::nyc_reference();
         let sigma = CrossSection(10f64.powf(sigma_exp));
         let a = DeviceFit::from_cross_sections(sigma, sigma, &env);
         let b = DeviceFit::from_cross_sections(sigma * scale, sigma * scale, &env);
-        prop_assert!((b.total().value() / a.total().value() - scale).abs() < 1e-9);
+        assert!((b.total().value() / a.total().value() - scale).abs() < 1e-9);
         // Scaling both cross sections together leaves the share alone.
-        prop_assert!((b.thermal_share() - a.thermal_share()).abs() < 1e-12);
+        assert!((b.thermal_share() - a.thermal_share()).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn thermal_share_is_bounded(
-        he_exp in -12.0f64..-7.0,
-        th_exp in -12.0f64..-7.0,
-        altitude in 0.0f64..4000.0,
-    ) {
+#[test]
+fn thermal_share_is_bounded() {
+    let mut rng = Rng::seed_from_u64(0xf02);
+    for _ in 0..CASES {
+        let he_exp = rng.gen_range(-12.0..-7.0);
+        let th_exp = rng.gen_range(-12.0..-7.0);
+        let altitude = rng.gen_range(0.0..4000.0);
         let env = Environment::new(
             Location::new("x", altitude, 1.0),
             Weather::Sunny,
@@ -42,38 +45,44 @@ proptest! {
             &env,
         );
         let share = fit.thermal_share();
-        prop_assert!((0.0..=1.0).contains(&share));
-        prop_assert!(fit.underestimation_factor() >= 1.0);
+        assert!((0.0..=1.0).contains(&share));
+        assert!(fit.underestimation_factor() >= 1.0);
     }
+}
 
-    #[test]
-    fn checkpoint_interval_scales_inverse_sqrt_of_fit(
-        fit in 1e4f64..1e8,
-        scale in 1.5f64..20.0,
-    ) {
+#[test]
+fn checkpoint_interval_scales_inverse_sqrt_of_fit() {
+    let mut rng = Rng::seed_from_u64(0xf03);
+    for _ in 0..CASES {
+        let fit = 10f64.powf(rng.gen_range(4.0..8.0));
+        let scale = rng.gen_range(1.5..20.0);
         let a = CheckpointPlan::new(Fit(fit), Seconds(60.0)).young_interval();
         let b = CheckpointPlan::new(Fit(fit * scale), Seconds(60.0)).young_interval();
-        prop_assert!((a.value() / b.value() - scale.sqrt()).abs() < 1e-9);
+        assert!((a.value() / b.value() - scale.sqrt()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn overhead_is_minimal_near_the_young_point(
-        fit in 1e4f64..1e7,
-        cost in 10.0f64..600.0,
-    ) {
+#[test]
+fn overhead_is_minimal_near_the_young_point() {
+    let mut rng = Rng::seed_from_u64(0xf04);
+    for _ in 0..CASES {
+        let fit = 10f64.powf(rng.gen_range(4.0..7.0));
+        let cost = rng.gen_range(10.0..600.0);
         let plan = CheckpointPlan::new(Fit(fit), Seconds(cost));
         let t = plan.young_interval();
         let at = plan.overhead_at(t);
         for factor in [0.25, 0.5, 2.0, 4.0] {
-            prop_assert!(at <= plan.overhead_at(Seconds(t.value() * factor)) + 1e-12);
+            assert!(at <= plan.overhead_at(Seconds(t.value() * factor)) + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn single_leg_mission_equals_direct_fold(
-        he_exp in -11.0f64..-8.0,
-        th_exp in -11.0f64..-8.0,
-    ) {
+#[test]
+fn single_leg_mission_equals_direct_fold() {
+    let mut rng = Rng::seed_from_u64(0xf05);
+    for _ in 0..CASES {
+        let he_exp = rng.gen_range(-11.0..-8.0);
+        let th_exp = rng.gen_range(-11.0..-8.0);
         let env = Environment::leadville_machine_room();
         let mission = MissionProfile::new(vec![MissionLeg {
             label: "only".into(),
@@ -86,23 +95,27 @@ proptest! {
         );
         let direct = DeviceFit::from_cross_sections(he, th, &env);
         let averaged = mission.average_fit(he, th);
-        prop_assert!((direct.total().value() - averaged.total().value()).abs()
-            < 1e-9 * direct.total().value());
+        assert!(
+            (direct.total().value() - averaged.total().value()).abs()
+                < 1e-9 * direct.total().value()
+        );
     }
+}
 
-    #[test]
-    fn pearson_is_scale_invariant(
-        a in -5.0f64..5.0,
-        b in 0.1f64..10.0,
-        seed in 0u64..100,
-    ) {
-        // Affine transforms of either sample leave |r| unchanged.
+#[test]
+fn pearson_is_scale_invariant() {
+    // Affine transforms of either sample leave |r| unchanged.
+    let mut rng = Rng::seed_from_u64(0xf06);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-5.0..5.0);
+        let b = rng.gen_range(0.1..10.0);
+        let seed = rng.gen_range(0u64..100);
         let xs: Vec<f64> = (0..12).map(|i| ((i as f64) + (seed % 7) as f64).sin()).collect();
         let ys: Vec<f64> = (0..12).map(|i| ((i as f64) * 0.7).cos()).collect();
         let transformed: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
         let r1 = pearson(&xs, &ys);
         let r2 = pearson(&transformed, &ys);
-        prop_assert!((r1 - r2).abs() < 1e-9);
-        prop_assert!(r1.abs() <= 1.0 + 1e-12);
+        assert!((r1 - r2).abs() < 1e-9);
+        assert!(r1.abs() <= 1.0 + 1e-12);
     }
 }

@@ -13,8 +13,7 @@ use crate::constants::{
     B10_THERMAL_CAPTURE, HE3_THERMAL_CAPTURE, THERMAL_ENERGY,
 };
 use crate::units::{ArealDensity, Barns, Energy};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 
 /// Evaluates a 1/v-law capture cross section at energy `e`, given the
 /// thermal-point (25.3 meV) value `sigma0`.
@@ -47,7 +46,7 @@ pub fn b10_maxwellian_average(temperature_kt: Energy) -> Barns {
 }
 
 /// Secondary particles emitted by a ¹⁰B capture.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaptureProducts {
     /// Alpha-particle energy (1.47 MeV for 94 % of captures).
     pub alpha: Energy,
@@ -58,8 +57,8 @@ pub struct CaptureProducts {
 }
 
 /// Samples the decay branch of a ¹⁰B(n,α)⁷Li capture.
-pub fn sample_b10_products<R: Rng + ?Sized>(rng: &mut R) -> CaptureProducts {
-    if rng.gen::<f64>() < B10_EXCITED_BRANCH {
+pub fn sample_b10_products(rng: &mut Rng) -> CaptureProducts {
+    if rng.gen_f64() < B10_EXCITED_BRANCH {
         CaptureProducts {
             alpha: B10_ALPHA_ENERGY,
             lithium: B10_LI7_ENERGY,
@@ -89,8 +88,7 @@ pub fn b10_capture_probability(n_b10: ArealDensity, e: Energy) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tn_rng::Rng;
 
     #[test]
     fn b10_thermal_point_value() {
@@ -130,7 +128,7 @@ mod tests {
 
     #[test]
     fn branching_ratio_close_to_94_percent() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let n = 50_000;
         let excited = (0..n)
             .filter(|_| !sample_b10_products(&mut rng).ground_state)
@@ -141,7 +139,7 @@ mod tests {
 
     #[test]
     fn products_conserve_branch_energies() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..100 {
             let p = sample_b10_products(&mut rng);
             if p.ground_state {

@@ -10,11 +10,10 @@
 use crate::capture::one_over_v;
 use crate::constants::{AVOGADRO, B10_NATURAL_ABUNDANCE, B10_THERMAL_CAPTURE};
 use crate::units::{Barns, Energy, Length, NumberDensity};
-use serde::Serialize;
 
 /// A nuclide participating in transport: mass number, elastic scattering
 /// cross section, and thermal-point (2200 m/s) absorption cross section.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Nuclide {
     /// Symbol, e.g. `"H"`, `"B10"`.
     pub symbol: &'static str,
@@ -135,7 +134,7 @@ impl Nuclide {
 }
 
 /// A nuclide with its number density inside a material.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Constituent {
     /// The nuclide.
     pub nuclide: Nuclide,
@@ -144,7 +143,7 @@ pub struct Constituent {
 }
 
 /// A homogeneous bulk material.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Material {
     name: String,
     constituents: Vec<Constituent>,

@@ -16,11 +16,10 @@
 
 use crate::constants::{FAST_CUTOFF, HIGH_ENERGY_CUTOFF, THERMAL_CUTOFF};
 use crate::units::{Energy, Flux, Temperature};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 
 /// Conventional energy bands used when quoting integral fluxes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnergyBand {
     /// `E < 0.5 eV` — the cadmium cut-off; the paper's "thermal neutrons".
     Thermal,
@@ -69,7 +68,7 @@ impl EnergyBand {
 }
 
 /// A log-spaced energy grid for tabulating spectra.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyGrid {
     points: Vec<Energy>,
 }
@@ -124,7 +123,7 @@ impl EnergyGrid {
 /// Each shape is an *unnormalised* differential density s(E); a
 /// [`SpectrumComponent`] scales it so its integral over all energies equals
 /// the component's total flux.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Shape {
     /// Maxwell–Boltzmann flux spectrum at temperature `T`:
     /// s(E) ∝ (E/(kT)²)·exp(−E/kT).
@@ -207,7 +206,7 @@ impl Shape {
 }
 
 /// One flux-weighted component of a composite spectrum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpectrumComponent {
     shape: Shape,
     flux: Flux,
@@ -243,7 +242,7 @@ impl SpectrumComponent {
 }
 
 /// A composite neutron spectrum: a sum of flux-normalised components.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Spectrum {
     name: String,
     components: Vec<SpectrumComponent>,
@@ -318,10 +317,10 @@ impl Spectrum {
     /// # Panics
     ///
     /// Panics if the spectrum has no components.
-    pub fn sample_energy<R: Rng + ?Sized>(&self, rng: &mut R) -> Energy {
+    pub fn sample_energy(&self, rng: &mut Rng) -> Energy {
         assert!(!self.components.is_empty(), "cannot sample an empty spectrum");
         let total = self.total_flux().value();
-        let mut pick = rng.gen::<f64>() * total;
+        let mut pick = rng.gen_f64() * total;
         let mut chosen = &self.components[self.components.len() - 1];
         for c in &self.components {
             if pick < c.flux().value() {
@@ -334,19 +333,19 @@ impl Spectrum {
     }
 }
 
-fn sample_shape<R: Rng + ?Sized>(shape: &Shape, rng: &mut R) -> Energy {
+fn sample_shape(shape: &Shape, rng: &mut Rng) -> Energy {
     match *shape {
         Shape::Maxwellian { temperature } => {
             // Flux-weighted Maxwellian E·exp(-E/kT)/kT² is a Gamma(2, kT)
             // distribution: the sum of two exponentials.
             let kt = Energy::thermal_at(temperature).value();
-            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u1: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
             Energy(-kt * (u1.ln() + u2.ln()))
         }
         Shape::OneOverE { lo, hi } => {
             // Inverse CDF of 1/E on [lo, hi): E = lo * (hi/lo)^u.
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             Energy(lo.value() * (hi.value() / lo.value()).powf(u))
         }
         Shape::Watt { a, b_inv_ev } => {
@@ -357,8 +356,8 @@ fn sample_shape<R: Rng + ?Sized>(shape: &Shape, rng: &mut R) -> Energy {
             let l = a.value() * (k + (k * k - 1.0).sqrt());
             let m = l * b_inv_ev - 1.0;
             loop {
-                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                let u2: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u1: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
                 let x = -u1.ln();
                 let y = -u2.ln();
                 if (y - m * (x + 1.0)).powi(2) <= b_inv_ev * l * x {
@@ -368,7 +367,7 @@ fn sample_shape<R: Rng + ?Sized>(shape: &Shape, rng: &mut R) -> Energy {
         }
         Shape::PowerLaw { lo, hi, gamma } => {
             // Inverse CDF of E^-gamma on [lo, hi).
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             if (gamma - 1.0).abs() < 1e-9 {
                 Energy(lo.value() * (hi.value() / lo.value()).powf(u))
             } else {
@@ -456,8 +455,7 @@ fn integrate_log(lo: Energy, hi: Energy, n: usize, f: impl Fn(Energy) -> f64) ->
 mod tests {
     use super::*;
     use crate::constants::ROOM_TEMPERATURE;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tn_rng::Rng;
 
     fn thermal_spectrum(flux: f64) -> Spectrum {
         Spectrum::named("thermal").with(
@@ -567,7 +565,7 @@ mod tests {
                 },
                 Flux(3.0),
             );
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 40_000;
         let thermal = (0..n)
             .filter(|_| EnergyBand::of(s.sample_energy(&mut rng)) == EnergyBand::Thermal)
@@ -583,7 +581,7 @@ mod tests {
             a: Energy::from_mev(1.0),
             b_inv_ev: 1e-6,
         };
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let n = 30_000;
         let mean_mev: f64 = (0..n)
             .map(|_| sample_shape(&shape, &mut rng).as_mev())
@@ -599,7 +597,7 @@ mod tests {
             hi: Energy(1e9),
             gamma: 2.0,
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..1000 {
             let e = sample_shape(&shape, &mut rng);
             assert!(e.value() >= 10e6 && e.value() <= 1e9, "e = {e}");
@@ -610,7 +608,7 @@ mod tests {
     #[should_panic(expected = "empty spectrum")]
     fn sampling_empty_spectrum_panics() {
         let s = Spectrum::named("empty");
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let _ = s.sample_energy(&mut rng);
     }
 

@@ -6,10 +6,9 @@
 //! treatment for neutron spectra spanning many decades.
 
 use crate::units::{Energy, Flux};
-use serde::{Deserialize, Serialize};
 
 /// A spectrum defined by measured `(energy, differential flux)` points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TabulatedSpectrum {
     name: String,
     /// Strictly increasing energies (eV).

@@ -1,0 +1,350 @@
+//! # tn-rng — the workspace's deterministic random-number generator
+//!
+//! A minimal, dependency-free replacement for the `rand` + `StdRng`
+//! combination the simulation previously relied on. The core generator is
+//! **xoshiro256++** (Blackman & Vigna, "Scrambled linear pseudorandom
+//! number generators", ACM TOMS 2021), seeded by expanding a single `u64`
+//! through **splitmix64** (Steele, Lea & Flood, OOPSLA 2014) — the
+//! canonical seeding procedure recommended by the xoshiro authors.
+//!
+//! Why this pair:
+//!
+//! * xoshiro256++ passes BigCrush, has a 2²⁵⁶−1 period, and needs four
+//!   words of state and a handful of shifts/rotates per draw — ample
+//!   statistical quality for Monte Carlo transport and fault sampling.
+//! * splitmix64 turns *any* `u64` seed (including 0) into a well-mixed
+//!   256-bit state, so nearby seeds give unrelated streams.
+//! * Both are trivially portable, bit-reproducible on every platform, and
+//!   fully specified in a page of code: the whole simulation stays
+//!   deterministic with no external crate in the build graph.
+//!
+//! The API mirrors the small slice of `rand` the workspace used:
+//!
+//! ```
+//! use tn_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(2020);
+//! let raw: u64 = rng.next_u64();
+//! let unit: f64 = rng.gen_f64();          // uniform in [0, 1)
+//! let bit = rng.gen_range(0..64u32);      // uniform integer, half-open
+//! let byte = rng.gen_range(0..=255u32);   // inclusive ranges too
+//! let jitter = rng.gen_range(-1.0..1.0);  // uniform f64 in a range
+//! assert!(unit >= 0.0 && unit < 1.0);
+//! assert!(bit < 64 && byte <= 255 && (-1.0..1.0).contains(&jitter));
+//! let _ = raw;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Expands a `u64` through one splitmix64 step, returning the mixed output
+/// and advancing the caller's state word.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator.
+///
+/// Constructed from a `u64` seed with [`Rng::seed_from_u64`]; every method
+/// is a pure function of the state, so two generators built from the same
+/// seed produce bit-identical streams on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator by expanding `seed` through splitmix64.
+    ///
+    /// Any seed is acceptable: splitmix64 maps even 0 and adjacent values
+    /// to well-separated 256-bit states (the all-zero xoshiro state, the
+    /// one invalid configuration, cannot be produced).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent generator for a labelled substream.
+    ///
+    /// Useful when one logical seed must drive several components whose
+    /// draws must not interleave (per-device campaigns, per-thread jobs).
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> Self {
+        let mut sm = self.s[0] ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`, from the top 53 bits of one draw.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a half-open or inclusive range.
+    ///
+    /// Supported argument types: `Range` and `RangeInclusive` over the
+    /// primitive integers, and `Range<f64>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's widening-multiply map.
+    ///
+    /// The modulo-free mapping keeps the draw O(1) and deterministic; the
+    /// residual bias is `bound / 2⁶⁴`, far below any statistic this
+    /// workspace measures.
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((u128::from(self.next_u64())) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // span can be 2^64 (full domain); widen the multiply instead
+                // of delegating to bounded_u64.
+                (lo as i128 + ((u128::from(rng.next_u64()) * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + rng.gen_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector for xoshiro256++ with the state {1, 2, 3, 4},
+    /// matching the public C implementation by Blackman & Vigna.
+    #[test]
+    fn xoshiro_reference_vector() {
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    /// Reference vector for splitmix64 seeding: seed 0 and seed 1 must
+    /// produce the published splitmix64 output sequence as state.
+    #[test]
+    fn splitmix_reference_vector() {
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e789e6aa1b965f4);
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 0x599ed017fb08fc85);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Adjacent seeds must decorrelate through splitmix64.
+        for seed in [0u64, 1, 2, 2019, 2020, u64::MAX] {
+            let mut a = Rng::seed_from_u64(seed);
+            let mut b = Rng::seed_from_u64(seed.wrapping_add(1));
+            let matches = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert_eq!(matches, 0, "seed {seed} collides with its neighbour");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = Rng::seed_from_u64(0);
+        assert_ne!(rng.s, [0; 4], "splitmix64 must never build the zero state");
+        let draws: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_uniform() {
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_int_covers_and_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 64];
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..64u32);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket of 0..64 must be hit");
+        for _ in 0..1000 {
+            let v = rng.gen_range(26..52u8);
+            assert!((26..52).contains(&v));
+            let w = rng.gen_range(64..=128u32);
+            assert!((64..=128).contains(&w));
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_reaches_both_endpoints() {
+        let mut rng = Rng::seed_from_u64(9);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1000 {
+            match rng.gen_range(0..=3u8) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_range_f64_stays_inside() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let base = Rng::seed_from_u64(2020);
+        let mut a1 = base.fork(1);
+        let mut a2 = base.fork(1);
+        let mut b = base.fork(2);
+        for _ in 0..1000 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+        let mut a = base.fork(1);
+        let collisions = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac = {frac}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -6,12 +6,11 @@
 //! so the transport engine works on a stack of homogeneous layers along
 //! the z axis.
 
-use serde::Serialize;
 use tn_physics::units::Length;
 use tn_physics::Material;
 
 /// A homogeneous layer of material with a thickness.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     material: Material,
     thickness: Length,
@@ -48,7 +47,7 @@ impl Layer {
 /// A stack of layers along +z. Neutrons enter at `z = 0` travelling in +z;
 /// leaving through `z = 0` is *reflection*, leaving through the far face is
 /// *transmission*.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlabStack {
     layers: Vec<Layer>,
     total: Length,

@@ -16,9 +16,7 @@
 //!   to the Maxwellian equilibrium is not modelled).
 
 use crate::geometry::SlabStack;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_physics::constants::THERMAL_CUTOFF;
 use tn_physics::units::{Energy, Length};
 
@@ -31,7 +29,7 @@ const ENERGY_FLOOR: Energy = Energy(0.0253);
 const MAX_COLLISIONS: usize = 100_000;
 
 /// Terminal fate of one transported neutron.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Fate {
     /// Left through the far face with the given energy.
     Transmitted {
@@ -69,7 +67,7 @@ impl Fate {
 }
 
 /// Aggregated tallies over many histories.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Tally {
     /// Histories run.
     pub histories: u64,
@@ -158,7 +156,7 @@ impl Tally {
 }
 
 /// An in-flight neutron state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neutron {
     /// Kinetic energy.
     pub energy: Energy,
@@ -180,11 +178,11 @@ impl Neutron {
 
     /// A neutron entering the front face with an isotropic-flux-weighted
     /// direction (cosine-law, μ = √u), as from a diffuse ambient field.
-    pub fn diffuse_incident<R: Rng + ?Sized>(e: Energy, rng: &mut R) -> Self {
+    pub fn diffuse_incident(e: Energy, rng: &mut Rng) -> Self {
         Self {
             energy: e,
             z: Length(0.0),
-            mu: rng.gen::<f64>().sqrt().max(1e-6),
+            mu: rng.gen_f64().sqrt().max(1e-6),
         }
     }
 }
@@ -207,7 +205,7 @@ impl Transport {
     }
 
     /// Transports one neutron to its fate.
-    pub fn run_history<R: Rng + ?Sized>(&self, mut n: Neutron, rng: &mut R) -> Fate {
+    pub fn run_history(&self, mut n: Neutron, rng: &mut Rng) -> Fate {
         // Nudge the entry position just inside the stack.
         let eps = 1e-12 * self.stack.total_thickness().value().max(1.0);
         if n.z.value() <= 0.0 {
@@ -231,7 +229,7 @@ impl Transport {
                 let d = self.stack.distance_to_boundary(n.z, n.mu);
                 n.z = Length(n.z.value() + n.mu * (d.value() + eps));
             } else {
-                let free_path = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / sigma_t;
+                let free_path = -rng.gen_f64().max(f64::MIN_POSITIVE).ln() / sigma_t;
                 let to_boundary = self.stack.distance_to_boundary(n.z, n.mu).value();
                 if free_path >= to_boundary {
                     // Crosses into the next layer (or escapes).
@@ -241,17 +239,17 @@ impl Transport {
                     n.z = Length(n.z.value() + n.mu * free_path);
                     let nuclide = *layer
                         .material()
-                        .pick_collision_nuclide(n.energy, rng.gen::<f64>());
+                        .pick_collision_nuclide(n.energy, rng.gen_f64());
                     let sigma_s = nuclide.elastic_at(n.energy).to_cross_section().value();
                     let sigma_a = nuclide.absorption_at(n.energy).to_cross_section().value();
-                    if rng.gen::<f64>() < sigma_a / (sigma_a + sigma_s) {
+                    if rng.gen_f64() < sigma_a / (sigma_a + sigma_s) {
                         return Fate::Absorbed { z: n.z };
                     }
                     if n.energy.value() <= ENERGY_FLOOR.value() {
                         // Fully thermalised: isotropic diffusion, no
                         // further energy loss (target motion keeps the
                         // neutron in equilibrium with the Maxwellian).
-                        n.mu = 2.0 * rng.gen::<f64>() - 1.0;
+                        n.mu = 2.0 * rng.gen_f64() - 1.0;
                     } else {
                         // Elastic scatter, isotropic in the CM frame.
                         // Energy and lab deflection are correlated through
@@ -259,13 +257,13 @@ impl Transport {
                         // forward in the lab, which is what lets MeV
                         // neutrons penetrate centimetres of water.
                         let a = nuclide.mass_number;
-                        let cos_cm = 2.0 * rng.gen::<f64>() - 1.0;
+                        let cos_cm = 2.0 * rng.gen_f64() - 1.0;
                         let denom_sq = a * a + 2.0 * a * cos_cm + 1.0;
                         let e_ratio = denom_sq / ((a + 1.0) * (a + 1.0));
                         n.energy =
                             Energy((n.energy.value() * e_ratio).max(ENERGY_FLOOR.value()));
                         let mu_scatter = (1.0 + a * cos_cm) / denom_sq.sqrt();
-                        let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+                        let phi = 2.0 * std::f64::consts::PI * rng.gen_f64();
                         let sin_terms = ((1.0 - n.mu * n.mu).max(0.0)
                             * (1.0 - mu_scatter * mu_scatter).max(0.0))
                         .sqrt();
@@ -288,7 +286,7 @@ impl Transport {
 
     /// Runs `histories` monoenergetic, normally-incident neutrons.
     pub fn run_beam(&self, e: Energy, histories: u64, seed: u64) -> Tally {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut tally = Tally::default();
         for _ in 0..histories {
             tally.record(self.run_history(Neutron::incident(e), &mut rng));
@@ -299,7 +297,7 @@ impl Transport {
     /// Runs `histories` monoenergetic neutrons from a diffuse (cosine-law)
     /// ambient field.
     pub fn run_diffuse(&self, e: Energy, histories: u64, seed: u64) -> Tally {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut tally = Tally::default();
         for _ in 0..histories {
             tally.record(self.run_history(Neutron::diffuse_incident(e, &mut rng), &mut rng));

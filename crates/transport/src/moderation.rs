@@ -9,14 +9,13 @@
 
 use crate::geometry::SlabStack;
 use crate::mc::Transport;
-use serde::{Deserialize, Serialize};
 use tn_physics::units::{Energy, Flux, Length};
 use tn_physics::Material;
 
 /// Monte-Carlo characterisation of a slab's effect on a diffuse ambient
 /// field arriving on its front face, as seen by an observer behind its
 /// back face.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlabEffect {
     /// Fraction of incident *thermal* flux that still emerges thermal from
     /// the back face.
@@ -89,7 +88,7 @@ impl SlabEffect {
 /// Transmission of a monoenergetic diffuse field through increasing
 /// thicknesses of a shield material — the data behind the paper's
 /// "thin layers of cadmium or some inches of boron plastic" remark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttenuationCurve {
     /// Material name.
     pub material: String,

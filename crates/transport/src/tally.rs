@@ -8,14 +8,12 @@
 //! workspace uses.
 
 use crate::mc::{Fate, Neutron, Transport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use tn_rng::Rng;
 use tn_physics::units::Energy;
 use tn_physics::{EnergyBand, EnergyGrid};
 
 /// A log-binned energy histogram of escaping neutrons.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpectrumTally {
     edges: Vec<Energy>,
     transmitted: Vec<u64>,
@@ -126,7 +124,7 @@ pub fn beam_spectrum(
     grid: &EnergyGrid,
     seed: u64,
 ) -> SpectrumTally {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut tally = SpectrumTally::new(grid);
     for _ in 0..histories {
         tally.record(transport.run_history(Neutron::incident(e), &mut rng));

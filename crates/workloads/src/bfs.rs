@@ -212,15 +212,12 @@ mod tests {
         let mut sdc = 0;
         let mut masked = 0;
         for site in 0..24 {
-            match w.run(Some(Fault::new(0.0, site, 0))) {
-                RunOutcome::Completed(out) => {
-                    if out == w.golden() {
-                        masked += 1;
-                    } else {
-                        sdc += 1;
-                    }
+            if let RunOutcome::Completed(out) = w.run(Some(Fault::new(0.0, site, 0))) {
+                if out == w.golden() {
+                    masked += 1;
+                } else {
+                    sdc += 1;
                 }
-                _ => {}
             }
         }
         assert!(sdc + masked > 0, "some low-bit faults must complete");

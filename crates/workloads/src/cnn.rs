@@ -9,10 +9,9 @@
 
 use crate::mxm::{splitmix, unit_f64};
 use crate::workload::Fault;
-use serde::{Deserialize, Serialize};
 
 /// A dense CHW tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     /// Channels.
     pub c: usize,
@@ -59,7 +58,7 @@ impl Tensor {
 }
 
 /// One layer of the network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Layer {
     /// 3×3 same-padding convolution + ReLU; weights `[out][in][9]`.
     Conv3x3 {
@@ -225,7 +224,7 @@ impl Layer {
 }
 
 /// A sequential network with a fault-injectable forward pass.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     layers: Vec<Layer>,
 }

@@ -8,10 +8,9 @@
 //! with an output signature (compared against the golden copy → SDC or
 //! masked), crashes (→ DUE), or exceeds its step budget (hang → DUE).
 
-use serde::{Deserialize, Serialize};
 
 /// Benchmark family, mirroring the paper's grouping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// HPC codes run on Xeon Phi and the GPUs (MxM, LUD, LavaMD, HotSpot).
     Hpc,
@@ -32,7 +31,7 @@ impl std::fmt::Display for WorkloadClass {
 }
 
 /// A single-bit fault to inject during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fault {
     /// Execution progress in `[0, 1)` at which the flip lands.
     pub progress: f64,
@@ -79,7 +78,7 @@ impl Fault {
 }
 
 /// Result of one (possibly faulted) run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RunOutcome {
     /// Ran to completion; carries the output signature.
     Completed(Vec<u64>),

@@ -1,12 +1,15 @@
-//! Property-based tests over all nine workloads: determinism, fault
+//! Property-style tests over all nine workloads: determinism, fault
 //! purity (a fault changes one run, never the workload), and outcome
-//! sanity for arbitrary single-bit faults.
+//! sanity for arbitrary single-bit faults — driven by fixed-seed
+//! `tn_rng` generator loops.
 
-use proptest::prelude::*;
+use tn_rng::Rng;
 use tn_workloads::{
     bfs::Bfs, ced::CannyEdge, hotspot::HotSpot, lavamd::LavaMd, lud::Lud, mnist::Mnist,
     mxm::MxM, sc::StreamCompaction, yolo::Yolo, Fault, RunOutcome, Workload,
 };
+
+const CASES: usize = 16;
 
 fn all_workloads(seed: u64) -> Vec<Box<dyn Workload>> {
     vec![
@@ -22,69 +25,77 @@ fn all_workloads(seed: u64) -> Vec<Box<dyn Workload>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn every_workload_is_deterministic(seed in 0u64..1000) {
+#[test]
+fn every_workload_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x301);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
         for w in all_workloads(seed) {
-            prop_assert_eq!(w.run(None), w.run(None), "{} not deterministic", w.name());
+            assert_eq!(w.run(None), w.run(None), "{} not deterministic", w.name());
         }
     }
+}
 
-    #[test]
-    fn faulted_runs_are_reproducible(
-        seed in 0u64..100,
-        progress in 0.0f64..1.0,
-        site in 0usize..100_000,
-        bit in 0u8..64,
-    ) {
-        let progress = progress.min(0.999_999);
+#[test]
+fn faulted_runs_are_reproducible() {
+    let mut rng = Rng::seed_from_u64(0x302);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
+        let progress = rng.gen_range(0.0..1.0).min(0.999_999);
+        let site = rng.gen_range(0usize..100_000);
+        let bit = rng.gen_range(0u8..64);
         let fault = Fault::new(progress, site, bit);
         for w in all_workloads(seed) {
             let a = w.run(Some(fault));
             let b = w.run(Some(fault));
-            prop_assert_eq!(a, b, "{} faulted run not reproducible", w.name());
+            assert_eq!(a, b, "{} faulted run not reproducible", w.name());
         }
     }
+}
 
-    #[test]
-    fn faults_never_corrupt_the_workload_itself(
-        seed in 0u64..100,
-        site in 0usize..100_000,
-        bit in 0u8..64,
-    ) {
-        // Running with a fault must not change subsequent fault-free runs
-        // (the workload is immutable; state is per-run).
+#[test]
+fn faults_never_corrupt_the_workload_itself() {
+    // Running with a fault must not change subsequent fault-free runs
+    // (the workload is immutable; state is per-run).
+    let mut rng = Rng::seed_from_u64(0x303);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
+        let site = rng.gen_range(0usize..100_000);
+        let bit = rng.gen_range(0u8..64);
         for w in all_workloads(seed) {
             let golden = w.golden();
             let _ = w.run(Some(Fault::new(0.3, site, bit)));
-            prop_assert_eq!(w.golden(), golden, "{} state leaked", w.name());
+            assert_eq!(w.golden(), golden, "{} state leaked", w.name());
         }
     }
+}
 
-    #[test]
-    fn outcome_is_always_one_of_the_three(
-        progress in 0.0f64..1.0,
-        site in 0usize..1_000_000,
-        bit in 0u8..64,
-    ) {
-        let progress = progress.min(0.999_999);
+#[test]
+fn outcome_is_always_one_of_the_three() {
+    let mut rng = Rng::seed_from_u64(0x304);
+    for _ in 0..CASES {
+        let progress = rng.gen_range(0.0..1.0).min(0.999_999);
+        let site = rng.gen_range(0usize..1_000_000);
+        let bit = rng.gen_range(0u8..64);
         let fault = Fault::new(progress, site, bit);
         for w in all_workloads(7) {
             match w.run(Some(fault)) {
-                RunOutcome::Completed(out) => prop_assert!(!out.is_empty()),
-                RunOutcome::Crashed(msg) => prop_assert!(!msg.is_empty()),
+                RunOutcome::Completed(out) => assert!(!out.is_empty()),
+                RunOutcome::Crashed(msg) => assert!(!msg.is_empty()),
                 RunOutcome::Hung => {}
             }
         }
     }
+}
 
-    #[test]
-    fn state_words_is_positive_and_stable(seed in 0u64..1000) {
+#[test]
+fn state_words_is_positive_and_stable() {
+    let mut rng = Rng::seed_from_u64(0x305);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..1000);
         for w in all_workloads(seed) {
-            prop_assert!(w.state_words() > 0, "{}", w.name());
-            prop_assert_eq!(w.state_words(), w.state_words());
+            assert!(w.state_words() > 0, "{}", w.name());
+            assert_eq!(w.state_words(), w.state_words());
         }
     }
 }

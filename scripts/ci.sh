@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: the whole workspace must build, test and lint with
+# --offline (no registry access — every dependency is a path-local crate;
+# see DESIGN.md §6). Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -35,7 +35,17 @@ fn main() {
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
     let idx = args.iter().position(|a| a == flag)?;
-    args.get(idx + 1)?.parse().ok()
+    let Some(raw) = args.get(idx + 1) else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("{flag} expects an unsigned integer, got `{raw}`");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn config(quick: bool) -> PipelineConfig {

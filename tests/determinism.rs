@@ -14,6 +14,31 @@ fn pipeline_is_deterministic_across_runs() {
     assert_eq!(a, b);
 }
 
+/// `Pipeline::run` spawns one scoped worker per device, so every run
+/// sees a different OS scheduling interleaving. The report must not:
+/// each campaign derives its RNG stream from `(seed, device, workload)`
+/// and the result slots are positional, so the interleaving is
+/// unobservable. Repeated runs — including runs racing each other from
+/// parallel threads — must produce byte-identical reports and JSON.
+#[test]
+fn pipeline_output_is_independent_of_thread_interleaving() {
+    let baseline = Pipeline::new(PipelineConfig::quick()).seed(2).run();
+    for _ in 0..3 {
+        assert_eq!(Pipeline::new(PipelineConfig::quick()).seed(2).run(), baseline);
+    }
+    // Contend for the scheduler: four pipelines at once, same seed.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| Pipeline::new(PipelineConfig::quick()).seed(2).run()))
+            .collect();
+        for handle in handles {
+            let report = handle.join().expect("pipeline thread panicked");
+            assert_eq!(report, baseline);
+            assert_eq!(report.to_json(), baseline.to_json());
+        }
+    });
+}
+
 #[test]
 fn pipeline_varies_with_seed() {
     let a = Pipeline::new(PipelineConfig::quick()).seed(11).run();
