@@ -1,0 +1,626 @@
+//! Minimal JSON layer shared by report export and the `tn-server` API.
+//!
+//! The hermetic-build policy (DESIGN.md §6) keeps `serde` out of the
+//! tree, so both directions are hand-rolled here:
+//!
+//! * **writing** — the `push_json_*` helpers append escaped fragments to
+//!   a `String`; they started life in [`crate::report`] and moved here so
+//!   the HTTP server and the report exporter share one escaping policy;
+//! * **parsing** — [`parse`] is a recursive-descent parser producing the
+//!   [`Json`] tree, used by the server to decode request bodies;
+//! * **canonicalisation** — [`Json::to_canonical_string`] re-serialises a
+//!   tree with object keys sorted and numbers in a fixed form, so two
+//!   textually different but semantically identical requests map to the
+//!   same cache key.
+//!
+//! Escaping covers *every* control character below `U+0020` (the common
+//! ones as the two-character escapes `\n`, `\r`, `\t`, `\b`, `\f`; the
+//! rest as `\u00XX`). Non-finite numbers have no JSON encoding and are
+//! written as `null`; the parser consequently never produces a NaN or
+//! infinity, which keeps round-trips total.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number in scientific notation (the report format);
+/// non-finite values (e.g. an unbounded upper confidence limit) have no
+/// JSON encoding and are emitted as `null`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:e}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a JSON number in canonical form: integral values in the exact
+/// `i64` range print without exponent or fraction, everything else falls
+/// back to [`push_json_f64`]. `-0.0` canonicalises to `0`.
+pub fn push_json_num(out: &mut String, v: f64) {
+    // 2^53: above this, f64 no longer represents every integer, so the
+    // integer rendering would suggest more precision than the value has.
+    if v.is_finite() && v == v.trunc() && v.abs() <= 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        push_json_f64(out, v);
+    }
+}
+
+/// A parsed JSON value.
+///
+/// Object member order is preserved as parsed; lookups are linear, which
+/// is fine for the request-sized documents this crate handles. Numbers
+/// are stored as `f64` — JSON has a single number type — so integers are
+/// exact up to 2⁵³ (see [`Json::as_u64`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in document order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a key up in an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer: present only if
+    /// this is a non-negative number with no fractional part within the
+    /// exactly-representable range (≤ 2⁵³).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v)
+                if *v >= 0.0 && v.trunc() == *v && *v <= 9.007_199_254_740_992e15 =>
+            {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialises with object keys sorted lexicographically and numbers
+    /// in canonical form — the cache-key representation: two requests
+    /// that parse to the same tree always canonicalise to the same
+    /// string, regardless of member order or number spelling.
+    pub fn to_canonical_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, true);
+        out
+    }
+
+    fn write(&self, out: &mut String, canonical: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => {
+                if canonical {
+                    push_json_num(out, *v);
+                } else {
+                    push_json_f64(out, *v);
+                }
+            }
+            Json::Str(s) => push_json_str(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out, canonical);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                if canonical {
+                    let sorted: BTreeMap<&str, &Json> =
+                        members.iter().map(|(k, v)| (k.as_str(), v)).collect();
+                    for (i, (k, v)) in sorted.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_json_str(out, k);
+                        out.push(':');
+                        v.write(out, canonical);
+                    }
+                } else {
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_json_str(out, k);
+                        out.push(':');
+                        v.write(out, canonical);
+                    }
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Serialises in document order (numbers in the report's scientific
+    /// notation); use [`Json::to_canonical_string`] for cache keys.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, false);
+        f.write_str(&out)
+    }
+}
+
+/// A parse failure: byte offset into the input plus a human-readable
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting the parser accepts; documents deeper than
+/// this are hostile, not data.
+const MAX_DEPTH: usize = 64;
+
+/// Parses a complete JSON document (one value plus optional whitespace).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 64 levels"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 scalar (the input is &str,
+                    // so boundaries are guaranteed valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| {
+                        self.error("invalid UTF-8 in string")
+                    })?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let b = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => return self.unicode_escape(),
+            other => {
+                self.pos -= 1;
+                return Err(self.error(format!("unknown escape `\\{}`", other as char)));
+            }
+        })
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        let code = if (0xd800..=0xdbff).contains(&first) {
+            // High surrogate: must pair with a following \uDC00..\uDFFF.
+            if self.peek() != Some(b'\\') {
+                return Err(self.error("unpaired high surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.error("unpaired high surrogate"));
+            }
+            self.pos += 1;
+            let second = self.hex4()?;
+            if !(0xdc00..=0xdfff).contains(&second) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+        } else if (0xdc00..=0xdfff).contains(&first) {
+            return Err(self.error("unpaired low surrogate"));
+        } else {
+            first
+        };
+        char::from_u32(code).ok_or_else(|| self.error("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.error("truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("non-hex digit in \\u escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("unparseable number `{text}`")))?;
+        Ok(Json::Num(v))
+    }
+
+    fn digits(&mut self) -> Result<(), JsonError> {
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.error("expected a digit"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse("-0.5e2").unwrap(), Json::Num(-50.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_containers() {
+        let doc = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let a = doc.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "nul", "tru", "01",
+            "1.", "1e", "+1", "\"\\x\"", "\"unterminated", "{\"a\":1} extra",
+            "[\"\u{1}\"]", "\"\\ud800\"", "\"\\udc00 alone\"",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Json::Str("A".into()));
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1f600}".into())
+        );
+    }
+
+    #[test]
+    fn every_control_char_round_trips() {
+        // The satellite requirement: *all* chars < 0x20 escape and
+        // re-parse to the original string, not just \n/\t/\"/\\.
+        let original: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let mut encoded = String::new();
+        push_json_str(&mut encoded, &original);
+        assert!(
+            !encoded.chars().any(|c| (c as u32) < 0x20),
+            "no raw control characters may survive escaping: {encoded:?}"
+        );
+        assert_eq!(parse(&encoded).unwrap(), Json::Str(original));
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_the_parser() {
+        for v in [0.0, -0.0, 1.0, 2.5e-10, 6.02e23, -17.25, 9.0e15] {
+            let mut out = String::new();
+            push_json_f64(&mut out, v);
+            assert_eq!(parse(&out).unwrap(), Json::Num(v), "report form of {v}");
+            let mut out = String::new();
+            push_json_num(&mut out, v);
+            assert_eq!(parse(&out).unwrap().as_f64(), Some(v), "canonical form of {v}");
+        }
+        for s in ["", "plain", "a\"b\\c\nd\u{1}e\u{8}f\u{c}g", "ünïcode \u{1f600}"] {
+            let mut out = String::new();
+            push_json_str(&mut out, s);
+            assert_eq!(parse(&out).unwrap(), Json::Str(s.into()), "string {s:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_encode_as_null() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut out = String::new();
+            push_json_f64(&mut out, v);
+            assert_eq!(out, "null");
+            let mut out = String::new();
+            push_json_num(&mut out, v);
+            assert_eq!(out, "null");
+            // ... and therefore round-trip to Json::Null, never NaN.
+            assert!(parse(&out).unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn canonicalisation_sorts_keys_and_normalises_numbers() {
+        let a = parse(r#"{"z": 1e0, "a": {"y": 2.0, "x": 3}}"#).unwrap();
+        let b = parse(r#"{"a":{"x":3.0,"y":2},"z":1}"#).unwrap();
+        assert_eq!(a.to_canonical_string(), b.to_canonical_string());
+        assert_eq!(a.to_canonical_string(), r#"{"a":{"x":3,"y":2},"z":1}"#);
+    }
+
+    #[test]
+    fn display_preserves_document_order() {
+        let doc = parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(doc.to_string(), r#"{"z":1e0,"a":2e0}"#);
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        let doc = parse(r#"{"n": 7, "s": "x", "b": true, "f": 1.5, "neg": -1}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("f").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("neg").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
+    }
+}

@@ -26,13 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod json;
 pub mod pipeline;
 pub mod registry;
 pub mod report;
 pub mod validation;
 
+pub use json::Json;
 pub use pipeline::{Pipeline, PipelineConfig};
-pub use registry::{workloads_for, DeviceEntry};
+pub use registry::{find_device, workloads_for, DeviceEntry};
 pub use report::{DeviceReport, StudyReport};
 pub use validation::{validate, Validation};
 

@@ -58,6 +58,14 @@ pub fn workloads_for(kind: DeviceKind, seed: u64) -> Vec<Box<dyn Workload>> {
     }
 }
 
+/// Looks a catalog device up by display name (case-insensitive), e.g.
+/// for resolving the `device` field of an API request.
+pub fn find_device(name: &str) -> Option<Device> {
+    catalog::all_compute_devices()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
 /// Builds the full study roster: every catalog device with its codes.
 pub fn full_roster(seed: u64) -> Vec<DeviceEntry> {
     catalog::all_compute_devices()
@@ -94,6 +102,13 @@ mod tests {
         );
         assert_eq!(names(DeviceKind::ApuHybrid), ["SC", "CED", "BFS"]);
         assert_eq!(names(DeviceKind::Fpga), ["MNIST"]);
+    }
+
+    #[test]
+    fn device_lookup_is_case_insensitive() {
+        assert!(find_device("NVIDIA K20").is_some());
+        assert!(find_device("nvidia k20").is_some());
+        assert!(find_device("PDP-11").is_none());
     }
 
     #[test]

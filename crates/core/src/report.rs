@@ -4,8 +4,11 @@
 //! Machine-readable export is a hand-rolled JSON writer ([`StudyReport::to_json`])
 //! rather than a serde derive: the hermetic-build policy keeps external
 //! crates out of the build graph, and the report shape is small and stable
-//! enough that a page of formatting code covers it.
+//! enough that a page of formatting code covers it. The escaping and
+//! number-formatting primitives live in [`crate::json`], the JSON layer
+//! shared with the `tn-server` HTTP API.
 
+use crate::json::{push_json_f64, push_json_str};
 use tn_beamline::CampaignResult;
 use tn_environment::Environment;
 use tn_fit::DeviceFit;
@@ -75,6 +78,26 @@ impl DeviceReport {
         DeviceFit::from_cross_sections(self.due_sigma_he(), self.due_sigma_th(), env)
     }
 
+    /// Serialises this device's campaigns as a single-line JSON object:
+    /// `{"name":...,"chipir":[...],"rotax":[...]}` — the per-device slice
+    /// of [`StudyReport::to_json`], also served by `tn-server`'s
+    /// `/v1/cross-sections` endpoint.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.push_json(&mut out);
+        out
+    }
+
+    fn push_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        push_json_str(out, &self.name);
+        out.push_str(",\"chipir\":");
+        push_json_campaigns(out, &self.chipir);
+        out.push_str(",\"rotax\":");
+        push_json_campaigns(out, &self.rotax);
+        out.push('}');
+    }
+
     /// Per-workload SDC ratios `(workload, ratio)` — the Figure-1 series.
     pub fn per_workload_sdc_ratios(&self) -> Vec<(String, f64)> {
         self.chipir
@@ -92,33 +115,6 @@ fn ratio(num: f64, den: f64) -> f64 {
         f64::INFINITY
     } else {
         num / den
-    }
-}
-
-/// Appends a JSON string literal (with escaping) to `out`.
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Appends a JSON number; non-finite values (e.g. an unbounded upper
-/// confidence limit) have no JSON encoding and are emitted as `null`.
-fn push_json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        out.push_str(&format!("{v:e}"));
-    } else {
-        out.push_str("null");
     }
 }
 
@@ -202,13 +198,7 @@ impl StudyReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("{\"name\":");
-            push_json_str(&mut out, &d.name);
-            out.push_str(",\"chipir\":");
-            push_json_campaigns(&mut out, &d.chipir);
-            out.push_str(",\"rotax\":");
-            push_json_campaigns(&mut out, &d.rotax);
-            out.push('}');
+            d.push_json(&mut out);
         }
         out.push_str("]}");
         out
@@ -361,6 +351,25 @@ mod tests {
         let mut out = String::new();
         push_json_f64(&mut out, 2.5e-10);
         assert_eq!(out, "2.5e-10");
+    }
+
+    #[test]
+    fn json_export_round_trips_through_the_parser() {
+        let mut dev = report();
+        dev.name = "weird \"name\"\twith\ncontrols \u{1}\u{8}\u{c}".into();
+        // A campaign with no observed events has an unbounded (infinite)
+        // upper confidence limit → must encode as null, not `inf`.
+        dev.rotax = vec![result("MxM", "ROTAX", 0.0, 0.0)];
+        let study = StudyReport::new(vec![dev.clone()], 42);
+        let doc = crate::json::parse(&study.to_json()).expect("report JSON must parse");
+        assert_eq!(doc.get("seed").and_then(crate::json::Json::as_u64), Some(42));
+        let devices = doc.get("devices").and_then(crate::json::Json::as_array).unwrap();
+        assert_eq!(
+            devices[0].get("name").and_then(crate::json::Json::as_str),
+            Some(dev.name.as_str())
+        );
+        // The per-device export is the same slice the study embeds.
+        assert!(study.to_json().contains(&dev.to_json()));
     }
 
     #[test]

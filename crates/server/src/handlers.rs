@@ -1,0 +1,608 @@
+//! Endpoint implementations and the shared application state.
+//!
+//! Every POST endpoint follows the same shape: parse the body with
+//! `tn_core::json`, resolve defaults, canonicalise the resolved request
+//! into a cache key, then go through the result cache and the
+//! single-flight layer. Because the pipeline is deterministic in
+//! (config, seed), a cached body is byte-identical to a recomputed one.
+
+use crate::cache::ShardedCache;
+use crate::http::Response;
+use crate::metrics::Metrics;
+use crate::singleflight::{Outcome, SingleFlight};
+use std::sync::{Arc, Mutex};
+use tn_core::json::{self, push_json_f64, push_json_num, push_json_str, Json};
+use tn_core::{registry, Pipeline, PipelineConfig};
+use tn_core::report::StudyReport;
+use tn_environment::{Environment, Location, SolarActivity, Surroundings, Weather};
+use tn_fit::{CheckpointPlan, DeviceFit};
+use tn_physics::units::{Fit, Seconds};
+
+/// How many (seed, quick) studies the in-memory memo keeps. Studies are
+/// the expensive artifact (a full beam-campaign pipeline each), so even
+/// a few slots absorb most realistic query mixes.
+const STUDY_MEMO_SLOTS: usize = 4;
+
+/// One memoised pipeline run: its (seed, quick) key and the report.
+type StudySlot = ((u64, bool), Arc<StudyReport>);
+
+/// State shared by every worker thread.
+#[derive(Debug)]
+pub struct AppState {
+    /// Default seed for requests that do not carry one (`--seed`).
+    pub seed: u64,
+    /// Service metrics registry.
+    pub metrics: Metrics,
+    /// Rendered-response LRU cache.
+    pub cache: ShardedCache,
+    /// Coalescing layer for identical concurrent requests.
+    pub flights: SingleFlight,
+    /// Memo of completed pipeline studies, keyed by (seed, quick),
+    /// most recently used last.
+    studies: Mutex<Vec<StudySlot>>,
+}
+
+impl AppState {
+    /// Creates the shared state for a server instance.
+    pub fn new(seed: u64, cache_capacity: usize, workers: usize) -> Self {
+        Self {
+            seed,
+            metrics: Metrics::new(workers),
+            cache: ShardedCache::new(cache_capacity),
+            flights: SingleFlight::new(),
+            studies: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the (memoised) pipeline study for a seed/config pair,
+    /// running the pipeline on a miss.
+    fn study(&self, seed: u64, quick: bool) -> Arc<StudyReport> {
+        {
+            let mut memo = self.studies.lock().expect("study memo poisoned");
+            if let Some(pos) = memo.iter().position(|(k, _)| *k == (seed, quick)) {
+                let hit = memo.remove(pos);
+                let report = Arc::clone(&hit.1);
+                memo.push(hit);
+                self.metrics.study_hit();
+                return report;
+            }
+        }
+        self.metrics.study_miss();
+        let config = if quick {
+            PipelineConfig::quick()
+        } else {
+            PipelineConfig::default()
+        };
+        let report = Arc::new(Pipeline::new(config).seed(seed).run());
+        let mut memo = self.studies.lock().expect("study memo poisoned");
+        if memo.len() >= STUDY_MEMO_SLOTS {
+            memo.remove(0);
+        }
+        memo.push(((seed, quick), Arc::clone(&report)));
+        report
+    }
+}
+
+/// `GET /healthz`.
+pub fn healthz() -> Response {
+    Response::json(200, "{\"service\":\"tn-server\",\"status\":\"ok\"}".to_string())
+}
+
+/// `GET /v1/devices` — the device registry with per-device workloads.
+pub fn devices(state: &AppState) -> Response {
+    let roster = registry::full_roster(state.seed);
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\"count\":");
+    body.push_str(&roster.len().to_string());
+    body.push_str(",\"devices\":[");
+    for (i, entry) in roster.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"name\":");
+        push_json_str(&mut body, entry.device.name());
+        body.push_str(",\"vendor\":");
+        push_json_str(&mut body, entry.device.vendor());
+        body.push_str(",\"kind\":");
+        push_json_str(&mut body, &format!("{:?}", entry.device.kind()));
+        body.push_str(",\"workloads\":[");
+        for (j, w) in entry.workloads.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            push_json_str(&mut body, w.name());
+        }
+        body.push_str("]}");
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /metrics` — Prometheus text exposition.
+pub fn metrics(state: &AppState) -> Response {
+    Response::metrics_text(state.metrics.render())
+}
+
+/// A request that failed validation, carrying the status it maps to.
+struct BadRequest {
+    status: u16,
+    message: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    fn response(&self) -> Response {
+        Response::error(self.status, &self.message)
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, BadRequest> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| BadRequest::new(400, "request body is not UTF-8"))?;
+    json::parse(text).map_err(|e| BadRequest::new(400, format!("malformed JSON: {e}")))
+}
+
+fn required_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, BadRequest> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| BadRequest::new(400, format!("missing or non-string field `{key}`")))
+}
+
+fn optional_u64(doc: &Json, key: &str, default: u64) -> Result<u64, BadRequest> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| BadRequest::new(400, format!("field `{key}` must be a non-negative integer"))),
+    }
+}
+
+fn optional_bool(doc: &Json, key: &str, default: bool) -> Result<bool, BadRequest> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| BadRequest::new(400, format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn positive_f64(doc: &Json, key: &str) -> Result<f64, BadRequest> {
+    let v = doc
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| BadRequest::new(400, format!("missing or non-numeric field `{key}`")))?;
+    if v > 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        Err(BadRequest::new(400, format!("field `{key}` must be finite and > 0")))
+    }
+}
+
+fn resolve_location(doc: &Json) -> Result<(Location, Json), BadRequest> {
+    match doc.get("location") {
+        None => Ok((Location::new_york(), Json::Str("new_york".into()))),
+        Some(Json::Str(name)) => {
+            let loc = match name.as_str() {
+                "new_york" | "nyc" => Location::new_york(),
+                "leadville" => Location::leadville(),
+                "los_alamos" => Location::los_alamos(),
+                other => {
+                    return Err(BadRequest::new(
+                        400,
+                        format!(
+                            "unknown location preset `{other}` \
+                             (expected new_york, leadville or los_alamos, \
+                             or an object with altitude_m)"
+                        ),
+                    ))
+                }
+            };
+            Ok((loc, Json::Str(name.clone())))
+        }
+        Some(obj @ Json::Object(_)) => {
+            let altitude_m = obj
+                .get("altitude_m")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| BadRequest::new(400, "location object needs numeric `altitude_m`"))?;
+            let rigidity = match obj.get("rigidity_factor") {
+                None => 1.0,
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| BadRequest::new(400, "`rigidity_factor` must be a number"))?,
+            };
+            let name = match obj.get("name") {
+                None => "custom site".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| BadRequest::new(400, "location `name` must be a string"))?
+                    .to_string(),
+            };
+            if !(-430.0..=9_000.0).contains(&altitude_m) {
+                return Err(BadRequest::new(
+                    400,
+                    "`altitude_m` out of terrestrial range (-430..=9000)",
+                ));
+            }
+            if !(rigidity > 0.0 && rigidity.is_finite()) {
+                return Err(BadRequest::new(400, "`rigidity_factor` must be finite and > 0"));
+            }
+            let canonical = Json::Object(vec![
+                ("altitude_m".into(), Json::Num(altitude_m)),
+                ("name".into(), Json::Str(name.clone())),
+                ("rigidity_factor".into(), Json::Num(rigidity)),
+            ]);
+            Ok((Location::new(name, altitude_m, rigidity), canonical))
+        }
+        Some(_) => Err(BadRequest::new(400, "`location` must be a preset string or an object")),
+    }
+}
+
+fn resolve_weather(doc: &Json) -> Result<Weather, BadRequest> {
+    match doc.get("weather") {
+        None => Ok(Weather::Sunny),
+        Some(v) => match v.as_str() {
+            Some("sunny") => Ok(Weather::Sunny),
+            Some("rainy") => Ok(Weather::Rainy),
+            Some("thunderstorm") => Ok(Weather::Thunderstorm),
+            Some("snowpack") => Ok(Weather::Snowpack),
+            _ => Err(BadRequest::new(
+                400,
+                "`weather` must be sunny, rainy, thunderstorm or snowpack",
+            )),
+        },
+    }
+}
+
+fn resolve_surroundings(doc: &Json) -> Result<(Surroundings, &'static str), BadRequest> {
+    match doc.get("surroundings").map(|v| v.as_str()) {
+        None => Ok((Surroundings::hpc_machine_room(), "hpc_machine_room")),
+        Some(Some("outdoors")) => Ok((Surroundings::outdoors(), "outdoors")),
+        Some(Some("concrete_floor")) => Ok((Surroundings::concrete_floor(), "concrete_floor")),
+        Some(Some("water_cooled")) => Ok((Surroundings::water_cooled(), "water_cooled")),
+        Some(Some("hpc_machine_room")) => {
+            Ok((Surroundings::hpc_machine_room(), "hpc_machine_room"))
+        }
+        _ => Err(BadRequest::new(
+            400,
+            "`surroundings` must be outdoors, concrete_floor, water_cooled or hpc_machine_room",
+        )),
+    }
+}
+
+fn resolve_solar(doc: &Json) -> Result<(SolarActivity, &'static str), BadRequest> {
+    match doc.get("solar_activity").map(|v| v.as_str()) {
+        None => Ok((SolarActivity::Minimum, "minimum")),
+        Some(Some("minimum")) => Ok((SolarActivity::Minimum, "minimum")),
+        Some(Some("average")) => Ok((SolarActivity::Average, "average")),
+        Some(Some("maximum")) => Ok((SolarActivity::Maximum, "maximum")),
+        _ => Err(BadRequest::new(
+            400,
+            "`solar_activity` must be minimum, average or maximum",
+        )),
+    }
+}
+
+/// Runs a cacheable POST handler: canonical key → cache → single-flight.
+fn cached(state: &AppState, key: &str, compute: impl FnOnce() -> String) -> Response {
+    if let Some(body) = state.cache.get(key) {
+        state.metrics.cache_hit();
+        return Response::json(200, body);
+    }
+    match state.flights.run(key, compute) {
+        Outcome::Led(body) => {
+            state.metrics.cache_miss();
+            state.cache.insert(key.to_string(), body.clone());
+            Response::json(200, body)
+        }
+        Outcome::Coalesced(body) => {
+            state.metrics.cache_coalesced();
+            Response::json(200, body)
+        }
+    }
+}
+
+fn push_fit_fields(out: &mut String, fit: &DeviceFit) {
+    out.push_str("{\"high_energy_fit\":");
+    push_json_f64(out, fit.high_energy.value());
+    out.push_str(",\"thermal_fit\":");
+    push_json_f64(out, fit.thermal.value());
+    out.push_str(",\"total_fit\":");
+    push_json_f64(out, fit.total().value());
+    out.push_str(",\"thermal_share\":");
+    push_json_f64(out, fit.thermal_share());
+    out.push_str(",\"underestimation_factor\":");
+    push_json_f64(out, fit.underestimation_factor());
+    out.push('}');
+}
+
+/// `POST /v1/fit` — fold a device's beam-measured cross sections with a
+/// terrestrial environment.
+///
+/// Request: `{"device": <name>, "location": <preset|object>,
+/// "weather": <preset>, "surroundings": <preset>,
+/// "solar_activity": <preset>, "seed": <u64>, "quick": <bool>}`
+/// (everything but `device` optional).
+pub fn fit(state: &AppState, body: &[u8]) -> Response {
+    match fit_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn fit_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let doc = parse_body(body)?;
+    let device_name = required_str(&doc, "device")?;
+    let device = registry::find_device(device_name)
+        .ok_or_else(|| BadRequest::new(404, format!("unknown device `{device_name}`")))?;
+    let (location, canonical_location) = resolve_location(&doc)?;
+    let weather = resolve_weather(&doc)?;
+    let (surroundings, surroundings_name) = resolve_surroundings(&doc)?;
+    let (solar, solar_name) = resolve_solar(&doc)?;
+    let seed = optional_u64(&doc, "seed", state.seed)?;
+    let quick = optional_bool(&doc, "quick", true)?;
+
+    let resolved = Json::Object(vec![
+        ("device".into(), Json::Str(device.name().to_string())),
+        ("location".into(), canonical_location),
+        ("weather".into(), Json::Str(weather.to_string())),
+        ("surroundings".into(), Json::Str(surroundings_name.into())),
+        ("solar_activity".into(), Json::Str(solar_name.into())),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("quick".into(), Json::Bool(quick)),
+    ]);
+    let key = format!("fit|{}", resolved.to_canonical_string());
+
+    let env = Environment::new(location, weather, surroundings).with_solar_activity(solar);
+    Ok(cached(state, &key, || {
+        let study = state.study(seed, quick);
+        let report = study
+            .device(device.name())
+            .expect("catalog device present in every study");
+        let sdc = report.sdc_fit(&env);
+        let due = report.due_fit(&env);
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"device\":");
+        push_json_str(&mut out, device.name());
+        out.push_str(",\"seed\":");
+        out.push_str(&seed.to_string());
+        out.push_str(",\"quick\":");
+        out.push_str(if quick { "true" } else { "false" });
+        out.push_str(",\"environment\":{\"location\":");
+        push_json_str(&mut out, env.location().name());
+        out.push_str(",\"altitude_m\":");
+        push_json_num(&mut out, env.location().altitude_m());
+        out.push_str(",\"weather\":");
+        push_json_str(&mut out, &env.weather().to_string());
+        out.push_str(",\"surroundings\":");
+        push_json_str(&mut out, surroundings_name);
+        out.push_str(",\"solar_activity\":");
+        push_json_str(&mut out, solar_name);
+        out.push_str(",\"high_energy_flux_cm2_s\":");
+        push_json_f64(&mut out, env.high_energy_flux().value());
+        out.push_str(",\"thermal_flux_cm2_s\":");
+        push_json_f64(&mut out, env.thermal_flux().value());
+        out.push_str("},\"sdc\":");
+        push_fit_fields(&mut out, &sdc);
+        out.push_str(",\"due\":");
+        push_fit_fields(&mut out, &due);
+        out.push('}');
+        out
+    }))
+}
+
+/// `POST /v1/checkpoint` — Young/Daly checkpoint intervals for a fleet.
+///
+/// Request: `{"due_fit_per_node": <f64>, "nodes": <u64>,
+/// "checkpoint_cost_s": <f64>}` (`nodes` optional, default 1).
+pub fn checkpoint(state: &AppState, body: &[u8]) -> Response {
+    match checkpoint_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn checkpoint_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let doc = parse_body(body)?;
+    let per_node = positive_f64(&doc, "due_fit_per_node")?;
+    let cost_s = positive_f64(&doc, "checkpoint_cost_s")?;
+    let nodes = optional_u64(&doc, "nodes", 1)?;
+    if nodes == 0 {
+        return Err(BadRequest::new(400, "field `nodes` must be >= 1"));
+    }
+
+    let resolved = Json::Object(vec![
+        ("due_fit_per_node".into(), Json::Num(per_node)),
+        ("nodes".into(), Json::Num(nodes as f64)),
+        ("checkpoint_cost_s".into(), Json::Num(cost_s)),
+    ]);
+    let key = format!("checkpoint|{}", resolved.to_canonical_string());
+
+    Ok(cached(state, &key, || {
+        let fleet_fit = per_node * nodes as f64;
+        let plan = CheckpointPlan::new(Fit(fleet_fit), Seconds(cost_s));
+        let young = plan.young_interval();
+        let daly = plan.daly_interval();
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"nodes\":");
+        out.push_str(&nodes.to_string());
+        out.push_str(",\"fleet_due_fit\":");
+        push_json_f64(&mut out, fleet_fit);
+        out.push_str(",\"mtbf_s\":");
+        push_json_f64(&mut out, plan.mtbf().value());
+        out.push_str(",\"young_interval_s\":");
+        push_json_f64(&mut out, young.value());
+        out.push_str(",\"daly_interval_s\":");
+        push_json_f64(&mut out, daly.value());
+        out.push_str(",\"overhead_at_young\":");
+        push_json_f64(&mut out, plan.overhead_at(young));
+        out.push_str(",\"overhead_at_daly\":");
+        push_json_f64(&mut out, plan.overhead_at(daly));
+        out.push('}');
+        out
+    }))
+}
+
+/// `POST /v1/cross-sections` — the quick-sized beam-campaign pipeline
+/// for one device: per-workload ChipIR/ROTAX cross sections with 95 %
+/// confidence intervals, plus the Figure-5 ratios.
+///
+/// Request: `{"device": <name>, "seed": <u64>}` (`seed` optional).
+pub fn cross_sections(state: &AppState, body: &[u8]) -> Response {
+    match cross_sections_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn cross_sections_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let doc = parse_body(body)?;
+    let device_name = required_str(&doc, "device")?;
+    let device = registry::find_device(device_name)
+        .ok_or_else(|| BadRequest::new(404, format!("unknown device `{device_name}`")))?;
+    let seed = optional_u64(&doc, "seed", state.seed)?;
+
+    let resolved = Json::Object(vec![
+        ("device".into(), Json::Str(device.name().to_string())),
+        ("seed".into(), Json::Num(seed as f64)),
+    ]);
+    let key = format!("cross-sections|{}", resolved.to_canonical_string());
+
+    Ok(cached(state, &key, || {
+        let study = state.study(seed, true);
+        let report = study
+            .device(device.name())
+            .expect("catalog device present in every study");
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"seed\":");
+        out.push_str(&seed.to_string());
+        out.push_str(",\"sdc_ratio\":");
+        push_json_f64(&mut out, report.sdc_ratio());
+        out.push_str(",\"due_ratio\":");
+        push_json_f64(&mut out, report.due_ratio());
+        out.push_str(",\"report\":");
+        out.push_str(&report.to_json());
+        out.push('}');
+        out
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> AppState {
+        AppState::new(2020, 64, 2)
+    }
+
+    #[test]
+    fn healthz_is_static_json() {
+        let r = healthz();
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn devices_lists_the_whole_catalog() {
+        let r = devices(&state());
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"count\":8"));
+        assert!(r.body.contains("Intel Xeon Phi"));
+        assert!(r.body.contains("\"MNIST\""));
+        assert!(json::parse(&r.body).is_ok());
+    }
+
+    #[test]
+    fn fit_rejects_malformed_and_unknown() {
+        let s = state();
+        assert_eq!(fit(&s, b"{oops").status, 400);
+        assert_eq!(fit(&s, b"{}").status, 400);
+        assert_eq!(fit(&s, br#"{"device":"PDP-11"}"#).status, 404);
+        assert_eq!(
+            fit(&s, br#"{"device":"NVIDIA K20","weather":"hail"}"#).status,
+            400
+        );
+        assert_eq!(
+            fit(&s, br#"{"device":"NVIDIA K20","location":"atlantis"}"#).status,
+            400
+        );
+        assert_eq!(
+            fit(
+                &s,
+                br#"{"device":"NVIDIA K20","location":{"altitude_m":99999}}"#
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            fit(&s, br#"{"device":"NVIDIA K20","seed":-1}"#).status,
+            400
+        );
+    }
+
+    #[test]
+    fn checkpoint_computes_young_and_daly() {
+        let s = state();
+        let r = checkpoint(
+            &s,
+            br#"{"due_fit_per_node": 500.0, "nodes": 100, "checkpoint_cost_s": 120}"#,
+        );
+        assert_eq!(r.status, 200);
+        let doc = json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("fleet_due_fit").and_then(Json::as_f64), Some(5e4));
+        let young = doc.get("young_interval_s").and_then(Json::as_f64).unwrap();
+        let daly = doc.get("daly_interval_s").and_then(Json::as_f64).unwrap();
+        assert!(young > 0.0 && daly > 0.0);
+        // Daly's refinement undercuts Young's first-order optimum.
+        assert!(daly < young);
+    }
+
+    #[test]
+    fn checkpoint_validates_inputs() {
+        let s = state();
+        for bad in [
+            &br#"{"due_fit_per_node":0,"checkpoint_cost_s":1}"#[..],
+            br#"{"due_fit_per_node":1,"checkpoint_cost_s":-3}"#,
+            br#"{"due_fit_per_node":1,"checkpoint_cost_s":60,"nodes":0}"#,
+            br#"{"checkpoint_cost_s":60}"#,
+        ] {
+            assert_eq!(checkpoint(&s, bad).status, 400, "{:?}", std::str::from_utf8(bad));
+        }
+    }
+
+    #[test]
+    fn canonicalisation_makes_equivalent_fit_requests_share_a_key() {
+        let s = state();
+        // Same request, different member order / number spelling /
+        // explicit defaults: second one must be a cache hit.
+        let a = fit(
+            &s,
+            br#"{"device":"NVIDIA K20","seed":7,"weather":"sunny","quick":true}"#,
+        );
+        let b = fit(
+            &s,
+            br#"{"weather":"sunny","device":"NVIDIA K20","seed":7e0}"#,
+        );
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b.body);
+        assert!(s.metrics.render().contains("tn_cache_hits_total 1"));
+        assert!(s.metrics.render().contains("tn_cache_misses_total 1"));
+    }
+
+    #[test]
+    fn study_memo_is_shared_between_endpoints() {
+        let s = state();
+        let f = fit(&s, br#"{"device":"NVIDIA K20","seed":9}"#);
+        assert_eq!(f.status, 200);
+        let x = cross_sections(&s, br#"{"device":"Intel Xeon Phi","seed":9}"#);
+        assert_eq!(x.status, 200);
+        // One pipeline run serves both endpoints.
+        assert!(s.metrics.render().contains("tn_study_cache_misses_total 1"));
+        assert!(s.metrics.render().contains("tn_study_cache_hits_total 1"));
+    }
+}

@@ -1,0 +1,212 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! Only what the API needs: request-line + headers + `Content-Length`
+//! bodies in, fixed-header responses out, one request per connection
+//! (`Connection: close`). Size limits keep a hostile peer from holding
+//! a worker: 8 KiB of headers, 1 MiB of body.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Maximum request body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Per-connection socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request: method, path and raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase HTTP method, e.g. `GET`.
+    pub method: String,
+    /// Request target path (query strings are not used by this API and
+    /// are kept attached).
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be served at the transport layer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// Headers or body exceed the fixed limits.
+    TooLarge(&'static str),
+    /// The socket failed mid-exchange; no response can be delivered.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Accumulate until the blank line that ends the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge("header block exceeds 8 KiB"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header block"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body exceeds 1 MiB"));
+    }
+
+    // The body starts right after the blank line; part of it may already
+    // be buffered.
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A JSON error response with the canonical `{"error": ...}` shape.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        tn_core::json::push_json_str(&mut body, message);
+        body.push('}');
+        Self::json(status, body)
+    }
+
+    /// A Prometheus text-format response (`/metrics`).
+    pub fn metrics_text(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// Serialises status line, fixed headers and body to the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 500] {
+            assert_ne!(reason(code), "Unknown");
+        }
+        assert_eq!(reason(418), "Unknown");
+    }
+
+    #[test]
+    fn error_responses_are_json_escaped() {
+        let r = Response::error(400, "bad \"quote\"");
+        assert_eq!(r.body, "{\"error\":\"bad \\\"quote\\\"\"}");
+        assert_eq!(r.content_type, "application/json");
+    }
+}

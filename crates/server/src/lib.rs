@@ -1,0 +1,250 @@
+//! # tn-server — risk-as-a-service for the thermal-neutron FIT engine
+//!
+//! A hermetic (zero-dependency, `std`-only) HTTP/1.1 JSON daemon that
+//! puts the paper's pipeline behind an API a fleet operator can query:
+//! per-site, per-device FIT rates with thermal share, checkpoint-interval
+//! planning, and raw beam-campaign cross sections.
+//!
+//! | route | method | what it returns |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness probe |
+//! | `/v1/devices` | GET | device registry with per-device workloads |
+//! | `/v1/fit` | POST | SDC/DUE FIT + thermal share for device × environment |
+//! | `/v1/checkpoint` | POST | Young/Daly checkpoint intervals for a fleet |
+//! | `/v1/cross-sections` | POST | quick beam-campaign pipeline for one device |
+//! | `/metrics` | GET | Prometheus text: requests, latencies, cache, workers |
+//!
+//! ## Determinism and caching
+//!
+//! Every pipeline run is deterministic in (config, seed), so the same
+//! request with the same seed always yields a **byte-identical** JSON
+//! body. That turns caching from a heuristic into an identity: responses
+//! live in a sharded LRU keyed by the *canonical* form of the resolved
+//! request (object keys sorted, defaults filled in, numbers normalised),
+//! and concurrent identical requests coalesce onto a single computation
+//! ([`singleflight`]) instead of stampeding the worker pool.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use tn_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(&ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.local_addr().unwrap());
+//! server.run(); // blocks; use `spawn()` for a background handle
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod singleflight;
+
+pub use handlers::AppState;
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Default RNG seed for requests that do not carry one.
+    pub seed: u64,
+    /// Total response-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 4,
+            seed: 2020,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Connection queue shared between the acceptor and the workers.
+#[derive(Debug, Default)]
+struct Queue {
+    connections: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A bound (but not yet serving) server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. No thread is
+    /// started yet: call [`Server::run`] or [`Server::spawn`].
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
+        let threads = config.threads.max(1);
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            state: Arc::new(AppState::new(config.seed, config.cache_capacity, threads)),
+            threads,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until the process exits (accept loop on the calling
+    /// thread, requests on the worker pool).
+    pub fn run(self) {
+        let handle = self.spawn();
+        handle.join();
+    }
+
+    /// Starts the accept loop and worker pool on background threads and
+    /// returns a handle that can wait for or shut down the server.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr().expect("listener has a local address");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue::default());
+
+        let workers: Vec<JoinHandle<()>> = (0..self.threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&self.state);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
+                    .name(format!("tn-server-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &state, &shutdown))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&shutdown);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("tn-server-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        state.metrics.connection();
+                        let mut connections =
+                            queue.connections.lock().expect("queue poisoned");
+                        connections.push_back(stream);
+                        drop(connections);
+                        queue.ready.notify_one();
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        ServerHandle {
+            addr,
+            state: self.state,
+            shutdown,
+            queue,
+            acceptor,
+            workers,
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool) {
+    loop {
+        let stream = {
+            let mut connections = queue.connections.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = connections.pop_front() {
+                    break stream;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                connections = queue.ready.wait(connections).expect("queue poisoned");
+            }
+        };
+        state.metrics.worker_busy();
+        serve_connection(stream, state);
+        state.metrics.worker_idle();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, state: &AppState) {
+    let response = match http::read_request(&mut stream) {
+        Ok(request) => router::handle(state, &request),
+        Err(http::HttpError::Malformed(why)) => http::Response::error(400, why),
+        Err(http::HttpError::TooLarge(why)) => http::Response::error(413, why),
+        // The socket is gone; nothing can be written back.
+        Err(http::HttpError::Io(_)) => return,
+    };
+    // A peer that vanished mid-write is its own problem.
+    let _ = response.write_to(&mut stream);
+}
+
+/// A running server: join it or shut it down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (metrics, caches) — useful for
+    /// white-box assertions in tests.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Blocks until the server stops (it only stops via
+    /// [`ServerHandle::stop`] from another thread, so this normally
+    /// blocks forever).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor is parked in accept(); poke it with a throwaway
+        // connection so it re-checks the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        self.queue.ready.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}

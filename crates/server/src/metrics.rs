@@ -1,0 +1,301 @@
+//! Lock-free service instrumentation and its Prometheus text rendering.
+//!
+//! Everything is a plain `AtomicU64`, so the hot path never takes a lock
+//! to count. Latencies are accumulated as microsecond sums plus counts
+//! (the standard Prometheus `_sum`/`_count` summary pair), per endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The route labels metrics are partitioned by. `Other` buckets
+/// unrecognised paths (404s) so scans don't blow up the label space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /v1/devices`
+    Devices,
+    /// `POST /v1/fit`
+    Fit,
+    /// `POST /v1/checkpoint`
+    Checkpoint,
+    /// `POST /v1/cross-sections`
+    CrossSections,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else.
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in rendering order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Healthz,
+        Endpoint::Devices,
+        Endpoint::Fit,
+        Endpoint::Checkpoint,
+        Endpoint::CrossSections,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// The Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "/healthz",
+            Endpoint::Devices => "/v1/devices",
+            Endpoint::Fit => "/v1/fit",
+            Endpoint::Checkpoint => "/v1/checkpoint",
+            Endpoint::CrossSections => "/v1/cross-sections",
+            Endpoint::Metrics => "/metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|e| *e == self).expect("listed")
+    }
+}
+
+/// Status codes tracked per endpoint (anything else folds into 500).
+const STATUSES: [u16; 6] = [200, 400, 404, 405, 413, 500];
+
+fn status_index(status: u16) -> usize {
+    STATUSES.iter().position(|s| *s == status).unwrap_or(5)
+}
+
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    by_status: [AtomicU64; 6],
+    latency_us_sum: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+/// The service-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: [EndpointCounters; 7],
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_coalesced: AtomicU64,
+    study_cache_hits: AtomicU64,
+    study_cache_misses: AtomicU64,
+    in_flight: AtomicU64,
+    workers_busy: AtomicU64,
+    workers_total: AtomicU64,
+    connections_total: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates an empty registry; `workers_total` is fixed at pool size.
+    pub fn new(workers: usize) -> Self {
+        let m = Self::default();
+        m.workers_total.store(workers as u64, Ordering::Relaxed);
+        m
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, latency_us: u64) {
+        let c = &self.endpoints[endpoint.index()];
+        c.by_status[status_index(status)].fetch_add(1, Ordering::Relaxed);
+        c.latency_us_sum.fetch_add(latency_us, Ordering::Relaxed);
+        c.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a response-cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a response-cache miss (the request that actually computes).
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request that coalesced onto an identical in-flight one.
+    pub fn cache_coalesced(&self) {
+        self.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a pipeline-study memo hit.
+    pub fn study_hit(&self) {
+        self.study_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a pipeline-study memo miss (a full pipeline run).
+    pub fn study_miss(&self) {
+        self.study_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an accepted connection.
+    pub fn connection(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as entered (in-flight gauge up).
+    pub fn enter(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as left (in-flight gauge down).
+    pub fn leave(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Marks a worker as busy.
+    pub fn worker_busy(&self) {
+        self.workers_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a worker as idle again.
+    pub fn worker_idle(&self) {
+        self.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# HELP tn_requests_total Requests served, by endpoint and status.\n");
+        out.push_str("# TYPE tn_requests_total counter\n");
+        for e in Endpoint::ALL {
+            let c = &self.endpoints[e.index()];
+            for (i, status) in STATUSES.iter().enumerate() {
+                let n = c.by_status[i].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "tn_requests_total{{endpoint=\"{}\",status=\"{status}\"}} {n}\n",
+                        e.label()
+                    ));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP tn_request_latency_seconds Cumulative request latency, by endpoint.\n",
+        );
+        out.push_str("# TYPE tn_request_latency_seconds summary\n");
+        for e in Endpoint::ALL {
+            let c = &self.endpoints[e.index()];
+            let count = c.latency_count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let sum_us = c.latency_us_sum.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "tn_request_latency_seconds_sum{{endpoint=\"{}\"}} {:e}\n",
+                e.label(),
+                sum_us as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "tn_request_latency_seconds_count{{endpoint=\"{}\"}} {count}\n",
+                e.label()
+            ));
+        }
+        let gauge = |out: &mut String, name: &str, help: &str, kind: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {v}\n"));
+        };
+        gauge(
+            &mut out,
+            "tn_cache_hits_total",
+            "Responses served from the result cache.",
+            "counter",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_cache_misses_total",
+            "Requests that computed a fresh result.",
+            "counter",
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_cache_coalesced_total",
+            "Requests that joined an identical in-flight computation.",
+            "counter",
+            self.cache_coalesced.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_study_cache_hits_total",
+            "Pipeline studies served from the study memo.",
+            "counter",
+            self.study_cache_hits.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_study_cache_misses_total",
+            "Full pipeline runs executed.",
+            "counter",
+            self.study_cache_misses.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_connections_total",
+            "TCP connections accepted.",
+            "counter",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_inflight_requests",
+            "Requests currently being handled.",
+            "gauge",
+            self.in_flight.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_workers_busy",
+            "Worker threads currently serving a connection.",
+            "gauge",
+            self.workers_busy.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "tn_workers_total",
+            "Worker threads in the pool.",
+            "gauge",
+            self.workers_total.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_recorded_series() {
+        let m = Metrics::new(4);
+        m.record_request(Endpoint::Fit, 200, 1500);
+        m.record_request(Endpoint::Fit, 400, 20);
+        m.cache_hit();
+        m.cache_miss();
+        m.worker_busy();
+        let text = m.render();
+        assert!(text.contains("tn_requests_total{endpoint=\"/v1/fit\",status=\"200\"} 1"));
+        assert!(text.contains("tn_requests_total{endpoint=\"/v1/fit\",status=\"400\"} 1"));
+        assert!(text.contains("tn_request_latency_seconds_count{endpoint=\"/v1/fit\"} 2"));
+        assert!(text.contains("tn_cache_hits_total 1"));
+        assert!(text.contains("tn_cache_misses_total 1"));
+        assert!(text.contains("tn_workers_busy 1"));
+        assert!(text.contains("tn_workers_total 4"));
+    }
+
+    #[test]
+    fn unknown_status_folds_into_500() {
+        let m = Metrics::new(1);
+        m.record_request(Endpoint::Other, 999, 5);
+        assert!(m
+            .render()
+            .contains("tn_requests_total{endpoint=\"other\",status=\"500\"} 1"));
+    }
+
+    #[test]
+    fn gauges_go_down() {
+        let m = Metrics::new(2);
+        m.enter();
+        m.enter();
+        m.leave();
+        assert!(m.render().contains("tn_inflight_requests 1"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Route dispatch plus per-request instrumentation.
+
+use crate::handlers::{self, AppState};
+use crate::http::{Request, Response};
+use crate::metrics::Endpoint;
+use std::time::Instant;
+
+/// Resolves a request to its endpoint label (for metrics) independent
+/// of whether the method matches.
+fn endpoint_of(path: &str) -> Endpoint {
+    match path {
+        "/healthz" => Endpoint::Healthz,
+        "/v1/devices" => Endpoint::Devices,
+        "/v1/fit" => Endpoint::Fit,
+        "/v1/checkpoint" => Endpoint::Checkpoint,
+        "/v1/cross-sections" => Endpoint::CrossSections,
+        "/metrics" => Endpoint::Metrics,
+        _ => Endpoint::Other,
+    }
+}
+
+/// Dispatches one request and records count + latency for it.
+pub fn handle(state: &AppState, request: &Request) -> Response {
+    state.metrics.enter();
+    let started = Instant::now();
+    let endpoint = endpoint_of(&request.path);
+    let response = dispatch(state, request, endpoint);
+    let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    state
+        .metrics
+        .record_request(endpoint, response.status, elapsed_us);
+    state.metrics.leave();
+    response
+}
+
+fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response {
+    let method = request.method.as_str();
+    match endpoint {
+        Endpoint::Healthz => match method {
+            "GET" => handlers::healthz(),
+            _ => method_not_allowed("GET"),
+        },
+        Endpoint::Devices => match method {
+            "GET" => handlers::devices(state),
+            _ => method_not_allowed("GET"),
+        },
+        Endpoint::Metrics => match method {
+            "GET" => handlers::metrics(state),
+            _ => method_not_allowed("GET"),
+        },
+        Endpoint::Fit => match method {
+            "POST" => handlers::fit(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
+        Endpoint::Checkpoint => match method {
+            "POST" => handlers::checkpoint(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
+        Endpoint::CrossSections => match method {
+            "POST" => handlers::cross_sections(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
+        Endpoint::Other => Response::error(404, &format!("no route for `{}`", request.path)),
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::error(405, &format!("method not allowed (use {allowed})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn routes_resolve_to_their_endpoints() {
+        assert_eq!(endpoint_of("/healthz"), Endpoint::Healthz);
+        assert_eq!(endpoint_of("/v1/fit"), Endpoint::Fit);
+        assert_eq!(endpoint_of("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_wrong_method_is_405() {
+        let state = AppState::new(1, 8, 1);
+        assert_eq!(handle(&state, &req("GET", "/nope", b"")).status, 404);
+        assert_eq!(handle(&state, &req("POST", "/healthz", b"")).status, 405);
+        assert_eq!(handle(&state, &req("GET", "/v1/fit", b"")).status, 405);
+        let text = state.metrics.render();
+        assert!(text.contains("endpoint=\"other\",status=\"404\"} 1"));
+        assert!(text.contains("endpoint=\"/healthz\",status=\"405\"} 1"));
+        assert!(text.contains("tn_inflight_requests 0"));
+    }
+
+    #[test]
+    fn healthz_routes() {
+        let state = AppState::new(1, 8, 1);
+        let r = handle(&state, &req("GET", "/healthz", b""));
+        assert_eq!(r.status, 200);
+        assert!(state
+            .metrics
+            .render()
+            .contains("tn_request_latency_seconds_count{endpoint=\"/healthz\"} 1"));
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests: a real daemon on an ephemeral port, exercised with
+//! raw `TcpStream` requests — no HTTP client library, by policy.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use tn_server::{Server, ServerConfig, ServerHandle};
+
+fn start(threads: usize) -> ServerHandle {
+    Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        seed: 2020,
+        cache_capacity: 64,
+    })
+    .expect("bind ephemeral port")
+    .spawn()
+}
+
+/// Sends one raw request and returns (status, headers, body).
+fn raw(addr: SocketAddr, request: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    raw(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    raw(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Extracts a counter value from Prometheus text output.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
+}
+
+#[test]
+fn healthz_devices_and_metrics_respond() {
+    let server = start(2);
+    let addr = server.addr();
+
+    let (status, head, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: application/json"));
+    assert_eq!(body, "{\"service\":\"tn-server\",\"status\":\"ok\"}");
+
+    let (status, _, body) = get(addr, "/v1/devices");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"count\":8"));
+    for device in ["Intel Xeon Phi", "NVIDIA K20", "Xilinx Zynq-7000"] {
+        assert!(body.contains(device), "{device} missing from {body}");
+    }
+
+    let (status, head, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: text/plain"));
+    assert!(body.contains("tn_workers_total 2"));
+    // The two requests above are already counted.
+    assert!(body.contains("tn_requests_total{endpoint=\"/healthz\",status=\"200\"} 1"));
+    assert!(body.contains("tn_requests_total{endpoint=\"/v1/devices\",status=\"200\"} 1"));
+    assert!(metric(&body, "tn_connections_total") >= 3);
+
+    server.stop();
+}
+
+#[test]
+fn error_paths_return_json_errors() {
+    let server = start(2);
+    let addr = server.addr();
+
+    // Malformed JSON → 400.
+    let (status, _, body) = post(addr, "/v1/fit", "{this is not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"error\""));
+    assert!(body.contains("malformed JSON"));
+
+    // Unknown route → 404.
+    let (status, _, body) = get(addr, "/v1/nope");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"error\""));
+
+    // Wrong method on a known route → 405.
+    let (status, _, _) = post(addr, "/healthz", "{}");
+    assert_eq!(status, 405);
+
+    // Unknown device → 404.
+    let (status, _, body) = post(addr, "/v1/fit", r#"{"device":"ENIAC"}"#);
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown device"));
+
+    // Not HTTP at all → 400.
+    let (status, _, _) = raw(addr, "NOT_AN_HTTP_REQUEST\r\n\r\n");
+    assert_eq!(status, 400);
+
+    server.stop();
+}
+
+#[test]
+fn fit_endpoint_is_deterministic_and_counts_cache_hits() {
+    let server = start(2);
+    let addr = server.addr();
+    let request =
+        r#"{"device":"NVIDIA K20","location":"leadville","weather":"thunderstorm","seed":7}"#;
+
+    let (status, _, first) = post(addr, "/v1/fit", request);
+    assert_eq!(status, 200, "{first}");
+    let (_, _, second) = post(addr, "/v1/fit", request);
+    assert_eq!(first, second, "same request + seed → byte-identical body");
+
+    // Sanity on the payload: thermal share present and in (0, 1].
+    assert!(first.contains("\"thermal_share\":"));
+    assert!(first.contains("\"environment\""));
+    assert!(first.contains("Leadville"));
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert_eq!(metric(&metrics, "tn_cache_misses_total"), 1);
+    assert!(metric(&metrics, "tn_cache_hits_total") >= 1, "{metrics}");
+
+    server.stop();
+}
+
+#[test]
+fn two_concurrent_identical_fit_posts_cause_exactly_one_miss() {
+    let server = start(4);
+    let addr = server.addr();
+    let request = r#"{"device":"Intel Xeon Phi","location":"new_york","seed":11}"#;
+
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                post(addr, "/v1/fit", request)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(results[0].0, 200);
+    assert_eq!(results[0].2, results[1].2, "coalesced responses are identical");
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    // However the two raced, the pipeline ran once: the second request
+    // either coalesced onto the in-flight computation or hit the cache.
+    assert_eq!(metric(&metrics, "tn_cache_misses_total"), 1);
+    assert_eq!(
+        metric(&metrics, "tn_cache_hits_total") + metric(&metrics, "tn_cache_coalesced_total"),
+        1
+    );
+
+    server.stop();
+}
+
+#[test]
+fn checkpoint_and_cross_sections_endpoints() {
+    let server = start(2);
+    let addr = server.addr();
+
+    let (status, _, body) = post(
+        addr,
+        "/v1/checkpoint",
+        r#"{"due_fit_per_node":500,"nodes":100,"checkpoint_cost_s":120}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    for key in [
+        "\"mtbf_s\":",
+        "\"young_interval_s\":",
+        "\"daly_interval_s\":",
+        "\"overhead_at_daly\":",
+    ] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+
+    let (status, _, body) = post(
+        addr,
+        "/v1/cross-sections",
+        r#"{"device":"Xilinx Zynq-7000","seed":3}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    for key in ["\"chipir\":", "\"rotax\":", "\"sigma\":", "\"ci\":[", "\"MNIST\""] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    // Validation glitches → 400.
+    let (status, _, _) = post(addr, "/v1/checkpoint", r#"{"due_fit_per_node":-1}"#);
+    assert_eq!(status, 400);
+
+    server.stop();
+}
+
+#[test]
+fn responses_are_deterministic_across_server_instances() {
+    let request = r#"{"device":"NVIDIA K20","location":"leadville","seed":5}"#;
+    let body_of = |server: &ServerHandle| post(server.addr(), "/v1/fit", request).2;
+
+    let a = start(2);
+    let first = body_of(&a);
+    a.stop();
+    let b = start(3);
+    let second = body_of(&b);
+    b.stop();
+    assert_eq!(first, second, "fresh daemons agree byte-for-byte");
+}

@@ -6,5 +6,45 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+cargo build --offline --examples
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# ---- tn-server smoke test -------------------------------------------------
+# Start the daemon on an ephemeral port, hit /healthz through bash's
+# /dev/tcp (no curl in the hermetic environment), and shut it down.
+smoke_log="$(mktemp)"
+target/release/thermal-neutrons serve --addr 127.0.0.1:0 --threads 2 >"$smoke_log" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+port=""
+for _ in $(seq 1 100); do
+    # The daemon prints: tn-server listening on http://127.0.0.1:PORT (...)
+    port="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$smoke_log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "tn-server smoke test FAILED: daemon never reported its port" >&2
+    exit 1
+fi
+
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'GET /healthz HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+health="$(cat <&3)"
+exec 3<&- 3>&-
+
+case "$health" in
+    *'"status":"ok"'*) echo "tn-server smoke test OK (port $port)" ;;
+    *)
+        echo "tn-server smoke test FAILED: unexpected /healthz response:" >&2
+        echo "$health" >&2
+        exit 1
+        ;;
+esac
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$smoke_log"

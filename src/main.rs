@@ -6,16 +6,29 @@
 //! thermal-neutrons waterbox [--seed N]
 //! thermal-neutrons ddr [--seed N]
 //! thermal-neutrons spectra
+//! thermal-neutrons serve [--addr A] [--threads N] [--seed N]
 //! ```
+//!
+//! Every usage error — unknown command, flag without a value, value that
+//! does not parse — funnels through one `Result` path in [`run`] and
+//! exits with status 2.
 
 use thermal_neutrons::core_api as tn;
 use tn::environment::{Environment, Location, Surroundings, Weather};
 use tn::{Pipeline, PipelineConfig};
+use tn_server::{Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = run(&args) {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
-    let seed = flag_value(&args, "--seed").unwrap_or(2020);
+    let seed = flag_value::<u64>(args, "--seed")?.unwrap_or(2020);
     let quick = args.iter().any(|a| a == "--quick");
 
     match command {
@@ -24,28 +37,52 @@ fn main() {
         "waterbox" => waterbox(seed),
         "ddr" => ddr(seed),
         "spectra" => spectra(),
+        "serve" => return serve(args, seed),
         "help" | "--help" | "-h" => help(),
-        other => {
-            eprintln!("unknown command `{other}`\n");
-            help();
-            std::process::exit(2);
-        }
+        other => return Err(format!("unknown command `{other}`\n\n{}", help_text())),
     }
+    Ok(())
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<u64> {
-    let idx = args.iter().position(|a| a == flag)?;
-    let Some(raw) = args.get(idx + 1) else {
-        eprintln!("{flag} requires a value");
-        std::process::exit(2);
+/// Parses the value following `flag`, if the flag is present.
+///
+/// Works for any `FromStr` payload (`u64` seeds, `usize` thread counts,
+/// `String` addresses alike); a missing or unparseable value is an
+/// `Err`, so every caller shares the exit-2 path in [`main`] instead of
+/// exiting from inside a helper.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(idx) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
     };
-    match raw.parse() {
-        Ok(value) => Some(value),
-        Err(_) => {
-            eprintln!("{flag} expects an unsigned integer, got `{raw}`");
-            std::process::exit(2);
-        }
-    }
+    let raw = args
+        .get(idx + 1)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse()
+        .map(Some)
+        .map_err(|e| format!("{flag}: invalid value `{raw}`: {e}"))
+}
+
+fn serve(args: &[String], seed: u64) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: flag_value::<String>(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".into()),
+        threads: flag_value::<usize>(args, "--threads")?.unwrap_or(4).max(1),
+        seed,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind(&config).map_err(|e| format!("serve: cannot bind {}: {e}", config.addr))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("serve: no local address: {e}"))?;
+    println!(
+        "tn-server listening on http://{addr} (threads={}, seed={seed})",
+        config.threads
+    );
+    server.run();
+    Ok(())
 }
 
 fn config(quick: bool) -> PipelineConfig {
@@ -131,16 +168,82 @@ fn spectra() {
 }
 
 fn help() {
-    println!(
-        "thermal-neutrons — simulation study of thermal-neutron reliability risk\n\
-         \n\
-         commands:\n\
-         \x20 figure5    per-device HE/thermal cross-section ratios (paper Fig. 5)\n\
-         \x20 fit        thermal share of device FIT rates at NYC and Leadville\n\
-         \x20 waterbox   the Tin-II water-box experiment (paper Fig. 6)\n\
-         \x20 ddr        DDR3/DDR4 correct-loop classification (paper Fig. 4)\n\
-         \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
-         \n\
-         options: --seed N (default 2020), --quick (fast low-statistics run)"
-    );
+    println!("{}", help_text());
+}
+
+fn help_text() -> String {
+    "thermal-neutrons — simulation study of thermal-neutron reliability risk\n\
+     \n\
+     commands:\n\
+     \x20 figure5    per-device HE/thermal cross-section ratios (paper Fig. 5)\n\
+     \x20 fit        thermal share of device FIT rates at NYC and Leadville\n\
+     \x20 waterbox   the Tin-II water-box experiment (paper Fig. 6)\n\
+     \x20 ddr        DDR3/DDR4 correct-loop classification (paper Fig. 4)\n\
+     \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
+     \x20 serve      HTTP JSON API daemon (tn-server)\n\
+     \n\
+     options: --seed N (default 2020), --quick (fast low-statistics run)\n\
+     serve:   --addr HOST:PORT (default 127.0.0.1:7878), --threads N (default 4)"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        assert_eq!(flag_value::<u64>(&args(&["fit"]), "--seed"), Ok(None));
+    }
+
+    #[test]
+    fn u64_flag_parses() {
+        let a = args(&["fit", "--seed", "42"]);
+        assert_eq!(flag_value::<u64>(&a, "--seed"), Ok(Some(42)));
+    }
+
+    #[test]
+    fn string_flag_parses() {
+        let a = args(&["serve", "--addr", "0.0.0.0:80"]);
+        assert_eq!(
+            flag_value::<String>(&a, "--addr"),
+            Ok(Some("0.0.0.0:80".to_string()))
+        );
+    }
+
+    #[test]
+    fn missing_value_is_an_error_not_an_exit() {
+        let a = args(&["fit", "--seed"]);
+        let err = flag_value::<u64>(&a, "--seed").unwrap_err();
+        assert!(err.contains("--seed requires a value"));
+    }
+
+    #[test]
+    fn unparseable_value_is_an_error() {
+        let a = args(&["fit", "--seed", "banana"]);
+        let err = flag_value::<u64>(&a, "--seed").unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("banana"), "{err}");
+        // Negative numbers don't fit a u64 either.
+        let a = args(&["fit", "--seed", "-1"]);
+        assert!(flag_value::<u64>(&a, "--seed").is_err());
+    }
+
+    #[test]
+    fn bad_seed_and_unknown_command_share_the_error_path() {
+        assert!(run(&args(&["figure5", "--seed", "NaN"])).is_err());
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command `frobnicate`"));
+        assert!(err.contains("commands:"), "usage text rides along");
+    }
+
+    #[test]
+    fn serve_rejects_a_bad_thread_count() {
+        let err = run(&args(&["serve", "--threads", "many"])).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+    }
 }
