@@ -1,0 +1,203 @@
+//! Transport throughput — the perf case for the precomputed
+//! cross-section kernel and the sharded parallel driver.
+//!
+//! Two workloads, three variants each:
+//!
+//! * `thermal_field` (primary) — a diffuse 25.3 meV ambient field on
+//!   2 inches of water: the paper's central scenario (a thermal flux
+//!   incident on packaging/shielding material) and the regime every
+//!   albedo, water-box and floor-boost study in this repo runs in.
+//!   Histories here live almost entirely in the thermal-floor diffusion
+//!   loop, where the precomputed tables turn each collision into three
+//!   RNG draws and a handful of flops.
+//! * `moderation` — a 2 MeV beam into the same slab (the Fig.-6
+//!   moderation geometry): every collision changes energy, so the
+//!   kernel pays a table lookup per collision and the shared elastic
+//!   scatter math bounds the gain.
+//!
+//! The variants:
+//!
+//! * `serial_direct` — one RNG, [`Transport::run_history_direct`] per
+//!   history: the seed implementation, cross sections evaluated from the
+//!   material data at every collision;
+//! * `serial_cached` — the sharded driver at 1 thread, collisions
+//!   against the precomputed [`tn_physics::MaterialXs`] tables;
+//! * `parallel_cached` — the same canonical shard sequence distributed
+//!   over 8 workers; the tally is asserted identical to `serial_cached`.
+//!
+//! Results go to stdout and to
+//! `target/tn-bench/BENCH_transport_throughput.json`. Set
+//! `TN_BENCH_SMOKE=1` (or pass `--smoke`) for a 1-sample CI run.
+
+use std::time::Instant;
+use tn_bench::header;
+use tn_physics::units::{Energy, Length};
+use tn_physics::Material;
+use tn_rng::Rng;
+use tn_transport::{Neutron, SlabStack, Tally, Transport, TransportConfig};
+
+const SEED: u64 = 2020;
+const PARALLEL_THREADS: usize = 8;
+
+fn smoke_mode() -> bool {
+    std::env::var_os("TN_BENCH_SMOKE").is_some() || std::env::args().any(|a| a == "--smoke")
+}
+
+/// Times `run` over `samples` passes and returns the best throughput in
+/// histories per second (best-of-n discards scheduler noise).
+fn best_hps(samples: usize, histories: u64, mut run: impl FnMut() -> Tally) -> (f64, Tally) {
+    let mut best = 0.0f64;
+    let mut tally = Tally::default();
+    for _ in 0..samples {
+        let start = Instant::now();
+        tally = run();
+        let hps = histories as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(hps);
+    }
+    (best, tally)
+}
+
+fn fmt_hps(hps: f64) -> String {
+    if hps >= 1e6 {
+        format!("{:.2} Mh/s", hps / 1e6)
+    } else {
+        format!("{:.1} kh/s", hps / 1e3)
+    }
+}
+
+/// Throughputs and speedups for one workload, all three variants.
+struct Regime {
+    direct_hps: f64,
+    cached_hps: f64,
+    parallel_hps: f64,
+}
+
+impl Regime {
+    fn speedup_cached(&self) -> f64 {
+        self.cached_hps / self.direct_hps
+    }
+
+    fn speedup_parallel(&self) -> f64 {
+        self.parallel_hps / self.direct_hps
+    }
+
+    fn print(&self, label: &str) {
+        println!(
+            "bench {:<40} {:>14}",
+            format!("transport_{label}_serial_direct"),
+            fmt_hps(self.direct_hps)
+        );
+        println!(
+            "bench {:<40} {:>14}  ({:.2}x vs direct)",
+            format!("transport_{label}_serial_cached"),
+            fmt_hps(self.cached_hps),
+            self.speedup_cached()
+        );
+        println!(
+            "bench {:<40} {:>14}  ({:.2}x vs direct, {PARALLEL_THREADS} threads)",
+            format!("transport_{label}_parallel_cached"),
+            fmt_hps(self.parallel_hps),
+            self.speedup_parallel()
+        );
+    }
+}
+
+/// Runs direct / cached / parallel over one source definition.
+fn run_regime(
+    samples: usize,
+    histories: u64,
+    stack: &SlabStack,
+    source: impl Fn(&mut Rng) -> Neutron,
+    driver: impl Fn(&Transport) -> Tally,
+) -> Regime {
+    let serial = Transport::with_config(stack.clone(), TransportConfig::serial());
+    let (direct_hps, direct_tally) = best_hps(samples, histories, || {
+        let mut rng = Rng::seed_from_u64(SEED);
+        let mut tally = Tally::default();
+        for _ in 0..histories {
+            let n = source(&mut rng);
+            tally.record(serial.run_history_direct(n, &mut rng));
+        }
+        tally
+    });
+    let (cached_hps, cached_tally) = best_hps(samples, histories, || driver(&serial));
+
+    let parallel =
+        Transport::with_config(stack.clone(), TransportConfig::with_threads(PARALLEL_THREADS));
+    let (parallel_hps, parallel_tally) = best_hps(samples, histories, || driver(&parallel));
+
+    assert_eq!(
+        cached_tally, parallel_tally,
+        "thread count changed the tally — determinism contract broken"
+    );
+    // The direct path follows the old single-stream sequence, so only
+    // statistical agreement is expected of it.
+    let diff = (cached_tally.absorbed_fraction() - direct_tally.absorbed_fraction()).abs();
+    assert!(diff < 0.05, "cached and direct physics disagree: {diff}");
+
+    Regime {
+        direct_hps,
+        cached_hps,
+        parallel_hps,
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let (samples, histories) = if smoke { (1, 8_192u64) } else { (5, 40_000u64) };
+
+    header(
+        "TRANSPORT",
+        "transport throughput: direct vs cached vs parallel",
+    );
+    let stack = SlabStack::single(Material::water(), Length::from_inches(2.0));
+
+    let thermal = Energy(0.0253);
+    let field = run_regime(
+        samples,
+        histories,
+        &stack,
+        |rng| Neutron::diffuse_incident(thermal, rng),
+        |t| t.run_diffuse(thermal, histories, SEED),
+    );
+    field.print("thermal_field");
+
+    let fast = Energy::from_mev(2.0);
+    let moderation = run_regime(
+        samples,
+        histories,
+        &stack,
+        |_| Neutron::incident(fast),
+        |t| t.run_beam(fast, histories, SEED),
+    );
+    moderation.print("moderation");
+
+    let json = format!(
+        "{{\"name\":\"transport_throughput\",\"smoke\":{smoke},\
+         \"histories\":{histories},\"samples\":{samples},\
+         \"parallel_threads\":{PARALLEL_THREADS},\
+         \"serial_direct_hps\":{:.1},\
+         \"serial_cached_hps\":{:.1},\
+         \"parallel_cached_hps\":{:.1},\
+         \"speedup_cached_vs_direct\":{:.3},\
+         \"speedup_parallel_vs_direct\":{:.3},\
+         \"moderation_serial_direct_hps\":{:.1},\
+         \"moderation_serial_cached_hps\":{:.1},\
+         \"moderation_parallel_cached_hps\":{:.1},\
+         \"moderation_speedup_cached_vs_direct\":{:.3}}}",
+        field.direct_hps,
+        field.cached_hps,
+        field.parallel_hps,
+        field.speedup_cached(),
+        field.speedup_parallel(),
+        moderation.direct_hps,
+        moderation.cached_hps,
+        moderation.parallel_hps,
+        moderation.speedup_cached(),
+    );
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tn-bench");
+    std::fs::create_dir_all(dir).expect("create target/tn-bench");
+    let path = format!("{dir}/BENCH_transport_throughput.json");
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("  -> {path}");
+}

@@ -191,12 +191,7 @@ impl DataCenterRoom {
             self.floor.clone(),
             self.floor_thickness,
         ));
-        let mut tally = tn_transport::Tally::default();
-        let mut rng = tn_rng::Rng::seed_from_u64(seed);
-        for _ in 0..histories {
-            let n = tn_transport::Neutron::diffuse_incident(Energy::from_mev(1.0), &mut rng);
-            tally.record(transport.run_history(n, &mut rng));
-        }
+        let tally = transport.run_diffuse(Energy::from_mev(1.0), histories, seed);
         // Albedo thermals from below.
         FLOOR_VIEW_FACTOR * self.fast_to_thermal_ratio * tally.reflected_thermal_fraction()
     }

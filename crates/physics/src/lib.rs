@@ -34,6 +34,7 @@ pub mod spectrum;
 pub mod stats;
 pub mod tabulated;
 pub mod units;
+pub mod xs;
 
 pub use capture::{b10_capture, b10_capture_probability, he3_capture, one_over_v};
 pub use materials::{Constituent, Material, Nuclide};
@@ -46,3 +47,4 @@ pub use units::{
     ArealDensity, Barns, CrossSection, Energy, Fit, Fluence, Flux, Length, NumberDensity, Seconds,
     Temperature,
 };
+pub use xs::MaterialXs;

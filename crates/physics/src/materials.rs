@@ -349,19 +349,32 @@ impl Material {
 
     /// Picks the colliding nuclide at energy `e`, weighted by macroscopic
     /// total cross section, using a uniform random number in `[0,1)`.
+    ///
+    /// A material whose total cross section vanishes at `e` (all-zero
+    /// densities or cross sections) has no meaningful collision weights;
+    /// the last constituent is returned rather than dividing by zero and
+    /// propagating NaN probabilities into the transport kernel.
     pub fn pick_collision_nuclide(&self, e: Energy, u: f64) -> &Nuclide {
         let total = self.sigma_total(e);
-        let mut acc = 0.0;
-        for c in &self.constituents {
-            let s = c.density.value()
-                * (c.nuclide.elastic_at(e).to_cross_section().value()
-                    + c.nuclide.absorption_at(e).to_cross_section().value());
-            acc += s / total;
-            if u < acc {
-                return &c.nuclide;
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for c in &self.constituents {
+                let s = c.density.value()
+                    * (c.nuclide.elastic_at(e).to_cross_section().value()
+                        + c.nuclide.absorption_at(e).to_cross_section().value());
+                acc += s / total;
+                if u < acc {
+                    return &c.nuclide;
+                }
             }
         }
         &self.constituents[self.constituents.len() - 1].nuclide
+    }
+
+    /// Builds the precomputed cross-section table for this material —
+    /// the fast path the transport kernel evaluates collisions against.
+    pub fn precomputed_xs(&self) -> crate::xs::MaterialXs {
+        crate::xs::MaterialXs::build(self)
     }
 }
 
@@ -467,6 +480,31 @@ mod tests {
     #[should_panic(expected = "needs constituents")]
     fn empty_material_rejected() {
         let _ = Material::new("void", vec![]);
+    }
+
+    /// Regression: a zero-cross-section material used to produce NaN
+    /// pick probabilities (`s / 0.0`) and a silently wrong collision
+    /// fate; the pick must stay finite and total-ordering-free instead.
+    #[test]
+    fn zero_cross_section_material_pick_is_guarded() {
+        let void = Material::new(
+            "evacuated",
+            vec![
+                Constituent {
+                    nuclide: Nuclide::H1,
+                    density: NumberDensity(0.0),
+                },
+                Constituent {
+                    nuclide: Nuclide::O16,
+                    density: NumberDensity(0.0),
+                },
+            ],
+        );
+        assert_eq!(void.sigma_total(THERMAL_ENERGY), 0.0);
+        for u in [0.0, 0.5, 0.999_999] {
+            let n = void.pick_collision_nuclide(THERMAL_ENERGY, u);
+            assert_eq!(n.symbol, "O", "fallback must be deterministic");
+        }
     }
 
     #[test]

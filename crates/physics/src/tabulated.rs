@@ -84,8 +84,23 @@ impl TabulatedSpectrum {
         d0 * (ev / e0).powf(p)
     }
 
+    /// Number of log-trapezoid refinement steps [`Self::flux_between`]
+    /// uses for a bracket: proportional to the number of tabulated
+    /// points the bracket spans, not a flat maximum. A narrow band
+    /// inside one power-law segment needs a few dozen evaluations for
+    /// sub-1e-3 accuracy; only brackets crossing many knots earn more.
+    pub fn refinement_steps(&self, lo: Energy, hi: Energy) -> usize {
+        // Knots strictly inside (lo, hi), plus the two partial segments
+        // at the bracket ends.
+        let first = self.energies.partition_point(|&e| e <= lo.value());
+        let last = self.energies.partition_point(|&e| e < hi.value());
+        let spanned = last.saturating_sub(first);
+        (24 * (spanned + 2)).clamp(48, 2000)
+    }
+
     /// Integral flux between two energies (log-trapezoid over a refined
-    /// grid).
+    /// grid whose resolution scales with the tabulated points spanned —
+    /// see [`Self::refinement_steps`]).
     ///
     /// # Panics
     ///
@@ -95,7 +110,7 @@ impl TabulatedSpectrum {
             lo.value() > 0.0 && hi.value() > lo.value(),
             "bounds must be positive and increasing"
         );
-        let n = 2000;
+        let n = self.refinement_steps(lo, hi);
         let (llo, lhi) = (lo.value().ln(), hi.value().ln());
         let mut sum = 0.0;
         let mut prev_e = lo.value();
@@ -163,6 +178,21 @@ mod tests {
         assert_eq!(s.len(), 11);
         assert!(!s.is_empty());
         assert_eq!(s.name(), "1/E");
+    }
+
+    #[test]
+    fn refinement_scales_with_spanned_points_not_a_flat_2000() {
+        let s = one_over_e_table();
+        // A bracket inside one segment: the floor, not 2000 evaluations.
+        let narrow = s.refinement_steps(Energy(1.1), Energy(1.2));
+        assert_eq!(narrow, 48, "narrow bracket over-samples: {narrow}");
+        // A bracket spanning several decades earns proportionally more.
+        let wide = s.refinement_steps(Energy(1.0), Energy(1e5));
+        assert!(wide > narrow && wide <= 2000, "wide = {wide}");
+        // Narrow brackets stay accurate: 1/E over [1.1, 1.2] is exact.
+        let flux = s.flux_between(Energy(1.1), Energy(1.2)).value();
+        let expected = (1.2f64 / 1.1).ln();
+        assert!((flux - expected).abs() / expected < 1e-3, "flux {flux}");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 use tn_core::json::{self, push_json_f64, push_json_num, push_json_str, Json};
 use tn_core::{registry, Pipeline, PipelineConfig};
 use tn_core::report::StudyReport;
-use tn_environment::{Environment, Location, SolarActivity, Surroundings, Weather};
+use tn_environment::{DataCenterRoom, Environment, Location, SolarActivity, Surroundings, Weather};
 use tn_fit::{CheckpointPlan, DeviceFit};
 use tn_physics::units::{Fit, Seconds};
 
@@ -259,7 +259,19 @@ fn resolve_weather(doc: &Json) -> Result<Weather, BadRequest> {
     }
 }
 
-fn resolve_surroundings(doc: &Json) -> Result<(Surroundings, &'static str), BadRequest> {
+/// Histories per Monte-Carlo room derivation (`derived_*` surroundings).
+/// Matches the count the environment crate uses to validate the
+/// calibrated boosts; responses are cached per `(surroundings, seed)`.
+const ROOM_DERIVATION_HISTORIES: u64 = 4_000;
+
+fn resolve_surroundings(doc: &Json, seed: u64) -> Result<(Surroundings, &'static str), BadRequest> {
+    // The `derived_*` presets run the seeded tn-transport moderation
+    // model (respecting the configured `transport_threads`) instead of
+    // the paper's calibrated additive boosts.
+    let derived = |room: DataCenterRoom, name: &'static str| {
+        let boost = room.derive_thermal_factor(ROOM_DERIVATION_HISTORIES, seed) - 1.0;
+        Ok((Surroundings::outdoors().with_extra_boost(boost), name))
+    };
     match doc.get("surroundings").map(|v| v.as_str()) {
         None => Ok((Surroundings::hpc_machine_room(), "hpc_machine_room")),
         Some(Some("outdoors")) => Ok((Surroundings::outdoors(), "outdoors")),
@@ -268,9 +280,16 @@ fn resolve_surroundings(doc: &Json) -> Result<(Surroundings, &'static str), BadR
         Some(Some("hpc_machine_room")) => {
             Ok((Surroundings::hpc_machine_room(), "hpc_machine_room"))
         }
+        Some(Some("derived_air_cooled")) => {
+            derived(DataCenterRoom::air_cooled(), "derived_air_cooled")
+        }
+        Some(Some("derived_liquid_cooled")) => {
+            derived(DataCenterRoom::liquid_cooled(), "derived_liquid_cooled")
+        }
         _ => Err(BadRequest::new(
             400,
-            "`surroundings` must be outdoors, concrete_floor, water_cooled or hpc_machine_room",
+            "`surroundings` must be outdoors, concrete_floor, water_cooled, \
+             hpc_machine_room, derived_air_cooled or derived_liquid_cooled",
         )),
     }
 }
@@ -342,9 +361,9 @@ fn fit_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
         .ok_or_else(|| BadRequest::new(404, format!("unknown device `{device_name}`")))?;
     let (location, canonical_location) = resolve_location(&doc)?;
     let weather = resolve_weather(&doc)?;
-    let (surroundings, surroundings_name) = resolve_surroundings(&doc)?;
-    let (solar, solar_name) = resolve_solar(&doc)?;
     let seed = optional_u64(&doc, "seed", state.seed)?;
+    let (surroundings, surroundings_name) = resolve_surroundings(&doc, seed)?;
+    let (solar, solar_name) = resolve_solar(&doc)?;
     let quick = optional_bool(&doc, "quick", true)?;
 
     let resolved = Json::Object(vec![

@@ -63,6 +63,10 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Total response-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Worker threads for each Monte-Carlo transport run (applied as the
+    /// process-wide transport default at bind time). Tallies are
+    /// identical for any value; this only trades CPU for latency.
+    pub transport_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +76,7 @@ impl Default for ServerConfig {
             threads: 4,
             seed: 2020,
             cache_capacity: 256,
+            transport_threads: 1,
         }
     }
 }
@@ -96,6 +101,7 @@ impl Server {
     /// started yet: call [`Server::run`] or [`Server::spawn`].
     pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
         let threads = config.threads.max(1);
+        tn_core::transport::set_default_threads(config.transport_threads);
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Self {
             listener,

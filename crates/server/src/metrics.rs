@@ -255,6 +255,22 @@ impl Metrics {
             "gauge",
             self.workers_total.load(Ordering::Relaxed),
         );
+        gauge(
+            &mut out,
+            "tn_transport_histories_total",
+            "Monte-Carlo neutron histories transported, process-wide.",
+            "counter",
+            tn_core::transport::stats::histories_total(),
+        );
+        out.push_str(concat!(
+            "# HELP tn_transport_seconds_total ",
+            "Wall-clock seconds spent in transport runs, process-wide.\n",
+            "# TYPE tn_transport_seconds_total counter\n"
+        ));
+        out.push_str(&format!(
+            "tn_transport_seconds_total {:e}\n",
+            tn_core::transport::stats::seconds_total()
+        ));
         out
     }
 }
@@ -279,6 +295,18 @@ mod tests {
         assert!(text.contains("tn_cache_misses_total 1"));
         assert!(text.contains("tn_workers_busy 1"));
         assert!(text.contains("tn_workers_total 4"));
+    }
+
+    #[test]
+    fn render_exposes_transport_counters() {
+        // The transport counters are process-wide; drive them directly so
+        // the test does not depend on other tests having run transport.
+        tn_core::transport::stats::record(123, 1_000_000);
+        let text = Metrics::new(1).render();
+        assert!(text.contains("# TYPE tn_transport_histories_total counter"));
+        assert!(text.contains("tn_transport_histories_total "));
+        assert!(text.contains("# TYPE tn_transport_seconds_total counter"));
+        assert!(text.contains("tn_transport_seconds_total "));
     }
 
     #[test]

@@ -12,6 +12,7 @@ fn start(threads: usize) -> ServerHandle {
         threads,
         seed: 2020,
         cache_capacity: 64,
+        transport_threads: 1,
     })
     .expect("bind ephemeral port")
     .spawn()
@@ -141,6 +142,30 @@ fn fit_endpoint_is_deterministic_and_counts_cache_hits() {
     let (_, _, metrics) = get(addr, "/metrics");
     assert_eq!(metric(&metrics, "tn_cache_misses_total"), 1);
     assert!(metric(&metrics, "tn_cache_hits_total") >= 1, "{metrics}");
+
+    server.stop();
+}
+
+/// `derived_*` surroundings run the seeded Monte-Carlo room derivation
+/// in-process: the response must be deterministic and the transport
+/// counters in `/metrics` must actually move.
+#[test]
+fn derived_surroundings_run_transport_and_count_histories() {
+    let server = start(2);
+    let addr = server.addr();
+    let request = r#"{"device":"NVIDIA K20","surroundings":"derived_air_cooled","quick":true,"seed":11}"#;
+
+    let (status, _, first) = post(addr, "/v1/fit", request);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"surroundings\":\"derived_air_cooled\""));
+    let (_, _, second) = post(addr, "/v1/fit", request);
+    assert_eq!(first, second, "derived boost must be seed-deterministic");
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        metric(&metrics, "tn_transport_histories_total") > 0,
+        "derived surroundings ran no transport:\n{metrics}"
+    );
 
     server.stop();
 }

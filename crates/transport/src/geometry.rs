@@ -83,14 +83,21 @@ impl SlabStack {
     /// Returns the layer containing position `z`, or `None` outside the
     /// stack. The boundary `z = total` belongs to the outside.
     pub fn layer_at(&self, z: Length) -> Option<&Layer> {
+        self.layer_index_at(z).map(|i| &self.layers[i])
+    }
+
+    /// Returns the *index* of the layer containing position `z`, or
+    /// `None` outside the stack — the form the transport kernel uses to
+    /// pair a position with its precomputed cross-section table.
+    pub fn layer_index_at(&self, z: Length) -> Option<usize> {
         if z.value() < 0.0 || z.value() >= self.total.value() {
             return None;
         }
         let mut acc = 0.0;
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
             acc += layer.thickness().value();
             if z.value() < acc {
-                return Some(layer);
+                return Some(i);
             }
         }
         None

@@ -1,0 +1,48 @@
+//! Process-wide transport throughput counters.
+//!
+//! Every sharded run ([`crate::Transport::run_beam`] /
+//! [`crate::Transport::run_diffuse`]) records how many histories it ran
+//! and how long the run took. The counters are monotonic for the life of
+//! the process and feed the server's `/metrics` endpoint
+//! (`tn_transport_histories_total`, `tn_transport_seconds_total`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HISTORIES: AtomicU64 = AtomicU64::new(0);
+static NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one completed transport run.
+pub fn record(histories: u64, elapsed_nanos: u64) {
+    HISTORIES.fetch_add(histories, Ordering::Relaxed);
+    NANOS.fetch_add(elapsed_nanos, Ordering::Relaxed);
+}
+
+/// Total histories transported since process start.
+pub fn histories_total() -> u64 {
+    HISTORIES.load(Ordering::Relaxed)
+}
+
+/// Total nanoseconds spent inside transport runs since process start.
+pub fn nanos_total() -> u64 {
+    NANOS.load(Ordering::Relaxed)
+}
+
+/// Total seconds spent inside transport runs since process start.
+pub fn seconds_total() -> f64 {
+    nanos_total() as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic() {
+        let h0 = histories_total();
+        let n0 = nanos_total();
+        record(100, 2_000_000_000);
+        assert!(histories_total() >= h0 + 100);
+        assert!(nanos_total() >= n0 + 2_000_000_000);
+        assert!(seconds_total() >= 2.0);
+    }
+}

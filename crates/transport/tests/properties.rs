@@ -5,7 +5,7 @@
 use tn_rng::Rng;
 use tn_physics::units::{Energy, Length};
 use tn_physics::Material;
-use tn_transport::{Fate, Neutron, SlabStack, Transport};
+use tn_transport::{Fate, Neutron, SlabStack, Tally, Transport, TransportConfig, SHARD_SIZE};
 
 fn materials() -> Vec<Material> {
     vec![
@@ -78,6 +78,46 @@ fn thicker_slabs_transmit_less() {
             thin.transmitted_fraction(),
             thick.transmitted_fraction()
         );
+    }
+}
+
+/// Re-derives the documented shard decomposition by hand — shard `i`
+/// runs up to [`SHARD_SIZE`] histories on the substream
+/// `Rng::seed_from_u64(seed).fork(i)`, tallies merged in ascending
+/// shard order — and demands `run_beam` reproduce it exactly at every
+/// thread count, including history counts that leave a partial shard.
+#[test]
+fn parallel_merge_equals_serial_reference() {
+    let e = Energy::from_mev(1.5);
+    let transport = Transport::new(SlabStack::single(Material::water(), Length(4.0)));
+    for (histories, seed) in [
+        (1u64, 0u64),
+        (SHARD_SIZE - 1, 17),
+        (SHARD_SIZE, 18),
+        (2 * SHARD_SIZE + 777, 19),
+    ] {
+        let mut reference = Tally::default();
+        let shards = histories.div_ceil(SHARD_SIZE);
+        for shard in 0..shards {
+            let mut rng = Rng::seed_from_u64(seed).fork(shard);
+            let mut tally = Tally::default();
+            let in_shard = (histories - shard * SHARD_SIZE).min(SHARD_SIZE);
+            for _ in 0..in_shard {
+                tally.record(transport.run_history(Neutron::incident(e), &mut rng));
+            }
+            reference.merge(&tally);
+        }
+        for threads in [1usize, 2, 7, 32] {
+            let t = Transport::with_config(
+                SlabStack::single(Material::water(), Length(4.0)),
+                TransportConfig::with_threads(threads),
+            );
+            assert_eq!(
+                t.run_beam(e, histories, seed),
+                reference,
+                "histories {histories} at {threads} threads diverged from the shard reference"
+            );
+        }
     }
 }
 

@@ -1,0 +1,78 @@
+//! Validates a `BENCH_*.json` artifact written by the tn-bench
+//! harnesses: parses it with the in-tree JSON parser and checks the
+//! keys the CI gate (and any downstream dashboard) relies on.
+//!
+//! ```text
+//! cargo run --example validate_bench -- target/tn-bench/BENCH_transport_throughput.json
+//! ```
+//!
+//! Defaults to the transport-throughput artifact when no path is given.
+//! Exits non-zero (with a message on stderr) on any missing key,
+//! non-numeric value, or malformed JSON, so `scripts/ci.sh` can gate on
+//! it directly after the smoke bench run.
+
+use std::process::ExitCode;
+use thermal_neutrons::core_api::json;
+
+/// Numeric fields every transport-throughput artifact must carry.
+const REQUIRED_NUMBERS: &[&str] = &[
+    "histories",
+    "samples",
+    "parallel_threads",
+    "serial_direct_hps",
+    "serial_cached_hps",
+    "parallel_cached_hps",
+    "speedup_cached_vs_direct",
+    "speedup_parallel_vs_direct",
+    "moderation_serial_direct_hps",
+    "moderation_serial_cached_hps",
+    "moderation_parallel_cached_hps",
+    "moderation_speedup_cached_vs_direct",
+];
+
+fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e:?}"))?;
+    let name = doc
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field \"name\"")?;
+    if name != "transport_throughput" {
+        return Err(format!("unexpected bench name {name:?}"));
+    }
+    doc.get("smoke")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing bool field \"smoke\"")?;
+    for key in REQUIRED_NUMBERS {
+        let value = doc
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!("field {key:?} is not a positive number: {value}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/tn-bench/BENCH_transport_throughput.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_bench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(()) => {
+            println!("validate_bench: {path} OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_bench: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,6 +10,14 @@ cargo build --offline --examples
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# ---- transport bench smoke ------------------------------------------------
+# One-sample run of the throughput bench (seconds, not minutes), then
+# validate the JSON artifact it writes with the in-tree parser. Guards
+# the bench harness and the artifact schema, not the perf numbers —
+# smoke samples are too noisy to gate on.
+TN_BENCH_SMOKE=1 cargo bench --offline -p tn-bench --bench ext_transport_throughput
+cargo run --offline --example validate_bench -- target/tn-bench/BENCH_transport_throughput.json
+
 # ---- tn-server smoke test -------------------------------------------------
 # Start the daemon on an ephemeral port, hit /healthz through bash's
 # /dev/tcp (no curl in the hermetic environment), and shut it down.

@@ -30,6 +30,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let seed = flag_value::<u64>(args, "--seed")?.unwrap_or(2020);
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(threads) = flag_value::<usize>(args, "--transport-threads")? {
+        // Thread count only affects wall-clock time: the sharded transport
+        // produces identical tallies for any value (see tn-transport docs).
+        tn::transport::set_default_threads(threads);
+    }
 
     match command {
         "figure5" => figure5(seed, quick),
@@ -70,6 +75,7 @@ fn serve(args: &[String], seed: u64) -> Result<(), String> {
         addr: flag_value::<String>(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".into()),
         threads: flag_value::<usize>(args, "--threads")?.unwrap_or(4).max(1),
         seed,
+        transport_threads: tn::transport::default_threads(),
         ..ServerConfig::default()
     };
     let server =
@@ -182,7 +188,9 @@ fn help_text() -> String {
      \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
      \x20 serve      HTTP JSON API daemon (tn-server)\n\
      \n\
-     options: --seed N (default 2020), --quick (fast low-statistics run)\n\
+     options: --seed N (default 2020), --quick (fast low-statistics run),\n\
+     \x20        --transport-threads N (Monte-Carlo workers; results are\n\
+     \x20        identical for any value, default 1)\n\
      serve:   --addr HOST:PORT (default 127.0.0.1:7878), --threads N (default 4)"
         .to_string()
 }

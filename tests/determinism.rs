@@ -75,6 +75,59 @@ fn detector_and_transport_streams_are_seed_stable() {
 }
 
 #[test]
+fn transport_tally_is_invariant_across_thread_counts() {
+    use tn::physics::units::{Energy, Length};
+    use tn::physics::Material;
+    use tn::transport::{SlabStack, Transport, TransportConfig};
+
+    use tn::transport::Layer;
+    let stack = SlabStack::new(vec![
+        Layer::new(Material::water(), Length::from_inches(1.0)),
+        Layer::new(Material::cadmium(), Length(0.05)),
+        Layer::new(Material::water(), Length::from_inches(1.0)),
+    ]);
+    // 10_000 is not a multiple of SHARD_SIZE, so the last shard is
+    // partial — the decomposition must still be identical everywhere.
+    let histories = 10_000;
+    let reference = Transport::with_config(stack.clone(), TransportConfig::serial());
+    let beam = reference.run_beam(Energy::from_mev(2.0), histories, 4242);
+    let diffuse = reference.run_diffuse(Energy(0.0253), histories, 4242);
+    for threads in [2, 3, 8, 64] {
+        let t = Transport::with_config(stack.clone(), TransportConfig::with_threads(threads));
+        assert_eq!(t.run_beam(Energy::from_mev(2.0), histories, 4242), beam);
+        assert_eq!(t.run_diffuse(Energy(0.0253), histories, 4242), diffuse);
+    }
+}
+
+/// The process-wide default (`--transport-threads`) must never change
+/// results — the full pipeline JSON and the room boost factor are
+/// byte-identical at any setting. One test owns every mutation of the
+/// global so concurrently-running tests never observe a transient
+/// value they didn't set (any value they *do* observe is harmless:
+/// tallies are thread-count-invariant, which is what this proves).
+#[test]
+fn global_thread_default_does_not_change_results() {
+    use tn::environment::DataCenterRoom;
+    use tn::transport::{default_threads, set_default_threads};
+
+    let baseline_report = Pipeline::new(PipelineConfig::quick()).seed(7).run();
+    let baseline_json = baseline_report.to_json();
+    let baseline_factor = DataCenterRoom::air_cooled().derive_thermal_factor(4_000, 9);
+    for threads in [2, 8] {
+        set_default_threads(threads);
+        assert_eq!(default_threads(), threads);
+        let report = Pipeline::new(PipelineConfig::quick()).seed(7).run();
+        assert_eq!(report, baseline_report);
+        assert_eq!(report.to_json(), baseline_json);
+        assert_eq!(
+            DataCenterRoom::air_cooled().derive_thermal_factor(4_000, 9),
+            baseline_factor
+        );
+    }
+    set_default_threads(1);
+}
+
+#[test]
 fn validation_passes_on_the_canonical_seed() {
     let report = Pipeline::new(PipelineConfig::default()).seed(2020).run();
     let v = tn::validation::validate(&report, 0.5);
