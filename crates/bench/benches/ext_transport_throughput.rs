@@ -28,6 +28,11 @@
 //! Results go to stdout and to
 //! `target/tn-bench/BENCH_transport_throughput.json`. Set
 //! `TN_BENCH_SMOKE=1` (or pass `--smoke`) for a 1-sample CI run.
+//!
+//! Besides best-of-n throughput, each workload reports p50/p90/p99 shard
+//! durations taken from the shared `tn_transport_shard_seconds`
+//! histogram (the same series `/metrics` scrapes), as a delta over the
+//! cached + parallel passes of that workload.
 
 use std::time::Instant;
 use tn_bench::header;
@@ -62,6 +67,40 @@ fn fmt_hps(hps: f64) -> String {
         format!("{:.2} Mh/s", hps / 1e6)
     } else {
         format!("{:.1} kh/s", hps / 1e3)
+    }
+}
+
+/// Shard-duration percentiles (nanoseconds) for one workload, read from
+/// the process-wide `tn_transport_shard_seconds` histogram.
+struct ShardQuantiles {
+    count: u64,
+    p50_ns: f64,
+    p90_ns: f64,
+    p99_ns: f64,
+}
+
+impl ShardQuantiles {
+    fn since(before: &tn_obs::Snapshot) -> Self {
+        let delta = tn_transport::stats::shard_histogram()
+            .snapshot()
+            .delta(before);
+        Self {
+            count: delta.count(),
+            p50_ns: delta.quantile(0.50),
+            p90_ns: delta.quantile(0.90),
+            p99_ns: delta.quantile(0.99),
+        }
+    }
+
+    fn print(&self, label: &str) {
+        println!(
+            "bench {:<40} p50 {:>8.0} ns, p90 {:>8.0} ns, p99 {:>8.0} ns ({} shards)",
+            format!("transport_{label}_shard"),
+            self.p50_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.count
+        );
     }
 }
 
@@ -153,6 +192,7 @@ fn main() {
     let stack = SlabStack::single(Material::water(), Length::from_inches(2.0));
 
     let thermal = Energy(0.0253);
+    let before_field = tn_transport::stats::shard_histogram().snapshot();
     let field = run_regime(
         samples,
         histories,
@@ -160,9 +200,12 @@ fn main() {
         |rng| Neutron::diffuse_incident(thermal, rng),
         |t| t.run_diffuse(thermal, histories, SEED),
     );
+    let field_shards = ShardQuantiles::since(&before_field);
     field.print("thermal_field");
+    field_shards.print("thermal_field");
 
     let fast = Energy::from_mev(2.0);
+    let before_moderation = tn_transport::stats::shard_histogram().snapshot();
     let moderation = run_regime(
         samples,
         histories,
@@ -170,7 +213,9 @@ fn main() {
         |_| Neutron::incident(fast),
         |t| t.run_beam(fast, histories, SEED),
     );
+    let moderation_shards = ShardQuantiles::since(&before_moderation);
     moderation.print("moderation");
+    moderation_shards.print("moderation");
 
     let json = format!(
         "{{\"name\":\"transport_throughput\",\"smoke\":{smoke},\
@@ -184,7 +229,13 @@ fn main() {
          \"moderation_serial_direct_hps\":{:.1},\
          \"moderation_serial_cached_hps\":{:.1},\
          \"moderation_parallel_cached_hps\":{:.1},\
-         \"moderation_speedup_cached_vs_direct\":{:.3}}}",
+         \"moderation_speedup_cached_vs_direct\":{:.3},\
+         \"thermal_field_shard_p50_ns\":{:.1},\
+         \"thermal_field_shard_p90_ns\":{:.1},\
+         \"thermal_field_shard_p99_ns\":{:.1},\
+         \"moderation_shard_p50_ns\":{:.1},\
+         \"moderation_shard_p90_ns\":{:.1},\
+         \"moderation_shard_p99_ns\":{:.1}}}",
         field.direct_hps,
         field.cached_hps,
         field.parallel_hps,
@@ -194,6 +245,12 @@ fn main() {
         moderation.cached_hps,
         moderation.parallel_hps,
         moderation.speedup_cached(),
+        field_shards.p50_ns,
+        field_shards.p90_ns,
+        field_shards.p99_ns,
+        moderation_shards.p50_ns,
+        moderation_shards.p90_ns,
+        moderation_shards.p99_ns,
     );
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tn-bench");
     std::fs::create_dir_all(dir).expect("create target/tn-bench");

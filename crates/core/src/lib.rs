@@ -39,6 +39,7 @@ pub use report::{DeviceReport, StudyReport};
 pub use validation::{validate, Validation};
 
 pub use tn_beamline as beamline;
+pub use tn_obs as obs;
 pub use tn_detector as detector;
 pub use tn_devices as devices;
 pub use tn_environment as environment;

@@ -81,9 +81,23 @@ impl Pipeline {
     /// deterministic for a given seed regardless of thread count: every
     /// campaign derives its own RNG stream from `(device, workload)`.
     pub fn run(&self) -> StudyReport {
+        // Stage spans feed the `tn_span_seconds` histograms behind the
+        // CLI `profile` report and `/metrics`; they are telemetry-only
+        // and never touch the RNG streams (tests/determinism.rs pins
+        // byte-identical output at TRACE vs OFF).
+        let _span = tn_obs::span("pipeline");
+        tn_obs::info(
+            "pipeline_start",
+            &[
+                ("seed", self.seed.into()),
+                ("injection_runs", self.config.injection_runs.into()),
+                ("beam_hours", self.config.beam_hours.into()),
+            ],
+        );
         let roster = full_roster(self.seed);
         // Workload profiles depend only on the workload, not the device:
         // cache them by name so MxM is profiled once, not five times.
+        let profile_span = tn_obs::span("pipeline.profile");
         let mut profiles: HashMap<&'static str, InjectionStats> = HashMap::new();
         for entry in &roster {
             for workload in &entry.workloads {
@@ -92,7 +106,9 @@ impl Pipeline {
                     .or_insert_with(|| self.profile(workload.as_ref()));
             }
         }
+        drop(profile_span);
         let profiles = &profiles;
+        let campaigns_span = tn_obs::span("pipeline.campaigns");
         let mut reports: Vec<Option<DeviceReport>> = (0..roster.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             for (d_idx, (entry, slot)) in roster.iter().zip(reports.iter_mut()).enumerate() {
@@ -134,11 +150,19 @@ impl Pipeline {
                 });
             }
         });
+        drop(campaigns_span);
+        let report_span = tn_obs::span("pipeline.report");
         let reports = reports
             .into_iter()
             .map(|r| r.expect("every device slot filled"))
             .collect();
-        StudyReport::new(reports, self.seed)
+        let report = StudyReport::new(reports, self.seed);
+        drop(report_span);
+        tn_obs::info(
+            "pipeline_done",
+            &[("devices", report.devices().len().into())],
+        );
+        report
     }
 }
 

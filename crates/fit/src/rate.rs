@@ -26,6 +26,7 @@ impl DeviceFit {
         sigma_th: CrossSection,
         env: &Environment,
     ) -> Self {
+        let _span = tn_obs::span("fit.fold");
         Self {
             high_energy: sigma_he.fit_in(env.high_energy_flux()),
             thermal: sigma_th.fit_in(env.thermal_flux()),

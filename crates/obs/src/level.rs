@@ -1,0 +1,86 @@
+//! Severity levels for structured events.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity, most severe first. The numeric representation orders
+/// severities so `Trace` includes everything and `Error` almost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed; data may be missing.
+    Error = 0,
+    /// Something surprising that the process survived.
+    Warn = 1,
+    /// One line per externally meaningful action (request, run, …).
+    Info = 2,
+    /// Per-stage detail: span closures, cache decisions.
+    Debug = 3,
+    /// Everything, including per-shard and per-call chatter.
+    Trace = 4,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// The canonical lowercase name (`"error"`, …, `"trace"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error, warn, info, debug, trace or off)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for l in Level::ALL {
+            assert_eq!(l.as_str().parse::<Level>(), Ok(l));
+        }
+        assert_eq!("WARNING".parse::<Level>(), Ok(Level::Warn));
+        assert!("loud".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! The shared metrics registry: named counters and histograms plus
+//! one-call Prometheus text rendering.
+//!
+//! There is one [`global`] registry for process-wide instrumentation
+//! (transport shards, pipeline spans) and any number of local ones
+//! (each `tn-server` instance owns its own for per-endpoint series).
+//! `/metrics` and the CLI `profile` report both read these registries,
+//! so every consumer sees the same numbers.
+
+use crate::hist::{Histogram, Snapshot, Unit};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a counter's `u64` is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterUnit {
+    /// Plain integer count.
+    Count,
+    /// The value is nanoseconds; rendered as (float) seconds.
+    NanosAsSeconds,
+}
+
+/// A monotonically increasing named counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    unit: CounterUnit,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current raw value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn render_into(&self, out: &mut String) {
+        let labels = render_labels(&self.labels);
+        match self.unit {
+            CounterUnit::Count => {
+                out.push_str(&format!("{}{labels} {}\n", self.name, self.get()));
+            }
+            CounterUnit::NanosAsSeconds => {
+                out.push_str(&format!("{}{labels} {:e}\n", self.name, self.get() as f64 / 1e9));
+            }
+        }
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// One entry of [`Registry::histogram_snapshots`]: `(name, labels,
+/// snapshot)`.
+pub type HistogramSnapshot = (String, Vec<(String, String)>, Snapshot);
+
+/// A collection of counters and histograms rendered together.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<Arc<Counter>>>,
+    histograms: Mutex<Vec<Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            counters: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the counter with this name and label set, creating it on
+    /// first use. `help`/`unit` are fixed by the first creation.
+    pub fn counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        unit: CounterUnit,
+    ) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("registry poisoned");
+        if let Some(c) = counters
+            .iter()
+            .find(|c| c.name == name && labels_match(&c.labels, labels))
+        {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            unit,
+            value: AtomicU64::new(0),
+        });
+        counters.push(Arc::clone(&c));
+        c
+    }
+
+    /// Returns the histogram with this name and label set, creating it
+    /// on first use. `help`/`unit` are fixed by the first creation.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().expect("registry poisoned");
+        if let Some(h) = histograms
+            .iter()
+            .find(|h| h.name() == name && labels_match(h.labels(), labels))
+        {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(name, help, labels, unit));
+        histograms.push(Arc::clone(&h));
+        h
+    }
+
+    /// Named snapshots of every histogram, for timing reports: each entry
+    /// is `(name, labels, snapshot)` in registration order.
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        let histograms = self.histograms.lock().expect("registry poisoned");
+        histograms
+            .iter()
+            .map(|h| (h.name().to_string(), h.labels().to_vec(), h.snapshot()))
+            .collect()
+    }
+
+    /// Renders every metric in Prometheus text exposition format, with
+    /// one `# HELP`/`# TYPE` block per metric name.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let counters = self.counters.lock().expect("registry poisoned");
+        let mut seen: Vec<&str> = Vec::new();
+        for c in counters.iter() {
+            if !seen.contains(&c.name.as_str()) {
+                seen.push(&c.name);
+                out.push_str(&format!("# HELP {} {}\n# TYPE {} counter\n", c.name, c.help, c.name));
+            }
+            c.render_into(&mut out);
+        }
+        drop(counters);
+        let histograms = self.histograms.lock().expect("registry poisoned");
+        let mut seen: Vec<&str> = Vec::new();
+        for h in histograms.iter() {
+            if !seen.contains(&h.name()) {
+                seen.push(h.name());
+                out.push_str(&format!(
+                    "# HELP {} {}\n# TYPE {} histogram\n",
+                    h.name(),
+                    h.help(),
+                    h.name()
+                ));
+            }
+            h.render_into(&mut out);
+        }
+        out
+    }
+}
+
+fn labels_match(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// The process-wide registry (transport shards, span durations, …).
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_get_or_create_dedupes_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("tn_x_total", &[("k", "a")], "help", CounterUnit::Count);
+        let b = r.counter("tn_x_total", &[("k", "a")], "help", CounterUnit::Count);
+        let c = r.counter("tn_x_total", &[("k", "b")], "help", CounterUnit::Count);
+        a.add(2);
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 3, "same series shares the cell");
+        assert_eq!(c.get(), 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("tn_x_total{k=\"a\"} 3"), "{text}");
+        assert!(text.contains("tn_x_total{k=\"b\"} 1"), "{text}");
+        assert_eq!(text.matches("# HELP tn_x_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn nanos_counter_renders_as_seconds() {
+        let r = Registry::new();
+        r.counter("tn_t_seconds_total", &[], "h", CounterUnit::NanosAsSeconds)
+            .add(2_500_000_000);
+        assert!(r.render_prometheus().contains("tn_t_seconds_total 2.5e0"));
+    }
+
+    #[test]
+    fn histograms_render_with_type_header() {
+        let r = Registry::new();
+        r.histogram("tn_h_seconds", &[("s", "x")], "h", Unit::Nanos)
+            .observe(1000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE tn_h_seconds histogram"), "{text}");
+        assert!(text.contains("tn_h_seconds_count{s=\"x\"} 1"), "{text}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Hierarchical spans: RAII timing guards forming a thread-local path.
+//!
+//! `span("pipeline")` then `span("pipeline.campaigns")` yields the path
+//! `pipeline/pipeline.campaigns`; closing a guard records its wall-clock
+//! duration into the global registry histogram
+//! `tn_span_seconds{span="<path>"}` (the source the CLI `profile` report
+//! and `/metrics` read) and, when DEBUG is enabled, emits a `span_end`
+//! event. Spans read the injectable [`crate::Clock`] and write only to
+//! telemetry: they can never influence simulation output.
+
+use crate::clock;
+use crate::hist::Unit;
+use crate::level::Level;
+use crate::log::{emit_at, enabled};
+use crate::registry::global;
+use std::cell::RefCell;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The `/`-joined path of open spans on this thread (`"root"` if none).
+pub fn current_span_path() -> String {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            "root".to_string()
+        } else {
+            stack.join("/")
+        }
+    })
+}
+
+/// Opens a span; the returned guard closes it on drop.
+///
+/// Guards must drop in reverse open order (the natural lexical-scope
+/// usage). Dropping out of order corrupts only the *path labels*, never
+/// simulation state.
+pub fn span(name: &str) -> SpanGuard {
+    STACK.with(|stack| stack.borrow_mut().push(name.to_string()));
+    SpanGuard {
+        start_nanos: clock::now_nanos(),
+    }
+}
+
+/// An open span; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    start_nanos: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let duration = clock::now_nanos().saturating_sub(self.start_nanos);
+        let path = current_span_path();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        global()
+            .histogram(
+                "tn_span_seconds",
+                &[("span", &path)],
+                "Wall-clock span durations, by hierarchical span path.",
+                Unit::Nanos,
+            )
+            .observe(duration);
+        if enabled(Level::Debug) {
+            emit_at(
+                Level::Debug,
+                &path,
+                "span_end",
+                &[("dur_ns", duration.into())],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{set_clock, VirtualClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        assert_eq!(current_span_path(), "root");
+        let _a = span("alpha");
+        assert_eq!(current_span_path(), "alpha");
+        {
+            let _b = span("beta");
+            assert_eq!(current_span_path(), "alpha/beta");
+        }
+        assert_eq!(current_span_path(), "alpha");
+    }
+
+    #[test]
+    fn span_durations_come_from_the_injected_clock() {
+        let clock = Arc::new(VirtualClock::starting_at(1_000));
+        set_clock(clock.clone());
+        {
+            let _s = span("timed.virtual");
+            clock.advance(5_000);
+        }
+        set_clock(Arc::new(crate::clock::RealClock));
+        let snapshots = global().histogram_snapshots();
+        let (_, _, snap) = snapshots
+            .iter()
+            .find(|(name, labels, _)| {
+                name == "tn_span_seconds"
+                    && labels.iter().any(|(_, v)| v == "timed.virtual")
+            })
+            .expect("span histogram registered");
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 5_000);
+    }
+}

@@ -40,18 +40,38 @@ pub struct AppState {
     /// Memo of completed pipeline studies, keyed by (seed, quick),
     /// most recently used last.
     studies: Mutex<Vec<StudySlot>>,
+    /// Request-id stream. Mixed with wall-clock startup entropy so two
+    /// server runs never replay the same ids; ids are pure telemetry and
+    /// never feed into any computation.
+    request_ids: Mutex<tn_rng::Rng>,
 }
 
 impl AppState {
     /// Creates the shared state for a server instance.
     pub fn new(seed: u64, cache_capacity: usize, workers: usize) -> Self {
+        let startup_nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
         Self {
             seed,
             metrics: Metrics::new(workers),
             cache: ShardedCache::new(cache_capacity),
             flights: SingleFlight::new(),
             studies: Mutex::new(Vec::new()),
+            request_ids: Mutex::new(tn_rng::Rng::seed_from_u64(seed ^ startup_nanos)),
         }
+    }
+
+    /// Draws a fresh request id: 16 lowercase hex digits, unique within
+    /// the process, echoed in `x-request-id` and in the trace events.
+    pub fn next_request_id(&self) -> String {
+        let id = self
+            .request_ids
+            .lock()
+            .expect("request-id rng poisoned")
+            .next_u64();
+        format!("{id:016x}")
     }
 
     /// Returns the (memoised) pipeline study for a seed/config pair,

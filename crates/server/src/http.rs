@@ -128,6 +128,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Additional response headers, e.g. `x-request-id`, `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -137,7 +139,24 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// Adds a response header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The 503 shed response the acceptor sends when the worker pool and
+    /// queue are saturated; tells well-behaved clients when to retry.
+    pub fn overload() -> Self {
+        Self::json(
+            503,
+            "{\"error\":\"server overloaded, retry later\"}".to_string(),
+        )
+        .with_header("Retry-After", "1")
     }
 
     /// A JSON error response with the canonical `{"error": ...}` shape.
@@ -154,18 +173,26 @@ impl Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body,
+            extra_headers: Vec::new(),
         }
     }
 
     /// Serialises status line, fixed headers and body to the stream.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
@@ -181,6 +208,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -197,10 +225,21 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_emitted_codes() {
-        for code in [200, 400, 404, 405, 413, 500] {
+        for code in [200, 400, 404, 405, 413, 500, 503] {
             assert_ne!(reason(code), "Unknown");
         }
         assert_eq!(reason(418), "Unknown");
+    }
+
+    #[test]
+    fn overload_response_advises_retry() {
+        let r = Response::overload();
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"error\""));
+        assert!(r
+            .extra_headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && v == "1"));
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct ServerConfig {
     /// process-wide transport default at bind time). Tallies are
     /// identical for any value; this only trades CPU for latency.
     pub transport_threads: usize,
+    /// Maximum connections waiting for a worker. When every worker is
+    /// busy *and* this many connections are already queued, new
+    /// connections are shed immediately with `503` + `Retry-After`
+    /// instead of piling up behind a saturated pool.
+    pub max_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
             seed: 2020,
             cache_capacity: 256,
             transport_threads: 1,
+            max_queue: 128,
         }
     }
 }
@@ -94,6 +100,7 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<AppState>,
     threads: usize,
+    max_queue: usize,
 }
 
 impl Server {
@@ -103,10 +110,19 @@ impl Server {
         let threads = config.threads.max(1);
         tn_core::transport::set_default_threads(config.transport_threads);
         let listener = TcpListener::bind(&config.addr)?;
+        tn_obs::info(
+            "server_bound",
+            &[
+                ("addr", format!("{}", listener.local_addr()?).into()),
+                ("threads", threads.into()),
+                ("max_queue", config.max_queue.into()),
+            ],
+        );
         Ok(Self {
             listener,
             state: Arc::new(AppState::new(config.seed, config.cache_capacity, threads)),
             threads,
+            max_queue: config.max_queue,
         })
     }
 
@@ -146,6 +162,7 @@ impl Server {
             let state = Arc::clone(&self.state);
             let shutdown = Arc::clone(&shutdown);
             let listener = self.listener;
+            let max_queue = self.max_queue;
             std::thread::Builder::new()
                 .name("tn-server-accept".to_string())
                 .spawn(move || {
@@ -157,6 +174,30 @@ impl Server {
                         state.metrics.connection();
                         let mut connections =
                             queue.connections.lock().expect("queue poisoned");
+                        // Shed when the pool is saturated and the backlog
+                        // is full: a fast 503 beats an unbounded queue.
+                        let saturated = state.metrics.workers_busy()
+                            >= state.metrics.workers_total()
+                            && connections.len() >= max_queue;
+                        if saturated {
+                            drop(connections);
+                            state.metrics.overload();
+                            tn_obs::warn(
+                                "connection_shed",
+                                &[("queued", max_queue.into())],
+                            );
+                            // Answer off-thread: the 503 must be followed
+                            // by draining the unread request, or closing
+                            // the socket RSTs the response away before
+                            // the client reads it — and the acceptor
+                            // must not block on a slow peer.
+                            std::thread::Builder::new()
+                                .name("tn-server-shed".to_string())
+                                .spawn(move || shed_connection(stream))
+                                .map(|_| ())
+                                .unwrap_or_default();
+                            continue;
+                        }
                         connections.push_back(stream);
                         drop(connections);
                         queue.ready.notify_one();
@@ -172,6 +213,24 @@ impl Server {
             queue,
             acceptor,
             workers,
+        }
+    }
+}
+
+/// Writes the overload response and drains the client's request bytes
+/// until EOF (bounded by the socket timeout), so the close is graceful.
+fn shed_connection(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(http::IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(http::IO_TIMEOUT));
+    if http::Response::overload().write_to(&mut stream).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 {
+            break;
         }
     }
 }

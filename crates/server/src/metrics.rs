@@ -1,10 +1,19 @@
 //! Lock-free service instrumentation and its Prometheus text rendering.
 //!
-//! Everything is a plain `AtomicU64`, so the hot path never takes a lock
-//! to count. Latencies are accumulated as microsecond sums plus counts
-//! (the standard Prometheus `_sum`/`_count` summary pair), per endpoint.
+//! Counters are plain `AtomicU64`s, so the hot path never takes a lock
+//! to count. Latencies are accumulated both as microsecond sums plus
+//! counts (the Prometheus `_sum`/`_count` summary pair) and as
+//! log-bucketed [`tn_obs`] histograms per endpoint, alongside response
+//! sizes. `/metrics` merges three sources: these counters, the
+//! per-instance [`tn_obs::Registry`] (endpoint histograms, overload
+//! counter) and the process-wide `tn_obs::global()` registry (transport
+//! counters and shard histograms, span durations). Keeping the endpoint
+//! series in a per-instance registry means parallel test servers never
+//! pollute each other's scrapes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tn_obs::{Counter, CounterUnit, Histogram, Registry, Unit};
 
 /// The route labels metrics are partitioned by. `Other` buckets
 /// unrecognised paths (404s) so scans don't blow up the label space.
@@ -71,7 +80,7 @@ struct EndpointCounters {
 }
 
 /// The service-wide metrics registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     endpoints: [EndpointCounters; 7],
     cache_hits: AtomicU64,
@@ -83,22 +92,97 @@ pub struct Metrics {
     workers_busy: AtomicU64,
     workers_total: AtomicU64,
     connections_total: AtomicU64,
+    /// Per-instance tn-obs registry holding the endpoint histograms and
+    /// the overload counter; rendered as part of [`Metrics::render`].
+    registry: Registry,
+    overload: Arc<Counter>,
+    latency_hist: Vec<Arc<Histogram>>,
+    size_hist: Vec<Arc<Histogram>>,
 }
 
 impl Metrics {
     /// Creates an empty registry; `workers_total` is fixed at pool size.
     pub fn new(workers: usize) -> Self {
-        let m = Self::default();
+        let registry = Registry::new();
+        let overload = registry.counter(
+            "tn_server_overload_total",
+            &[],
+            "Connections shed with 503 because pool and queue were full.",
+            CounterUnit::Count,
+        );
+        // Pre-create every endpoint series so the label space is fixed at
+        // |Endpoint::ALL| forever, whatever paths clients probe.
+        let latency_hist = Endpoint::ALL
+            .iter()
+            .map(|e| {
+                registry.histogram(
+                    "tn_request_seconds",
+                    &[("endpoint", e.label())],
+                    "Request latency, by endpoint.",
+                    Unit::Nanos,
+                )
+            })
+            .collect();
+        let size_hist = Endpoint::ALL
+            .iter()
+            .map(|e| {
+                registry.histogram(
+                    "tn_response_bytes",
+                    &[("endpoint", e.label())],
+                    "Response body size, by endpoint.",
+                    Unit::Bytes,
+                )
+            })
+            .collect();
+        let m = Self {
+            endpoints: Default::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_coalesced: AtomicU64::new(0),
+            study_cache_hits: AtomicU64::new(0),
+            study_cache_misses: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            workers_busy: AtomicU64::new(0),
+            workers_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            registry,
+            overload,
+            latency_hist,
+            size_hist,
+        };
         m.workers_total.store(workers as u64, Ordering::Relaxed);
         m
     }
 
     /// Records one completed request.
-    pub fn record_request(&self, endpoint: Endpoint, status: u16, latency_us: u64) {
+    pub fn record_request(
+        &self,
+        endpoint: Endpoint,
+        status: u16,
+        latency_us: u64,
+        response_bytes: u64,
+    ) {
         let c = &self.endpoints[endpoint.index()];
         c.by_status[status_index(status)].fetch_add(1, Ordering::Relaxed);
         c.latency_us_sum.fetch_add(latency_us, Ordering::Relaxed);
         c.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_hist[endpoint.index()].observe(latency_us.saturating_mul(1_000));
+        self.size_hist[endpoint.index()].observe(response_bytes);
+    }
+
+    /// Counts a connection shed with 503 (pool and queue saturated).
+    pub fn overload(&self) {
+        self.overload.inc();
+    }
+
+    /// Worker threads currently serving a connection.
+    pub fn workers_busy(&self) -> u64 {
+        self.workers_busy.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers_total(&self) -> u64 {
+        self.workers_total.load(Ordering::Relaxed)
     }
 
     /// Counts a response-cache hit.
@@ -255,22 +339,16 @@ impl Metrics {
             "gauge",
             self.workers_total.load(Ordering::Relaxed),
         );
-        gauge(
-            &mut out,
-            "tn_transport_histories_total",
-            "Monte-Carlo neutron histories transported, process-wide.",
-            "counter",
-            tn_core::transport::stats::histories_total(),
-        );
-        out.push_str(concat!(
-            "# HELP tn_transport_seconds_total ",
-            "Wall-clock seconds spent in transport runs, process-wide.\n",
-            "# TYPE tn_transport_seconds_total counter\n"
-        ));
-        out.push_str(&format!(
-            "tn_transport_seconds_total {:e}\n",
-            tn_core::transport::stats::seconds_total()
-        ));
+        // Force the process-wide transport series into existence so a
+        // scrape sees them even before the first transport run.
+        let _ = tn_core::transport::stats::histories_total();
+        let _ = tn_core::transport::stats::nanos_total();
+        let _ = tn_core::transport::stats::shard_histogram();
+        // Per-instance series (endpoint histograms, overload counter),
+        // then the process-wide registry (transport counters and shard
+        // histogram, span durations).
+        out.push_str(&self.registry.render_prometheus());
+        out.push_str(&tn_obs::global().render_prometheus());
         out
     }
 }
@@ -282,8 +360,8 @@ mod tests {
     #[test]
     fn render_contains_recorded_series() {
         let m = Metrics::new(4);
-        m.record_request(Endpoint::Fit, 200, 1500);
-        m.record_request(Endpoint::Fit, 400, 20);
+        m.record_request(Endpoint::Fit, 200, 1500, 512);
+        m.record_request(Endpoint::Fit, 400, 20, 64);
         m.cache_hit();
         m.cache_miss();
         m.worker_busy();
@@ -295,6 +373,33 @@ mod tests {
         assert!(text.contains("tn_cache_misses_total 1"));
         assert!(text.contains("tn_workers_busy 1"));
         assert!(text.contains("tn_workers_total 4"));
+        assert!(text.contains("tn_request_seconds_count{endpoint=\"/v1/fit\"} 2"));
+        assert!(text.contains("tn_response_bytes_count{endpoint=\"/v1/fit\"} 2"));
+        assert!(text.contains("tn_server_overload_total 0"));
+    }
+
+    #[test]
+    fn overload_counter_counts() {
+        let m = Metrics::new(1);
+        m.overload();
+        m.overload();
+        assert!(m.render().contains("tn_server_overload_total 2"));
+    }
+
+    #[test]
+    fn endpoint_label_space_is_fixed() {
+        // However many distinct unknown paths are probed, they all land
+        // in the one pre-created `other` series per metric.
+        let m = Metrics::new(1);
+        for latency in [10, 20, 30, 40] {
+            m.record_request(Endpoint::Other, 404, latency, 32);
+        }
+        let text = m.render();
+        assert_eq!(
+            text.matches("tn_request_seconds_count{endpoint=").count(),
+            Endpoint::ALL.len()
+        );
+        assert!(text.contains("tn_request_seconds_count{endpoint=\"other\"} 4"));
     }
 
     #[test]
@@ -312,7 +417,7 @@ mod tests {
     #[test]
     fn unknown_status_folds_into_500() {
         let m = Metrics::new(1);
-        m.record_request(Endpoint::Other, 999, 5);
+        m.record_request(Endpoint::Other, 999, 5, 0);
         assert!(m
             .render()
             .contains("tn_requests_total{endpoint=\"other\",status=\"500\"} 1"));

@@ -6,8 +6,12 @@ use crate::metrics::Endpoint;
 use std::time::Instant;
 
 /// Resolves a request to its endpoint label (for metrics) independent
-/// of whether the method matches.
+/// of whether the method matches. Query strings and fragments are
+/// stripped first, and every unrecognised path folds into the single
+/// [`Endpoint::Other`] bucket, so hostile path scans cannot grow the
+/// label space beyond [`Endpoint::ALL`].
 fn endpoint_of(path: &str) -> Endpoint {
+    let path = path.split(['?', '#']).next().unwrap_or(path);
     match path {
         "/healthz" => Endpoint::Healthz,
         "/v1/devices" => Endpoint::Devices,
@@ -19,18 +23,38 @@ fn endpoint_of(path: &str) -> Endpoint {
     }
 }
 
-/// Dispatches one request and records count + latency for it.
+/// Dispatches one request and records count, latency and size for it.
+///
+/// Each request gets a fresh id, attached both to the `x-request-id`
+/// response header and to the request-scoped trace event, so a JSONL
+/// trace line can be correlated with the response a client saw.
 pub fn handle(state: &AppState, request: &Request) -> Response {
     state.metrics.enter();
+    let request_id = state.next_request_id();
     let started = Instant::now();
     let endpoint = endpoint_of(&request.path);
     let response = dispatch(state, request, endpoint);
     let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    state
-        .metrics
-        .record_request(endpoint, response.status, elapsed_us);
+    state.metrics.record_request(
+        endpoint,
+        response.status,
+        elapsed_us,
+        response.body.len() as u64,
+    );
     state.metrics.leave();
-    response
+    tn_obs::info(
+        "request",
+        &[
+            ("id", request_id.as_str().into()),
+            ("method", request.method.as_str().into()),
+            ("path", request.path.as_str().into()),
+            ("endpoint", endpoint.label().into()),
+            ("status", u64::from(response.status).into()),
+            ("latency_us", elapsed_us.into()),
+            ("bytes", (response.body.len() as u64).into()),
+        ],
+    );
+    response.with_header("x-request-id", request_id)
 }
 
 fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response {
@@ -85,6 +109,27 @@ mod tests {
         assert_eq!(endpoint_of("/healthz"), Endpoint::Healthz);
         assert_eq!(endpoint_of("/v1/fit"), Endpoint::Fit);
         assert_eq!(endpoint_of("/nope"), Endpoint::Other);
+        assert_eq!(endpoint_of("/healthz?probe=1"), Endpoint::Healthz);
+        assert_eq!(endpoint_of("/metrics#frag"), Endpoint::Metrics);
+        assert_eq!(endpoint_of("/v1/fit/../../etc"), Endpoint::Other);
+    }
+
+    #[test]
+    fn responses_carry_a_request_id() {
+        let state = AppState::new(1, 8, 1);
+        let a = handle(&state, &req("GET", "/healthz", b""));
+        let b = handle(&state, &req("GET", "/healthz", b""));
+        let id_of = |r: &Response| {
+            r.extra_headers
+                .iter()
+                .find(|(k, _)| k == "x-request-id")
+                .map(|(_, v)| v.clone())
+                .expect("x-request-id header present")
+        };
+        let (ia, ib) = (id_of(&a), id_of(&b));
+        assert_eq!(ia.len(), 16, "{ia}");
+        assert!(ia.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(ia, ib, "ids are unique per request");
     }
 
     #[test]

@@ -7,12 +7,17 @@ use std::sync::{Arc, Barrier};
 use tn_server::{Server, ServerConfig, ServerHandle};
 
 fn start(threads: usize) -> ServerHandle {
+    start_with_queue(threads, 64)
+}
+
+fn start_with_queue(threads: usize, max_queue: usize) -> ServerHandle {
     Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads,
         seed: 2020,
         cache_capacity: 64,
         transport_threads: 1,
+        max_queue,
     })
     .expect("bind ephemeral port")
     .spawn()
@@ -234,6 +239,129 @@ fn checkpoint_and_cross_sections_endpoints() {
     // Validation glitches → 400.
     let (status, _, _) = post(addr, "/v1/checkpoint", r#"{"due_fit_per_node":-1}"#);
     assert_eq!(status, 400);
+
+    server.stop();
+}
+
+#[test]
+fn every_response_carries_a_request_id() {
+    let server = start(2);
+    let addr = server.addr();
+
+    let (_, head_a, _) = get(addr, "/healthz");
+    let (_, head_b, _) = get(addr, "/v1/nope");
+    let id_of = |head: &str| {
+        head.lines()
+            .find_map(|l| l.strip_prefix("x-request-id: "))
+            .unwrap_or_else(|| panic!("x-request-id missing in:\n{head}"))
+            .to_string()
+    };
+    let (a, b) = (id_of(&head_a), id_of(&head_b));
+    assert_eq!(a.len(), 16, "{a}");
+    assert!(a.chars().all(|c| c.is_ascii_hexdigit()), "{a}");
+    assert_ne!(a, b, "request ids are per-request");
+
+    server.stop();
+}
+
+/// Unknown paths must all fold into the single `other` endpoint series:
+/// probing many bogus paths may not grow the label space.
+#[test]
+fn path_scans_cannot_inflate_metric_cardinality() {
+    let server = start(2);
+    let addr = server.addr();
+
+    for path in [
+        "/admin",
+        "/wp-login.php",
+        "/v1/fit/../../etc/passwd",
+        "/v1/nope?x=1",
+        "/.env",
+    ] {
+        let (status, _, _) = get(addr, path);
+        assert_eq!(status, 404, "{path}");
+    }
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    let other_series: Vec<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("tn_requests_total{") && l.contains("endpoint=\"other\""))
+        .collect();
+    assert_eq!(
+        other_series,
+        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 5"],
+        "all bogus paths share one series:\n{metrics}"
+    );
+    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 5"));
+
+    server.stop();
+}
+
+/// `/metrics` must expose the tn-obs histograms: per-endpoint latency
+/// and size, plus the process-wide transport shard histogram.
+#[test]
+fn metrics_expose_obs_histograms() {
+    let server = start(2);
+    let addr = server.addr();
+
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (_, _, metrics) = get(addr, "/metrics");
+    for needle in [
+        "# TYPE tn_request_seconds histogram",
+        "tn_request_seconds_bucket{endpoint=\"/healthz\",le=\"",
+        "tn_request_seconds_count{endpoint=\"/healthz\"} 1",
+        "# TYPE tn_response_bytes histogram",
+        "# TYPE tn_transport_shard_seconds histogram",
+        "tn_server_overload_total 0",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    server.stop();
+}
+
+/// With one worker and a zero-length queue, a second concurrent request
+/// must be shed with 503 + Retry-After instead of queueing forever.
+#[test]
+fn saturated_pool_sheds_with_503() {
+    let server = start_with_queue(1, 0);
+    let addr = server.addr();
+
+    // Occupy the only worker with a request that never completes: send
+    // a partial header block and keep the socket open.
+    let mut hog = TcpStream::connect(addr).expect("connect hog");
+    hog.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n")
+        .expect("write partial request");
+    // Wait until the worker has actually picked the connection up.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.state().metrics.workers_busy() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never became busy"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let (status, head, body) = get(addr, "/healthz");
+    assert_eq!(status, 503, "{head}\n{body}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(body.contains("\"error\""), "{body}");
+
+    // Release the hog so shutdown is clean, then check the counter once
+    // the worker is idle again (otherwise /metrics itself gets shed).
+    hog.write_all(b"Connection: close\r\n\r\n").expect("finish hog");
+    let mut drain = String::new();
+    let _ = hog.read_to_string(&mut drain);
+    while server.state().metrics.workers_busy() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never went idle"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metric(&metrics, "tn_server_overload_total") >= 1, "{metrics}");
 
     server.stop();
 }

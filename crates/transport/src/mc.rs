@@ -549,6 +549,12 @@ impl Transport {
     /// `Rng::seed_from_u64(seed).fork(i)`; for each history the source
     /// draws first, then the walk. Shard tallies merge in ascending
     /// shard index. Thread count only schedules shards over workers.
+    ///
+    /// Instrumentation is strictly write-only: a `transport.run` span,
+    /// per-shard durations into the shared `tn_transport_shard_seconds`
+    /// histogram, and the process-wide history/seconds counters. None of
+    /// it touches the RNG streams or tallies, so tracing at any level
+    /// leaves results byte-identical.
     fn run_sharded<F>(&self, source: F, histories: u64, seed: u64) -> Tally
     where
         F: Fn(&mut Rng) -> Neutron + Sync,
@@ -556,15 +562,31 @@ impl Transport {
         if histories == 0 {
             return Tally::default();
         }
+        let _span = tn_obs::span("transport.run");
         let started = Instant::now();
         let shards = histories.div_ceil(SHARD_SIZE) as usize;
         let mut slots = vec![Tally::default(); shards];
+        let shard_hist = stats::shard_histogram();
+        let shard_hist = &shard_hist;
         let run_shard = |shard: usize, slot: &mut Tally| {
+            let shard_started = Instant::now();
             let mut rng = Rng::seed_from_u64(seed).fork(shard as u64);
             let lo = shard as u64 * SHARD_SIZE;
             let count = SHARD_SIZE.min(histories - lo);
             for _ in 0..count {
                 slot.record(self.run_history(source(&mut rng), &mut rng));
+            }
+            let shard_nanos = shard_started.elapsed().as_nanos() as u64;
+            shard_hist.observe(shard_nanos);
+            if tn_obs::enabled(tn_obs::Level::Trace) {
+                tn_obs::trace(
+                    "shard_done",
+                    &[
+                        ("shard", (shard as u64).into()),
+                        ("histories", count.into()),
+                        ("dur_ns", shard_nanos.into()),
+                    ],
+                );
             }
         };
         let threads = self.config.threads.max(1).min(shards);
@@ -589,7 +611,17 @@ impl Transport {
         for shard_tally in &slots {
             tally.merge(shard_tally);
         }
-        stats::record(histories, started.elapsed().as_nanos() as u64);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        stats::record(histories, elapsed);
+        tn_obs::debug(
+            "transport_run",
+            &[
+                ("histories", histories.into()),
+                ("shards", (shards as u64).into()),
+                ("threads", self.config.threads.into()),
+                ("dur_ns", elapsed.into()),
+            ],
+        );
         tally
     }
 

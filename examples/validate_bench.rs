@@ -28,6 +28,12 @@ const REQUIRED_NUMBERS: &[&str] = &[
     "moderation_serial_cached_hps",
     "moderation_parallel_cached_hps",
     "moderation_speedup_cached_vs_direct",
+    "thermal_field_shard_p50_ns",
+    "thermal_field_shard_p90_ns",
+    "thermal_field_shard_p99_ns",
+    "moderation_shard_p50_ns",
+    "moderation_shard_p90_ns",
+    "moderation_shard_p99_ns",
 ];
 
 fn validate(text: &str) -> Result<(), String> {

@@ -1,0 +1,75 @@
+//! Validates a JSONL trace emitted via `--trace-out`: every line must
+//! parse with the in-tree JSON parser and carry the event contract's
+//! required keys — numeric `ts`, string `level`, `span` and `msg`.
+//!
+//! ```text
+//! thermal-neutrons waterbox --log-level debug --trace-out /tmp/trace.jsonl
+//! cargo run --example validate_trace -- /tmp/trace.jsonl
+//! ```
+//!
+//! Exits non-zero (with a message on stderr) on an unreadable file, an
+//! empty trace, a line that is not valid JSON, or a missing/mistyped
+//! required key, so `scripts/ci.sh` can gate on it directly after the
+//! smoke server run.
+
+use std::process::ExitCode;
+use thermal_neutrons::core_api::json;
+
+/// Levels a trace line may carry (must match `tn_obs::Level::as_str`).
+const LEVELS: &[&str] = &["error", "warn", "info", "debug", "trace"];
+
+fn validate(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let doc = json::parse(line).map_err(|e| format!("line {n}: malformed JSON: {e:?}"))?;
+        let ts = doc
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("line {n}: missing numeric key \"ts\""))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("line {n}: \"ts\" is not a non-negative number: {ts}"));
+        }
+        let level = doc
+            .get("level")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {n}: missing string key \"level\""))?;
+        if !LEVELS.contains(&level) {
+            return Err(format!("line {n}: unknown level {level:?}"));
+        }
+        for key in ["span", "msg"] {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("line {n}: missing string key {key:?}"))?;
+        }
+        lines = n;
+    }
+    if lines == 0 {
+        return Err("trace is empty (no events recorded)".to_string());
+    }
+    Ok(lines)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("validate_trace: usage: validate_trace <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(lines) => {
+            println!("validate_trace: {path} OK ({lines} events)");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_trace: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,10 +19,14 @@ TN_BENCH_SMOKE=1 cargo bench --offline -p tn-bench --bench ext_transport_through
 cargo run --offline --example validate_bench -- target/tn-bench/BENCH_transport_throughput.json
 
 # ---- tn-server smoke test -------------------------------------------------
-# Start the daemon on an ephemeral port, hit /healthz through bash's
-# /dev/tcp (no curl in the hermetic environment), and shut it down.
+# Start the daemon on an ephemeral port with debug tracing into a JSONL
+# file, hit /healthz through bash's /dev/tcp (no curl in the hermetic
+# environment), shut it down, then validate every trace line with the
+# in-tree JSON parser (required keys: ts, level, span, msg).
 smoke_log="$(mktemp)"
-target/release/thermal-neutrons serve --addr 127.0.0.1:0 --threads 2 >"$smoke_log" &
+trace_file="$(mktemp)"
+target/release/thermal-neutrons serve --addr 127.0.0.1:0 --threads 2 \
+    --log-level debug --trace-out "$trace_file" >"$smoke_log" 2>/dev/null &
 server_pid=$!
 trap 'kill "$server_pid" 2>/dev/null || true' EXIT
 
@@ -55,4 +59,13 @@ esac
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 trap - EXIT
-rm -f "$smoke_log"
+
+# The smoke exchange above must have produced a parseable JSONL trace
+# (at least the server_bound and per-request events).
+cargo run --offline --example validate_trace -- "$trace_file"
+grep -q '"msg":"request"' "$trace_file" || {
+    echo "trace smoke FAILED: no request event in $trace_file" >&2
+    exit 1
+}
+
+rm -f "$smoke_log" "$trace_file"

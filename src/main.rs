@@ -7,7 +7,12 @@
 //! thermal-neutrons ddr [--seed N]
 //! thermal-neutrons spectra
 //! thermal-neutrons serve [--addr A] [--threads N] [--seed N]
+//! thermal-neutrons profile <command> [args...]
 //! ```
+//!
+//! Global observability flags (any command): `--log-level LEVEL`
+//! (error/warn/info/debug/trace/off; `TN_LOG` is the env fallback) and
+//! `--trace-out FILE` (append structured JSONL trace events).
 //!
 //! Every usage error — unknown command, flag without a value, value that
 //! does not parse — funnels through one `Result` path in [`run`] and
@@ -30,6 +35,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let seed = flag_value::<u64>(args, "--seed")?.unwrap_or(2020);
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(level) = flag_value::<String>(args, "--log-level")? {
+        tn::obs::set_level_str(&level).map_err(|e| format!("--log-level: {e}"))?;
+    }
+    if let Some(path) = flag_value::<String>(args, "--trace-out")? {
+        tn::obs::set_trace_file(&path)
+            .map_err(|e| format!("--trace-out: cannot open `{path}`: {e}"))?;
+    }
     if let Some(threads) = flag_value::<usize>(args, "--transport-threads")? {
         // Thread count only affects wall-clock time: the sharded transport
         // produces identical tallies for any value (see tn-transport docs).
@@ -43,10 +55,78 @@ fn run(args: &[String]) -> Result<(), String> {
         "ddr" => ddr(seed),
         "spectra" => spectra(),
         "serve" => return serve(args, seed),
+        "profile" => return profile(args),
         "help" | "--help" | "-h" => help(),
         other => return Err(format!("unknown command `{other}`\n\n{}", help_text())),
     }
     Ok(())
+}
+
+/// `profile <command> [args...]` — run a subcommand, then print a timing
+/// report from the global tn-obs registry: every span and histogram with
+/// count, mean and p50/p90/p99.
+fn profile(args: &[String]) -> Result<(), String> {
+    let inner: Vec<String> = args[1..].to_vec();
+    let inner_command = inner.first().map(String::as_str).unwrap_or("");
+    if inner_command.is_empty() || inner_command == "profile" {
+        return Err(format!(
+            "profile requires a command to run\n\n{}",
+            help_text()
+        ));
+    }
+    run(&inner)?;
+    print!("{}", render_profile_report());
+    Ok(())
+}
+
+/// Renders the per-span / per-histogram timing table from the global
+/// registry. Durations are stored as nanoseconds; shown as seconds.
+fn render_profile_report() -> String {
+    let mut out = String::from("\nprofile (tn-obs global registry):\n");
+    let snapshots = tn::obs::global().histogram_snapshots();
+    if snapshots.iter().all(|(_, _, s)| s.count() == 0) {
+        out.push_str("  (no observations recorded)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "series", "count", "mean", "p50", "p90", "p99"
+    ));
+    for (name, labels, snap) in snapshots {
+        if snap.count() == 0 {
+            continue;
+        }
+        let mut series = name.clone();
+        for (k, v) in &labels {
+            series.push_str(&format!("{{{k}={v}}}"));
+        }
+        // Nanos-unit histograms (all `*_seconds` series) print seconds;
+        // anything else (e.g. byte sizes) prints raw units.
+        let scale = if name.ends_with("_seconds") { 1e-9 } else { 1.0 };
+        out.push_str(&format!(
+            "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            series,
+            snap.count(),
+            format_scaled(snap.mean(), scale),
+            format_scaled(snap.quantile(0.50), scale),
+            format_scaled(snap.quantile(0.90), scale),
+            format_scaled(snap.quantile(0.99), scale),
+        ));
+    }
+    out
+}
+
+fn format_scaled(v: f64, scale: f64) -> String {
+    let v = v * scale;
+    if scale == 1.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.3}s")
+    } else if v >= 1e-3 {
+        format!("{:.3}ms", v * 1e3)
+    } else {
+        format!("{:.1}us", v * 1e6)
+    }
 }
 
 /// Parses the value following `flag`, if the flag is present.
@@ -187,10 +267,13 @@ fn help_text() -> String {
      \x20 ddr        DDR3/DDR4 correct-loop classification (paper Fig. 4)\n\
      \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
      \x20 serve      HTTP JSON API daemon (tn-server)\n\
+     \x20 profile    run a command, then print span/latency percentiles\n\
      \n\
      options: --seed N (default 2020), --quick (fast low-statistics run),\n\
      \x20        --transport-threads N (Monte-Carlo workers; results are\n\
-     \x20        identical for any value, default 1)\n\
+     \x20        identical for any value, default 1),\n\
+     \x20        --log-level error|warn|info|debug|trace|off (default\n\
+     \x20        $TN_LOG or warn), --trace-out FILE (structured JSONL)\n\
      serve:   --addr HOST:PORT (default 127.0.0.1:7878), --threads N (default 4)"
         .to_string()
 }
@@ -253,5 +336,31 @@ mod tests {
     fn serve_rejects_a_bad_thread_count() {
         let err = run(&args(&["serve", "--threads", "many"])).unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn bad_log_level_is_a_usage_error() {
+        let err = run(&args(&["spectra", "--log-level", "blaring"])).unwrap_err();
+        assert!(err.contains("--log-level"), "{err}");
+    }
+
+    #[test]
+    fn profile_without_a_command_is_a_usage_error() {
+        let err = run(&args(&["profile"])).unwrap_err();
+        assert!(err.contains("profile requires a command"), "{err}");
+        let err = run(&args(&["profile", "profile"])).unwrap_err();
+        assert!(err.contains("profile requires a command"), "{err}");
+    }
+
+    #[test]
+    fn profile_report_renders_recorded_series() {
+        // Put at least one observation into the global registry, then
+        // check the report shape without running a whole pipeline.
+        tn::obs::global()
+            .histogram("tn_test_profile_seconds", &[], "test", tn::obs::Unit::Nanos)
+            .observe(1_500_000);
+        let report = render_profile_report();
+        assert!(report.contains("tn_test_profile_seconds"), "{report}");
+        assert!(report.contains("p99"), "{report}");
     }
 }

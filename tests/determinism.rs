@@ -127,6 +127,52 @@ fn global_thread_default_does_not_change_results() {
     set_default_threads(1);
 }
 
+/// Telemetry is write-only: running the pipeline with TRACE-level
+/// structured logging, a JSONL trace sink and a virtual clock must give
+/// the byte-identical report JSON that a silent run gives. One test owns
+/// every mutation of the tn-obs globals (level, stderr sink, trace file,
+/// clock) so parallel tests never race on them.
+#[test]
+fn trace_level_telemetry_never_changes_results() {
+    use std::sync::Arc;
+
+    let baseline = Pipeline::new(PipelineConfig::quick()).seed(31).run();
+    let baseline_json = baseline.to_json();
+
+    let trace_path = std::env::temp_dir().join(format!(
+        "tn-determinism-trace-{}.jsonl",
+        std::process::id()
+    ));
+    tn::obs::set_stderr(false);
+    tn::obs::set_trace_file(trace_path.to_str().expect("utf-8 temp path"))
+        .expect("open trace file");
+    tn::obs::set_clock(Arc::new(tn::obs::VirtualClock::starting_at(1_000)));
+    tn::obs::set_level_str("trace").expect("trace is a valid level");
+
+    let traced = Pipeline::new(PipelineConfig::quick()).seed(31).run();
+
+    tn::obs::set_level_str("off").expect("off is a valid level");
+    tn::obs::set_clock(Arc::new(tn::obs::RealClock));
+    tn::obs::set_stderr(true);
+
+    assert_eq!(traced, baseline, "TRACE telemetry must be write-only");
+    assert_eq!(
+        traced.to_json(),
+        baseline_json,
+        "report JSON must be byte-identical at TRACE vs OFF"
+    );
+    // The traced run must actually have produced trace events.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file readable");
+    let _ = std::fs::remove_file(&trace_path);
+    assert!(
+        trace.lines().count() > 0,
+        "TRACE run emitted no events into {}",
+        trace_path.display()
+    );
+    assert!(trace.contains("\"msg\":\"pipeline_start\""), "{trace}");
+    assert!(trace.contains("\"span\":\"pipeline\""), "{trace}");
+}
+
 #[test]
 fn validation_passes_on_the_canonical_seed() {
     let report = Pipeline::new(PipelineConfig::default()).seed(2020).run();
