@@ -1,0 +1,135 @@
+//! Boundary coverage for the outcome classifier and campaign determinism.
+//!
+//! The classifier (`FaultOutcome::classify`) is the single decision point
+//! that turns a faulted run into a Masked / SDC / DUE tally — the same
+//! role as the logging station in a beam experiment. These tests pin its
+//! boundaries (both DUE flavours, signature-length mismatches, empty
+//! goldens) and check that campaigns tally identically whether executed
+//! on one worker thread or eight.
+
+use tn_fault_injection::{FaultOutcome, InjectionCampaign};
+use tn_workloads::bfs::Bfs;
+use tn_workloads::sc::StreamCompaction;
+use tn_workloads::RunOutcome;
+
+#[test]
+fn due_covers_both_crash_and_hang() {
+    let golden = vec![10u64, 20, 30];
+    // DUE-crash: the run aborted with a reason string.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Crashed("index out of bounds".into()), &golden),
+        FaultOutcome::Due
+    );
+    // A crash whose reason is empty is still a crash.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Crashed(String::new()), &golden),
+        FaultOutcome::Due
+    );
+    // DUE-hang: step budget exceeded, no output at all.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Hung, &golden),
+        FaultOutcome::Due
+    );
+    // Crash/hang are DUE even when the golden output is empty — detection
+    // does not depend on having a reference signature.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Hung, &[]),
+        FaultOutcome::Due
+    );
+}
+
+#[test]
+fn masked_requires_exact_signature_match() {
+    let golden = vec![10u64, 20, 30];
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(vec![10, 20, 30]), &golden),
+        FaultOutcome::Masked
+    );
+    // One word off by one bit: silent corruption.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(vec![10, 20, 31]), &golden),
+        FaultOutcome::Sdc
+    );
+    // Same values, different order: still corruption.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(vec![30, 20, 10]), &golden),
+        FaultOutcome::Sdc
+    );
+}
+
+#[test]
+fn signature_length_mismatch_is_sdc_not_masked() {
+    let golden = vec![10u64, 20, 30];
+    // Shorter signature — a truncated output must never classify as Masked.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(vec![10, 20]), &golden),
+        FaultOutcome::Sdc
+    );
+    // Longer signature — extra trailing words are corruption too.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(vec![10, 20, 30, 0]), &golden),
+        FaultOutcome::Sdc
+    );
+    // Completed with no output vs a non-empty golden.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(Vec::new()), &golden),
+        FaultOutcome::Sdc
+    );
+}
+
+#[test]
+fn empty_golden_boundary() {
+    // A workload whose golden signature is empty: an empty completed
+    // output matches it (Masked); any output at all is corruption.
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(Vec::new()), &[]),
+        FaultOutcome::Masked
+    );
+    assert_eq!(
+        FaultOutcome::classify(&RunOutcome::Completed(vec![0]), &[]),
+        FaultOutcome::Sdc
+    );
+}
+
+#[test]
+fn bfs_campaign_is_thread_count_invariant() {
+    let single = InjectionCampaign::new(Bfs::new(12, 4))
+        .runs(300)
+        .seed(41)
+        .threads(1)
+        .execute();
+    let parallel = InjectionCampaign::new(Bfs::new(12, 4))
+        .runs(300)
+        .seed(41)
+        .threads(8)
+        .execute();
+    assert_eq!(
+        single, parallel,
+        "Bfs campaign tallies must not depend on worker count"
+    );
+    assert_eq!(single.total(), 300);
+}
+
+#[test]
+fn stream_compaction_campaign_is_thread_count_invariant() {
+    let single = InjectionCampaign::new(StreamCompaction::new(256, 5))
+        .runs(300)
+        .seed(43)
+        .threads(1)
+        .execute();
+    let parallel = InjectionCampaign::new(StreamCompaction::new(256, 5))
+        .runs(300)
+        .seed(43)
+        .threads(8)
+        .execute();
+    assert_eq!(
+        single, parallel,
+        "StreamCompaction campaign tallies must not depend on worker count"
+    );
+    // This workload exercises all three classifier outcomes under
+    // injection, so the determinism check covers every tally bucket.
+    assert!(
+        single.masked > 0 && single.sdc > 0 && single.due > 0,
+        "expected all three outcomes, got {single:?}"
+    );
+}

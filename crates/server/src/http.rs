@@ -47,8 +47,30 @@ impl From<std::io::Error> for HttpError {
 
 /// Reads and parses one request from the stream.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    read_request_with_timeout(stream, IO_TIMEOUT)
+}
+
+/// True for the error kinds a timed-out blocking read produces (platform
+/// dependent: `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// [`read_request`] with an explicit timeout (unit tests use a short one).
+///
+/// A peer that stalls mid-request — most commonly by declaring a
+/// `Content-Length` larger than what it sends while holding the
+/// connection open — is a *malformed request*, not a transport failure:
+/// the worker answers 400 instead of silently dropping the connection.
+pub fn read_request_with_timeout(
+    stream: &mut TcpStream,
+    timeout: Duration,
+) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
 
     // Accumulate until the blank line that ends the header block.
     let mut buf: Vec<u8> = Vec::with_capacity(512);
@@ -60,7 +82,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         if buf.len() > MAX_HEADER_BYTES {
             return Err(HttpError::TooLarge("header block exceeds 8 KiB"));
         }
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Malformed("timed out waiting for headers"))
+            }
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-headers"));
         }
@@ -100,13 +128,25 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     // be buffered.
     let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Malformed(
+                    "timed out mid-body (Content-Length larger than body sent)",
+                ))
+            }
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-body"));
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "request body longer than declared Content-Length",
+        ));
+    }
 
     Ok(Request {
         method: method.to_string(),
@@ -247,5 +287,77 @@ mod tests {
         let r = Response::error(400, "bad \"quote\"");
         assert_eq!(r.body, "{\"error\":\"bad \\\"quote\\\"\"}");
         assert_eq!(r.content_type, "application/json");
+    }
+
+    /// Accepts one connection, feeds it to `read_request_with_timeout`
+    /// with a short timeout while the client runs `send`.
+    fn with_client(
+        send: impl FnOnce(TcpStream) + Send + 'static,
+    ) -> Result<Request, HttpError> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            send(TcpStream::connect(addr).unwrap());
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let result = read_request_with_timeout(&mut conn, Duration::from_millis(150));
+        client.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn underdeclared_body_is_malformed_not_a_drop() {
+        // Content-Length promises 100 bytes; the client sends 5 and holds
+        // the connection open. The old code surfaced the read timeout as
+        // HttpError::Io, which made the worker drop the connection with
+        // no response at all.
+        let err = with_client(|mut s| {
+            s.write_all(b"POST /v1/fit HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed(m) if m.contains("timed out mid-body")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn overlong_body_is_malformed_not_truncated() {
+        let err = with_client(|mut s| {
+            s.write_all(b"POST /v1/fit HTTP/1.1\r\nContent-Length: 4\r\n\r\nmore-than-four")
+                .unwrap();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed(m) if m.contains("longer than declared")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stalled_headers_are_malformed() {
+        let err = with_client(|mut s| {
+            s.write_all(b"POST /v1/fit HTT").unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed(m) if m.contains("timed out waiting")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn well_formed_request_still_parses() {
+        let req = with_client(|mut s| {
+            s.write_all(b"POST /v1/fit HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/fit");
+        assert_eq!(req.body, b"{}");
     }
 }

@@ -379,3 +379,70 @@ fn responses_are_deterministic_across_server_instances() {
     b.stop();
     assert_eq!(first, second, "fresh daemons agree byte-for-byte");
 }
+
+const POST_ENDPOINTS: [&str; 3] = ["/v1/fit", "/v1/checkpoint", "/v1/cross-sections"];
+
+#[test]
+fn malformed_json_gets_400_on_every_post_endpoint() {
+    let server = start(2);
+    let addr = server.addr();
+    for path in POST_ENDPOINTS {
+        for bad in ["{not json", "", "[1,2", "{\"device\":}", "\u{1}"] {
+            let (status, _, body) = post(addr, path, bad);
+            assert_eq!(status, 400, "{path} with body {bad:?} returned {body}");
+            assert!(body.contains("\"error\""), "{path}: {body}");
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn underdeclared_content_length_gets_400_not_a_hang() {
+    // The client promises 50 bytes, sends 5 and half-closes. The worker
+    // must answer 400 immediately instead of dropping the connection.
+    let server = start(2);
+    let addr = server.addr();
+    for path in POST_ENDPOINTS {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\
+                     Connection: close\r\n\r\nshort"
+                )
+                .as_bytes(),
+            )
+            .expect("write");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "{path}: {response:?}"
+        );
+        assert!(response.contains("mid-body"), "{path}: {response}");
+    }
+    server.stop();
+}
+
+#[test]
+fn overlong_body_gets_400_on_every_post_endpoint() {
+    // More body bytes than Content-Length declares: a protocol violation,
+    // not something to silently truncate.
+    let server = start(2);
+    let addr = server.addr();
+    for path in POST_ENDPOINTS {
+        let (status, _, body) = raw(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\
+                 Connection: close\r\n\r\n{{\"device\":\"NVIDIA K20\"}}"
+            ),
+        );
+        assert_eq!(status, 400, "{path}: {body}");
+        assert!(body.contains("longer than declared"), "{path}: {body}");
+    }
+    server.stop();
+}

@@ -1,0 +1,209 @@
+//! The verification report: one [`CheckResult`] per check, rendered as a
+//! pass/fail table for humans and as `VERIFY_report.json` for machines.
+//!
+//! The JSON artefact is written through `tn_core::json` and contains no
+//! wall-clock values, so the same `(seed, quick)` pair always produces a
+//! byte-identical file — the report itself obeys the determinism contract
+//! it verifies.
+
+use tn_core::json::{push_json_f64, push_json_str};
+
+/// Outcome of one verification check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// Which layer the check belongs to: `stat`, `oracle`, `golden` or
+    /// `selftest`.
+    pub suite: &'static str,
+    /// Check name, dot-separated (`stat.maxwellian.chi2`).
+    pub name: String,
+    /// Did the check pass?
+    pub passed: bool,
+    /// The test statistic or worst observed divergence.
+    pub statistic: f64,
+    /// The critical value / tolerance the statistic is compared against.
+    pub threshold: f64,
+    /// Samples, sweep cases or compared fields behind the statistic.
+    pub cases: u64,
+    /// One-line human explanation (fixed text, no timings).
+    pub detail: String,
+}
+
+impl CheckResult {
+    /// Builds a result, deriving `passed` from `statistic <= threshold`.
+    pub fn from_statistic(
+        suite: &'static str,
+        name: impl Into<String>,
+        statistic: f64,
+        threshold: f64,
+        cases: u64,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            suite,
+            name: name.into(),
+            passed: statistic <= threshold,
+            statistic,
+            threshold,
+            cases,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The full report of one `thermal-neutrons verify` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Was the reduced-statistics quick profile used?
+    pub quick: bool,
+    /// Every check, in execution order.
+    pub checks: Vec<CheckResult>,
+}
+
+impl VerifyReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.passed).count()
+    }
+
+    /// The machine-readable artefact (`VERIFY_report.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"quick\":");
+        out.push_str(if self.quick { "true" } else { "false" });
+        out.push_str(",\"passed\":");
+        out.push_str(if self.passed() { "true" } else { "false" });
+        out.push_str(",\"checks\":[");
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"suite\":");
+            push_json_str(&mut out, c.suite);
+            out.push_str(",\"name\":");
+            push_json_str(&mut out, &c.name);
+            out.push_str(",\"passed\":");
+            out.push_str(if c.passed { "true" } else { "false" });
+            out.push_str(",\"statistic\":");
+            push_json_f64(&mut out, c.statistic);
+            out.push_str(",\"threshold\":");
+            push_json_f64(&mut out, c.threshold);
+            out.push_str(",\"cases\":");
+            out.push_str(&c.cases.to_string());
+            out.push_str(",\"detail\":");
+            push_json_str(&mut out, &c.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The human-readable pass/fail table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "verify (seed {}, {} profile):\n\n",
+            self.seed,
+            if self.quick { "quick" } else { "full" }
+        ));
+        out.push_str(&format!(
+            "  {:<8} {:<42} {:>12} {:>12} {:>8}  {}\n",
+            "suite", "check", "statistic", "threshold", "cases", "result"
+        ));
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  {:<8} {:<42} {:>12} {:>12} {:>8}  {}\n",
+                c.suite,
+                c.name,
+                format_stat(c.statistic),
+                format_stat(c.threshold),
+                c.cases,
+                if c.passed { "PASS" } else { "FAIL" }
+            ));
+        }
+        let failures = self.failures();
+        if failures == 0 {
+            out.push_str(&format!("\n  all {} checks passed\n", self.checks.len()));
+        } else {
+            out.push_str(&format!(
+                "\n  {failures} of {} checks FAILED:\n",
+                self.checks.len()
+            ));
+            for c in self.checks.iter().filter(|c| !c.passed) {
+                out.push_str(&format!("    {}.{}: {}\n", c.suite, c.name, c.detail));
+            }
+        }
+        out
+    }
+}
+
+fn format_stat(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> VerifyReport {
+        VerifyReport {
+            seed: 7,
+            quick: true,
+            checks: vec![
+                CheckResult::from_statistic("stat", "a.chi2", 10.0, 20.0, 100, "ok"),
+                CheckResult::from_statistic("oracle", "b", 3.0, 2.0, 5, "diverged"),
+            ],
+        }
+    }
+
+    #[test]
+    fn pass_fail_derivation() {
+        let r = report();
+        assert!(r.checks[0].passed);
+        assert!(!r.checks[1].passed);
+        assert!(!r.passed());
+        assert_eq!(r.failures(), 1);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let r = report();
+        let doc = tn_core::json::parse(&r.to_json()).expect("report JSON parses");
+        assert_eq!(doc.get("seed").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(doc.get("passed").and_then(|v| v.as_bool()), Some(false));
+        let checks = doc.get("checks").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert_eq!(
+            checks[0].get("name").and_then(|v| v.as_str()),
+            Some("a.chi2")
+        );
+        assert_eq!(checks[1].get("passed").and_then(|v| v.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn table_reports_failures_with_detail() {
+        let table = report().render_table();
+        assert!(table.contains("PASS"), "{table}");
+        assert!(table.contains("FAIL"), "{table}");
+        assert!(table.contains("oracle.b: diverged"), "{table}");
+    }
+
+    #[test]
+    fn json_has_no_wall_clock_dependence() {
+        assert_eq!(report().to_json(), report().to_json());
+    }
+}

@@ -69,3 +69,29 @@ grep -q '"msg":"request"' "$trace_file" || {
 }
 
 rm -f "$smoke_log" "$trace_file"
+
+# ---- tn-verify gate --------------------------------------------------------
+# The quick verification profile (statistical GOF, differential oracles,
+# golden snapshots, injected-bug self-tests) must pass, and the report it
+# writes must satisfy the schema the dashboards consume.
+verify_report="$(mktemp)"
+target/release/thermal-neutrons verify --quick --out "$verify_report"
+cargo run --offline --example validate_verify -- "$verify_report"
+rm -f "$verify_report"
+
+# Bless-drift check: re-render every golden artefact into a scratch
+# directory and require it to be byte-identical to the blessed copy in
+# tests/golden/. Catches a committed output-format change whose goldens
+# were not regenerated (the in-run golden suite only enforces the
+# per-field tolerance classes; CI holds the stricter byte-level line).
+bless_dir="$(mktemp -d)"
+TN_BLESS=1 TN_GOLDEN_DIR="$bless_dir" target/release/thermal-neutrons verify --quick \
+    --out "$bless_dir/VERIFY_report.json" >/dev/null
+rm -f "$bless_dir/VERIFY_report.json"
+if ! diff -ru tests/golden "$bless_dir"; then
+    echo "golden bless-drift FAILED: tests/golden is stale; run TN_BLESS=1 target/release/thermal-neutrons verify and commit the result" >&2
+    rm -rf "$bless_dir"
+    exit 1
+fi
+rm -rf "$bless_dir"
+echo "tn-verify gate OK"

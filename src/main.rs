@@ -8,6 +8,7 @@
 //! thermal-neutrons spectra
 //! thermal-neutrons serve [--addr A] [--threads N] [--seed N]
 //! thermal-neutrons profile <command> [args...]
+//! thermal-neutrons verify [--quick] [--seed N] [--out FILE]
 //! ```
 //!
 //! Global observability flags (any command): `--log-level LEVEL`
@@ -56,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "spectra" => spectra(),
         "serve" => return serve(args, seed),
         "profile" => return profile(args),
+        "verify" => return verify(args, seed, quick),
         "help" | "--help" | "-h" => help(),
         other => return Err(format!("unknown command `{other}`\n\n{}", help_text())),
     }
@@ -171,6 +173,27 @@ fn serve(args: &[String], seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// `verify [--quick] [--out FILE]` — run the tn-verify statistical,
+/// oracle, golden-snapshot and self-test suites, print the pass/fail
+/// table and write the machine-readable `VERIFY_report.json`.
+///
+/// `TN_BLESS=1` regenerates the golden artefacts instead of comparing;
+/// `TN_GOLDEN_DIR` redirects where they are read from / written to.
+fn verify(args: &[String], seed: u64, quick: bool) -> Result<(), String> {
+    let out_path =
+        flag_value::<String>(args, "--out")?.unwrap_or_else(|| "VERIFY_report.json".into());
+    let report = tn_verify::run_all(tn_verify::VerifyOptions { seed, quick });
+    print!("{}", report.render_table());
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("verify: cannot write `{out_path}`: {e}"))?;
+    println!("\nmachine-readable report: {out_path}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("verify: {} check(s) failed", report.failures()))
+    }
+}
+
 fn config(quick: bool) -> PipelineConfig {
     if quick {
         PipelineConfig::quick()
@@ -268,6 +291,9 @@ fn help_text() -> String {
      \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
      \x20 serve      HTTP JSON API daemon (tn-server)\n\
      \x20 profile    run a command, then print span/latency percentiles\n\
+     \x20 verify     statistical GOF + differential-oracle + golden-snapshot\n\
+     \x20            suites; writes VERIFY_report.json (--out FILE overrides;\n\
+     \x20            TN_BLESS=1 re-blesses the golden files)\n\
      \n\
      options: --seed N (default 2020), --quick (fast low-statistics run),\n\
      \x20        --transport-threads N (Monte-Carlo workers; results are\n\
@@ -342,6 +368,12 @@ mod tests {
     fn bad_log_level_is_a_usage_error() {
         let err = run(&args(&["spectra", "--log-level", "blaring"])).unwrap_err();
         assert!(err.contains("--log-level"), "{err}");
+    }
+
+    #[test]
+    fn verify_out_flag_requires_a_value() {
+        let err = run(&args(&["verify", "--out"])).unwrap_err();
+        assert!(err.contains("--out requires a value"), "{err}");
     }
 
     #[test]
