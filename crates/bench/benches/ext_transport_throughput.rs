@@ -25,6 +25,14 @@
 //! * `parallel_cached` — the same canonical shard sequence distributed
 //!   over 8 workers; the tally is asserted identical to `serial_cached`.
 //!
+//! With `TN_BENCH_VR=on` (any value other than `off`/`0`), each
+//! workload additionally runs the weighted variance-reduced kernel
+//! ([`Transport::run_diffuse_weighted`] / [`run_beam_weighted`]) and the
+//! artifact gains `*_vr_hps`, `*_vr_rel_error` and
+//! `*_vr_fom_speedup_vs_direct` fields — the figure-of-merit speedup
+//! `(hps_vr / hps_direct) x (RE2_analog / RE2_vr)`, which credits both
+//! raw throughput and the variance removed per history.
+//!
 //! Results go to stdout and to
 //! `target/tn-bench/BENCH_transport_throughput.json`. Set
 //! `TN_BENCH_SMOKE=1` (or pass `--smoke`) for a 1-sample CI run.
@@ -39,7 +47,9 @@ use tn_bench::header;
 use tn_physics::units::{Energy, Length};
 use tn_physics::Material;
 use tn_rng::Rng;
-use tn_transport::{Neutron, SlabStack, Tally, Transport, TransportConfig};
+use tn_transport::{
+    Neutron, SlabStack, Tally, Transport, TransportConfig, VarianceReduction, WeightedTally,
+};
 
 const SEED: u64 = 2020;
 const PARALLEL_THREADS: usize = 8;
@@ -48,18 +58,25 @@ fn smoke_mode() -> bool {
     std::env::var_os("TN_BENCH_SMOKE").is_some() || std::env::args().any(|a| a == "--smoke")
 }
 
+fn vr_mode() -> bool {
+    match std::env::var("TN_BENCH_VR") {
+        Ok(v) => !matches!(v.as_str(), "off" | "0" | ""),
+        Err(_) => false,
+    }
+}
+
 /// Times `run` over `samples` passes and returns the best throughput in
 /// histories per second (best-of-n discards scheduler noise).
-fn best_hps(samples: usize, histories: u64, mut run: impl FnMut() -> Tally) -> (f64, Tally) {
+fn best_hps<T>(samples: usize, histories: u64, mut run: impl FnMut() -> T) -> (f64, T) {
     let mut best = 0.0f64;
-    let mut tally = Tally::default();
+    let mut result = None;
     for _ in 0..samples {
         let start = Instant::now();
-        tally = run();
+        result = Some(run());
         let hps = histories as f64 / start.elapsed().as_secs_f64().max(1e-12);
         best = best.max(hps);
     }
-    (best, tally)
+    (best, result.expect("samples >= 1"))
 }
 
 fn fmt_hps(hps: f64) -> String {
@@ -109,6 +126,10 @@ struct Regime {
     direct_hps: f64,
     cached_hps: f64,
     parallel_hps: f64,
+    /// Analog thermal-transmission estimate from the cached tally —
+    /// the binomial success probability the VR figure of merit is
+    /// benchmarked against.
+    thermal_transmission: f64,
 }
 
 impl Regime {
@@ -137,6 +158,55 @@ impl Regime {
             format!("transport_{label}_parallel_cached"),
             fmt_hps(self.parallel_hps),
             self.speedup_parallel()
+        );
+    }
+}
+
+/// Weighted-kernel numbers for one workload: raw throughput, relative
+/// error on the thermal-transmission estimate, and the figure-of-merit
+/// speedup over the direct analog baseline.
+struct VrRegime {
+    vr_hps: f64,
+    rel_error: f64,
+    fom_speedup: f64,
+}
+
+impl VrRegime {
+    /// `p` is the analog thermal-transmission estimate (floored at
+    /// `0.5/N` so an empty channel cannot produce an infinite analog
+    /// variance), from which the analog relative error of a binomial
+    /// counter follows as `RE2 = (1-p)/(pN)`.
+    fn measure(
+        samples: usize,
+        histories: u64,
+        direct_hps: f64,
+        p_analog: f64,
+        run: impl FnMut() -> WeightedTally,
+    ) -> Self {
+        let (vr_hps, tally) = best_hps(samples, histories, run);
+        let p = p_analog.max(0.5 / histories as f64);
+        let re2_analog = (1.0 - p) / (p * histories as f64);
+        let re_vr = tally.transmitted_thermal_rel_error();
+        let throughput_ratio = vr_hps / direct_hps;
+        let fom_speedup = if re_vr.is_finite() && re_vr > 0.0 && re2_analog > 0.0 {
+            throughput_ratio * re2_analog / (re_vr * re_vr)
+        } else {
+            throughput_ratio
+        };
+        Self {
+            vr_hps,
+            rel_error: if re_vr.is_finite() { re_vr } else { 0.0 },
+            fom_speedup,
+        }
+    }
+
+    fn print(&self, label: &str) {
+        println!(
+            "bench {:<40} {:>14}  (RE {:.4}, FOM {:.2}x vs direct)",
+            format!("transport_{label}_weighted_vr"),
+            fmt_hps(self.vr_hps),
+            self.rel_error,
+            self.fom_speedup
         );
     }
 }
@@ -178,11 +248,13 @@ fn run_regime(
         direct_hps,
         cached_hps,
         parallel_hps,
+        thermal_transmission: cached_tally.transmitted_thermal_fraction(),
     }
 }
 
 fn main() {
     let smoke = smoke_mode();
+    let vr = vr_mode();
     let (samples, histories) = if smoke { (1, 8_192u64) } else { (5, 40_000u64) };
 
     header(
@@ -217,8 +289,48 @@ fn main() {
     moderation.print("moderation");
     moderation_shards.print("moderation");
 
+    // Weighted VR passes reuse the parallel transport: the FOM speedup
+    // is the end-to-end gain a caller sees over the seed implementation.
+    let mut vr_json = String::new();
+    if vr {
+        let parallel = Transport::with_config(
+            stack.clone(),
+            TransportConfig::with_threads(PARALLEL_THREADS),
+        );
+        let field_vr = VrRegime::measure(
+            samples,
+            histories,
+            field.direct_hps,
+            field.thermal_transmission,
+            || parallel.run_diffuse_weighted(thermal, histories, SEED, VarianceReduction::default()),
+        );
+        field_vr.print("thermal_field");
+        let moderation_vr = VrRegime::measure(
+            samples,
+            histories,
+            moderation.direct_hps,
+            moderation.thermal_transmission,
+            || parallel.run_beam_weighted(fast, histories, SEED, VarianceReduction::default()),
+        );
+        moderation_vr.print("moderation");
+        vr_json = format!(
+            ",\"thermal_field_vr_hps\":{:.1},\
+             \"thermal_field_vr_rel_error\":{:.6},\
+             \"thermal_field_vr_fom_speedup_vs_direct\":{:.3},\
+             \"moderation_vr_hps\":{:.1},\
+             \"moderation_vr_rel_error\":{:.6},\
+             \"moderation_vr_fom_speedup_vs_direct\":{:.3}",
+            field_vr.vr_hps,
+            field_vr.rel_error,
+            field_vr.fom_speedup,
+            moderation_vr.vr_hps,
+            moderation_vr.rel_error,
+            moderation_vr.fom_speedup,
+        );
+    }
+
     let json = format!(
-        "{{\"name\":\"transport_throughput\",\"smoke\":{smoke},\
+        "{{\"name\":\"transport_throughput\",\"smoke\":{smoke},\"vr\":{vr},\
          \"histories\":{histories},\"samples\":{samples},\
          \"parallel_threads\":{PARALLEL_THREADS},\
          \"serial_direct_hps\":{:.1},\
@@ -235,7 +347,7 @@ fn main() {
          \"thermal_field_shard_p99_ns\":{:.1},\
          \"moderation_shard_p50_ns\":{:.1},\
          \"moderation_shard_p90_ns\":{:.1},\
-         \"moderation_shard_p99_ns\":{:.1}}}",
+         \"moderation_shard_p99_ns\":{:.1}{vr_json}}}",
         field.direct_hps,
         field.cached_hps,
         field.parallel_hps,

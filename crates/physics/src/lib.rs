@@ -40,6 +40,7 @@ pub use capture::{b10_capture, b10_capture_probability, he3_capture, one_over_v}
 pub use materials::{Constituent, Material, Nuclide};
 pub use spectrum::{
     chipir_reference, rotax_reference, EnergyBand, EnergyGrid, Shape, Spectrum, SpectrumComponent,
+    SpectrumError,
 };
 pub use stats::{erf, poisson, PoissonInterval, RunningStats};
 pub use tabulated::TabulatedSpectrum;

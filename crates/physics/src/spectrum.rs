@@ -241,6 +241,33 @@ impl SpectrumComponent {
     }
 }
 
+/// An integration request the spectrum cannot evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpectrumError {
+    /// A flux-integral bound was zero, negative or non-finite — the
+    /// log-grid quadrature takes `ln` of both bounds, so such a range
+    /// has no meaningful integral.
+    NonPositiveBounds {
+        /// Requested lower bound in eV.
+        lo_ev: f64,
+        /// Requested upper bound in eV.
+        hi_ev: f64,
+    },
+}
+
+impl std::fmt::Display for SpectrumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpectrumError::NonPositiveBounds { lo_ev, hi_ev } => write!(
+                f,
+                "integration bounds must be positive and finite, got [{lo_ev} eV, {hi_ev} eV)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpectrumError {}
+
 /// A composite neutron spectrum: a sum of flux-normalised components.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spectrum {
@@ -286,8 +313,34 @@ impl Spectrum {
     }
 
     /// Integral flux over `[lo, hi)`.
+    ///
+    /// Degenerate ranges (`hi <= lo`) carry no flux and return zero;
+    /// non-positive or non-finite bounds panic. Use
+    /// [`Spectrum::try_flux_between`] to validate untrusted bounds.
     pub fn flux_between(&self, lo: Energy, hi: Energy) -> Flux {
-        Flux(integrate_log(lo, hi, 4000, |e| self.density(e)))
+        self.try_flux_between(lo, hi).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Integral flux over `[lo, hi)` with typed bound validation.
+    ///
+    /// The log-grid quadrature needs strictly positive, finite bounds
+    /// (it takes `ln` of both); those are rejected with
+    /// [`SpectrumError::NonPositiveBounds`]. A zero-width or inverted
+    /// range is well-defined — it carries no flux — so `hi <= lo`
+    /// clamps to `Flux(0.0)` instead of producing a NaN or negative
+    /// integral.
+    pub fn try_flux_between(&self, lo: Energy, hi: Energy) -> Result<Flux, SpectrumError> {
+        let positive_finite = |e: Energy| e.value() > 0.0 && e.value().is_finite();
+        if !positive_finite(lo) || !positive_finite(hi) {
+            return Err(SpectrumError::NonPositiveBounds {
+                lo_ev: lo.value(),
+                hi_ev: hi.value(),
+            });
+        }
+        if hi.value() <= lo.value() {
+            return Ok(Flux(0.0));
+        }
+        Ok(Flux(integrate_log(lo, hi, 4000, |e| self.density(e))))
     }
 
     /// Integral flux in a conventional band.
@@ -610,6 +663,48 @@ mod tests {
         let s = Spectrum::named("empty");
         let mut rng = Rng::seed_from_u64(0);
         let _ = s.sample_energy(&mut rng);
+    }
+
+    #[test]
+    fn flux_between_degenerate_ranges_carry_zero_flux() {
+        let s = thermal_spectrum(1e6);
+        // Zero-width and inverted ranges clamp to zero, never NaN or
+        // negative.
+        assert_eq!(s.flux_between(Energy(1.0), Energy(1.0)).value(), 0.0);
+        assert_eq!(s.flux_between(Energy(5.0), Energy(1.0)).value(), 0.0);
+        assert_eq!(
+            s.try_flux_between(Energy(3.0), Energy(3.0)),
+            Ok(Flux(0.0))
+        );
+        // A genuine range still integrates to something positive.
+        assert!(s.flux_between(Energy(1e-3), Energy(10.0)).value() > 0.0);
+    }
+
+    #[test]
+    fn flux_between_rejects_non_positive_bounds() {
+        let s = thermal_spectrum(1e6);
+        for (lo, hi) in [
+            (0.0, 1.0),
+            (-1.0, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 2.0),
+            (1.0, f64::INFINITY),
+        ] {
+            let err = s
+                .try_flux_between(Energy(lo), Energy(hi))
+                .expect_err("bounds should be rejected");
+            assert!(
+                matches!(err, SpectrumError::NonPositiveBounds { .. }),
+                "({lo}, {hi}) -> {err:?}"
+            );
+            assert!(err.to_string().contains("positive and finite"), "{err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn flux_between_panics_on_zero_lower_bound() {
+        let _ = thermal_spectrum(1e6).flux_between(Energy(0.0), Energy(1.0));
     }
 
     #[test]

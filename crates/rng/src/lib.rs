@@ -156,25 +156,65 @@ impl Rng {
     /// only rejected layers and the tail (past x ≈ 7.7) fall back to a
     /// logarithm. Deterministic like every other method: the tables are
     /// fixed and the draw consumes a defined number of stream outputs.
+    ///
+    /// Hot loops should hoist the table resolution with [`ExpSampler`]:
+    /// this method re-resolves the lazily-built static tables (one
+    /// atomic load) on every call.
     #[inline]
     pub fn gen_exp(&mut self) -> f64 {
-        let t = exp_tables();
-        loop {
-            let bits = self.next_u64();
-            let i = (bits & 0xff) as usize;
-            // Bits 11..64 give the uniform; bits 0..8 gave the layer.
-            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-            let x = u * t.x[i];
-            if x < t.x[i + 1] {
-                return x;
-            }
-            if i == 0 {
-                // Tail: memorylessness gives r + Exp(1).
-                return ZIG_EXP_R - self.gen_f64().max(f64::MIN_POSITIVE).ln();
-            }
-            if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * self.gen_f64() < (-x).exp() {
-                return x;
-            }
+        sample_exp(exp_tables(), self)
+    }
+}
+
+/// Exponential ziggurat sampler with the table reference resolved once.
+///
+/// Draw-for-draw identical to [`Rng::gen_exp`] — same tables, same
+/// stream consumption — but the `OnceLock` behind the static tables is
+/// dereferenced at construction instead of per draw, which matters in
+/// collision loops that sample millions of free paths.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSampler {
+    t: &'static ExpTables,
+}
+
+impl ExpSampler {
+    /// Resolves the shared ziggurat tables (building them on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { t: exp_tables() }
+    }
+
+    /// One standard-exponential draw from `rng`, identical in
+    /// distribution and stream consumption to [`Rng::gen_exp`].
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        sample_exp(self.t, rng)
+    }
+}
+
+impl Default for ExpSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn sample_exp(t: &ExpTables, rng: &mut Rng) -> f64 {
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0xff) as usize;
+        // Bits 11..64 give the uniform; bits 0..8 gave the layer.
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = u * t.x[i];
+        if x < t.x[i + 1] {
+            return x;
+        }
+        if i == 0 {
+            // Tail: memorylessness gives r + Exp(1).
+            return ZIG_EXP_R - rng.gen_f64().max(f64::MIN_POSITIVE).ln();
+        }
+        if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.gen_f64() < (-x).exp() {
+            return x;
         }
     }
 }
@@ -188,6 +228,7 @@ const ZIG_EXP_V: f64 = 0.003_949_659_822_581_572;
 /// Ziggurat tables for the exponential pdf `f(x) = exp(-x)`:
 /// `x[1] = R > x[2] > … > x[256] = 0` are the layer edges, `x[0]` is the
 /// virtual width of the base strip (`V / f(R)`), and `f[i] = exp(-x[i])`.
+#[derive(Debug)]
 struct ExpTables {
     x: [f64; 257],
     f: [f64; 257],

@@ -531,6 +531,175 @@ fn cross_sections_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRe
     }))
 }
 
+/// Largest history count a single request may ask for; keeps one
+/// request from monopolising the workers.
+const TRANSPORT_MAX_HISTORIES: u64 = 200_000;
+
+/// Resolves a material preset name to its constructor.
+fn resolve_material(name: &str) -> Result<tn_physics::Material, BadRequest> {
+    use tn_physics::Material;
+    match name {
+        "water" => Ok(Material::water()),
+        "concrete" => Ok(Material::concrete()),
+        "cadmium" => Ok(Material::cadmium()),
+        "borated_polyethylene" | "borated_pe" => Ok(Material::borated_polyethylene()),
+        "liquid_methane" => Ok(Material::liquid_methane()),
+        "air" => Ok(Material::air()),
+        other => Err(BadRequest::new(
+            400,
+            format!(
+                "unknown material `{other}` (expected water, concrete, cadmium, \
+                 borated_polyethylene, liquid_methane or air)"
+            ),
+        )),
+    }
+}
+
+/// `POST /v1/transport` — slab-stack Monte-Carlo transport on demand.
+pub fn transport(state: &AppState, body: &[u8]) -> Response {
+    match transport_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn transport_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    use tn_core::transport::{
+        Layer, SlabStack, Transport, VarianceReduction,
+    };
+    use tn_physics::units::{Energy, Length};
+
+    let doc = parse_body(body)?;
+    let layers_doc = doc
+        .get("layers")
+        .and_then(Json::as_array)
+        .ok_or_else(|| BadRequest::new(400, "missing or non-array field `layers`"))?;
+    let mut layers = Vec::with_capacity(layers_doc.len());
+    let mut canonical_layers = Vec::with_capacity(layers_doc.len());
+    for (i, entry) in layers_doc.iter().enumerate() {
+        let material_name = entry
+            .get("material")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                BadRequest::new(400, format!("layer {i}: missing or non-string `material`"))
+            })?;
+        let material = resolve_material(material_name)?;
+        let thickness_cm = entry
+            .get("thickness_cm")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| {
+                BadRequest::new(400, format!("layer {i}: missing or non-numeric `thickness_cm`"))
+            })?;
+        // Construction-time geometry validation: a zero or negative
+        // thickness surfaces as a 400 here instead of panicking a
+        // worker thread inside the transport kernel.
+        let layer = Layer::try_new(material, Length(thickness_cm))
+            .map_err(|e| BadRequest::new(400, format!("layer {i}: {e}")))?;
+        layers.push(layer);
+        canonical_layers.push(Json::Object(vec![
+            ("material".into(), Json::Str(material_name.into())),
+            ("thickness_cm".into(), Json::Num(thickness_cm)),
+        ]));
+    }
+    let stack = SlabStack::try_new(layers).map_err(|e| BadRequest::new(400, e.to_string()))?;
+
+    let energy_ev = match doc.get("energy_ev") {
+        None => 0.0253,
+        Some(v) => v
+            .as_f64()
+            .filter(|e| *e > 0.0 && e.is_finite())
+            .ok_or_else(|| {
+                BadRequest::new(400, "field `energy_ev` must be finite and > 0")
+            })?,
+    };
+    let histories = optional_u64(&doc, "histories", 10_000)?;
+    if histories > TRANSPORT_MAX_HISTORIES {
+        return Err(BadRequest::new(
+            400,
+            format!("field `histories` must be ≤ {TRANSPORT_MAX_HISTORIES}"),
+        ));
+    }
+    let seed = optional_u64(&doc, "seed", state.seed)?;
+    let source = match doc.get("source") {
+        None => "beam",
+        Some(Json::Str(s)) if s == "beam" || s == "diffuse" => s.as_str(),
+        Some(_) => {
+            return Err(BadRequest::new(
+                400,
+                "field `source` must be \"beam\" or \"diffuse\"",
+            ))
+        }
+    };
+    let vr = optional_bool(&doc, "variance_reduction", false)?;
+
+    let resolved = Json::Object(vec![
+        ("layers".into(), Json::Array(canonical_layers)),
+        ("energy_ev".into(), Json::Num(energy_ev)),
+        ("histories".into(), Json::Num(histories as f64)),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("source".into(), Json::Str(source.into())),
+        ("variance_reduction".into(), Json::Bool(vr)),
+    ]);
+    let key = format!("transport|{}", resolved.to_canonical_string());
+
+    Ok(cached(state, &key, || {
+        let engine = Transport::new(stack);
+        let e = Energy(energy_ev);
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"seed\":");
+        out.push_str(&seed.to_string());
+        out.push_str(",\"histories\":");
+        out.push_str(&histories.to_string());
+        out.push_str(",\"source\":");
+        push_json_str(&mut out, source);
+        out.push_str(",\"variance_reduction\":");
+        out.push_str(if vr { "true" } else { "false" });
+        if vr {
+            let tally = if source == "beam" {
+                engine.run_beam_weighted(e, histories, seed, VarianceReduction::default())
+            } else {
+                engine.run_diffuse_weighted(e, histories, seed, VarianceReduction::default())
+            };
+            out.push_str(",\"transmitted_thermal_fraction\":");
+            push_json_f64(&mut out, tally.transmitted_thermal_fraction());
+            out.push_str(",\"transmitted_fraction\":");
+            push_json_f64(&mut out, tally.transmitted_fraction());
+            out.push_str(",\"reflected_thermal_fraction\":");
+            push_json_f64(&mut out, tally.reflected_thermal_fraction());
+            out.push_str(",\"absorbed_fraction\":");
+            push_json_f64(&mut out, tally.absorbed_fraction());
+            out.push_str(",\"transmitted_thermal_rel_error\":");
+            push_json_f64(&mut out, tally.transmitted_thermal_rel_error());
+        } else {
+            let tally = if source == "beam" {
+                engine.run_beam(e, histories, seed)
+            } else {
+                engine.run_diffuse(e, histories, seed)
+            };
+            out.push_str(",\"transmitted_thermal\":");
+            out.push_str(&tally.transmitted_thermal.to_string());
+            out.push_str(",\"transmitted_fast\":");
+            out.push_str(&tally.transmitted_fast.to_string());
+            out.push_str(",\"reflected_thermal\":");
+            out.push_str(&tally.reflected_thermal.to_string());
+            out.push_str(",\"reflected_fast\":");
+            out.push_str(&tally.reflected_fast.to_string());
+            out.push_str(",\"absorbed\":");
+            out.push_str(&tally.absorbed.to_string());
+            out.push_str(",\"lost\":");
+            out.push_str(&tally.lost.to_string());
+            out.push_str(",\"transmitted_thermal_fraction\":");
+            push_json_f64(&mut out, tally.transmitted_thermal_fraction());
+            out.push_str(",\"absorbed_fraction\":");
+            push_json_f64(&mut out, tally.absorbed_fraction());
+            out.push_str(",\"thermal_escape_fraction\":");
+            push_json_f64(&mut out, tally.thermal_escape_fraction());
+        }
+        out.push('}');
+        out
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +723,29 @@ mod tests {
         assert!(r.body.contains("Intel Xeon Phi"));
         assert!(r.body.contains("\"MNIST\""));
         assert!(json::parse(&r.body).is_ok());
+    }
+
+    #[test]
+    fn transport_validates_geometry_and_parameters() {
+        let s = state();
+        assert_eq!(transport(&s, b"{oops").status, 400);
+        assert_eq!(transport(&s, b"{}").status, 400);
+        let empty = transport(&s, br#"{"layers":[]}"#);
+        assert_eq!(empty.status, 400);
+        assert!(empty.body.contains("at least one layer"), "{}", empty.body);
+        let zero = transport(
+            &s,
+            br#"{"layers":[{"material":"water","thickness_cm":0}]}"#,
+        );
+        assert_eq!(zero.status, 400);
+        assert!(zero.body.contains("must be positive"), "{}", zero.body);
+        let ok = transport(
+            &s,
+            br#"{"layers":[{"material":"cadmium","thickness_cm":0.1}],"histories":2000}"#,
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert!(json::parse(&ok.body).is_ok(), "{}", ok.body);
+        assert!(ok.body.contains("\"transmitted_thermal\""), "{}", ok.body);
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum Endpoint {
     Checkpoint,
     /// `POST /v1/cross-sections`
     CrossSections,
+    /// `POST /v1/transport`
+    Transport,
     /// `GET /metrics`
     Metrics,
     /// Anything else.
@@ -37,12 +39,13 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Devices,
         Endpoint::Fit,
         Endpoint::Checkpoint,
         Endpoint::CrossSections,
+        Endpoint::Transport,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -55,6 +58,7 @@ impl Endpoint {
             Endpoint::Fit => "/v1/fit",
             Endpoint::Checkpoint => "/v1/checkpoint",
             Endpoint::CrossSections => "/v1/cross-sections",
+            Endpoint::Transport => "/v1/transport",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -82,7 +86,7 @@ struct EndpointCounters {
 /// The service-wide metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 7],
+    endpoints: [EndpointCounters; 8],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,

@@ -18,6 +18,7 @@ fn endpoint_of(path: &str) -> Endpoint {
         "/v1/fit" => Endpoint::Fit,
         "/v1/checkpoint" => Endpoint::Checkpoint,
         "/v1/cross-sections" => Endpoint::CrossSections,
+        "/v1/transport" => Endpoint::Transport,
         "/metrics" => Endpoint::Metrics,
         _ => Endpoint::Other,
     }
@@ -82,6 +83,10 @@ fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response
         },
         Endpoint::CrossSections => match method {
             "POST" => handlers::cross_sections(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
+        Endpoint::Transport => match method {
+            "POST" => handlers::transport(state, &request.body),
             _ => method_not_allowed("POST"),
         },
         Endpoint::Other => Response::error(404, &format!("no route for `{}`", request.path)),

@@ -380,7 +380,69 @@ fn responses_are_deterministic_across_server_instances() {
     assert_eq!(first, second, "fresh daemons agree byte-for-byte");
 }
 
-const POST_ENDPOINTS: [&str; 3] = ["/v1/fit", "/v1/checkpoint", "/v1/cross-sections"];
+const POST_ENDPOINTS: [&str; 4] = [
+    "/v1/fit",
+    "/v1/checkpoint",
+    "/v1/cross-sections",
+    "/v1/transport",
+];
+
+/// Regression test for the empty / zero-thickness stack panic: a bad
+/// geometry must come back as a 400 with the validation message, not
+/// kill a worker thread — and the daemon must keep serving afterwards.
+#[test]
+fn transport_rejects_bad_geometry_with_400_and_survives() {
+    let server = start(2);
+    let addr = server.addr();
+    for (body, needle) in [
+        (r#"{"layers":[]}"#, "at least one layer"),
+        (
+            r#"{"layers":[{"material":"water","thickness_cm":0.0}]}"#,
+            "must be positive",
+        ),
+        (
+            r#"{"layers":[{"material":"water","thickness_cm":-2.5}]}"#,
+            "must be positive",
+        ),
+        (
+            r#"{"layers":[{"material":"unobtainium","thickness_cm":1.0}]}"#,
+            "unknown material",
+        ),
+        (
+            r#"{"layers":[{"material":"water","thickness_cm":1.0}],"energy_ev":0}"#,
+            "energy_ev",
+        ),
+        (
+            r#"{"layers":[{"material":"water","thickness_cm":1.0}],"source":"laser"}"#,
+            "source",
+        ),
+        (
+            r#"{"layers":[{"material":"water","thickness_cm":1.0}],"histories":999999999}"#,
+            "histories",
+        ),
+    ] {
+        let (status, _, response) = post(addr, "/v1/transport", body);
+        assert_eq!(status, 400, "{body} -> {response}");
+        assert!(response.contains(needle), "{body} -> {response}");
+    }
+    // The workers survived every rejected request: a good request
+    // still computes, and the result is deterministic and cacheable.
+    let good = r#"{"layers":[{"material":"water","thickness_cm":5.08}],"histories":4096,"seed":7}"#;
+    let (status, _, first) = post(addr, "/v1/transport", good);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"absorbed_fraction\""), "{first}");
+    let (status, _, second) = post(addr, "/v1/transport", good);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "transport responses are cached/deterministic");
+    let vr = r#"{"layers":[{"material":"water","thickness_cm":5.08}],"histories":4096,"seed":7,"source":"diffuse","variance_reduction":true}"#;
+    let (status, _, weighted) = post(addr, "/v1/transport", vr);
+    assert_eq!(status, 200, "{weighted}");
+    assert!(
+        weighted.contains("\"transmitted_thermal_rel_error\""),
+        "{weighted}"
+    );
+    server.stop();
+}
 
 #[test]
 fn malformed_json_gets_400_on_every_post_endpoint() {

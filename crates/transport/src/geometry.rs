@@ -9,6 +9,36 @@
 use tn_physics::units::Length;
 use tn_physics::Material;
 
+/// A geometry description that cannot be transported through.
+///
+/// Construction-time validation (instead of asserts inside the kernel)
+/// lets request-driven callers — tn-server, the CLI — turn a bad stack
+/// into a 400/usage error instead of a panic in a worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// A stack was built from zero layers.
+    EmptyStack,
+    /// A layer's thickness was zero, negative or non-finite.
+    NonPositiveThickness {
+        /// The offending thickness in cm.
+        thickness_cm: f64,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::EmptyStack => write!(f, "slab stack needs at least one layer"),
+            GeometryError::NonPositiveThickness { thickness_cm } => write!(
+                f,
+                "layer thickness must be positive, got {thickness_cm} cm"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 /// A homogeneous layer of material with a thickness.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
@@ -21,16 +51,24 @@ impl Layer {
     ///
     /// # Panics
     ///
-    /// Panics if `thickness` is not strictly positive.
+    /// Panics if `thickness` is not strictly positive; use
+    /// [`Layer::try_new`] to validate untrusted input.
     pub fn new(material: Material, thickness: Length) -> Self {
-        assert!(
-            thickness.value() > 0.0,
-            "layer thickness must be positive, got {thickness}"
-        );
-        Self {
+        Self::try_new(material, thickness).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a layer, rejecting a zero, negative or non-finite
+    /// thickness with a typed error instead of panicking.
+    pub fn try_new(material: Material, thickness: Length) -> Result<Self, GeometryError> {
+        if !(thickness.value() > 0.0 && thickness.value().is_finite()) {
+            return Err(GeometryError::NonPositiveThickness {
+                thickness_cm: thickness.value(),
+            });
+        }
+        Ok(Self {
             material,
             thickness,
-        }
+        })
     }
 
     /// The layer's material.
@@ -58,11 +96,22 @@ impl SlabStack {
     ///
     /// # Panics
     ///
-    /// Panics if `layers` is empty.
+    /// Panics if `layers` is empty; use [`SlabStack::try_new`] to
+    /// validate untrusted input.
     pub fn new(layers: Vec<Layer>) -> Self {
-        assert!(!layers.is_empty(), "slab stack needs at least one layer");
+        Self::try_new(layers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a stack from layers, rejecting an empty stack with a
+    /// typed error instead of panicking. Layers are already validated
+    /// individually by [`Layer::try_new`], so a non-empty stack always
+    /// has strictly positive total thickness.
+    pub fn try_new(layers: Vec<Layer>) -> Result<Self, GeometryError> {
+        if layers.is_empty() {
+            return Err(GeometryError::EmptyStack);
+        }
         let total = Length(layers.iter().map(|l| l.thickness().value()).sum());
-        Self { layers, total }
+        Ok(Self { layers, total })
     }
 
     /// Convenience constructor for a single-material slab.
@@ -178,5 +227,24 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn empty_stack_rejected() {
         let _ = SlabStack::new(vec![]);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        let err = Layer::try_new(Material::water(), Length(0.0)).unwrap_err();
+        assert!(err.to_string().contains("must be positive"), "{err}");
+        let err = Layer::try_new(Material::water(), Length(-1.0)).unwrap_err();
+        assert_eq!(err, GeometryError::NonPositiveThickness { thickness_cm: -1.0 });
+        let err = Layer::try_new(Material::water(), Length(f64::NAN)).unwrap_err();
+        assert!(matches!(err, GeometryError::NonPositiveThickness { .. }));
+        let err = SlabStack::try_new(vec![]).unwrap_err();
+        assert_eq!(err, GeometryError::EmptyStack);
+        assert!(err.to_string().contains("at least one layer"), "{err}");
+        // The happy path still works through the fallible constructors.
+        let stack = SlabStack::try_new(vec![
+            Layer::try_new(Material::water(), Length(1.0)).unwrap()
+        ])
+        .unwrap();
+        assert_eq!(stack.total_thickness(), Length(1.0));
     }
 }

@@ -31,13 +31,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod event;
 pub mod geometry;
 pub mod mc;
 pub mod moderation;
 pub mod stats;
 pub mod tally;
 
-pub use geometry::{Layer, SlabStack};
+pub use event::{VarianceReduction, WeightedTally};
+pub use geometry::{GeometryError, Layer, SlabStack};
 pub use mc::{
     default_threads, set_default_threads, Fate, Neutron, Tally, Transport, TransportConfig,
     SHARD_SIZE,

@@ -32,6 +32,7 @@
 //! inline. [`TransportConfig::threads`] (CLI: `--transport-threads`)
 //! only changes how shards are distributed over scoped workers.
 
+use crate::event::{self, FloorXs, VarianceReduction, WeightedTally};
 use crate::geometry::SlabStack;
 use crate::stats;
 use std::time::Instant;
@@ -42,11 +43,11 @@ use tn_physics::xs::MaterialXs;
 
 /// Minimum tracked energy; below this the neutron is considered fully
 /// thermalised and is clamped.
-const ENERGY_FLOOR: Energy = Energy(0.0253);
+pub(crate) const ENERGY_FLOOR: Energy = Energy(0.0253);
 
 /// Hard cap on collisions per history (a diffusing thermal neutron in a
 /// thick weak absorber can otherwise bounce for a very long time).
-const MAX_COLLISIONS: usize = 100_000;
+pub(crate) const MAX_COLLISIONS: usize = 100_000;
 
 /// Histories per deterministic RNG shard. Fixed (not derived from the
 /// thread count) so the shard decomposition — and therefore the merged
@@ -268,11 +269,17 @@ pub struct Transport {
     stack: SlabStack,
     /// Per-layer precomputed cross-section tables, index-aligned with
     /// `stack.layers()`.
-    xs: Vec<MaterialXs>,
+    pub(crate) xs: Vec<MaterialXs>,
     /// Cumulative layer boundaries: `edges[i]..edges[i+1]` spans layer
     /// `i`, `edges[0] = 0`, the last entry is the total thickness. Lets
     /// the kernel locate layers and boundaries with plain arithmetic.
-    edges: Vec<f64>,
+    pub(crate) edges: Vec<f64>,
+    /// Total stack thickness in cm (`edges.last()`, cached for the hot
+    /// loops).
+    pub(crate) total: f64,
+    /// Per-layer blended cross sections at the thermal floor, where the
+    /// batched diffusion event spends nearly all its collisions.
+    pub(crate) floor_xs: Vec<FloorXs>,
     config: TransportConfig,
 }
 
@@ -285,20 +292,28 @@ impl Transport {
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(stack: SlabStack, config: TransportConfig) -> Self {
-        let xs = stack
+        let xs: Vec<MaterialXs> = stack
             .layers()
             .iter()
             .map(|l| MaterialXs::build(l.material()))
             .collect();
         let mut edges = Vec::with_capacity(stack.layers().len() + 1);
-        edges.push(0.0);
+        let mut acc = 0.0;
+        edges.push(acc);
         for layer in stack.layers() {
-            edges.push(edges.last().expect("non-empty") + layer.thickness().value());
+            acc += layer.thickness().value();
+            edges.push(acc);
         }
+        let floor_xs = xs
+            .iter()
+            .map(|table| FloorXs::for_energy(table, ENERGY_FLOOR))
+            .collect();
         Self {
             stack,
             xs,
             edges,
+            total: acc,
+            floor_xs,
             config,
         }
     }
@@ -339,7 +354,7 @@ impl Transport {
     ///   collapse into a single draw against the pick-marginal
     ///   absorption fraction Σ_a/Σ_t.
     pub fn run_history(&self, n: Neutron, rng: &mut Rng) -> Fate {
-        let total = *self.edges.last().expect("stack non-empty");
+        let total = self.total;
         // Nudge the entry position just inside the stack.
         let eps = 1e-12 * total.max(1.0);
         let mut z = n.z.value();
@@ -542,13 +557,16 @@ impl Transport {
         Fate::Lost
     }
 
-    /// Runs sharded histories from a per-history source closure.
+    /// Runs sharded histories from a per-history source closure through
+    /// the event-based batch kernel.
     ///
     /// The canonical sequence: shard `i` covers histories
     /// `[i·SHARD_SIZE, (i+1)·SHARD_SIZE)` with the RNG substream
-    /// `Rng::seed_from_u64(seed).fork(i)`; for each history the source
-    /// draws first, then the walk. Shard tallies merge in ascending
-    /// shard index. Thread count only schedules shards over workers.
+    /// `Rng::seed_from_u64(seed).fork(i)`; within a shard the batch
+    /// kernel draws every source first (slot order), then advances the
+    /// whole batch through deterministic event queues. Shard tallies
+    /// merge in ascending shard index. Thread count only schedules
+    /// shards over workers.
     ///
     /// Instrumentation is strictly write-only: a `transport.run` span,
     /// per-shard durations into the shared `tn_transport_shard_seconds`
@@ -573,9 +591,7 @@ impl Transport {
             let mut rng = Rng::seed_from_u64(seed).fork(shard as u64);
             let lo = shard as u64 * SHARD_SIZE;
             let count = SHARD_SIZE.min(histories - lo);
-            for _ in 0..count {
-                slot.record(self.run_history(source(&mut rng), &mut rng));
-            }
+            *slot = event::run_shard_analog(self, &source, count, &mut rng);
             let shard_nanos = shard_started.elapsed().as_nanos() as u64;
             shard_hist.observe(shard_nanos);
             if tn_obs::enabled(tn_obs::Level::Trace) {
@@ -640,6 +656,131 @@ impl Transport {
             |rng| Neutron::diffuse_incident(e, rng),
             histories,
             seed,
+        )
+    }
+
+    /// Runs sharded *weighted* histories through the variance-reduced
+    /// event kernel. Identical shard decomposition, substream scheme,
+    /// merge order and instrumentation as [`Self::run_sharded`], so the
+    /// weighted tally is also byte-identical for every thread count.
+    fn run_weighted_sharded<F>(
+        &self,
+        source: F,
+        histories: u64,
+        seed: u64,
+        vr: VarianceReduction,
+    ) -> WeightedTally
+    where
+        F: Fn(&mut Rng) -> (Neutron, f64) + Sync,
+    {
+        if histories == 0 {
+            return WeightedTally::default();
+        }
+        let _span = tn_obs::span("transport.run_weighted");
+        let started = Instant::now();
+        let shards = histories.div_ceil(SHARD_SIZE) as usize;
+        let mut slots = vec![WeightedTally::default(); shards];
+        let shard_hist = stats::shard_histogram();
+        let shard_hist = &shard_hist;
+        let vr = &vr;
+        let run_shard = |shard: usize, slot: &mut WeightedTally| {
+            let shard_started = Instant::now();
+            let mut rng = Rng::seed_from_u64(seed).fork(shard as u64);
+            let lo = shard as u64 * SHARD_SIZE;
+            let count = SHARD_SIZE.min(histories - lo);
+            *slot = event::run_shard_weighted(self, &source, count, &mut rng, vr);
+            let shard_nanos = shard_started.elapsed().as_nanos() as u64;
+            shard_hist.observe(shard_nanos);
+            if tn_obs::enabled(tn_obs::Level::Trace) {
+                tn_obs::trace(
+                    "shard_done",
+                    &[
+                        ("shard", (shard as u64).into()),
+                        ("histories", count.into()),
+                        ("dur_ns", shard_nanos.into()),
+                    ],
+                );
+            }
+        };
+        let threads = self.config.threads.max(1).min(shards);
+        if threads <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                run_shard(i, slot);
+            }
+        } else {
+            let per_worker = shards.div_ceil(threads);
+            let run_shard = &run_shard;
+            std::thread::scope(|scope| {
+                for (worker, chunk) in slots.chunks_mut(per_worker).enumerate() {
+                    scope.spawn(move || {
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            run_shard(worker * per_worker + offset, slot);
+                        }
+                    });
+                }
+            });
+        }
+        let mut tally = WeightedTally::default();
+        for shard_tally in &slots {
+            tally.merge(shard_tally);
+        }
+        let elapsed = started.elapsed().as_nanos() as u64;
+        stats::record(histories, elapsed);
+        tn_obs::debug(
+            "transport_run_weighted",
+            &[
+                ("histories", histories.into()),
+                ("shards", (shards as u64).into()),
+                ("threads", self.config.threads.into()),
+                ("dur_ns", elapsed.into()),
+            ],
+        );
+        tally
+    }
+
+    /// Runs `histories` monoenergetic, normally-incident *weighted*
+    /// neutrons with the given variance reduction. Source weights are 1,
+    /// so fractions estimate the same quantities as [`Self::run_beam`]
+    /// with (typically far) lower variance per history.
+    pub fn run_beam_weighted(
+        &self,
+        e: Energy,
+        histories: u64,
+        seed: u64,
+        vr: VarianceReduction,
+    ) -> WeightedTally {
+        self.run_weighted_sharded(|_| (Neutron::incident(e), 1.0), histories, seed, vr)
+    }
+
+    /// Runs `histories` weighted neutrons from a diffuse ambient field
+    /// with the given variance reduction.
+    ///
+    /// The entry cosine is importance-sampled from `g(μ) = 3μ²` instead
+    /// of the physical cosine law `f(μ) = 2μ`, favouring steep entries
+    /// that penetrate deep; the source weight `w₀ = f/g = 2/(3μ)` keeps
+    /// the estimator unbiased (`E_g[w₀] = 1`).
+    pub fn run_diffuse_weighted(
+        &self,
+        e: Energy,
+        histories: u64,
+        seed: u64,
+        vr: VarianceReduction,
+    ) -> WeightedTally {
+        self.run_weighted_sharded(
+            |rng: &mut Rng| {
+                let mu = rng.gen_f64().cbrt().max(1e-4);
+                (
+                    Neutron {
+                        energy: e,
+                        z: Length(0.0),
+                        mu,
+                    },
+                    2.0 / (3.0 * mu),
+                )
+            },
+            histories,
+            seed,
+            vr,
         )
     }
 }

@@ -5,7 +5,9 @@
 use tn_rng::Rng;
 use tn_physics::units::{Energy, Length};
 use tn_physics::Material;
-use tn_transport::{Fate, Neutron, SlabStack, Tally, Transport, TransportConfig, SHARD_SIZE};
+use tn_transport::{
+    Fate, Layer, Neutron, SlabStack, Transport, TransportConfig, VarianceReduction, SHARD_SIZE,
+};
 
 fn materials() -> Vec<Material> {
     vec![
@@ -81,33 +83,32 @@ fn thicker_slabs_transmit_less() {
     }
 }
 
-/// Re-derives the documented shard decomposition by hand — shard `i`
-/// runs up to [`SHARD_SIZE`] histories on the substream
-/// `Rng::seed_from_u64(seed).fork(i)`, tallies merged in ascending
-/// shard order — and demands `run_beam` reproduce it exactly at every
-/// thread count, including history counts that leave a partial shard.
+/// The merged tally is a pure function of `(seed, histories)`: shard
+/// `i` runs up to [`SHARD_SIZE`] histories on the substream
+/// `Rng::seed_from_u64(seed).fork(i)` through the batch kernel, and
+/// tallies merge in ascending shard order — so every thread count must
+/// reproduce the serial result exactly, including history counts that
+/// leave a ragged final shard. The weighted kernel shares the shard
+/// scheme, so its f64 channels must also be byte-identical.
 #[test]
 fn parallel_merge_equals_serial_reference() {
     let e = Energy::from_mev(1.5);
-    let transport = Transport::new(SlabStack::single(Material::water(), Length(4.0)));
     for (histories, seed) in [
         (1u64, 0u64),
         (SHARD_SIZE - 1, 17),
         (SHARD_SIZE, 18),
+        (SHARD_SIZE + 1, 20),
         (2 * SHARD_SIZE + 777, 19),
     ] {
-        let mut reference = Tally::default();
-        let shards = histories.div_ceil(SHARD_SIZE);
-        for shard in 0..shards {
-            let mut rng = Rng::seed_from_u64(seed).fork(shard);
-            let mut tally = Tally::default();
-            let in_shard = (histories - shard * SHARD_SIZE).min(SHARD_SIZE);
-            for _ in 0..in_shard {
-                tally.record(transport.run_history(Neutron::incident(e), &mut rng));
-            }
-            reference.merge(&tally);
-        }
-        for threads in [1usize, 2, 7, 32] {
+        let serial = Transport::with_config(
+            SlabStack::single(Material::water(), Length(4.0)),
+            TransportConfig::serial(),
+        );
+        let reference = serial.run_beam(e, histories, seed);
+        assert_eq!(reference.histories, histories);
+        let weighted_reference =
+            serial.run_beam_weighted(e, histories, seed, VarianceReduction::default());
+        for threads in [2usize, 7, 32] {
             let t = Transport::with_config(
                 SlabStack::single(Material::water(), Length(4.0)),
                 TransportConfig::with_threads(threads),
@@ -115,7 +116,153 @@ fn parallel_merge_equals_serial_reference() {
             assert_eq!(
                 t.run_beam(e, histories, seed),
                 reference,
-                "histories {histories} at {threads} threads diverged from the shard reference"
+                "histories {histories} at {threads} threads diverged from the serial reference"
+            );
+            assert_eq!(
+                t.run_beam_weighted(e, histories, seed, VarianceReduction::default()),
+                weighted_reference,
+                "weighted histories {histories} at {threads} threads diverged"
+            );
+        }
+    }
+}
+
+/// Pooled two-sample binomial z statistic — the same divergence measure
+/// tn-verify's differential oracles gate on.
+fn binomial_z(p1: f64, p2: f64, n: f64) -> f64 {
+    let pool = 0.5 * (p1 + p2);
+    let var = pool * (1.0 - pool) * (2.0 / n);
+    if var <= 0.0 {
+        if (p1 - p2).abs() < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (p1 - p2).abs() / var.sqrt()
+    }
+}
+
+fn random_stack(rng: &mut Rng) -> SlabStack {
+    let layers = rng.gen_range(1usize..4);
+    SlabStack::new(
+        (0..layers)
+            .map(|_| {
+                let material = materials()[rng.gen_range(0usize..4)].clone();
+                Layer::new(material, Length(rng.gen_range(0.3..6.0)))
+            })
+            .collect(),
+    )
+}
+
+/// Log-uniform energy over 10 meV – 10 MeV, the same span the verify
+/// oracle sweeps; deliberately includes sub-thermal-floor sources.
+fn random_energy(rng: &mut Rng) -> Energy {
+    let log = rng.gen_range(-2.0..7.0);
+    Energy(10f64.powf(log))
+}
+
+/// Fixed-seed generator loop: across randomized stack/energy configs,
+/// the event-based SoA kernel (via `run_beam`) and the direct
+/// per-history oracle `run_history_direct` must agree within the
+/// tn-verify binomial-z bound on every major channel.
+#[test]
+fn soa_kernel_matches_direct_oracle() {
+    let mut rng = Rng::seed_from_u64(0x7a05);
+    let histories = 4_000u64;
+    for case in 0..8 {
+        let stack = random_stack(&mut rng);
+        let e = random_energy(&mut rng);
+        let seed = rng.gen_range(0u64..10_000);
+        let t = Transport::new(stack);
+        let soa = t.run_beam(e, histories, seed);
+        let mut direct = tn_transport::Tally::default();
+        let mut oracle_rng = Rng::seed_from_u64(seed ^ 0xd1ec7).fork(1);
+        for _ in 0..histories {
+            direct.record(t.run_history_direct(Neutron::incident(e), &mut oracle_rng));
+        }
+        let n = histories as f64;
+        for (label, a, b) in [
+            ("absorbed", soa.absorbed_fraction(), direct.absorbed_fraction()),
+            (
+                "transmitted",
+                soa.transmitted_fraction(),
+                direct.transmitted_fraction(),
+            ),
+            (
+                "thermal_escape",
+                soa.thermal_escape_fraction(),
+                direct.thermal_escape_fraction(),
+            ),
+        ] {
+            let z = binomial_z(a, b, n);
+            assert!(
+                z < 5.0,
+                "case {case} ({e}): {label} diverged, soa {a} vs direct {b} (z = {z:.2})"
+            );
+        }
+    }
+}
+
+/// The variance-reduced kernel is unbiased: weight-carrying histories
+/// (implicit capture, roulette, splitting, biased diffuse source) must
+/// sum to the analog fractions within the binomial-z bound, and total
+/// weight must be conserved in expectation (1 per source history).
+#[test]
+fn weighted_tallies_are_unbiased() {
+    let mut rng = Rng::seed_from_u64(0x7a06);
+    let histories = 8_192u64;
+    for case in 0..6 {
+        let stack = random_stack(&mut rng);
+        let e = random_energy(&mut rng);
+        let seed = rng.gen_range(0u64..10_000);
+        let diffuse = case % 2 == 1;
+        let vr = if case % 3 == 0 {
+            VarianceReduction::flat()
+        } else {
+            VarianceReduction::default()
+        };
+        let t = Transport::new(stack);
+        let (analog, weighted) = if diffuse {
+            (
+                t.run_diffuse(e, histories, seed),
+                t.run_diffuse_weighted(e, histories, seed ^ 0x5eed, vr),
+            )
+        } else {
+            (
+                t.run_beam(e, histories, seed),
+                t.run_beam_weighted(e, histories, seed ^ 0x5eed, vr),
+            )
+        };
+        let per_history = weighted.weight_sum() / histories as f64;
+        assert!(
+            (per_history - 1.0).abs() < 0.08,
+            "case {case}: weight not conserved, {per_history} per history"
+        );
+        let n = histories as f64;
+        for (label, a, b) in [
+            (
+                "absorbed",
+                analog.absorbed_fraction(),
+                weighted.absorbed_fraction(),
+            ),
+            (
+                "transmitted",
+                analog.transmitted_fraction(),
+                weighted.transmitted_fraction(),
+            ),
+            (
+                "reflected_thermal",
+                analog.reflected_thermal_fraction(),
+                weighted.reflected_thermal_fraction(),
+            ),
+        ] {
+            // The analog side is binomial; the weighted side usually has
+            // *lower* variance, so the pooled analog bound is conservative.
+            let z = binomial_z(a, b, n);
+            assert!(
+                z < 5.0,
+                "case {case} ({e}, diffuse={diffuse}): {label} biased, analog {a} vs weighted {b} (z = {z:.2})"
             );
         }
     }

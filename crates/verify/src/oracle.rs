@@ -12,6 +12,12 @@
 //! * [`sharding_check`] — N-thread sharded tallies against 1-thread.
 //!   These must be *byte-identical* for any thread count (the PR 3
 //!   determinism contract), including partial final shards.
+//! * [`weighted_vs_analog_check`] — the variance-reduced weighted kernel
+//!   ([`Transport::run_beam_weighted`]) against the analog batch kernel.
+//!   Implicit capture, splitting and roulette must leave every expected
+//!   tally fraction unbiased, so agreement is again judged by binomial
+//!   z-scores (conservative for the weighted side, whose per-channel
+//!   variance the analog binomial bound overestimates).
 //! * [`json_roundtrip_check`] — `core::json` write→parse→write over
 //!   randomly generated documents: parsing a canonical string and
 //!   re-canonicalising must be a fixed point.
@@ -25,7 +31,9 @@ use tn_core::Json;
 use tn_physics::units::{Energy, Length};
 use tn_physics::{Material, MaterialXs};
 use tn_rng::Rng;
-use tn_transport::{Neutron, SlabStack, Tally, Transport, TransportConfig};
+use tn_transport::{
+    Neutron, SlabStack, Tally, Transport, TransportConfig, VarianceReduction,
+};
 
 /// Sweep sizes for the oracle suite.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +178,48 @@ pub fn kernel_vs_direct_check(seed: u64, cases: usize, histories: u64) -> CheckR
         // divergence (see the self-test) sits far beyond this.
         5.0,
         "binomial z on escape/absorption fractions, independent streams",
+    )
+}
+
+/// Weighted VR kernel vs analog batch kernel: worst binomial z-score
+/// across transmitted / absorbed / thermal-escape expectations over the
+/// sweep. The kernels draw from independent substreams (they consume
+/// different draw counts per history), so this is a statistical
+/// equivalence check — it proves the importance-splitting, roulette and
+/// implicit-capture machinery is unbiased, not draw-for-draw identical.
+pub fn weighted_vs_analog_check(seed: u64, cases: usize, histories: u64) -> CheckResult {
+    run_oracle(
+        "oracle",
+        "transport.weighted_vs_analog",
+        seed,
+        cases,
+        gen_transport_case,
+        |case| {
+            let stack = SlabStack::single(case.material.clone(), Length(case.thickness_cm));
+            let t = Transport::new(stack);
+            let e = Energy(case.energy_ev);
+            let analog = t.run_beam(e, histories, seed ^ 0xa1a1);
+            let weighted =
+                t.run_beam_weighted(e, histories, seed ^ 0x3b3b, VarianceReduction::default());
+            let n = histories as f64;
+            [
+                (
+                    weighted.transmitted_fraction(),
+                    analog.transmitted_fraction(),
+                ),
+                (weighted.absorbed_fraction(), analog.absorbed_fraction()),
+                (
+                    weighted.transmitted_thermal_fraction()
+                        + weighted.reflected_thermal_fraction(),
+                    analog.thermal_escape_fraction(),
+                ),
+            ]
+            .iter()
+            .map(|&(a, b)| binomial_z(a, b, n))
+            .fold(0.0, f64::max)
+        },
+        5.0,
+        "binomial z on weighted vs analog expectations, independent streams",
     )
 }
 
@@ -390,6 +440,7 @@ pub fn run_suite(seed: u64, config: OracleConfig) -> Vec<CheckResult> {
             config.cases,
             production_xs_evaluator,
         ),
+        weighted_vs_analog_check(seed ^ 0x05, config.cases, config.histories),
     ]
 }
 
@@ -443,6 +494,12 @@ mod tests {
     #[test]
     fn kernel_vs_direct_agrees_on_a_small_sweep() {
         let r = kernel_vs_direct_check(7, 2, 2_000);
+        assert!(r.passed, "{r:?}");
+    }
+
+    #[test]
+    fn weighted_vs_analog_agrees_on_a_small_sweep() {
+        let r = weighted_vs_analog_check(7, 2, 4_000);
         assert!(r.passed, "{r:?}");
     }
 

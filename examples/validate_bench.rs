@@ -36,6 +36,20 @@ const REQUIRED_NUMBERS: &[&str] = &[
     "moderation_shard_p99_ns",
 ];
 
+/// Extra numeric fields present when the bench ran with `TN_BENCH_VR`
+/// enabled (`"vr": true`). The `*_rel_error` fields may legitimately be
+/// zero (clamped from a degenerate estimate), so only the strictly
+/// positive subset is listed here.
+const REQUIRED_VR_NUMBERS: &[&str] = &[
+    "thermal_field_vr_hps",
+    "thermal_field_vr_fom_speedup_vs_direct",
+    "moderation_vr_hps",
+    "moderation_vr_fom_speedup_vs_direct",
+];
+
+const REQUIRED_VR_NONNEGATIVE: &[&str] =
+    &["thermal_field_vr_rel_error", "moderation_vr_rel_error"];
+
 fn validate(text: &str) -> Result<(), String> {
     let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e:?}"))?;
     let name = doc
@@ -48,7 +62,7 @@ fn validate(text: &str) -> Result<(), String> {
     doc.get("smoke")
         .and_then(|v| v.as_bool())
         .ok_or("missing bool field \"smoke\"")?;
-    for key in REQUIRED_NUMBERS {
+    let positive = |key: &str| -> Result<f64, String> {
         let value = doc
             .get(key)
             .and_then(|v| v.as_f64())
@@ -56,6 +70,50 @@ fn validate(text: &str) -> Result<(), String> {
         if !value.is_finite() || value <= 0.0 {
             return Err(format!("field {key:?} is not a positive number: {value}"));
         }
+        Ok(value)
+    };
+    for key in REQUIRED_NUMBERS {
+        positive(key)?;
+    }
+
+    // Perf gate: the event-based SoA kernel must never fall behind the
+    // per-history direct baseline. The thermal-field workload is where
+    // the kernel earns its keep, so it is held strictly; moderation is
+    // noisier per-sample (every collision re-looks-up the tables), so a
+    // 0.75 margin absorbs smoke-run scheduler noise without letting a
+    // real regression through.
+    let thermal_speedup = positive("speedup_cached_vs_direct")?;
+    if thermal_speedup < 1.0 {
+        return Err(format!(
+            "SoA kernel slower than direct baseline on thermal_field: {thermal_speedup:.3}x"
+        ));
+    }
+    let moderation_speedup = positive("moderation_speedup_cached_vs_direct")?;
+    if moderation_speedup < 0.75 {
+        return Err(format!(
+            "SoA kernel fell behind direct baseline on moderation: {moderation_speedup:.3}x"
+        ));
+    }
+
+    let vr = doc
+        .get("vr")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing bool field \"vr\"")?;
+    if vr {
+        for key in REQUIRED_VR_NUMBERS {
+            positive(key)?;
+        }
+        for key in REQUIRED_VR_NONNEGATIVE {
+            let value = doc
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("field {key:?} is not a non-negative number: {value}"));
+            }
+        }
+    } else if doc.get("thermal_field_vr_hps").is_some() {
+        return Err("artifact carries VR fields but \"vr\" is false".into());
     }
     Ok(())
 }

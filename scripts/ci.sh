@@ -11,11 +11,15 @@ cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # ---- transport bench smoke ------------------------------------------------
-# One-sample run of the throughput bench (seconds, not minutes), then
-# validate the JSON artifact it writes with the in-tree parser. Guards
-# the bench harness and the artifact schema, not the perf numbers —
-# smoke samples are too noisy to gate on.
-TN_BENCH_SMOKE=1 cargo bench --offline -p tn-bench --bench ext_transport_throughput
+# One-sample runs of the throughput bench (seconds, not minutes) with the
+# variance-reduction pass off and then on, each followed by schema
+# validation of the JSON artifact with the in-tree parser. Guards the
+# bench harness, the artifact schema (including the conditional VR
+# fields) and the SoA-vs-direct floor baked into validate_bench; the
+# finer perf numbers are too noisy to gate on in a smoke run.
+TN_BENCH_SMOKE=1 TN_BENCH_VR=off cargo bench --offline -p tn-bench --bench ext_transport_throughput
+cargo run --offline --example validate_bench -- target/tn-bench/BENCH_transport_throughput.json
+TN_BENCH_SMOKE=1 TN_BENCH_VR=on cargo bench --offline -p tn-bench --bench ext_transport_throughput
 cargo run --offline --example validate_bench -- target/tn-bench/BENCH_transport_throughput.json
 
 # ---- tn-server smoke test -------------------------------------------------

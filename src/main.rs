@@ -7,6 +7,8 @@
 //! thermal-neutrons ddr [--seed N]
 //! thermal-neutrons spectra
 //! thermal-neutrons serve [--addr A] [--threads N] [--seed N]
+//! thermal-neutrons transport [--material M] [--thickness-cm T] [--energy-ev E]
+//!                            [--histories N] [--diffuse] [--vr] [--seed N]
 //! thermal-neutrons profile <command> [args...]
 //! thermal-neutrons verify [--quick] [--seed N] [--out FILE]
 //! ```
@@ -56,6 +58,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ddr" => ddr(seed),
         "spectra" => spectra(),
         "serve" => return serve(args, seed),
+        "transport" => return transport(args, seed),
         "profile" => return profile(args),
         "verify" => return verify(args, seed, quick),
         "help" | "--help" | "-h" => help(),
@@ -170,6 +173,98 @@ fn serve(args: &[String], seed: u64) -> Result<(), String> {
         config.threads
     );
     server.run();
+    Ok(())
+}
+
+/// `transport [--material M] [--thickness-cm T] [--energy-ev E]
+/// [--histories N] [--diffuse] [--vr]` — run a single-slab Monte-Carlo
+/// transport problem and print the tally. `--vr` switches from the
+/// analog kernel to the variance-reduced weighted kernel and reports
+/// the relative error on the thermal-transmission estimate.
+fn transport(args: &[String], seed: u64) -> Result<(), String> {
+    use tn::physics::units::{Energy, Length};
+    use tn::physics::Material;
+    use tn::transport::{Layer, SlabStack, Transport, TransportConfig, VarianceReduction};
+
+    let material_name =
+        flag_value::<String>(args, "--material")?.unwrap_or_else(|| "water".into());
+    let material = match material_name.as_str() {
+        "water" => Material::water(),
+        "concrete" => Material::concrete(),
+        "cadmium" => Material::cadmium(),
+        "borated_polyethylene" | "borated_pe" => Material::borated_polyethylene(),
+        "liquid_methane" => Material::liquid_methane(),
+        "air" => Material::air(),
+        other => {
+            return Err(format!(
+                "--material: unknown material `{other}` (expected water, concrete, \
+                 cadmium, borated_polyethylene, liquid_methane or air)"
+            ))
+        }
+    };
+    let thickness = flag_value::<f64>(args, "--thickness-cm")?.unwrap_or(5.0);
+    let energy = flag_value::<f64>(args, "--energy-ev")?.unwrap_or(0.0253);
+    if !(thickness > 0.0 && thickness.is_finite()) {
+        return Err(format!(
+            "--thickness-cm: must be positive and finite, got {thickness}"
+        ));
+    }
+    if !(energy > 0.0 && energy.is_finite()) {
+        return Err(format!(
+            "--energy-ev: must be positive and finite, got {energy}"
+        ));
+    }
+    let histories = flag_value::<u64>(args, "--histories")?.unwrap_or(100_000);
+    let diffuse = args.iter().any(|a| a == "--diffuse");
+    let vr = args.iter().any(|a| a == "--vr");
+
+    let stack = SlabStack::try_new(vec![Layer::try_new(material, Length(thickness))
+        .map_err(|e| format!("transport: {e}"))?])
+    .map_err(|e| format!("transport: {e}"))?;
+    let t = Transport::with_config(
+        stack,
+        TransportConfig::with_threads(tn::transport::default_threads()),
+    );
+    let source = if diffuse { "diffuse" } else { "beam" };
+    println!(
+        "transport: {material_name} {thickness} cm, {energy} eV {source}, \
+         {histories} histories, seed {seed}, kernel {}",
+        if vr { "weighted+VR" } else { "analog" }
+    );
+    if vr {
+        let tally = if diffuse {
+            t.run_diffuse_weighted(Energy(energy), histories, seed, VarianceReduction::default())
+        } else {
+            t.run_beam_weighted(Energy(energy), histories, seed, VarianceReduction::default())
+        };
+        println!(
+            "  transmitted (thermal) {:.5}  (rel. error {:.4})",
+            tally.transmitted_thermal_fraction(),
+            tally.transmitted_thermal_rel_error()
+        );
+        println!("  transmitted (total)   {:.5}", tally.transmitted_fraction());
+        println!(
+            "  reflected (thermal)   {:.5}",
+            tally.reflected_thermal_fraction()
+        );
+        println!(
+            "  absorbed              {:.5}  (rel. error {:.4})",
+            tally.absorbed_fraction(),
+            tally.absorbed_rel_error()
+        );
+    } else {
+        let tally = if diffuse {
+            t.run_diffuse(Energy(energy), histories, seed)
+        } else {
+            t.run_beam(Energy(energy), histories, seed)
+        };
+        println!(
+            "  transmitted (thermal) {:.5}",
+            tally.thermal_escape_fraction()
+        );
+        println!("  transmitted (total)   {:.5}", tally.transmitted_fraction());
+        println!("  absorbed              {:.5}", tally.absorbed_fraction());
+    }
     Ok(())
 }
 
@@ -290,6 +385,8 @@ fn help_text() -> String {
      \x20 ddr        DDR3/DDR4 correct-loop classification (paper Fig. 4)\n\
      \x20 spectra    beamline band fluxes (paper Fig. 2)\n\
      \x20 serve      HTTP JSON API daemon (tn-server)\n\
+     \x20 transport  one-slab Monte-Carlo tally (--material M, --thickness-cm T,\n\
+     \x20            --energy-ev E, --histories N, --diffuse, --vr)\n\
      \x20 profile    run a command, then print span/latency percentiles\n\
      \x20 verify     statistical GOF + differential-oracle + golden-snapshot\n\
      \x20            suites; writes VERIFY_report.json (--out FILE overrides;\n\
@@ -374,6 +471,44 @@ mod tests {
     fn verify_out_flag_requires_a_value() {
         let err = run(&args(&["verify", "--out"])).unwrap_err();
         assert!(err.contains("--out requires a value"), "{err}");
+    }
+
+    #[test]
+    fn transport_rejects_bad_parameters() {
+        let err = run(&args(&["transport", "--material", "unobtainium"])).unwrap_err();
+        assert!(err.contains("unknown material `unobtainium`"), "{err}");
+        let err = run(&args(&["transport", "--thickness-cm", "0"])).unwrap_err();
+        assert!(err.contains("--thickness-cm"), "{err}");
+        let err = run(&args(&["transport", "--thickness-cm", "-3"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = run(&args(&["transport", "--energy-ev", "0"])).unwrap_err();
+        assert!(err.contains("--energy-ev"), "{err}");
+        let err = run(&args(&["transport", "--histories", "lots"])).unwrap_err();
+        assert!(err.contains("--histories"), "{err}");
+    }
+
+    #[test]
+    fn transport_runs_all_kernel_and_source_combinations() {
+        for extra in [
+            &[][..],
+            &["--diffuse"][..],
+            &["--vr"][..],
+            &["--diffuse", "--vr"][..],
+        ] {
+            let mut a = args(&[
+                "transport",
+                "--material",
+                "cadmium",
+                "--thickness-cm",
+                "0.1",
+                "--histories",
+                "2000",
+                "--seed",
+                "7",
+            ]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            assert_eq!(run(&a), Ok(()), "{extra:?}");
+        }
     }
 
     #[test]

@@ -99,6 +99,70 @@ fn transport_tally_is_invariant_across_thread_counts() {
     }
 }
 
+/// Shard-math edge cases: zero histories produce a well-defined empty
+/// tally (fractions are 0.0, never NaN), and history counts that leave
+/// a ragged final shard — or less than one full shard — merge
+/// identically at any thread count, for both the analog and the
+/// variance-reduced kernels.
+#[test]
+fn shard_edge_cases_are_well_defined_and_thread_invariant() {
+    use tn::physics::units::{Energy, Length};
+    use tn::physics::Material;
+    use tn::transport::{
+        SlabStack, Transport, TransportConfig, VarianceReduction, SHARD_SIZE,
+    };
+
+    let stack = SlabStack::single(Material::water(), Length::from_inches(2.0));
+    let serial = Transport::with_config(stack.clone(), TransportConfig::serial());
+
+    // histories == 0: zero shards, empty tally, finite rates.
+    let empty = serial.run_beam(Energy::from_mev(1.0), 0, 99);
+    assert_eq!(empty.histories, 0);
+    assert_eq!(empty.transmitted_fraction(), 0.0);
+    assert_eq!(empty.absorbed_fraction(), 0.0);
+    assert_eq!(empty.thermal_escape_fraction(), 0.0);
+    let empty_w = serial.run_beam_weighted(
+        Energy::from_mev(1.0),
+        0,
+        99,
+        VarianceReduction::default(),
+    );
+    assert_eq!(empty_w.histories, 0);
+    assert_eq!(empty_w.transmitted_fraction(), 0.0);
+    assert_eq!(empty_w.absorbed_fraction(), 0.0);
+    assert_eq!(empty_w.weight_sum(), 0.0);
+
+    // Ragged and sub-shard history counts: identical at any thread count.
+    for histories in [1, SHARD_SIZE - 1, SHARD_SIZE + 1, 3 * SHARD_SIZE + 1234] {
+        let reference = serial.run_beam(Energy::from_mev(2.0), histories, 4242);
+        let reference_w = serial.run_diffuse_weighted(
+            Energy(0.0253),
+            histories,
+            4242,
+            VarianceReduction::default(),
+        );
+        assert_eq!(reference.histories, histories);
+        for threads in [2, 5, 16] {
+            let t = Transport::with_config(stack.clone(), TransportConfig::with_threads(threads));
+            assert_eq!(
+                t.run_beam(Energy::from_mev(2.0), histories, 4242),
+                reference,
+                "{histories} histories diverged at {threads} threads"
+            );
+            assert_eq!(
+                t.run_diffuse_weighted(
+                    Energy(0.0253),
+                    histories,
+                    4242,
+                    VarianceReduction::default()
+                ),
+                reference_w,
+                "weighted {histories} histories diverged at {threads} threads"
+            );
+        }
+    }
+}
+
 /// The process-wide default (`--transport-threads`) must never change
 /// results — the full pipeline JSON and the room boost factor are
 /// byte-identical at any setting. One test owns every mutation of the
