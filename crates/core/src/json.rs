@@ -502,9 +502,117 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Serialises documents as JSONL: one canonical line per document, each
+/// terminated by `\n`.
+///
+/// This framing is sound because [`push_json_str`] escapes *every*
+/// control character below `0x20` — a string containing a raw newline is
+/// written as `\n` (two bytes), so a canonical line can never span more
+/// than one physical line.
+pub fn to_jsonl(docs: &[Json]) -> String {
+    let mut out = String::with_capacity(docs.len() * 64);
+    for doc in docs {
+        out.push_str(&doc.to_canonical_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSONL text: one document per non-blank line.
+///
+/// Blank lines (empty or whitespace-only) are skipped, so snapshots
+/// survive trailing newlines and hand edits. A malformed line fails the
+/// whole parse with its 1-based line number in the error message.
+pub fn parse_jsonl(input: &str) -> Result<Vec<Json>, JsonError> {
+    let mut docs = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = parse(line).map_err(|e| JsonError {
+            message: format!("line {}: {}", i + 1, e.message),
+            offset: e.offset,
+        })?;
+        docs.push(doc);
+    }
+    Ok(docs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Adversarial documents for the JSONL round-trip: embedded
+    /// newlines and carriage returns in strings (both as keys and as
+    /// values), every other sub-0x20 control character, and deep-ish
+    /// nesting — everything that could break line framing.
+    fn adversarial_docs() -> Vec<Json> {
+        let all_controls: String = (0u8..0x20).map(|b| b as char).collect();
+        vec![
+            Json::Object(vec![
+                ("plain".into(), Json::Str("line one\nline two".into())),
+                ("crlf".into(), Json::Str("a\r\nb".into())),
+                ("key\nwith newline".into(), Json::Num(1.0)),
+            ]),
+            Json::Str(all_controls),
+            Json::Array(vec![
+                Json::Str("\n".into()),
+                Json::Str("\u{85}\u{2028}\u{2029}".into()),
+                Json::Null,
+            ]),
+            Json::Object(vec![(
+                "nested".into(),
+                Json::Array(vec![Json::Object(vec![(
+                    "\t".into(),
+                    Json::Str("\0".into()),
+                )])]),
+            )]),
+            Json::Num(-0.0),
+            Json::Bool(false),
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_never_contain_raw_newlines() {
+        let text = to_jsonl(&adversarial_docs());
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines emitted");
+            assert!(!line.contains('\r'), "no raw CR inside a line: {line:?}");
+        }
+        // One physical line per document, despite the embedded newlines.
+        assert_eq!(text.lines().count(), adversarial_docs().len());
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_round_trip_reaches_canonical_fixed_point() {
+        let docs = adversarial_docs();
+        let first = to_jsonl(&docs);
+        let parsed = parse_jsonl(&first).expect("written JSONL parses");
+        assert_eq!(parsed.len(), docs.len());
+        // write -> parse -> write is the identity on the text: canonical
+        // serialisation is a fixed point.
+        let second = to_jsonl(&parsed);
+        assert_eq!(first, second);
+        // And the values survive semantically (keys get sorted by the
+        // canonical form, so compare through a second parse).
+        for (a, b) in parsed.iter().zip(&parse_jsonl(&second).unwrap()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_reports_bad_ones() {
+        let text = "\n{\"a\":1}\n   \n\n\"two\"\n\t\n";
+        let docs = parse_jsonl(text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(docs[1].as_str(), Some("two"));
+        assert_eq!(parse_jsonl("").unwrap(), Vec::new());
+
+        let err = parse_jsonl("{\"ok\":true}\n{oops\n").unwrap_err();
+        assert!(err.message.starts_with("line 2:"), "{err}");
+    }
 
     #[test]
     fn parses_scalars() {

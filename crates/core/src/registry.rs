@@ -60,10 +60,20 @@ pub fn workloads_for(kind: DeviceKind, seed: u64) -> Vec<Box<dyn Workload>> {
 
 /// Looks a catalog device up by display name (case-insensitive), e.g.
 /// for resolving the `device` field of an API request.
+///
+/// The catalog is deterministic and immutable, but *building* it is not
+/// cheap — each device fits its ¹⁰B population against the reference
+/// beam spectra — so it is constructed once per process and served from
+/// a `OnceLock` thereafter. Hot callers (the fleet bulk endpoint
+/// resolves a device per entry per request) rely on this being a map
+/// scan, not a refit.
 pub fn find_device(name: &str) -> Option<Device> {
-    catalog::all_compute_devices()
-        .into_iter()
+    static CATALOG: std::sync::OnceLock<Vec<Device>> = std::sync::OnceLock::new();
+    CATALOG
+        .get_or_init(catalog::all_compute_devices)
+        .iter()
         .find(|d| d.name().eq_ignore_ascii_case(name))
+        .cloned()
 }
 
 /// Builds the full study roster: every catalog device with its codes.

@@ -1,0 +1,404 @@
+//! The device-fleet registry: a deterministic in-memory store of fleet
+//! entries with JSONL snapshot load/save.
+//!
+//! Each entry pairs a catalog device with the site parameters that fix
+//! its FIT rate — altitude, geomagnetic rigidity, the ¹⁰B areal density
+//! of any borated shield, a thermal-field scaling (surroundings,
+//! weather, solar activity folded into one factor) and the workload's
+//! architectural vulnerability factor. Entries are kept sorted by id, so
+//! iteration order, JSONL snapshots and the streaming endpoint are all
+//! deterministic. A generation counter bumps on every mutation; it is
+//! part of the server's cache key, so cached fleet responses can never
+//! outlive the registry state they were computed from.
+
+use tn_core::json::{self, Json};
+use tn_core::registry::find_device;
+
+/// Why a fleet entry or snapshot was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// An entry had an empty or missing id.
+    EmptyId,
+    /// The device name did not resolve against the catalog.
+    UnknownDevice(String),
+    /// Altitude outside the terrestrial range the flux model covers.
+    AltitudeOutOfRange(f64),
+    /// A numeric field was non-finite or out of its allowed range.
+    BadField {
+        /// The JSON field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A JSONL snapshot line did not parse or was not an object.
+    BadSnapshot(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::EmptyId => write!(f, "fleet entry needs a non-empty `id`"),
+            FleetError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+            FleetError::AltitudeOutOfRange(alt) => write!(
+                f,
+                "`altitude_m` {alt} out of terrestrial range (-430..=9000)"
+            ),
+            FleetError::BadField { field, value } => {
+                write!(f, "field `{field}` out of range: {value}")
+            }
+            FleetError::BadSnapshot(why) => write!(f, "bad fleet snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One device deployment: a catalog device at a site, behind optional
+/// boron shielding, running a workload with a given AVF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEntry {
+    /// Unique entry id (registry key).
+    pub id: String,
+    /// Canonical catalog device name.
+    pub device: String,
+    /// Free-form site label (not interpreted).
+    pub site: String,
+    /// Site altitude in metres (`-430..=9000`).
+    pub altitude_m: f64,
+    /// Geomagnetic rigidity factor (1.0 = NYC reference).
+    pub rigidity_factor: f64,
+    /// ¹⁰B areal density of the shield between field and device, in
+    /// atoms/cm² (0 = unshielded).
+    pub b10_areal_cm2: f64,
+    /// Local thermal-field scaling: surroundings, weather and solar
+    /// modulation folded into one multiplier on the thermal flux.
+    pub thermal_scaling: f64,
+    /// Workload architectural vulnerability factor in `(0..=1]`.
+    pub avf: f64,
+}
+
+impl FleetEntry {
+    /// An unshielded NYC-reference entry for a device; adjust fields
+    /// from there.
+    pub fn new(id: impl Into<String>, device: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            device: device.into(),
+            site: String::new(),
+            altitude_m: 10.0,
+            rigidity_factor: 1.0,
+            b10_areal_cm2: 0.0,
+            thermal_scaling: 1.0,
+            avf: 1.0,
+        }
+    }
+
+    /// Validates the entry and canonicalises the device name against
+    /// the catalog (case-insensitive match, catalog spelling wins).
+    pub fn validate(mut self) -> Result<Self, FleetError> {
+        if self.id.trim().is_empty() {
+            return Err(FleetError::EmptyId);
+        }
+        let device =
+            find_device(&self.device).ok_or_else(|| FleetError::UnknownDevice(self.device.clone()))?;
+        self.device = device.name().to_string();
+        if !(-430.0..=9_000.0).contains(&self.altitude_m) || !self.altitude_m.is_finite() {
+            return Err(FleetError::AltitudeOutOfRange(self.altitude_m));
+        }
+        let positive = [
+            ("rigidity_factor", self.rigidity_factor),
+            ("thermal_scaling", self.thermal_scaling),
+        ];
+        for (field, value) in positive {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(FleetError::BadField { field, value });
+            }
+        }
+        if !(self.b10_areal_cm2 >= 0.0 && self.b10_areal_cm2.is_finite()) {
+            return Err(FleetError::BadField {
+                field: "b10_areal_cm2",
+                value: self.b10_areal_cm2,
+            });
+        }
+        if !(self.avf > 0.0 && self.avf <= 1.0) {
+            return Err(FleetError::BadField {
+                field: "avf",
+                value: self.avf,
+            });
+        }
+        Ok(self)
+    }
+
+    /// The entry as a JSON object (alphabetical keys match the
+    /// canonical serialisation, so snapshots are fixed points).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("altitude_m".into(), Json::Num(self.altitude_m)),
+            ("avf".into(), Json::Num(self.avf)),
+            ("b10_areal_cm2".into(), Json::Num(self.b10_areal_cm2)),
+            ("device".into(), Json::Str(self.device.clone())),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("rigidity_factor".into(), Json::Num(self.rigidity_factor)),
+            ("site".into(), Json::Str(self.site.clone())),
+            ("thermal_scaling".into(), Json::Num(self.thermal_scaling)),
+        ])
+    }
+
+    /// Builds and validates an entry from a JSON object. Only `id` and
+    /// `device` are required; the other fields default to an
+    /// unshielded NYC-reference deployment at AVF 1.
+    pub fn from_json(doc: &Json) -> Result<Self, FleetError> {
+        if !matches!(doc, Json::Object(_)) {
+            return Err(FleetError::BadSnapshot("entry is not an object".into()));
+        }
+        let str_field = |key: &str| doc.get(key).and_then(Json::as_str).map(str::to_string);
+        let num_field = |key: &'static str, default: f64| match doc.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_f64().ok_or(FleetError::BadField {
+                field: key,
+                value: f64::NAN,
+            }),
+        };
+        let entry = Self {
+            id: str_field("id").ok_or(FleetError::EmptyId)?,
+            device: str_field("device")
+                .ok_or_else(|| FleetError::UnknownDevice("<missing>".into()))?,
+            site: str_field("site").unwrap_or_default(),
+            altitude_m: num_field("altitude_m", 10.0)?,
+            rigidity_factor: num_field("rigidity_factor", 1.0)?,
+            b10_areal_cm2: num_field("b10_areal_cm2", 0.0)?,
+            thermal_scaling: num_field("thermal_scaling", 1.0)?,
+            avf: num_field("avf", 1.0)?,
+        };
+        entry.validate()
+    }
+}
+
+/// The deterministic in-memory fleet store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRegistry {
+    entries: Vec<FleetEntry>,
+    generation: u64,
+}
+
+impl FleetRegistry {
+    /// An empty registry at generation 0.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Entries sorted by id.
+    pub fn entries(&self) -> &[FleetEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the registry holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mutation counter: bumps on every successful upsert/remove, and
+    /// participates in server cache keys.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: &str) -> Option<&FleetEntry> {
+        self.entries
+            .binary_search_by(|e| e.id.as_str().cmp(id))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Validates and inserts an entry, replacing any entry with the
+    /// same id. Keeps the store sorted by id.
+    pub fn upsert(&mut self, entry: FleetEntry) -> Result<(), FleetError> {
+        let entry = entry.validate()?;
+        match self
+            .entries
+            .binary_search_by(|e| e.id.as_str().cmp(&entry.id))
+        {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Removes an entry by id; returns whether it existed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        match self.entries.binary_search_by(|e| e.id.as_str().cmp(id)) {
+            Ok(i) => {
+                self.entries.remove(i);
+                self.generation += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Serialises the registry as a JSONL snapshot (one canonical line
+    /// per entry, sorted by id).
+    pub fn to_jsonl(&self) -> String {
+        let docs: Vec<Json> = self.entries.iter().map(FleetEntry::to_json).collect();
+        json::to_jsonl(&docs)
+    }
+
+    /// Loads a registry from a JSONL snapshot. Blank lines are skipped;
+    /// entries are re-validated, and the loaded registry starts at
+    /// generation 0 regardless of the writing registry's history.
+    pub fn from_jsonl(text: &str) -> Result<Self, FleetError> {
+        let docs =
+            json::parse_jsonl(text).map_err(|e| FleetError::BadSnapshot(e.to_string()))?;
+        let mut registry = Self::new();
+        for doc in &docs {
+            registry.upsert(FleetEntry::from_json(doc)?)?;
+        }
+        registry.generation = 0;
+        Ok(registry)
+    }
+
+    /// A deterministic demo fleet: `count` entries cycling through the
+    /// device catalog over a spread of altitudes, shields, thermal
+    /// fields and AVFs. Same `(seed, count)` → identical registry.
+    pub fn demo(seed: u64, count: usize) -> Self {
+        const ALTITUDES: [f64; 5] = [10.0, 350.0, 1_609.0, 2_231.0, 3_094.0];
+        const SHIELDS: [f64; 4] = [0.0, 1.0e18, 1.0e19, 1.0e20];
+        const SITES: [&str; 5] = ["nyc-dc1", "denver-edge", "leadville-lab", "los-alamos-hpc", "sea-level-colo"];
+        let devices = tn_devices::all_compute_devices();
+        let mut rng = tn_rng::Rng::seed_from_u64(seed).fork(0xf1ee7);
+        let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+        let mut registry = Self::new();
+        for i in 0..count {
+            let device = &devices[i % devices.len()];
+            let entry = FleetEntry {
+                id: format!("node-{i:04}"),
+                device: device.name().to_string(),
+                site: SITES[rng.gen_range(0..SITES.len())].to_string(),
+                altitude_m: ALTITUDES[rng.gen_range(0..ALTITUDES.len())],
+                rigidity_factor: 1.0,
+                b10_areal_cm2: SHIELDS[rng.gen_range(0..SHIELDS.len())],
+                thermal_scaling: round3(0.5 + 1.5 * rng.gen_f64()),
+                avf: round3(0.3 + 0.7 * rng.gen_f64()),
+            };
+            registry
+                .upsert(entry)
+                .expect("demo entries are valid by construction");
+        }
+        registry.generation = 0;
+        registry
+    }
+}
+
+impl Default for FleetRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_keeps_entries_sorted_and_bumps_generation() {
+        let mut r = FleetRegistry::new();
+        r.upsert(FleetEntry::new("b", "NVIDIA K20")).unwrap();
+        r.upsert(FleetEntry::new("a", "Intel Xeon Phi")).unwrap();
+        assert_eq!(r.generation(), 2);
+        let ids: Vec<&str> = r.entries().iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b"]);
+        // Replacing by id does not grow the store.
+        let mut replacement = FleetEntry::new("a", "NVIDIA K20");
+        replacement.avf = 0.5;
+        r.upsert(replacement).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("a").unwrap().avf, 0.5);
+        assert_eq!(r.generation(), 3);
+        assert!(r.remove("a"));
+        assert!(!r.remove("a"));
+        assert_eq!(r.generation(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_entries() {
+        assert_eq!(
+            FleetEntry::new("", "NVIDIA K20").validate().unwrap_err(),
+            FleetError::EmptyId
+        );
+        assert!(matches!(
+            FleetEntry::new("x", "PDP-11").validate().unwrap_err(),
+            FleetError::UnknownDevice(_)
+        ));
+        let mut e = FleetEntry::new("x", "NVIDIA K20");
+        e.altitude_m = 99_999.0;
+        assert!(matches!(
+            e.validate().unwrap_err(),
+            FleetError::AltitudeOutOfRange(_)
+        ));
+        let mut e = FleetEntry::new("x", "NVIDIA K20");
+        e.avf = 0.0;
+        assert!(matches!(e.validate().unwrap_err(), FleetError::BadField { field: "avf", .. }));
+        let mut e = FleetEntry::new("x", "NVIDIA K20");
+        e.b10_areal_cm2 = -1.0;
+        assert!(matches!(
+            e.validate().unwrap_err(),
+            FleetError::BadField { field: "b10_areal_cm2", .. }
+        ));
+    }
+
+    #[test]
+    fn device_names_are_canonicalised() {
+        let e = FleetEntry::new("x", "nvidia k20").validate().unwrap();
+        assert_eq!(e.device, "NVIDIA K20");
+    }
+
+    #[test]
+    fn jsonl_snapshot_round_trips() {
+        let r = FleetRegistry::demo(2020, 12);
+        let text = r.to_jsonl();
+        let back = FleetRegistry::from_jsonl(&text).unwrap();
+        assert_eq!(back.entries(), r.entries());
+        // Snapshot text is a fixed point of save -> load -> save.
+        assert_eq!(back.to_jsonl(), text);
+        // Blank lines are tolerated.
+        let padded = format!("\n{text}\n\n");
+        assert_eq!(FleetRegistry::from_jsonl(&padded).unwrap().entries(), r.entries());
+    }
+
+    #[test]
+    fn snapshot_errors_are_reported() {
+        assert!(matches!(
+            FleetRegistry::from_jsonl("{nope").unwrap_err(),
+            FleetError::BadSnapshot(_)
+        ));
+        assert!(matches!(
+            FleetRegistry::from_jsonl("[1,2]").unwrap_err(),
+            FleetError::BadSnapshot(_)
+        ));
+        let err = FleetRegistry::from_jsonl("{\"id\":\"a\",\"device\":\"PDP-11\"}").unwrap_err();
+        assert!(matches!(err, FleetError::UnknownDevice(_)));
+    }
+
+    #[test]
+    fn demo_fleet_is_deterministic() {
+        let a = FleetRegistry::demo(7, 32);
+        let b = FleetRegistry::demo(7, 32);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, FleetRegistry::demo(8, 32));
+        // Every demo entry validates and every catalog device appears.
+        let devices: std::collections::BTreeSet<&str> =
+            a.entries().iter().map(|e| e.device.as_str()).collect();
+        assert_eq!(devices.len(), tn_devices::all_compute_devices().len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Process-wide fleet-service instrumentation, backed by the shared
+//! [`tn_obs`] global registry.
+//!
+//! The split that matters operationally is *surface hits vs Monte-Carlo
+//! fallbacks*: a healthy steady state serves almost every fleet query
+//! from the precomputed risk surface (a bilinear table lookup), and only
+//! out-of-grid configurations pay for a transport run. The counters land
+//! in `tn_obs::global()`, so the server's `/metrics` endpoint and the
+//! CLI `profile` report pick them up without extra wiring
+//! (`tn_fleet_surface_hits_total`, `tn_fleet_mc_fallbacks_total`,
+//! `tn_fleet_surface_build_seconds`).
+
+use std::sync::{Arc, OnceLock};
+use tn_obs::{Counter, CounterUnit, Histogram, Unit};
+
+fn surface_hits() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        tn_obs::global().counter(
+            "tn_fleet_surface_hits_total",
+            &[],
+            "Fleet risk queries served from the precomputed risk surface.",
+            CounterUnit::Count,
+        )
+    })
+}
+
+fn mc_fallbacks() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        tn_obs::global().counter(
+            "tn_fleet_mc_fallbacks_total",
+            &[],
+            "Fleet risk queries that fell back to a Monte-Carlo transport run.",
+            CounterUnit::Count,
+        )
+    })
+}
+
+/// The process-wide surface-construction histogram
+/// (`tn_fleet_surface_build_seconds`): one observation per
+/// [`crate::RiskSurface::build`].
+pub fn build_histogram() -> Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    Arc::clone(H.get_or_init(|| {
+        tn_obs::global().histogram(
+            "tn_fleet_surface_build_seconds",
+            &[],
+            "Wall-clock duration of risk-surface constructions.",
+            Unit::Nanos,
+        )
+    }))
+}
+
+/// Counts one query served from the surface.
+pub fn surface_hit() {
+    surface_hits().inc();
+}
+
+/// Counts one query that ran the Monte-Carlo fallback.
+pub fn mc_fallback() {
+    mc_fallbacks().inc();
+}
+
+/// Queries served from the surface since process start.
+pub fn surface_hits_total() -> u64 {
+    surface_hits().get()
+}
+
+/// Queries that fell back to Monte Carlo since process start.
+pub fn mc_fallbacks_total() -> u64 {
+    mc_fallbacks().get()
+}
+
+/// Records one completed surface construction.
+pub fn record_build(elapsed_nanos: u64) {
+    build_histogram().observe(elapsed_nanos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let h0 = surface_hits_total();
+        let m0 = mc_fallbacks_total();
+        surface_hit();
+        surface_hit();
+        mc_fallback();
+        assert_eq!(surface_hits_total() - h0, 2);
+        assert_eq!(mc_fallbacks_total() - m0, 1);
+    }
+
+    #[test]
+    fn build_histogram_records() {
+        let before = build_histogram().snapshot().count();
+        record_build(1_000_000);
+        assert_eq!(build_histogram().snapshot().count(), before + 1);
+    }
+}

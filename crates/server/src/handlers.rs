@@ -16,6 +16,7 @@ use tn_core::{registry, Pipeline, PipelineConfig};
 use tn_core::report::StudyReport;
 use tn_environment::{DataCenterRoom, Environment, Location, SolarActivity, Surroundings, Weather};
 use tn_fit::{CheckpointPlan, DeviceFit};
+use tn_fleet::{FleetEntry, FleetError, FleetRegistry, RiskAssessment, RiskSurface, SurfaceConfig};
 use tn_physics::units::{Fit, Seconds};
 
 /// How many (seed, quick) studies the in-memory memo keeps. Studies are
@@ -23,8 +24,22 @@ use tn_physics::units::{Fit, Seconds};
 /// a few slots absorb most realistic query mixes.
 const STUDY_MEMO_SLOTS: usize = 4;
 
+/// How many risk surfaces the memo keeps. A surface is one (seed, quick)
+/// grid; steady state is one resolution per seed, so two slots cover a
+/// quick/full pair without thrashing.
+const SURFACE_MEMO_SLOTS: usize = 2;
+
+/// Entries the demo fleet is seeded with when no snapshot is loaded.
+const DEMO_FLEET_SIZE: usize = 24;
+
+/// Largest number of inline devices one bulk request may carry.
+const FLEET_MAX_ENTRIES: usize = 10_000;
+
 /// One memoised pipeline run: its (seed, quick) key and the report.
 type StudySlot = ((u64, bool), Arc<StudyReport>);
+
+/// One memoised risk surface: its (seed, quick) key and the tables.
+type SurfaceSlot = ((u64, bool), Arc<RiskSurface>);
 
 /// State shared by every worker thread.
 #[derive(Debug)]
@@ -40,6 +55,11 @@ pub struct AppState {
     /// Memo of completed pipeline studies, keyed by (seed, quick),
     /// most recently used last.
     studies: Mutex<Vec<StudySlot>>,
+    /// The device-fleet registry served by `/v1/fleet*`.
+    fleet: Mutex<FleetRegistry>,
+    /// Memo of built risk surfaces, keyed by (seed, quick), most
+    /// recently used last.
+    surfaces: Mutex<Vec<SurfaceSlot>>,
     /// Request-id stream. Mixed with wall-clock startup entropy so two
     /// server runs never replay the same ids; ids are pure telemetry and
     /// never feed into any computation.
@@ -47,8 +67,25 @@ pub struct AppState {
 }
 
 impl AppState {
-    /// Creates the shared state for a server instance.
+    /// Creates the shared state for a server instance, seeding the
+    /// fleet registry with the deterministic demo fleet.
     pub fn new(seed: u64, cache_capacity: usize, workers: usize) -> Self {
+        Self::with_registry(
+            seed,
+            cache_capacity,
+            workers,
+            FleetRegistry::demo(seed, DEMO_FLEET_SIZE),
+        )
+    }
+
+    /// Creates the shared state with an explicit fleet registry (e.g.
+    /// one loaded from a JSONL snapshot via `--fleet`).
+    pub fn with_registry(
+        seed: u64,
+        cache_capacity: usize,
+        workers: usize,
+        fleet: FleetRegistry,
+    ) -> Self {
         let startup_nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
@@ -59,8 +96,48 @@ impl AppState {
             cache: ShardedCache::new(cache_capacity),
             flights: SingleFlight::new(),
             studies: Mutex::new(Vec::new()),
+            fleet: Mutex::new(fleet),
+            surfaces: Mutex::new(Vec::new()),
             request_ids: Mutex::new(tn_rng::Rng::seed_from_u64(seed ^ startup_nanos)),
         }
+    }
+
+    /// Runs `f` against the fleet registry (shared lock discipline:
+    /// callers never hold the guard across a surface build or a
+    /// Monte-Carlo run).
+    pub fn with_fleet<T>(&self, f: impl FnOnce(&mut FleetRegistry) -> T) -> T {
+        let mut fleet = self.fleet.lock().expect("fleet registry poisoned");
+        f(&mut fleet)
+    }
+
+    /// Returns the (memoised) risk surface for a seed/resolution pair,
+    /// building it on a miss. Identical concurrent requests are already
+    /// coalesced by the single-flight layer above, so a duplicate build
+    /// can only happen across *different* request bodies sharing a
+    /// surface — rare, and merely wasteful, never wrong (builds are
+    /// deterministic in (seed, quick)).
+    pub fn surface(&self, seed: u64, quick: bool) -> Arc<RiskSurface> {
+        {
+            let mut memo = self.surfaces.lock().expect("surface memo poisoned");
+            if let Some(pos) = memo.iter().position(|(k, _)| *k == (seed, quick)) {
+                let hit = memo.remove(pos);
+                let surface = Arc::clone(&hit.1);
+                memo.push(hit);
+                return surface;
+            }
+        }
+        let config = if quick {
+            SurfaceConfig::quick(seed)
+        } else {
+            SurfaceConfig::full(seed)
+        };
+        let surface = Arc::new(RiskSurface::build(config));
+        let mut memo = self.surfaces.lock().expect("surface memo poisoned");
+        if memo.len() >= SURFACE_MEMO_SLOTS {
+            memo.remove(0);
+        }
+        memo.push(((seed, quick), Arc::clone(&surface)));
+        surface
     }
 
     /// Draws a fresh request id: 16 lowercase hex digits, unique within
@@ -700,6 +777,304 @@ fn transport_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest
     }))
 }
 
+impl From<FleetError> for BadRequest {
+    fn from(e: FleetError) -> Self {
+        let status = match e {
+            FleetError::UnknownDevice(_) => 404,
+            _ => 400,
+        };
+        BadRequest::new(status, e.to_string())
+    }
+}
+
+/// Renders one assessed fleet entry as a JSON object (used both as a
+/// bulk-response array element and as one JSONL stream line).
+fn push_fleet_result(out: &mut String, entry: &FleetEntry, assessment: &RiskAssessment) {
+    out.push_str("{\"id\":");
+    push_json_str(out, &entry.id);
+    out.push_str(",\"device\":");
+    push_json_str(out, &entry.device);
+    out.push_str(",\"site\":");
+    push_json_str(out, &entry.site);
+    out.push_str(",\"altitude_m\":");
+    push_json_num(out, entry.altitude_m);
+    out.push_str(",\"b10_areal_cm2\":");
+    push_json_f64(out, entry.b10_areal_cm2);
+    out.push_str(",\"thermal_scaling\":");
+    push_json_f64(out, entry.thermal_scaling);
+    out.push_str(",\"avf\":");
+    push_json_f64(out, entry.avf);
+    out.push_str(",\"source\":");
+    push_json_str(out, assessment.source.label());
+    out.push_str(",\"sdc\":");
+    push_fit_fields(out, &assessment.sdc);
+    out.push_str(",\"due\":");
+    push_fit_fields(out, &assessment.due);
+    out.push('}');
+}
+
+/// Assesses every entry against the surface and renders the shared
+/// summary fields (count, per-path counts, totals, surface digest).
+fn assess_fleet(
+    surface: &RiskSurface,
+    entries: &[FleetEntry],
+) -> (Vec<String>, String) {
+    let mut lines = Vec::with_capacity(entries.len());
+    let mut surface_hits = 0u64;
+    let mut mc_fallbacks = 0u64;
+    let (mut sdc_total, mut due_total) = (0.0f64, 0.0f64);
+    for entry in entries {
+        let device = registry::find_device(&entry.device)
+            .expect("fleet entries hold validated catalog device names");
+        let assessment = surface.assess(&device, &tn_fleet::SiteParams::from_entry(entry));
+        match assessment.source {
+            tn_fleet::RiskSource::Surface => surface_hits += 1,
+            tn_fleet::RiskSource::MonteCarlo => mc_fallbacks += 1,
+        }
+        sdc_total += assessment.sdc.total().value();
+        due_total += assessment.due.total().value();
+        let mut line = String::with_capacity(512);
+        push_fleet_result(&mut line, entry, &assessment);
+        lines.push(line);
+    }
+    let mut summary = String::with_capacity(256);
+    summary.push_str("\"count\":");
+    summary.push_str(&entries.len().to_string());
+    summary.push_str(",\"surface_hits\":");
+    summary.push_str(&surface_hits.to_string());
+    summary.push_str(",\"mc_fallbacks\":");
+    summary.push_str(&mc_fallbacks.to_string());
+    summary.push_str(",\"surface_digest\":");
+    push_json_str(&mut summary, &format!("{:016x}", surface.grid_digest()));
+    summary.push_str(",\"totals\":{\"sdc_fit\":");
+    push_json_f64(&mut summary, sdc_total);
+    summary.push_str(",\"due_fit\":");
+    push_json_f64(&mut summary, due_total);
+    summary.push('}');
+    (lines, summary)
+}
+
+/// `POST /v1/fleet` — bulk risk assessment.
+///
+/// Request: `{"devices": [<entry>...], "seed": <u64>, "quick": <bool>}`
+/// for inline entries (`device` required per entry; `id`, `site`,
+/// `altitude_m`, `rigidity_factor`, `b10_areal_cm2`, `thermal_scaling`,
+/// `avf` optional), or `{"ids": [<id>...]}` / `{}` to assess (a subset
+/// of) the server's fleet registry. Steady-state queries are served from
+/// the precomputed risk surface; out-of-grid configurations fall back to
+/// a direct Monte-Carlo run (`"source": "mc"` in the result).
+pub fn fleet(state: &AppState, body: &[u8]) -> Response {
+    match fleet_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn fleet_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let _span = tn_obs::span("fleet.bulk");
+    let doc = parse_body(body)?;
+    let seed = optional_u64(&doc, "seed", state.seed)?;
+    let quick = optional_bool(&doc, "quick", true)?;
+
+    // Inline mode carries the entries in the request; registry mode
+    // snapshots (a subset of) the server fleet, with the registry
+    // generation folded into the cache key so cached responses can
+    // never outlive the registry state they were computed from.
+    let (entries, mode_key, generation) = match doc.get("devices") {
+        Some(devices) => {
+            let array = devices
+                .as_array()
+                .ok_or_else(|| BadRequest::new(400, "field `devices` must be an array"))?;
+            if array.is_empty() {
+                return Err(BadRequest::new(400, "field `devices` must not be empty"));
+            }
+            if array.len() > FLEET_MAX_ENTRIES {
+                return Err(BadRequest::new(
+                    400,
+                    format!("field `devices` must hold ≤ {FLEET_MAX_ENTRIES} entries"),
+                ));
+            }
+            let mut entries = Vec::with_capacity(array.len());
+            for (i, item) in array.iter().enumerate() {
+                // Inline entries get a positional id when none is given.
+                let with_id = match item {
+                    Json::Object(fields) if item.get("id").is_none() => {
+                        let mut fields = fields.clone();
+                        fields.push(("id".into(), Json::Str(format!("inline-{i:04}"))));
+                        Json::Object(fields)
+                    }
+                    other => other.clone(),
+                };
+                let entry = FleetEntry::from_json(&with_id).map_err(|e| {
+                    let bad = BadRequest::from(e);
+                    BadRequest::new(bad.status, format!("devices[{i}]: {}", bad.message))
+                })?;
+                entries.push(entry);
+            }
+            let canonical =
+                Json::Array(entries.iter().map(FleetEntry::to_json).collect()).to_canonical_string();
+            (entries, format!("inline|{canonical}"), None)
+        }
+        None => state.with_fleet(|fleet| {
+            if fleet.is_empty() {
+                return Err(BadRequest::new(400, "fleet registry is empty"));
+            }
+            let generation = fleet.generation();
+            match doc.get("ids") {
+                None => Ok((
+                    fleet.entries().to_vec(),
+                    format!("registry|all|{generation}"),
+                    Some(generation),
+                )),
+                Some(ids) => {
+                    let ids = ids
+                        .as_array()
+                        .ok_or_else(|| BadRequest::new(400, "field `ids` must be an array"))?;
+                    let mut entries = Vec::with_capacity(ids.len());
+                    let mut key_ids = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        let id = id.as_str().ok_or_else(|| {
+                            BadRequest::new(400, "field `ids` must hold strings")
+                        })?;
+                        let entry = fleet.get(id).ok_or_else(|| {
+                            BadRequest::new(404, format!("unknown fleet entry `{id}`"))
+                        })?;
+                        entries.push(entry.clone());
+                        key_ids.push(Json::Str(id.to_string()));
+                    }
+                    if entries.is_empty() {
+                        return Err(BadRequest::new(400, "field `ids` must not be empty"));
+                    }
+                    let canonical = Json::Array(key_ids).to_canonical_string();
+                    Ok((
+                        entries,
+                        format!("registry|{canonical}|{generation}"),
+                        Some(generation),
+                    ))
+                }
+            }
+        })?,
+    };
+
+    let key = format!("fleet|{seed}|{quick}|{mode_key}");
+    Ok(cached(state, &key, || {
+        let surface = state.surface(seed, quick);
+        let (lines, summary) = assess_fleet(&surface, &entries);
+        let mut out = String::with_capacity(1024 + 512 * lines.len());
+        out.push('{');
+        out.push_str(&summary);
+        out.push_str(",\"seed\":");
+        out.push_str(&seed.to_string());
+        out.push_str(",\"quick\":");
+        out.push_str(if quick { "true" } else { "false" });
+        if let Some(generation) = generation {
+            out.push_str(",\"generation\":");
+            out.push_str(&generation.to_string());
+        }
+        out.push_str(",\"results\":[");
+        for (i, line) in lines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(line);
+        }
+        out.push_str("]}");
+        out
+    }))
+}
+
+/// `GET /v1/fleet/stream` — the whole fleet registry as chunked JSONL:
+/// one metadata line, then one result line per entry, streamed with
+/// `Transfer-Encoding: chunked` so a poller can process entries as they
+/// arrive. Query parameters: `seed=<u64>`, `quick=<bool>`.
+pub fn fleet_stream(state: &AppState, path: &str) -> Response {
+    match fleet_stream_inner(state, path) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn fleet_stream_inner(state: &AppState, path: &str) -> Result<Response, BadRequest> {
+    let _span = tn_obs::span("fleet.stream");
+    let (mut seed, mut quick) = (state.seed, true);
+    if let Some((_, query)) = path.split_once('?') {
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match name {
+                "seed" => {
+                    seed = value.parse().map_err(|_| {
+                        BadRequest::new(400, "query parameter `seed` must be a non-negative integer")
+                    })?;
+                }
+                "quick" => {
+                    quick = match value {
+                        "true" | "1" | "" => true,
+                        "false" | "0" => false,
+                        _ => {
+                            return Err(BadRequest::new(
+                                400,
+                                "query parameter `quick` must be true or false",
+                            ))
+                        }
+                    };
+                }
+                other => {
+                    return Err(BadRequest::new(
+                        400,
+                        format!("unknown query parameter `{other}`"),
+                    ))
+                }
+            }
+        }
+    }
+    let (entries, generation) = state.with_fleet(|fleet| {
+        (fleet.entries().to_vec(), fleet.generation())
+    });
+    if entries.is_empty() {
+        return Err(BadRequest::new(400, "fleet registry is empty"));
+    }
+
+    let key = format!("fleet-stream|{seed}|{quick}|{generation}");
+    let text = if let Some(text) = state.cache.get(&key) {
+        state.metrics.cache_hit();
+        text
+    } else {
+        let compute = || {
+            let surface = state.surface(seed, quick);
+            let (lines, summary) = assess_fleet(&surface, &entries);
+            let mut out = String::with_capacity(256 + 512 * lines.len());
+            out.push('{');
+            out.push_str(&summary);
+            out.push_str(",\"seed\":");
+            out.push_str(&seed.to_string());
+            out.push_str(",\"quick\":");
+            out.push_str(if quick { "true" } else { "false" });
+            out.push_str(",\"generation\":");
+            out.push_str(&generation.to_string());
+            out.push_str("}\n");
+            for line in &lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out
+        };
+        match state.flights.run(&key, compute) {
+            Outcome::Led(text) => {
+                state.metrics.cache_miss();
+                state.cache.insert(key, text.clone());
+                text
+            }
+            Outcome::Coalesced(text) => {
+                state.metrics.cache_coalesced();
+                text
+            }
+        }
+    };
+    // One HTTP chunk per JSONL line.
+    let chunks = text.split_inclusive('\n').map(String::from).collect();
+    Ok(Response::chunked(200, "application/x-ndjson", chunks))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,17 +1087,17 @@ mod tests {
     fn healthz_is_static_json() {
         let r = healthz();
         assert_eq!(r.status, 200);
-        assert!(r.body.contains("\"status\":\"ok\""));
+        assert!(r.body_text().contains("\"status\":\"ok\""));
     }
 
     #[test]
     fn devices_lists_the_whole_catalog() {
         let r = devices(&state());
         assert_eq!(r.status, 200);
-        assert!(r.body.contains("\"count\":8"));
-        assert!(r.body.contains("Intel Xeon Phi"));
-        assert!(r.body.contains("\"MNIST\""));
-        assert!(json::parse(&r.body).is_ok());
+        assert!(r.body_text().contains("\"count\":8"));
+        assert!(r.body_text().contains("Intel Xeon Phi"));
+        assert!(r.body_text().contains("\"MNIST\""));
+        assert!(json::parse(&r.body_text()).is_ok());
     }
 
     #[test]
@@ -732,20 +1107,20 @@ mod tests {
         assert_eq!(transport(&s, b"{}").status, 400);
         let empty = transport(&s, br#"{"layers":[]}"#);
         assert_eq!(empty.status, 400);
-        assert!(empty.body.contains("at least one layer"), "{}", empty.body);
+        assert!(empty.body_text().contains("at least one layer"), "{}", empty.body_text());
         let zero = transport(
             &s,
             br#"{"layers":[{"material":"water","thickness_cm":0}]}"#,
         );
         assert_eq!(zero.status, 400);
-        assert!(zero.body.contains("must be positive"), "{}", zero.body);
+        assert!(zero.body_text().contains("must be positive"), "{}", zero.body_text());
         let ok = transport(
             &s,
             br#"{"layers":[{"material":"cadmium","thickness_cm":0.1}],"histories":2000}"#,
         );
-        assert_eq!(ok.status, 200, "{}", ok.body);
-        assert!(json::parse(&ok.body).is_ok(), "{}", ok.body);
-        assert!(ok.body.contains("\"transmitted_thermal\""), "{}", ok.body);
+        assert_eq!(ok.status, 200, "{}", ok.body_text());
+        assert!(json::parse(&ok.body_text()).is_ok(), "{}", ok.body_text());
+        assert!(ok.body_text().contains("\"transmitted_thermal\""), "{}", ok.body_text());
     }
 
     #[test]
@@ -784,7 +1159,7 @@ mod tests {
             br#"{"due_fit_per_node": 500.0, "nodes": 100, "checkpoint_cost_s": 120}"#,
         );
         assert_eq!(r.status, 200);
-        let doc = json::parse(&r.body).unwrap();
+        let doc = json::parse(&r.body_text()).unwrap();
         assert_eq!(doc.get("fleet_due_fit").and_then(Json::as_f64), Some(5e4));
         let young = doc.get("young_interval_s").and_then(Json::as_f64).unwrap();
         let daly = doc.get("daly_interval_s").and_then(Json::as_f64).unwrap();
@@ -823,6 +1198,124 @@ mod tests {
         assert_eq!(a.body, b.body);
         assert!(s.metrics.render().contains("tn_cache_hits_total 1"));
         assert!(s.metrics.render().contains("tn_cache_misses_total 1"));
+    }
+
+    #[test]
+    fn fleet_inline_assesses_from_the_surface() {
+        let s = state();
+        let before = tn_core::transport::stats::histories_total();
+        let r = fleet(
+            &s,
+            br#"{"devices":[{"device":"NVIDIA K20","altitude_m":1609,"b10_areal_cm2":1e19,"avf":0.5}],"seed":3}"#,
+        );
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let doc = json::parse(&r.body_text()).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("surface_hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("mc_fallbacks").and_then(Json::as_f64), Some(0.0));
+        let results = doc.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results[0].get("source").and_then(Json::as_str), Some("surface"));
+        assert_eq!(results[0].get("id").and_then(Json::as_str), Some("inline-0000"));
+        let total = results[0]
+            .get("sdc")
+            .and_then(|f| f.get("total_fit"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(total > 0.0);
+        // Histories were spent building the surface; a repeat of the
+        // same query must not touch the transport kernel at all.
+        let after_build = tn_core::transport::stats::histories_total();
+        assert!(after_build > before, "surface build runs the kernel once");
+        let again = fleet(
+            &s,
+            br#"{"seed":3,"devices":[{"avf":0.5,"device":"NVIDIA K20","altitude_m":1609,"b10_areal_cm2":1e19}]}"#,
+        );
+        assert_eq!(again.body_text(), r.body_text());
+        assert_eq!(tn_core::transport::stats::histories_total(), after_build);
+    }
+
+    #[test]
+    fn fleet_validates_entries() {
+        let s = state();
+        assert_eq!(fleet(&s, b"{oops").status, 400);
+        assert_eq!(fleet(&s, br#"{"devices":[]}"#).status, 400);
+        assert_eq!(fleet(&s, br#"{"devices":"NVIDIA K20"}"#).status, 400);
+        let unknown = fleet(&s, br#"{"devices":[{"device":"PDP-11"}]}"#);
+        assert_eq!(unknown.status, 404);
+        assert!(unknown.body_text().contains("devices[0]"), "{}", unknown.body_text());
+        let bad_avf = fleet(&s, br#"{"devices":[{"device":"NVIDIA K20","avf":2}]}"#);
+        assert_eq!(bad_avf.status, 400);
+        assert_eq!(fleet(&s, br#"{"ids":["no-such-node"]}"#).status, 404);
+        assert_eq!(fleet(&s, br#"{"ids":[]}"#).status, 400);
+    }
+
+    #[test]
+    fn fleet_registry_mode_keys_cache_by_generation() {
+        let s = state();
+        let a = fleet(&s, br#"{"quick":true}"#);
+        assert_eq!(a.status, 200, "{}", a.body_text());
+        let doc = json::parse(&a.body_text()).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(24.0));
+        assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(0.0));
+        // Identical repeat: served from cache.
+        let b = fleet(&s, br#"{"quick":true}"#);
+        assert_eq!(a.body_text(), b.body_text());
+        assert!(s.metrics.render().contains("tn_cache_hits_total 1"));
+        // A mutation bumps the generation, so the same request misses.
+        s.with_fleet(|fleet| {
+            let mut entry = FleetEntry::new("node-0000", "NVIDIA TitanX");
+            entry.avf = 0.9;
+            fleet.upsert(entry).unwrap();
+        });
+        let c = fleet(&s, br#"{"quick":true}"#);
+        assert_eq!(c.status, 200);
+        let doc = json::parse(&c.body_text()).unwrap();
+        assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(1.0));
+        assert_ne!(a.body_text(), c.body_text());
+    }
+
+    #[test]
+    fn fleet_stream_is_chunked_jsonl() {
+        let s = state();
+        let r = fleet_stream(&s, "/v1/fleet/stream?seed=5&quick=true");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        assert_eq!(r.content_type, "application/x-ndjson");
+        let crate::http::Body::Chunked(chunks) = &r.body else {
+            panic!("stream response must be chunked");
+        };
+        // One metadata line + one line per demo-fleet entry.
+        assert_eq!(chunks.len(), 1 + 24);
+        let meta = json::parse(&chunks[0]).unwrap();
+        assert_eq!(meta.get("count").and_then(Json::as_f64), Some(24.0));
+        assert_eq!(meta.get("seed").and_then(Json::as_f64), Some(5.0));
+        for line in &chunks[1..] {
+            let doc = json::parse(line).unwrap();
+            assert!(doc.get("id").and_then(Json::as_str).is_some());
+            assert!(doc.get("sdc").is_some() && doc.get("due").is_some());
+        }
+        // Entries stream in registry (id) order.
+        let ids: Vec<String> = chunks[1..]
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn fleet_stream_rejects_bad_queries() {
+        let s = state();
+        assert_eq!(fleet_stream(&s, "/v1/fleet/stream?seed=x").status, 400);
+        assert_eq!(fleet_stream(&s, "/v1/fleet/stream?quick=maybe").status, 400);
+        assert_eq!(fleet_stream(&s, "/v1/fleet/stream?nope=1").status, 400);
     }
 
     #[test]

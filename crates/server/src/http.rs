@@ -159,6 +159,45 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// A response payload: either a single buffer sent with
+/// `Content-Length`, or a sequence of chunks streamed with
+/// `Transfer-Encoding: chunked` (one chunk per logical record, e.g. one
+/// JSONL line of a fleet stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// One contiguous body, framed by `Content-Length`.
+    Full(String),
+    /// Streamed chunks, framed by `Transfer-Encoding: chunked`. Empty
+    /// chunks are skipped on the wire — a zero-size chunk is the
+    /// protocol's end-of-body marker, so emitting one mid-stream would
+    /// truncate the response at the client.
+    Chunked(Vec<String>),
+}
+
+impl Body {
+    /// Total payload bytes (excluding chunked framing overhead).
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Full(s) => s.len(),
+            Body::Chunked(chunks) => chunks.iter().map(String::len).sum(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload as one string (chunks concatenated), for tests and
+    /// golden snapshots that inspect response content.
+    pub fn text(&self) -> String {
+        match self {
+            Body::Full(s) => s.clone(),
+            Body::Chunked(chunks) => chunks.concat(),
+        }
+    }
+}
+
 /// An outgoing response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -167,7 +206,7 @@ pub struct Response {
     /// `Content-Type` header value.
     pub content_type: &'static str,
     /// Response body.
-    pub body: String,
+    pub body: Body,
     /// Additional response headers, e.g. `x-request-id`, `Retry-After`.
     pub extra_headers: Vec<(String, String)>,
 }
@@ -178,9 +217,30 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
-            body,
+            body: Body::Full(body),
             extra_headers: Vec::new(),
         }
+    }
+
+    /// A chunked (streaming) response; each element of `chunks` becomes
+    /// one HTTP chunk on the wire.
+    pub fn chunked(status: u16, content_type: &'static str, chunks: Vec<String>) -> Self {
+        Self {
+            status,
+            content_type,
+            body: Body::Chunked(chunks),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Total payload bytes of the body (excluding chunked framing).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The body as one string (chunks concatenated).
+    pub fn body_text(&self) -> String {
+        self.body.text()
     }
 
     /// Adds a response header (builder style).
@@ -212,19 +272,26 @@ impl Response {
         Self {
             status: 200,
             content_type: "text/plain; version=0.0.4",
-            body,
+            body: Body::Full(body),
             extra_headers: Vec::new(),
         }
     }
 
     /// Serialises status line, fixed headers and body to the stream.
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Full bodies are framed with `Content-Length`; chunked bodies with
+    /// `Transfer-Encoding: chunked` (`{size:x}\r\n{chunk}\r\n` per
+    /// non-empty chunk, `0\r\n\r\n` terminator).
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        let framing = match &self.body {
+            Body::Full(body) => format!("Content-Length: {}\r\n", body.len()),
+            Body::Chunked(_) => "Transfer-Encoding: chunked\r\n".to_string(),
+        };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{}Connection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            framing,
         );
         for (name, value) in &self.extra_headers {
             head.push_str(name);
@@ -234,7 +301,17 @@ impl Response {
         }
         head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        match &self.body {
+            Body::Full(body) => stream.write_all(body.as_bytes())?,
+            Body::Chunked(chunks) => {
+                for chunk in chunks.iter().filter(|c| !c.is_empty()) {
+                    write!(stream, "{:x}\r\n", chunk.len())?;
+                    stream.write_all(chunk.as_bytes())?;
+                    stream.write_all(b"\r\n")?;
+                }
+                stream.write_all(b"0\r\n\r\n")?;
+            }
+        }
         stream.flush()
     }
 }
@@ -275,7 +352,7 @@ mod tests {
     fn overload_response_advises_retry() {
         let r = Response::overload();
         assert_eq!(r.status, 503);
-        assert!(r.body.contains("\"error\""));
+        assert!(r.body_text().contains("\"error\""));
         assert!(r
             .extra_headers
             .iter()
@@ -285,8 +362,67 @@ mod tests {
     #[test]
     fn error_responses_are_json_escaped() {
         let r = Response::error(400, "bad \"quote\"");
-        assert_eq!(r.body, "{\"error\":\"bad \\\"quote\\\"\"}");
+        assert_eq!(r.body_text(), "{\"error\":\"bad \\\"quote\\\"\"}");
         assert_eq!(r.content_type, "application/json");
+    }
+
+    #[test]
+    fn full_body_is_framed_with_content_length() {
+        let mut wire = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string())
+            .write_to(&mut wire)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(!text.contains("Transfer-Encoding"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn chunked_body_uses_hex_framing_and_terminator() {
+        let chunks = vec!["{\"a\":1}\n".to_string(), "{\"b\":22}\n".to_string()];
+        let r = Response::chunked(200, "application/x-ndjson", chunks);
+        assert_eq!(r.body_len(), 17);
+        assert_eq!(r.body_text(), "{\"a\":1}\n{\"b\":22}\n");
+        let mut wire = Vec::new();
+        r.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        // 8 bytes -> "8", 9 bytes -> "9", then the 0-size terminator.
+        assert!(
+            text.ends_with("\r\n\r\n8\r\n{\"a\":1}\n\r\n9\r\n{\"b\":22}\n\r\n0\r\n\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn chunked_hex_sizes_and_empty_chunks() {
+        // A 26-byte chunk must be framed as hex "1a", and empty chunks
+        // must be skipped entirely — a zero-size chunk would terminate
+        // the stream early at the client.
+        let long = "abcdefghijklmnopqrstuvwxyz".to_string();
+        let r = Response::chunked(
+            200,
+            "application/x-ndjson",
+            vec![String::new(), long.clone(), String::new()],
+        );
+        let mut wire = Vec::new();
+        r.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        let body_start = text.find("\r\n\r\n").unwrap() + 4;
+        assert_eq!(&text[body_start..], format!("1a\r\n{long}\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn chunked_with_no_chunks_is_just_the_terminator() {
+        let r = Response::chunked(200, "application/x-ndjson", Vec::new());
+        assert!(r.body.is_empty());
+        let mut wire = Vec::new();
+        r.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.ends_with("\r\n\r\n0\r\n\r\n"), "{text}");
     }
 
     /// Accepts one connection, feeds it to `read_request_with_timeout`

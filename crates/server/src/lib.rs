@@ -12,6 +12,8 @@
 //! | `/v1/fit` | POST | SDC/DUE FIT + thermal share for device × environment |
 //! | `/v1/checkpoint` | POST | Young/Daly checkpoint intervals for a fleet |
 //! | `/v1/cross-sections` | POST | quick beam-campaign pipeline for one device |
+//! | `/v1/fleet` | POST | bulk FIT assessment from the precomputed risk surface |
+//! | `/v1/fleet/stream` | GET | whole fleet registry as chunked JSONL |
 //! | `/metrics` | GET | Prometheus text: requests, latencies, cache, workers |
 //!
 //! ## Determinism and caching
@@ -72,6 +74,9 @@ pub struct ServerConfig {
     /// connections are shed immediately with `503` + `Retry-After`
     /// instead of piling up behind a saturated pool.
     pub max_queue: usize,
+    /// Path to a fleet-registry JSONL snapshot. `None` seeds the
+    /// deterministic demo fleet instead.
+    pub fleet_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +88,7 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             transport_threads: 1,
             max_queue: 128,
+            fleet_path: None,
         }
     }
 }
@@ -109,6 +115,18 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
         let threads = config.threads.max(1);
         tn_core::transport::set_default_threads(config.transport_threads);
+        let fleet = match &config.fleet_path {
+            None => tn_fleet::FleetRegistry::demo(config.seed, 24),
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                tn_fleet::FleetRegistry::from_jsonl(&text).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("fleet snapshot {path}: {e}"),
+                    )
+                })?
+            }
+        };
         let listener = TcpListener::bind(&config.addr)?;
         tn_obs::info(
             "server_bound",
@@ -116,11 +134,17 @@ impl Server {
                 ("addr", format!("{}", listener.local_addr()?).into()),
                 ("threads", threads.into()),
                 ("max_queue", config.max_queue.into()),
+                ("fleet_entries", fleet.len().into()),
             ],
         );
         Ok(Self {
             listener,
-            state: Arc::new(AppState::new(config.seed, config.cache_capacity, threads)),
+            state: Arc::new(AppState::with_registry(
+                config.seed,
+                config.cache_capacity,
+                threads,
+                fleet,
+            )),
             threads,
             max_queue: config.max_queue,
         })
@@ -256,6 +280,10 @@ fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool) {
 }
 
 fn serve_connection(mut stream: TcpStream, state: &AppState) {
+    // Nagle + delayed-ACK costs ~40 ms per extra segment on the small
+    // sequential writes below; this server always has a complete
+    // response to send, so there is nothing for Nagle to batch.
+    stream.set_nodelay(true).ok();
     let response = match http::read_request(&mut stream) {
         Ok(request) => router::handle(state, &request),
         Err(http::HttpError::Malformed(why)) => http::Response::error(400, why),
@@ -263,8 +291,9 @@ fn serve_connection(mut stream: TcpStream, state: &AppState) {
         // The socket is gone; nothing can be written back.
         Err(http::HttpError::Io(_)) => return,
     };
-    // A peer that vanished mid-write is its own problem.
-    let _ = response.write_to(&mut stream);
+    // Buffer the head/body/chunk-framing writes into few syscalls. A
+    // peer that vanished mid-write is its own problem.
+    let _ = response.write_to(&mut std::io::BufWriter::new(&mut stream));
 }
 
 /// A running server: join it or shut it down.

@@ -31,6 +31,10 @@ pub enum Endpoint {
     CrossSections,
     /// `POST /v1/transport`
     Transport,
+    /// `POST /v1/fleet`
+    Fleet,
+    /// `GET /v1/fleet/stream`
+    FleetStream,
     /// `GET /metrics`
     Metrics,
     /// Anything else.
@@ -39,13 +43,15 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Healthz,
         Endpoint::Devices,
         Endpoint::Fit,
         Endpoint::Checkpoint,
         Endpoint::CrossSections,
         Endpoint::Transport,
+        Endpoint::Fleet,
+        Endpoint::FleetStream,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -59,6 +65,8 @@ impl Endpoint {
             Endpoint::Checkpoint => "/v1/checkpoint",
             Endpoint::CrossSections => "/v1/cross-sections",
             Endpoint::Transport => "/v1/transport",
+            Endpoint::Fleet => "/v1/fleet",
+            Endpoint::FleetStream => "/v1/fleet/stream",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -86,7 +94,7 @@ struct EndpointCounters {
 /// The service-wide metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 8],
+    endpoints: [EndpointCounters; 10],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,

@@ -19,6 +19,8 @@ fn endpoint_of(path: &str) -> Endpoint {
         "/v1/checkpoint" => Endpoint::Checkpoint,
         "/v1/cross-sections" => Endpoint::CrossSections,
         "/v1/transport" => Endpoint::Transport,
+        "/v1/fleet" => Endpoint::Fleet,
+        "/v1/fleet/stream" => Endpoint::FleetStream,
         "/metrics" => Endpoint::Metrics,
         _ => Endpoint::Other,
     }
@@ -40,7 +42,7 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
         endpoint,
         response.status,
         elapsed_us,
-        response.body.len() as u64,
+        response.body_len() as u64,
     );
     state.metrics.leave();
     tn_obs::info(
@@ -52,7 +54,7 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
             ("endpoint", endpoint.label().into()),
             ("status", u64::from(response.status).into()),
             ("latency_us", elapsed_us.into()),
-            ("bytes", (response.body.len() as u64).into()),
+            ("bytes", (response.body_len() as u64).into()),
         ],
     );
     response.with_header("x-request-id", request_id)
@@ -89,6 +91,14 @@ fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response
             "POST" => handlers::transport(state, &request.body),
             _ => method_not_allowed("POST"),
         },
+        Endpoint::Fleet => match method {
+            "POST" => handlers::fleet(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
+        Endpoint::FleetStream => match method {
+            "GET" => handlers::fleet_stream(state, &request.path),
+            _ => method_not_allowed("GET"),
+        },
         Endpoint::Other => Response::error(404, &format!("no route for `{}`", request.path)),
     }
 }
@@ -113,6 +123,9 @@ mod tests {
     fn routes_resolve_to_their_endpoints() {
         assert_eq!(endpoint_of("/healthz"), Endpoint::Healthz);
         assert_eq!(endpoint_of("/v1/fit"), Endpoint::Fit);
+        assert_eq!(endpoint_of("/v1/fleet"), Endpoint::Fleet);
+        assert_eq!(endpoint_of("/v1/fleet/stream"), Endpoint::FleetStream);
+        assert_eq!(endpoint_of("/v1/fleet/stream?seed=3"), Endpoint::FleetStream);
         assert_eq!(endpoint_of("/nope"), Endpoint::Other);
         assert_eq!(endpoint_of("/healthz?probe=1"), Endpoint::Healthz);
         assert_eq!(endpoint_of("/metrics#frag"), Endpoint::Metrics);

@@ -18,6 +18,7 @@ fn start_with_queue(threads: usize, max_queue: usize) -> ServerHandle {
         cache_capacity: 64,
         transport_threads: 1,
         max_queue,
+        fleet_path: None,
     })
     .expect("bind ephemeral port")
     .spawn()
@@ -277,10 +278,20 @@ fn path_scans_cannot_inflate_metric_cardinality() {
         "/v1/fit/../../etc/passwd",
         "/v1/nope?x=1",
         "/.env",
+        // Near-misses around the fleet routes fold into `other` too —
+        // only the exact paths get their own label.
+        "/v1/fleet/",
+        "/v1/fleet/stream/extra",
+        "/v1/fleetx",
     ] {
         let (status, _, _) = get(addr, path);
         assert_eq!(status, 404, "{path}");
     }
+    // The real fleet routes land in their own bounded labels.
+    let (status, _, _) = get(addr, "/v1/fleet/stream?quick=true");
+    assert_eq!(status, 200);
+    let (status, _, _) = post(addr, "/v1/fleet", "not json");
+    assert_eq!(status, 400);
 
     let (_, _, metrics) = get(addr, "/metrics");
     let other_series: Vec<&str> = metrics
@@ -289,10 +300,37 @@ fn path_scans_cannot_inflate_metric_cardinality() {
         .collect();
     assert_eq!(
         other_series,
-        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 5"],
+        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 8"],
         "all bogus paths share one series:\n{metrics}"
     );
-    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 5"));
+    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 8"));
+    assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet\",status=\"400\"} 1"));
+    assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet/stream\",status=\"200\"} 1"));
+    // The endpoint label space is a fixed enumeration: nothing a path
+    // scan sends can mint a label outside it.
+    let labels: std::collections::BTreeSet<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("tn_requests_total{"))
+        .filter_map(|l| l.split("endpoint=\"").nth(1)?.split('"').next())
+        .collect();
+    for label in &labels {
+        assert!(
+            [
+                "/healthz",
+                "/v1/devices",
+                "/v1/fit",
+                "/v1/checkpoint",
+                "/v1/cross-sections",
+                "/v1/transport",
+                "/v1/fleet",
+                "/v1/fleet/stream",
+                "/metrics",
+                "other",
+            ]
+            .contains(label),
+            "unexpected endpoint label {label:?}"
+        );
+    }
 
     server.stop();
 }
@@ -380,12 +418,89 @@ fn responses_are_deterministic_across_server_instances() {
     assert_eq!(first, second, "fresh daemons agree byte-for-byte");
 }
 
-const POST_ENDPOINTS: [&str; 4] = [
+const POST_ENDPOINTS: [&str; 5] = [
     "/v1/fit",
     "/v1/checkpoint",
     "/v1/cross-sections",
     "/v1/transport",
+    "/v1/fleet",
 ];
+
+/// Decodes a `Transfer-Encoding: chunked` body into its payload.
+fn decode_chunked(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    loop {
+        let (size_line, tail) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..];
+    }
+    out
+}
+
+#[test]
+fn fleet_bulk_endpoint_serves_from_the_surface() {
+    let server = start(2);
+    let addr = server.addr();
+    let request = r#"{"devices":[{"device":"NVIDIA K20","altitude_m":1609,"b10_areal_cm2":1e19,"avf":0.5},{"device":"Intel Xeon Phi","altitude_m":10}],"seed":4}"#;
+
+    let (status, _, first) = post(addr, "/v1/fleet", request);
+    assert_eq!(status, 200, "{first}");
+    for needle in [
+        "\"count\":2",
+        "\"surface_hits\":2",
+        "\"mc_fallbacks\":0",
+        "\"surface_digest\":\"",
+        "\"source\":\"surface\"",
+        "\"sdc\":{",
+        "\"total_fit\":",
+    ] {
+        assert!(first.contains(needle), "missing {needle} in {first}");
+    }
+    let (_, _, second) = post(addr, "/v1/fleet", request);
+    assert_eq!(first, second, "bulk responses are cached/deterministic");
+
+    // Registry mode answers for the built-in demo fleet.
+    let (status, _, registry) = post(addr, "/v1/fleet", "{}");
+    assert_eq!(status, 200, "{registry}");
+    assert!(registry.contains("\"count\":24"), "{registry}");
+    assert!(registry.contains("\"generation\":0"), "{registry}");
+    assert!(registry.contains("node-0000"), "{registry}");
+
+    server.stop();
+}
+
+#[test]
+fn fleet_stream_is_chunked_ndjson_on_the_wire() {
+    let server = start(2);
+    let addr = server.addr();
+
+    let (status, head, body) = get(addr, "/v1/fleet/stream?seed=9&quick=true");
+    assert_eq!(status, 200, "{head}\n{body}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(head.contains("Content-Type: application/x-ndjson"), "{head}");
+    assert!(!head.contains("Content-Length"), "{head}");
+
+    let payload = decode_chunked(&body);
+    let lines: Vec<&str> = payload.lines().collect();
+    assert_eq!(lines.len(), 1 + 24, "meta line + one line per demo entry");
+    assert!(lines[0].contains("\"count\":24"), "{}", lines[0]);
+    assert!(lines[0].contains("\"seed\":9"), "{}", lines[0]);
+    for line in &lines[1..] {
+        assert!(line.starts_with("{\"id\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    // Same query again: byte-identical payload via the response cache.
+    let (_, _, again) = get(addr, "/v1/fleet/stream?seed=9&quick=true");
+    assert_eq!(decode_chunked(&again), payload);
+
+    server.stop();
+}
 
 /// Regression test for the empty / zero-thickness stack panic: a bad
 /// geometry must come back as a 400 with the validation message, not

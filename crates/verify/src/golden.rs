@@ -183,14 +183,19 @@ pub fn render_artefacts() -> Vec<(&'static str, String)> {
     let state = AppState::new(GOLDEN_SEED, 16, 1);
     let fit_body = br#"{"device":"Intel Xeon Phi","location":"new_york","quick":true}"#;
     let fit = handlers::fit(&state, fit_body);
-    assert_eq!(fit.status, 200, "fit golden request failed: {}", fit.body);
+    assert_eq!(fit.status, 200, "fit golden request failed: {}", fit.body_text());
     let xs_body = br#"{"device":"NVIDIA K20"}"#;
     let xs = handlers::cross_sections(&state, xs_body);
-    assert_eq!(xs.status, 200, "cross-sections golden request failed: {}", xs.body);
+    assert_eq!(
+        xs.status,
+        200,
+        "cross-sections golden request failed: {}",
+        xs.body_text()
+    );
     vec![
         ("study_report.json", study.to_json()),
-        ("fit_response.json", fit.body),
-        ("cross_sections_response.json", xs.body),
+        ("fit_response.json", fit.body_text()),
+        ("cross_sections_response.json", xs.body_text()),
     ]
 }
 

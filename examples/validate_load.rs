@@ -1,0 +1,125 @@
+//! Validates a `BENCH_fleet.json` artifact written by the fleet load
+//! harness (`thermal-neutrons load`): parses it with the in-tree JSON
+//! parser and checks the keys and invariants the CI gate relies on.
+//!
+//! ```text
+//! cargo run --example validate_load -- target/tn-bench/BENCH_fleet.json
+//! ```
+//!
+//! Defaults to `target/tn-bench/BENCH_fleet.json` when no path is
+//! given. Exits non-zero (with a message on stderr) on any missing key,
+//! non-numeric value, malformed JSON, or a latency distribution that
+//! violates the p50 ≤ p90 ≤ p99 ordering, so `scripts/ci.sh` can gate
+//! on it directly after the smoke load run.
+
+use std::process::ExitCode;
+use thermal_neutrons::core_api::json;
+
+/// Strictly positive numeric fields every artifact must carry.
+const REQUIRED_POSITIVE: &[&str] = &[
+    "requests",
+    "offered_rps",
+    "achieved_rps",
+    "wall_s",
+    "latency_p50_ns",
+    "latency_p90_ns",
+    "latency_p99_ns",
+    "latency_mean_ns",
+];
+
+/// The p99 latency gate for smoke runs, nanoseconds. Smoke runs drive
+/// a lightly-loaded in-process server answering from the risk surface
+/// and the response cache; even on a busy CI box a cached bulk
+/// assessment should clear in well under this bound. A p99 past it
+/// means the surface path regressed to Monte-Carlo or the server is
+/// queueing pathologically.
+const SMOKE_P99_BOUND_NS: f64 = 5e9;
+
+fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e:?}"))?;
+    let name = doc
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field \"name\"")?;
+    if name != "fleet_load" {
+        return Err(format!("unexpected bench name {name:?}"));
+    }
+    let smoke = doc
+        .get("smoke")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing bool field \"smoke\"")?;
+    let number = |key: &str| -> Result<f64, String> {
+        let value = doc
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+        if !value.is_finite() {
+            return Err(format!("field {key:?} is not finite: {value}"));
+        }
+        Ok(value)
+    };
+    for key in REQUIRED_POSITIVE {
+        let value = number(key)?;
+        if value <= 0.0 {
+            return Err(format!("field {key:?} is not a positive number: {value}"));
+        }
+    }
+    let errors = number("errors")?;
+    if errors < 0.0 {
+        return Err(format!("field \"errors\" is negative: {errors}"));
+    }
+
+    // The quantiles must be ordered; a crossed pair means the histogram
+    // snapshot-delta logic (or the report assembly) broke.
+    let (p50, p90, p99) = (
+        number("latency_p50_ns")?,
+        number("latency_p90_ns")?,
+        number("latency_p99_ns")?,
+    );
+    if !(p50 <= p90 && p90 <= p99) {
+        return Err(format!(
+            "latency quantiles are not ordered: p50 {p50} / p90 {p90} / p99 {p99}"
+        ));
+    }
+
+    // Errors dominating successes means the run measured failures, not
+    // the service.
+    let requests = number("requests")?;
+    if errors > requests {
+        return Err(format!(
+            "more errors ({errors}) than completed requests ({requests})"
+        ));
+    }
+
+    if smoke && p99 > SMOKE_P99_BOUND_NS {
+        return Err(format!(
+            "smoke p99 latency {:.1}ms exceeds the {:.0}ms gate",
+            p99 / 1e6,
+            SMOKE_P99_BOUND_NS / 1e6
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/tn-bench/BENCH_fleet.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_load: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(()) => {
+            println!("validate_load: {path} ok");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("validate_load: {path}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,6 +22,16 @@ cargo run --offline --example validate_bench -- target/tn-bench/BENCH_transport_
 TN_BENCH_SMOKE=1 TN_BENCH_VR=on cargo bench --offline -p tn-bench --bench ext_transport_throughput
 cargo run --offline --example validate_bench -- target/tn-bench/BENCH_transport_throughput.json
 
+# ---- fleet load-harness smoke ---------------------------------------------
+# A short open-loop run against an in-process server (quick surfaces,
+# low rate), then schema + p99-gate validation of the BENCH_fleet.json
+# artifact. Guards the /v1/fleet path end-to-end: surface build,
+# bulk assessment, response cache, and the harness's own report.
+TN_BENCH_SMOKE=1 target/release/thermal-neutrons load \
+    --rate-hz 60 --duration-s 1.5 --workers 2 --devices 4 --seed 7 \
+    --out target/tn-bench/BENCH_fleet.json
+cargo run --offline --example validate_load -- target/tn-bench/BENCH_fleet.json
+
 # ---- tn-server smoke test -------------------------------------------------
 # Start the daemon on an ephemeral port with debug tracing into a JSONL
 # file, hit /healthz through bash's /dev/tcp (no curl in the hermetic

@@ -1,0 +1,182 @@
+//! Fleet-subsystem acceptance tests: risk-surface determinism and
+//! accuracy, the no-transport-on-hit guarantee, and the registry
+//! snapshot round-trip through the server's `fleet_path` config.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use thermal_neutrons::core_api as tn;
+use tn_fleet::{FleetEntry, FleetRegistry, RiskSource, RiskSurface, SiteParams, SurfaceConfig};
+use tn_server::{Server, ServerConfig};
+
+/// The surface tables are byte-identical for any construction thread
+/// count: column `j` always draws from substream `fork(j)`, and the
+/// workers write results by index.
+#[test]
+fn surface_is_byte_identical_across_thread_counts() {
+    let digest_for = |threads: usize| {
+        let config = SurfaceConfig {
+            threads,
+            ..SurfaceConfig::quick(42)
+        };
+        RiskSurface::build(config).grid_digest()
+    };
+    let serial = digest_for(1);
+    assert_eq!(serial, digest_for(4), "4 threads diverged from serial");
+    assert_eq!(serial, digest_for(8), "8 threads diverged from serial");
+}
+
+/// On-grid assessments are pure table reads: the process-wide transport
+/// history counter must not advance. Off-grid assessments must fall
+/// back to a real Monte-Carlo run, which does advance it.
+#[test]
+fn surface_hits_run_no_transport_and_fallbacks_do() {
+    let surface = RiskSurface::build(SurfaceConfig::quick(7));
+    let device = tn::devices::all_compute_devices().remove(0);
+    let on_grid = SiteParams {
+        altitude_m: 1_609.0,
+        rigidity_factor: 1.1,
+        b10_areal_cm2: 3e18,
+        thermal_scaling: 1.0,
+        avf: 0.5,
+    };
+    let before = tn::transport::stats::histories_total();
+    let hit = surface.assess(&device, &on_grid);
+    assert_eq!(hit.source, RiskSource::Surface);
+    assert_eq!(
+        tn::transport::stats::histories_total(),
+        before,
+        "surface hit must not run the Monte-Carlo kernel"
+    );
+
+    let off_grid = SiteParams {
+        altitude_m: 8_000.0, // above the 4000 m grid ceiling
+        ..on_grid
+    };
+    let miss = surface.assess(&device, &off_grid);
+    assert_eq!(miss.source, RiskSource::MonteCarlo);
+    assert!(
+        tn::transport::stats::histories_total() > before,
+        "off-grid fallback must run the Monte-Carlo kernel"
+    );
+}
+
+/// Grid-interior lookups agree with a direct evaluation (analytic
+/// altitude factors × a dedicated Monte-Carlo transmission run at the
+/// exact ¹⁰B value) to 1%. The budget below keeps the Monte-Carlo
+/// noise floor well under the tolerance, so the check genuinely bounds
+/// the *interpolation* error.
+#[test]
+fn surface_interpolation_matches_direct_evaluation_to_one_percent() {
+    let config = SurfaceConfig {
+        alt_nodes: 5,
+        log10_b10_min: 17.5,
+        log10_b10_max: 19.0,
+        b10_nodes: 5,
+        histories_per_node: 32_768,
+        ..SurfaceConfig::quick(11)
+    };
+    let surface = RiskSurface::build(config);
+    let device = tn::devices::all_compute_devices().remove(0);
+    // Mid-cell on both axes, plus one point in the sub-grid [0, N₀)
+    // shielding segment.
+    for (alt, b10) in [
+        (500.0, 1e18),
+        (1_750.0, 5.5e18),
+        (3_500.0, 8.8e18),
+        (1_000.0, 1e17),
+    ] {
+        let p = SiteParams {
+            altitude_m: alt,
+            rigidity_factor: 1.0,
+            b10_areal_cm2: b10,
+            thermal_scaling: 1.0,
+            avf: 1.0,
+        };
+        let assessment = surface.assess(&device, &p);
+        assert_eq!(assessment.source, RiskSource::Surface, "({alt}, {b10:e})");
+        let (he, th) = surface.fluxes_direct(alt, b10);
+        let region = device.response().region(tn::devices::ErrorClass::Sdc);
+        let direct = region
+            .fast_saturated()
+            .fit_in(tn::physics::units::Flux(he))
+            .value()
+            + region
+                .b10_cross_section_at(tn::physics::constants::THERMAL_ENERGY)
+                .fit_in(tn::physics::units::Flux(th))
+                .value();
+        let interpolated = assessment.sdc.total().value();
+        let rel = (interpolated - direct).abs() / direct;
+        assert!(
+            rel <= 0.01,
+            "({alt} m, {b10:e} atoms/cm2): surface {interpolated} vs direct {direct} \
+             (rel err {rel:.4})"
+        );
+    }
+}
+
+/// One tiny HTTP exchange against a spawned server (the daemon closes
+/// each connection after its response, so read-to-EOF is the framing).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// A registry snapshot written with `to_jsonl` survives the trip
+/// through `ServerConfig::fleet_path`: the daemon loads it, serves it
+/// on the stream endpoint, and a corrupt snapshot is a bind error.
+#[test]
+fn registry_snapshot_round_trips_through_the_server_config() {
+    let mut registry = FleetRegistry::new();
+    for (id, device, alt) in [
+        ("rack-a", "NVIDIA K20", 10.0),
+        ("rack-b", "Intel Xeon Phi", 1_609.0),
+        ("rack-c", "NVIDIA TitanX", 3_094.0),
+    ] {
+        let mut entry = FleetEntry::new(id, device);
+        entry.altitude_m = alt;
+        registry
+            .upsert(entry.validate().expect("valid entry"))
+            .expect("upsert");
+    }
+    let jsonl = registry.to_jsonl();
+    let round = FleetRegistry::from_jsonl(&jsonl).expect("snapshot parses back");
+    assert_eq!(round.entries(), registry.entries());
+
+    let path = std::env::temp_dir().join("tn_fleet_subsystem_snapshot.jsonl");
+    std::fs::write(&path, &jsonl).expect("write snapshot");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        seed: 5,
+        transport_threads: 1,
+        fleet_path: Some(path.to_string_lossy().to_string()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(&config).expect("bind with snapshot").spawn();
+    let response = http_get(handle.addr(), "/v1/fleet/stream?quick=true");
+    handle.stop();
+    let _ = std::fs::remove_file(&path);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    for id in ["rack-a", "rack-b", "rack-c"] {
+        assert!(response.contains(id), "missing {id} in {response}");
+    }
+    assert!(response.contains("\"count\":3"), "{response}");
+
+    let bad = std::env::temp_dir().join("tn_fleet_subsystem_bad.jsonl");
+    std::fs::write(&bad, "{\"id\":\"x\"}\n").expect("write bad snapshot");
+    let err = Server::bind(&ServerConfig {
+        fleet_path: Some(bad.to_string_lossy().to_string()),
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect_err("corrupt snapshot must not bind");
+    let _ = std::fs::remove_file(&bad);
+    assert!(err.to_string().contains("fleet snapshot"), "{err}");
+}
