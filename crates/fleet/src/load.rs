@@ -32,6 +32,12 @@ use tn_rng::Rng;
 /// full-resolution surface build on first touch can take seconds.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Most requests a keep-alive worker pipelines in one write when it
+/// wakes up behind schedule. Bounds client memory and keeps the
+/// latency attribution honest (every request in the batch is already
+/// due when the batch is sent).
+const MAX_PIPELINE_BATCH: usize = 64;
+
 /// Configuration for one load run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadConfig {
@@ -49,6 +55,11 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Ask the server for quick (low-statistics) risk surfaces.
     pub quick_surfaces: bool,
+    /// Reuse one connection per worker (HTTP/1.1 keep-alive) instead of
+    /// connecting per request; due requests are pipelined.
+    pub keep_alive: bool,
+    /// Label of the server's io model, recorded in the report.
+    pub io_model: String,
 }
 
 impl Default for LoadConfig {
@@ -61,6 +72,8 @@ impl Default for LoadConfig {
             devices_per_request: 8,
             seed: 7,
             quick_surfaces: true,
+            keep_alive: false,
+            io_model: "threads".to_string(),
         }
     }
 }
@@ -86,6 +99,10 @@ pub struct LoadReport {
     pub p99_ns: f64,
     /// Mean latency, nanoseconds.
     pub mean_ns: f64,
+    /// Whether the workers reused connections (HTTP/1.1 keep-alive).
+    pub keep_alive: bool,
+    /// Label of the server's io model (`threads` | `epoll`).
+    pub io_model: String,
 }
 
 impl LoadReport {
@@ -94,6 +111,8 @@ impl LoadReport {
         Json::Object(vec![
             ("name".to_string(), Json::Str("fleet_load".to_string())),
             ("smoke".to_string(), Json::Bool(smoke)),
+            ("io_model".to_string(), Json::Str(self.io_model.clone())),
+            ("keep_alive".to_string(), Json::Bool(self.keep_alive)),
             ("requests".to_string(), Json::Num(self.requests as f64)),
             ("errors".to_string(), Json::Num(self.errors as f64)),
             (
@@ -164,8 +183,9 @@ fn request_body(config: &LoadConfig, w: usize, n: u64) -> String {
     .to_canonical_string()
 }
 
-/// Sends one `POST /v1/fleet` request over a fresh connection (the
-/// server closes after each response) and returns the HTTP status code.
+/// Sends one `POST /v1/fleet` request over a fresh connection, asking
+/// the server to close after the response (`Connection: close` — the
+/// close-per-request baseline mode) and returns the HTTP status code.
 fn send_request(addr: &str, body: &str) -> Result<u16, String> {
     let target = addr
         .to_string()
@@ -197,6 +217,138 @@ fn send_request(addr: &str, body: &str) -> Result<u16, String> {
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| format!("malformed response: {:?}", text.get(..60)))?;
     Ok(status)
+}
+
+/// A persistent keep-alive connection to the fleet service. Requests
+/// omit the `Connection` header (HTTP/1.1 defaults to keep-alive), so
+/// one TCP connection serves many requests; batches of already-due
+/// requests are pipelined in a single write. Responses are framed by
+/// `Content-Length`, with leftover bytes kept for the next response.
+struct Client {
+    target: std::net::SocketAddr,
+    host: String,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn new(addr: &str) -> Result<Self, String> {
+        let target = addr
+            .parse::<std::net::SocketAddr>()
+            .map_err(|e| format!("bad address {addr:?}: {e}"))?;
+        Ok(Client {
+            target,
+            host: addr.to_string(),
+            stream: None,
+            buf: Vec::new(),
+        })
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.target, REQUEST_TIMEOUT)
+                .map_err(|e| format!("connect {}: {e}", self.host))?;
+            stream
+                .set_read_timeout(Some(REQUEST_TIMEOUT))
+                .and_then(|()| stream.set_write_timeout(Some(REQUEST_TIMEOUT)))
+                .map_err(|e| format!("socket timeout: {e}"))?;
+            stream.set_nodelay(true).ok();
+            self.buf.clear();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Sends `bodies` pipelined on one connection and reads one framed
+    /// response per request. Per-request results keep the batch honest:
+    /// if the connection dies mid-batch, the unanswered tail counts as
+    /// errors, not as silently-retried successes.
+    fn exchange(&mut self, bodies: &[String]) -> Vec<Result<u16, String>> {
+        let mut frames = String::new();
+        for body in bodies {
+            frames.push_str(&format!(
+                "POST /v1/fleet HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                self.host,
+                body.len()
+            ));
+        }
+        let mut results = Vec::with_capacity(bodies.len());
+        let write = self
+            .stream()
+            .and_then(|s| s.write_all(frames.as_bytes()).map_err(|e| format!("write: {e}")));
+        if let Err(e) = write {
+            self.stream = None;
+            results.resize(bodies.len(), Err(e));
+            return results;
+        }
+        while results.len() < bodies.len() {
+            match self.read_response() {
+                Ok(status) => {
+                    results.push(Ok(status));
+                    // The server announced a close (request cap, error):
+                    // anything still pipelined behind it is lost.
+                    if self.stream.is_none() && results.len() < bodies.len() {
+                        results.resize(
+                            bodies.len(),
+                            Err("server closed the connection mid-batch".to_string()),
+                        );
+                    }
+                }
+                Err(e) => {
+                    self.stream = None;
+                    results.resize(bodies.len(), Err(e));
+                }
+            }
+        }
+        results
+    }
+
+    /// Reads one `Content-Length`-framed response; trailing bytes stay
+    /// buffered for the next pipelined response.
+    fn read_response(&mut self) -> Result<u16, String> {
+        let head_end = self.read_until(|buf| {
+            buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+        })?;
+        let head = String::from_utf8_lossy(&self.buf[..head_end - 4]).into_owned();
+        self.buf.drain(..head_end);
+        let status = head
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| format!("malformed response head: {:?}", head.get(..60)))?;
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("response without Content-Length: {:?}", head.get(..120)))?;
+        self.read_until(move |buf| (buf.len() >= length).then_some(length))?;
+        self.buf.drain(..length);
+        if head
+            .lines()
+            .any(|l| l.eq_ignore_ascii_case("connection: close"))
+        {
+            self.stream = None;
+        }
+        Ok(status)
+    }
+
+    fn read_until(&mut self, done: impl Fn(&[u8]) -> Option<usize>) -> Result<usize, String> {
+        loop {
+            if let Some(n) = done(&self.buf) {
+                return Ok(n);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self
+                .stream()?
+                .read(&mut chunk)
+                .map_err(|e| format!("read: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-response".to_string());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
 }
 
 /// Runs the open-loop load: `workers` threads, each drawing exponential
@@ -236,30 +388,58 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
             let (ok, failed) = (&ok, &failed);
             scope.spawn(move || {
                 let mut rng = Rng::seed_from_u64(config.seed).fork(w as u64);
-                let mut next_arrival = Duration::ZERO;
+                let mut client = config
+                    .keep_alive
+                    .then(|| Client::new(&config.addr).expect("validated address"));
+                let mut gap =
+                    || Duration::from_secs_f64(rng.gen_exp() * mean_gap_s);
+                let mut arrival = gap();
                 let mut n = 0u64;
-                loop {
-                    next_arrival += Duration::from_secs_f64(rng.gen_exp() * mean_gap_s);
-                    if next_arrival >= deadline {
-                        break;
-                    }
+                while arrival < deadline {
                     // Open loop: sleep to the *scheduled* arrival; if we
                     // are already late, fire immediately and let the
                     // lateness count against the latency.
-                    if let Some(wait) = next_arrival.checked_sub(start.elapsed()) {
+                    if let Some(wait) = arrival.checked_sub(start.elapsed()) {
                         std::thread::sleep(wait);
                     }
-                    let body = request_body(config, w, n);
+                    // In keep-alive mode, every further arrival that is
+                    // already due joins this batch and is pipelined in
+                    // one write. Each request still measures from its
+                    // own scheduled arrival, so batching cannot hide
+                    // lateness (no coordinated omission).
+                    let mut arrivals = vec![arrival];
+                    let mut bodies = vec![request_body(config, w, n)];
                     n += 1;
-                    match send_request(&config.addr, &body) {
-                        Ok(200) => {
-                            let latency = start.elapsed().saturating_sub(next_arrival);
-                            histogram
-                                .observe(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
-                            ok.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok(_) | Err(_) => {
-                            failed.fetch_add(1, Ordering::Relaxed);
+                    arrival += gap();
+                    while client.is_some()
+                        && arrivals.len() < MAX_PIPELINE_BATCH
+                        && arrival < deadline
+                        && arrival <= start.elapsed()
+                    {
+                        arrivals.push(arrival);
+                        bodies.push(request_body(config, w, n));
+                        n += 1;
+                        arrival += gap();
+                    }
+                    let results: Vec<Result<u16, String>> = match &mut client {
+                        Some(client) => client.exchange(&bodies),
+                        None => bodies
+                            .iter()
+                            .map(|body| send_request(&config.addr, body))
+                            .collect(),
+                    };
+                    for (scheduled, result) in arrivals.iter().zip(results) {
+                        match result {
+                            Ok(200) => {
+                                let latency = start.elapsed().saturating_sub(*scheduled);
+                                histogram.observe(
+                                    latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+                                );
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) | Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 }
@@ -273,6 +453,8 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     Ok(LoadReport {
         requests,
         errors: failed.load(Ordering::Relaxed),
+        keep_alive: config.keep_alive,
+        io_model: config.io_model.clone(),
         achieved_rps: if wall_s > 0.0 {
             requests as f64 / wall_s
         } else {
@@ -315,10 +497,14 @@ mod tests {
             p90_ns: 2e6,
             p99_ns: 3e6,
             mean_ns: 1.2e6,
+            keep_alive: true,
+            io_model: "epoll".to_string(),
         };
         let doc = report.to_json(true);
         assert_eq!(doc.get("name").and_then(Json::as_str), Some("fleet_load"));
         assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("io_model").and_then(Json::as_str), Some("epoll"));
+        assert_eq!(doc.get("keep_alive").and_then(Json::as_bool), Some(true));
         for key in [
             "requests",
             "errors",

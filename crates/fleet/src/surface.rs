@@ -455,6 +455,124 @@ impl RiskSurface {
         }
         hash
     }
+
+    /// Serialises the surface for on-disk caching (`serve
+    /// --surface-cache`). Every `f64` — node coordinates, log tables,
+    /// and the float config fields — is stored as the 16-hex-digit bit
+    /// pattern of its `to_bits()`, because a decimal rendering would
+    /// round-trip approximately and break the byte-identity contract
+    /// that [`RiskSurface::grid_digest`] verifies (and JSON numbers
+    /// cannot carry a `u64` bit pattern exactly past 2⁵³). The digest
+    /// itself rides along so [`RiskSurface::from_json`] can reject a
+    /// corrupted or hand-edited file.
+    pub fn to_json(&self) -> tn_core::json::Json {
+        use tn_core::json::Json;
+        let hex = |v: f64| Json::Str(format!("{:016x}", v.to_bits()));
+        let hex_vec = |vs: &[f64]| Json::Array(vs.iter().map(|&v| hex(v)).collect());
+        let config = Json::Object(vec![
+            ("alt_min_m".into(), hex(self.config.alt_min_m)),
+            ("alt_max_m".into(), hex(self.config.alt_max_m)),
+            ("alt_nodes".into(), Json::Num(self.config.alt_nodes as f64)),
+            ("log10_b10_min".into(), hex(self.config.log10_b10_min)),
+            ("log10_b10_max".into(), hex(self.config.log10_b10_max)),
+            ("b10_nodes".into(), Json::Num(self.config.b10_nodes as f64)),
+            (
+                "histories_per_node".into(),
+                Json::Str(format!("{:016x}", self.config.histories_per_node)),
+            ),
+            ("seed".into(), Json::Str(format!("{:016x}", self.config.seed))),
+            ("threads".into(), Json::Num(self.config.threads as f64)),
+        ]);
+        Json::Object(vec![
+            ("config".into(), config),
+            ("alt_m".into(), hex_vec(&self.alt_m)),
+            ("b10_n".into(), hex_vec(&self.b10_n)),
+            ("ln_he".into(), hex_vec(&self.ln_he)),
+            ("ln_th_base".into(), hex_vec(&self.ln_th_base)),
+            ("ln_t".into(), hex_vec(&self.ln_t)),
+            ("ln_th".into(), hex_vec(&self.ln_th)),
+            (
+                "digest".into(),
+                Json::Str(format!("{:016x}", self.grid_digest())),
+            ),
+        ])
+    }
+
+    /// Restores a surface serialised by [`RiskSurface::to_json`],
+    /// verifying table dimensions against the config and the
+    /// recomputed [`RiskSurface::grid_digest`] against the stored one.
+    pub fn from_json(doc: &tn_core::json::Json) -> Result<Self, String> {
+        use tn_core::json::Json;
+        let hex_u64 = |v: &Json, what: &str| -> Result<u64, String> {
+            let s = v.as_str().ok_or_else(|| format!("{what}: not a hex string"))?;
+            u64::from_str_radix(s, 16).map_err(|_| format!("{what}: bad hex `{s}`"))
+        };
+        let field = |doc: &Json, key: &str| -> Result<Json, String> {
+            doc.get(key)
+                .cloned()
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let hex_f64 =
+            |v: &Json, what: &str| -> Result<f64, String> { Ok(f64::from_bits(hex_u64(v, what)?)) };
+        let usize_of = |v: &Json, what: &str| -> Result<usize, String> {
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("{what}: not an integer"))
+        };
+        let vec_of = |v: &Json, what: &str| -> Result<Vec<f64>, String> {
+            v.as_array()
+                .ok_or_else(|| format!("{what}: not an array"))?
+                .iter()
+                .map(|item| hex_f64(item, what))
+                .collect()
+        };
+
+        let c = field(doc, "config")?;
+        let config = SurfaceConfig {
+            alt_min_m: hex_f64(&field(&c, "alt_min_m")?, "alt_min_m")?,
+            alt_max_m: hex_f64(&field(&c, "alt_max_m")?, "alt_max_m")?,
+            alt_nodes: usize_of(&field(&c, "alt_nodes")?, "alt_nodes")?,
+            log10_b10_min: hex_f64(&field(&c, "log10_b10_min")?, "log10_b10_min")?,
+            log10_b10_max: hex_f64(&field(&c, "log10_b10_max")?, "log10_b10_max")?,
+            b10_nodes: usize_of(&field(&c, "b10_nodes")?, "b10_nodes")?,
+            histories_per_node: hex_u64(&field(&c, "histories_per_node")?, "histories_per_node")?,
+            seed: hex_u64(&field(&c, "seed")?, "seed")?,
+            threads: usize_of(&field(&c, "threads")?, "threads")?,
+        };
+        let surface = Self {
+            alt_m: vec_of(&field(doc, "alt_m")?, "alt_m")?,
+            b10_n: vec_of(&field(doc, "b10_n")?, "b10_n")?,
+            ln_he: vec_of(&field(doc, "ln_he")?, "ln_he")?,
+            ln_th_base: vec_of(&field(doc, "ln_th_base")?, "ln_th_base")?,
+            ln_t: vec_of(&field(doc, "ln_t")?, "ln_t")?,
+            ln_th: vec_of(&field(doc, "ln_th")?, "ln_th")?,
+            config,
+        };
+        let (alt, b10) = (surface.config.alt_nodes, surface.config.b10_nodes);
+        if alt < 2 || b10 < 2 {
+            return Err("config declares fewer than 2 nodes per axis".into());
+        }
+        for (name, len, want) in [
+            ("alt_m", surface.alt_m.len(), alt),
+            ("b10_n", surface.b10_n.len(), b10),
+            ("ln_he", surface.ln_he.len(), alt),
+            ("ln_th_base", surface.ln_th_base.len(), alt),
+            ("ln_t", surface.ln_t.len(), b10),
+            ("ln_th", surface.ln_th.len(), alt * b10),
+        ] {
+            if len != want {
+                return Err(format!("table `{name}` has {len} entries, config wants {want}"));
+            }
+        }
+        let stored = hex_u64(&field(doc, "digest")?, "digest")?;
+        let actual = surface.grid_digest();
+        if stored != actual {
+            return Err(format!(
+                "grid digest mismatch: stored {stored:016x}, tables hash to {actual:016x}"
+            ));
+        }
+        Ok(surface)
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +598,59 @@ mod tests {
         assert_eq!(bracket(&nodes, 4.0), Some((1, 1.0)));
         assert_eq!(bracket(&nodes, -0.1), None);
         assert_eq!(bracket(&nodes, 4.1), None);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let surface = RiskSurface::build(tiny_config(17));
+        let line = surface.to_json().to_canonical_string();
+        let doc = tn_core::json::parse(&line).expect("serialised surface parses");
+        let restored = RiskSurface::from_json(&doc).expect("restores");
+        // Byte identity of the tables, verified the same way the
+        // determinism tests do — and full struct equality on top.
+        assert_eq!(restored.grid_digest(), surface.grid_digest());
+        assert_eq!(restored, surface);
+        // A restored surface answers queries identically.
+        assert_eq!(
+            restored.fluxes_from_surface(1_234.5, 3e18),
+            surface.fluxes_from_surface(1_234.5, 3e18)
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_corruption() {
+        let surface = RiskSurface::build(tiny_config(23));
+        let good = surface.to_json().to_canonical_string();
+        // Flip one hex digit inside a table entry: the digest check
+        // must catch it even though the document still parses.
+        let target = format!("{:016x}", surface.ln_th[0].to_bits());
+        let flipped: String = {
+            let mut s = target.clone().into_bytes();
+            s[0] = if s[0] == b'f' { b'e' } else { b'f' };
+            String::from_utf8(s).unwrap()
+        };
+        let corrupted = good.replacen(&target, &flipped, 1);
+        assert_ne!(corrupted, good, "corruption actually changed the text");
+        let doc = tn_core::json::parse(&corrupted).unwrap();
+        let err = RiskSurface::from_json(&doc).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
+
+        // Truncated tables are rejected by the dimension check.
+        let doc = tn_core::json::parse(&good).unwrap();
+        if let tn_core::json::Json::Object(fields) = &doc {
+            let mut fields = fields.clone();
+            for (k, v) in fields.iter_mut() {
+                if k == "ln_he" {
+                    if let tn_core::json::Json::Array(items) = v {
+                        items.pop();
+                    }
+                }
+            }
+            let err = RiskSurface::from_json(&tn_core::json::Json::Object(fields)).unwrap_err();
+            assert!(err.contains("ln_he"), "{err}");
+        } else {
+            panic!("surface serialises to an object");
+        }
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub struct AppState {
     /// Memo of built risk surfaces, keyed by (seed, quick), most
     /// recently used last.
     surfaces: Mutex<Vec<SurfaceSlot>>,
+    /// JSONL file risk surfaces are persisted to and reloaded from
+    /// (`serve --surface-cache`); `None` disables persistence.
+    surface_cache: Option<String>,
     /// Request-id stream. Mixed with wall-clock startup entropy so two
     /// server runs never replay the same ids; ids are pure telemetry and
     /// never feed into any computation.
@@ -98,8 +101,17 @@ impl AppState {
             studies: Mutex::new(Vec::new()),
             fleet: Mutex::new(fleet),
             surfaces: Mutex::new(Vec::new()),
+            surface_cache: None,
             request_ids: Mutex::new(tn_rng::Rng::seed_from_u64(seed ^ startup_nanos)),
         }
+    }
+
+    /// Enables risk-surface persistence: surfaces built during serving
+    /// are appended to `path` (JSONL, one surface per line) and later
+    /// misses check the file before paying for a fresh build. Call
+    /// before the state is shared.
+    pub fn set_surface_cache(&mut self, path: &str) {
+        self.surface_cache = Some(path.to_string());
     }
 
     /// Runs `f` against the fleet registry (shared lock discipline:
@@ -108,6 +120,23 @@ impl AppState {
     pub fn with_fleet<T>(&self, f: impl FnOnce(&mut FleetRegistry) -> T) -> T {
         let mut fleet = self.fleet.lock().expect("fleet registry poisoned");
         f(&mut fleet)
+    }
+
+    /// Entries currently in the fleet registry.
+    pub fn fleet_len(&self) -> usize {
+        self.with_fleet(|fleet| fleet.len())
+    }
+
+    /// Whether the `(seed, quick)` risk surface is already memoised —
+    /// i.e. a bulk fleet request for it is a pure table lookup that an
+    /// event-loop shard can run inline instead of parking it on the
+    /// worker pool.
+    pub fn surface_ready(&self, seed: u64, quick: bool) -> bool {
+        self.surfaces
+            .lock()
+            .expect("surface memo poisoned")
+            .iter()
+            .any(|(k, _)| *k == (seed, quick))
     }
 
     /// Returns the (memoised) risk surface for a seed/resolution pair,
@@ -126,18 +155,102 @@ impl AppState {
                 return surface;
             }
         }
-        let config = if quick {
-            SurfaceConfig::quick(seed)
-        } else {
-            SurfaceConfig::full(seed)
+        let (surface, fresh) = match self.load_persisted_surface(seed, quick) {
+            Some(surface) => (Arc::new(surface), false),
+            None => {
+                let config = if quick {
+                    SurfaceConfig::quick(seed)
+                } else {
+                    SurfaceConfig::full(seed)
+                };
+                (Arc::new(RiskSurface::build(config)), true)
+            }
         };
-        let surface = Arc::new(RiskSurface::build(config));
+        if fresh {
+            self.persist_surface(seed, quick, &surface);
+        }
         let mut memo = self.surfaces.lock().expect("surface memo poisoned");
         if memo.len() >= SURFACE_MEMO_SLOTS {
             memo.remove(0);
         }
         memo.push(((seed, quick), Arc::clone(&surface)));
         surface
+    }
+
+    /// Scans the surface-cache file for a `(seed, quick)` line. Bad
+    /// lines (corrupt JSON, digest mismatch) are skipped with a warning
+    /// — a damaged cache degrades to a rebuild, never to bad tables.
+    fn load_persisted_surface(&self, seed: u64, quick: bool) -> Option<RiskSurface> {
+        let path = self.surface_cache.as_deref()?;
+        let text = std::fs::read_to_string(path).ok()?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match parse_surface_line(line) {
+                Ok((line_quick, surface))
+                    if line_quick == quick && surface.config().seed == seed =>
+                {
+                    tn_obs::info(
+                        "surface_cache_hit",
+                        &[
+                            ("path", path.into()),
+                            ("seed", seed.into()),
+                            ("quick", u64::from(quick).into()),
+                        ],
+                    );
+                    return Some(surface);
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    tn_obs::warn(
+                        "surface_cache_skip",
+                        &[("path", path.into()), ("error", e.into())],
+                    );
+                }
+            }
+        }
+        None
+    }
+
+    /// Rewrites the surface-cache file with the new surface appended
+    /// (replacing any stale line for the same `(seed, quick)`).
+    fn persist_surface(&self, seed: u64, quick: bool, surface: &RiskSurface) {
+        let Some(path) = self.surface_cache.as_deref() else {
+            return;
+        };
+        let mut lines: Vec<String> = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                match parse_surface_line(line) {
+                    Ok((line_quick, existing))
+                        if line_quick == quick && existing.config().seed == seed => {}
+                    Ok(_) => lines.push(line.to_string()),
+                    // Drop unreadable lines: rewriting compacts the file.
+                    Err(_) => {}
+                }
+            }
+        }
+        let mut line = String::from("{\"quick\":");
+        line.push_str(if quick { "true" } else { "false" });
+        line.push_str(",\"surface\":");
+        line.push_str(&surface.to_json().to_canonical_string());
+        line.push('}');
+        lines.push(line);
+        let mut text = lines.join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            tn_obs::warn(
+                "surface_cache_write_failed",
+                &[("path", path.into()), ("error", format!("{e}").into())],
+            );
+        } else {
+            tn_obs::info(
+                "surface_cache_saved",
+                &[
+                    ("path", path.into()),
+                    ("seed", seed.into()),
+                    ("quick", u64::from(quick).into()),
+                ],
+            );
+        }
     }
 
     /// Draws a fresh request id: 16 lowercase hex digits, unique within
@@ -243,6 +356,20 @@ fn parse_body(body: &[u8]) -> Result<Json, BadRequest> {
     let text = std::str::from_utf8(body)
         .map_err(|_| BadRequest::new(400, "request body is not UTF-8"))?;
     json::parse(text).map_err(|e| BadRequest::new(400, format!("malformed JSON: {e}")))
+}
+
+/// One line of the surface-cache file: `{"quick":bool,"surface":{...}}`.
+/// `RiskSurface::from_json` recomputes the grid digest, so a corrupted
+/// table cannot load silently.
+fn parse_surface_line(line: &str) -> Result<(bool, RiskSurface), String> {
+    let doc = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let quick = doc
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean field `quick`")?;
+    let surface_doc = doc.get("surface").ok_or("missing field `surface`")?;
+    let surface = RiskSurface::from_json(surface_doc)?;
+    Ok((quick, surface))
 }
 
 fn required_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, BadRequest> {
@@ -994,9 +1121,10 @@ pub fn fleet_stream(state: &AppState, path: &str) -> Response {
     }
 }
 
-fn fleet_stream_inner(state: &AppState, path: &str) -> Result<Response, BadRequest> {
-    let _span = tn_obs::span("fleet.stream");
-    let (mut seed, mut quick) = (state.seed, true);
+/// Parses the `seed`/`quick` query parameters shared by the stream
+/// endpoint and the event loop's offload decision.
+fn stream_params(default_seed: u64, path: &str) -> Result<(u64, bool), BadRequest> {
+    let (mut seed, mut quick) = (default_seed, true);
     if let Some((_, query)) = path.split_once('?') {
         for pair in query.split('&').filter(|p| !p.is_empty()) {
             let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
@@ -1027,6 +1155,30 @@ fn fleet_stream_inner(state: &AppState, path: &str) -> Result<Response, BadReque
             }
         }
     }
+    Ok((seed, quick))
+}
+
+/// Which `(seed, quick)` risk surface a bulk fleet request would use,
+/// or `None` when the request is malformed (those fail fast without a
+/// surface build, so they never need the worker pool). Used by the
+/// event loop to decide inline-vs-offload before dispatching.
+pub fn fleet_surface_key(
+    state: &AppState,
+    request: &crate::http::Request,
+) -> Option<(u64, bool)> {
+    let path = request.path.split(['?', '#']).next().unwrap_or("");
+    if path == "/v1/fleet/stream" {
+        return stream_params(state.seed, &request.path).ok();
+    }
+    let doc = parse_body(&request.body).ok()?;
+    let seed = optional_u64(&doc, "seed", state.seed).ok()?;
+    let quick = optional_bool(&doc, "quick", true).ok()?;
+    Some((seed, quick))
+}
+
+fn fleet_stream_inner(state: &AppState, path: &str) -> Result<Response, BadRequest> {
+    let _span = tn_obs::span("fleet.stream");
+    let (seed, quick) = stream_params(state.seed, path)?;
     let (entries, generation) = state.with_fleet(|fleet| {
         (fleet.entries().to_vec(), fleet.generation())
     });
@@ -1073,6 +1225,71 @@ fn fleet_stream_inner(state: &AppState, path: &str) -> Result<Response, BadReque
     // One HTTP chunk per JSONL line.
     let chunks = text.split_inclusive('\n').map(String::from).collect();
     Ok(Response::chunked(200, "application/x-ndjson", chunks))
+}
+
+/// `POST /v1/fleet/entries` — inserts or replaces one registry entry.
+/// The body is a single fleet-entry object (same schema as inline
+/// `devices` items, but `id` is required). Bumps the registry
+/// generation, which invalidates every cached registry-mode response.
+pub fn fleet_entry_upsert(state: &AppState, body: &[u8]) -> Response {
+    match fleet_entry_upsert_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn fleet_entry_upsert_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let doc = parse_body(body)?;
+    if doc.get("id").and_then(Json::as_str).is_none() {
+        return Err(BadRequest::new(400, "field `id` (string) is required"));
+    }
+    let entry = FleetEntry::from_json(&doc).map_err(BadRequest::from)?;
+    let id = entry.id.clone();
+    let (generation, count) = state.with_fleet(|fleet| {
+        fleet
+            .upsert(entry)
+            .map(|()| (fleet.generation(), fleet.len()))
+            .map_err(BadRequest::from)
+    })?;
+    tn_obs::info(
+        "fleet_entry_upsert",
+        &[("id", id.as_str().into()), ("generation", generation.into())],
+    );
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"op\":\"upsert\",\"id\":{},\"generation\":{generation},\"count\":{count}}}",
+            Json::Str(id).to_canonical_string()
+        ),
+    ))
+}
+
+/// `DELETE /v1/fleet/entries/{id}` — removes one registry entry; 404
+/// when the id is unknown. Bumps the registry generation on success.
+pub fn fleet_entry_delete(state: &AppState, id: &str) -> Response {
+    let removed = state.with_fleet(|fleet| {
+        if fleet.remove(id) {
+            Some((fleet.generation(), fleet.len()))
+        } else {
+            None
+        }
+    });
+    match removed {
+        Some((generation, count)) => {
+            tn_obs::info(
+                "fleet_entry_delete",
+                &[("id", id.into()), ("generation", generation.into())],
+            );
+            Response::json(
+                200,
+                format!(
+                    "{{\"op\":\"delete\",\"id\":{},\"generation\":{generation},\"count\":{count}}}",
+                    Json::Str(id.to_string()).to_canonical_string()
+                ),
+            )
+        }
+        None => Response::error(404, &format!("unknown fleet entry `{id}`")),
+    }
 }
 
 #[cfg(test)]

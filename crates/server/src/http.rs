@@ -1,9 +1,13 @@
 //! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`.
 //!
 //! Only what the API needs: request-line + headers + `Content-Length`
-//! bodies in, fixed-header responses out, one request per connection
-//! (`Connection: close`). Size limits keep a hostile peer from holding
-//! a worker: 8 KiB of headers, 1 MiB of body.
+//! bodies in, fixed-header responses out. Since PR 8 the parser is
+//! **resumable**: [`RequestParser`] accumulates bytes across partial
+//! reads and yields complete requests one at a time, so a connection can
+//! carry many requests (`Connection: keep-alive`, the HTTP/1.1 default)
+//! and clients may pipeline — bytes buffered past one request simply
+//! begin the next. Size limits keep a hostile peer from holding a
+//! worker: 8 KiB of headers, 1 MiB of body.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -13,10 +17,10 @@ use std::time::Duration;
 pub const MAX_HEADER_BYTES: usize = 8 * 1024;
 /// Maximum request body size.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
-/// Per-connection socket read/write timeout.
+/// Per-connection socket read/write timeout for one request exchange.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// A parsed request: method, path and raw body.
+/// A parsed request: method, path, raw body and connection disposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Uppercase HTTP method, e.g. `GET`.
@@ -26,6 +30,11 @@ pub struct Request {
     pub path: String,
     /// Raw request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open after this
+    /// request (RFC 7230 §6.3: HTTP/1.1 defaults to keep-alive unless a
+    /// `Connection: close` token is present; HTTP/1.0 defaults to close
+    /// unless `Connection: keep-alive` is present).
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be served at the transport layer.
@@ -45,9 +54,160 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads and parses one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    read_request_with_timeout(stream, IO_TIMEOUT)
+/// RFC 7230 connection disposition from the version and the
+/// `Connection` header value (a comma-separated token list, case
+/// insensitive; later tokens win when a confused client sends both).
+fn resolve_keep_alive(version: &str, connection: Option<&str>) -> bool {
+    let mut keep = version != "HTTP/1.0";
+    if let Some(value) = connection {
+        for token in value.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                keep = false;
+            } else if token.eq_ignore_ascii_case("keep-alive") {
+                keep = true;
+            }
+        }
+    }
+    keep
+}
+
+/// An incremental HTTP/1.1 request parser.
+///
+/// Feed raw socket bytes with [`RequestParser::push`] in whatever chunks
+/// the transport delivers them; [`RequestParser::try_next`] yields a
+/// complete [`Request`] as soon as one is buffered and retains any
+/// trailing bytes as the start of the next (pipelined) request. The
+/// parse is resumable at *every* byte boundary — torn reads anywhere in
+/// the request line, headers or body produce identical results.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Whether the buffered prefix has already passed its header block
+    /// (so a stall or close now is mid-body, not mid-headers).
+    in_body: bool,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when no bytes are buffered — the peer is *between* requests,
+    /// so an idle timeout or EOF here is a clean close, not an error.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// What a read timeout at this parse position means.
+    pub fn stall_error(&self) -> &'static str {
+        if self.in_body {
+            "timed out mid-body (Content-Length larger than body sent)"
+        } else {
+            "timed out waiting for headers"
+        }
+    }
+
+    /// What an EOF at this parse position means (buffer non-empty).
+    pub fn eof_error(&self) -> &'static str {
+        if self.in_body {
+            "connection closed mid-body"
+        } else {
+            "connection closed mid-headers"
+        }
+    }
+
+    /// Tries to parse one complete request from the buffer. `Ok(None)`
+    /// means more bytes are needed; consumed bytes are drained so any
+    /// leftover begins the next request.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        // Only scan the prefix the limit allows: a pipelined buffer may
+        // legitimately hold megabytes *after* this request's headers.
+        let scan = self.buf.len().min(MAX_HEADER_BYTES + 4);
+        let Some(header_end) = find_header_end(&self.buf[..scan]) else {
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(HttpError::TooLarge("header block exceeds 8 KiB"));
+            }
+            self.in_body = false;
+            return Ok(None);
+        };
+
+        let head = std::str::from_utf8(&self.buf[..header_end])
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header block"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+            _ => return Err(HttpError::Malformed("bad request line")),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+
+        let mut content_length = 0usize;
+        let mut connection: Option<&str> = None;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim());
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge("body exceeds 1 MiB"));
+        }
+        let keep_alive = resolve_keep_alive(version, connection);
+
+        let body_start = header_end + 4;
+        let total = body_start + content_length;
+        if self.buf.len() < total {
+            self.in_body = true;
+            return Ok(None);
+        }
+        let request = Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: self.buf[body_start..total].to_vec(),
+            keep_alive,
+        };
+        self.buf.drain(..total);
+        self.in_body = false;
+        Ok(Some(request))
+    }
+}
+
+/// Outcome of waiting for the next request on a (possibly reused)
+/// blocking connection.
+#[derive(Debug)]
+pub enum NextRequest {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed or went idle past the read timeout *between*
+    /// requests: close the connection without a response.
+    Closed,
 }
 
 /// True for the error kinds a timed-out blocking read produces (platform
@@ -59,100 +219,72 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// [`read_request`] with an explicit timeout (unit tests use a short one).
+/// Blocks until `parser` yields the next request from `stream`.
 ///
-/// A peer that stalls mid-request — most commonly by declaring a
-/// `Content-Length` larger than what it sends while holding the
-/// connection open — is a *malformed request*, not a transport failure:
-/// the worker answers 400 instead of silently dropping the connection.
+/// The read timeout already set on the stream doubles as the idle
+/// timeout: expiry with an empty parse buffer is a clean
+/// [`NextRequest::Closed`], while a peer that stalls *mid-request* —
+/// most commonly by declaring a `Content-Length` larger than what it
+/// sends — is a *malformed request*, not a transport failure: the
+/// caller answers 400 instead of silently dropping the connection.
+pub fn next_request(
+    stream: &mut TcpStream,
+    parser: &mut RequestParser,
+) -> Result<NextRequest, HttpError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(request) = parser.try_next()? {
+            return Ok(NextRequest::Request(request));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if parser.is_empty() {
+                    Ok(NextRequest::Closed)
+                } else {
+                    Err(HttpError::Malformed(parser.eof_error()))
+                }
+            }
+            Ok(n) => parser.push(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                return if parser.is_empty() {
+                    Ok(NextRequest::Closed)
+                } else {
+                    Err(HttpError::Malformed(parser.stall_error()))
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Reads and parses one request from the stream with the default
+/// timeout, enforcing one-request-per-connection semantics (trailing
+/// bytes are a protocol violation, not a pipelined follow-up).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    read_request_with_timeout(stream, IO_TIMEOUT)
+}
+
+/// [`read_request`] with an explicit timeout (unit tests use a short one).
 pub fn read_request_with_timeout(
     stream: &mut TcpStream,
     timeout: Duration,
 ) -> Result<Request, HttpError> {
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-
-    // Accumulate until the blank line that ends the header block.
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
-    let mut chunk = [0u8; 1024];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(HttpError::TooLarge("header block exceeds 8 KiB"));
-        }
-        let n = match stream.read(&mut chunk) {
-            Ok(n) => n,
-            Err(e) if is_timeout(&e) => {
-                return Err(HttpError::Malformed("timed out waiting for headers"))
-            }
-            Err(e) => return Err(e.into()),
-        };
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-headers"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| HttpError::Malformed("non-UTF-8 header block"))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split(' ');
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
-        _ => return Err(HttpError::Malformed("bad request line")),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed("unsupported HTTP version"));
-    }
-
-    let mut content_length = 0usize;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge("body exceeds 1 MiB"));
-    }
-
-    // The body starts right after the blank line; part of it may already
-    // be buffered.
-    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = match stream.read(&mut chunk) {
-            Ok(n) => n,
-            Err(e) if is_timeout(&e) => {
-                return Err(HttpError::Malformed(
-                    "timed out mid-body (Content-Length larger than body sent)",
+    let mut parser = RequestParser::new();
+    match next_request(stream, &mut parser)? {
+        NextRequest::Closed => Err(HttpError::Malformed("connection closed before a request")),
+        NextRequest::Request(request) => {
+            if parser.is_empty() {
+                Ok(request)
+            } else {
+                Err(HttpError::Malformed(
+                    "request body longer than declared Content-Length",
                 ))
             }
-            Err(e) => return Err(e.into()),
-        };
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-body"));
         }
-        body.extend_from_slice(&chunk[..n]);
     }
-    if body.len() > content_length {
-        return Err(HttpError::Malformed(
-            "request body longer than declared Content-Length",
-        ));
-    }
-
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        body,
-    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -277,42 +409,60 @@ impl Response {
         }
     }
 
-    /// Serialises status line, fixed headers and body to the stream.
-    /// Full bodies are framed with `Content-Length`; chunked bodies with
-    /// `Transfer-Encoding: chunked` (`{size:x}\r\n{chunk}\r\n` per
-    /// non-empty chunk, `0\r\n\r\n` terminator).
-    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+    /// Serialises the whole response (status line, headers, framed body)
+    /// into one buffer — what the nonblocking event loop writes out as
+    /// the socket accepts it. Full bodies are framed with
+    /// `Content-Length`; chunked bodies with `Transfer-Encoding:
+    /// chunked` (`{size:x}\r\n{chunk}\r\n` per non-empty chunk,
+    /// `0\r\n\r\n` terminator).
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let framing = match &self.body {
             Body::Full(body) => format!("Content-Length: {}\r\n", body.len()),
             Body::Chunked(_) => "Transfer-Encoding: chunked\r\n".to_string(),
         };
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{}Connection: close\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            framing,
+        let mut out = Vec::with_capacity(256 + self.body_len());
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{}Connection: {}\r\n",
+                self.status,
+                reason(self.status),
+                self.content_type,
+                framing,
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
         );
         for (name, value) in &self.extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
+        out.extend_from_slice(b"\r\n");
         match &self.body {
-            Body::Full(body) => stream.write_all(body.as_bytes())?,
+            Body::Full(body) => out.extend_from_slice(body.as_bytes()),
             Body::Chunked(chunks) => {
                 for chunk in chunks.iter().filter(|c| !c.is_empty()) {
-                    write!(stream, "{:x}\r\n", chunk.len())?;
-                    stream.write_all(chunk.as_bytes())?;
-                    stream.write_all(b"\r\n")?;
+                    out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+                    out.extend_from_slice(chunk.as_bytes());
+                    out.extend_from_slice(b"\r\n");
                 }
-                stream.write_all(b"0\r\n\r\n")?;
+                out.extend_from_slice(b"0\r\n\r\n");
             }
         }
+        out
+    }
+
+    /// Writes the response with an explicit connection disposition.
+    pub fn write_conn<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes(keep_alive))?;
         stream.flush()
+    }
+
+    /// Serialises the response with `Connection: close` (the one-shot
+    /// path: shed responses, transport-error responses).
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        self.write_conn(stream, false)
     }
 }
 
@@ -375,8 +525,17 @@ mod tests {
         let text = String::from_utf8(wire).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(!text.contains("Transfer-Encoding"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_it() {
+        let wire = Response::json(200, "{}".to_string()).to_bytes(true);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
     }
 
     #[test]
@@ -425,11 +584,137 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n0\r\n\r\n"), "{text}");
     }
 
+    // ---- resumable parser ---------------------------------------------
+
+    const PIPELINED: &[u8] = b"POST /v1/fit HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\n{\"seed\":1}GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+
+    /// Wait — `{"seed":1}` is 10 bytes; keep the declared length honest.
+    fn pipelined_two_requests() -> Vec<u8> {
+        let first_body = "{\"seed\":1}";
+        let mut wire = format!(
+            "POST /v1/fit HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{first_body}",
+            first_body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        wire
+    }
+
+    #[test]
+    fn parser_yields_pipelined_requests_in_order() {
+        let mut parser = RequestParser::new();
+        parser.push(&pipelined_two_requests());
+        let first = parser.try_next().unwrap().expect("first request");
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/v1/fit");
+        assert_eq!(first.body, b"{\"seed\":1}");
+        assert!(first.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let second = parser.try_next().unwrap().expect("second request");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        assert!(!second.keep_alive, "explicit close honoured");
+        assert!(parser.is_empty());
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    /// The satellite requirement: torn reads at *every* byte boundary of
+    /// a pipelined two-request buffer parse identically to the one-shot
+    /// feed, whatever byte the read tears at.
+    #[test]
+    fn torn_reads_at_every_boundary_parse_identically() {
+        let wire = pipelined_two_requests();
+        let mut reference = RequestParser::new();
+        reference.push(&wire);
+        let want_first = reference.try_next().unwrap().expect("first");
+        let want_second = reference.try_next().unwrap().expect("second");
+
+        for split in 0..=wire.len() {
+            let mut parser = RequestParser::new();
+            let mut got = Vec::new();
+            parser.push(&wire[..split]);
+            while let Some(r) = parser.try_next().unwrap() {
+                got.push(r);
+            }
+            parser.push(&wire[split..]);
+            while let Some(r) = parser.try_next().unwrap() {
+                got.push(r);
+            }
+            assert_eq!(got.len(), 2, "split at {split}");
+            assert_eq!(got[0], want_first, "split at {split}");
+            assert_eq!(got[1], want_second, "split at {split}");
+            assert!(parser.is_empty(), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn connection_header_tokens_resolve_per_rfc7230() {
+        assert!(resolve_keep_alive("HTTP/1.1", None));
+        assert!(!resolve_keep_alive("HTTP/1.0", None));
+        assert!(!resolve_keep_alive("HTTP/1.1", Some("close")));
+        assert!(!resolve_keep_alive("HTTP/1.1", Some("Close")));
+        assert!(resolve_keep_alive("HTTP/1.0", Some("keep-alive")));
+        assert!(resolve_keep_alive("HTTP/1.0", Some("Keep-Alive")));
+        assert!(!resolve_keep_alive("HTTP/1.1", Some("keep-alive, close")));
+        assert!(resolve_keep_alive("HTTP/1.1", Some("upgrade")));
+    }
+
+    #[test]
+    fn oversized_trailing_garbage_grows_the_buffer_not_the_request() {
+        // A complete request followed by > MAX_HEADER_BYTES of bytes that
+        // never form a header block: the first request parses, the
+        // garbage is rejected as an oversized header block.
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /healthz HTTP/1.1\r\n\r\n");
+        parser.push(&vec![b'x'; MAX_HEADER_BYTES + 1]);
+        let first = parser.try_next().unwrap().expect("real request parses");
+        assert_eq!(first.path, "/healthz");
+        let err = parser.try_next().unwrap_err();
+        assert!(
+            matches!(err, HttpError::TooLarge(m) if m.contains("header block")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_up_front() {
+        let mut parser = RequestParser::new();
+        parser.push(
+            format!(
+                "POST /v1/fit HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        let err = parser.try_next().unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err:?}");
+    }
+
+    #[test]
+    fn stall_errors_distinguish_headers_from_body() {
+        let mut parser = RequestParser::new();
+        parser.push(b"POST /v1/fit HTT");
+        assert!(parser.try_next().unwrap().is_none());
+        assert!(parser.stall_error().contains("waiting for headers"));
+        assert!(parser.eof_error().contains("mid-headers"));
+
+        let mut parser = RequestParser::new();
+        parser.push(b"POST /v1/fit HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort");
+        assert!(parser.try_next().unwrap().is_none());
+        assert!(parser.stall_error().contains("mid-body"));
+        assert!(parser.eof_error().contains("mid-body"));
+    }
+
+    #[test]
+    fn pipelined_const_sanity() {
+        // Keep the doc-comment example honest: the const above is only
+        // illustrative; the tests use `pipelined_two_requests`.
+        assert!(PIPELINED.starts_with(b"POST"));
+    }
+
     /// Accepts one connection, feeds it to `read_request_with_timeout`
     /// with a short timeout while the client runs `send`.
-    fn with_client(
-        send: impl FnOnce(TcpStream) + Send + 'static,
-    ) -> Result<Request, HttpError> {
+    fn with_client(send: impl FnOnce(TcpStream) + Send + 'static) -> Result<Request, HttpError> {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let client = std::thread::spawn(move || {
@@ -495,5 +780,25 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/fit");
         assert_eq!(req.body, b"{}");
+        assert!(req.keep_alive);
+    }
+
+    /// Idle-timeout expiry with an *empty* buffer is a clean close, not
+    /// a 400 — the satellite contract the keep-alive loop builds on.
+    #[test]
+    fn idle_timeout_between_requests_is_a_clean_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(s);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        let mut parser = RequestParser::new();
+        let got = next_request(&mut conn, &mut parser).unwrap();
+        assert!(matches!(got, NextRequest::Closed), "{got:?}");
+        client.join().unwrap();
     }
 }

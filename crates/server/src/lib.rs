@@ -13,8 +13,24 @@
 //! | `/v1/checkpoint` | POST | Young/Daly checkpoint intervals for a fleet |
 //! | `/v1/cross-sections` | POST | quick beam-campaign pipeline for one device |
 //! | `/v1/fleet` | POST | bulk FIT assessment from the precomputed risk surface |
+//! | `/v1/fleet/entries` | POST/DELETE | mutate the fleet registry in place |
 //! | `/v1/fleet/stream` | GET | whole fleet registry as chunked JSONL |
 //! | `/metrics` | GET | Prometheus text: requests, latencies, cache, workers |
+//!
+//! ## Connections and I/O models
+//!
+//! Since PR 8 connections are **persistent** (HTTP/1.1 keep-alive per
+//! RFC 7230, with an idle timeout and a per-connection request cap) and
+//! the server offers two transports selected by
+//! [`ServerConfig::io_model`]:
+//!
+//! * [`IoModel::Epoll`] (default on Linux) — N event-loop shards drive
+//!   nonblocking sockets through `epoll_wait` readiness, accepting via
+//!   `SO_REUSEPORT`; the worker pool is retained only for handlers that
+//!   may run Monte-Carlo transport, so the loop never blocks.
+//! * [`IoModel::Threads`] — the original blocking model (acceptor +
+//!   worker pool, one connection per worker at a time), kept as the
+//!   differential baseline; the e2e suite runs against both.
 //!
 //! ## Determinism and caching
 //!
@@ -36,10 +52,14 @@
 //! server.run(); // blocks; use `spawn()` for a background handle
 //! ```
 
-#![forbid(unsafe_code)]
+// The epoll shard loop needs raw `extern "C"` bindings (std offers no
+// readiness API); everything outside `epoll::sys` stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod cache;
+#[cfg(target_os = "linux")]
+pub mod epoll;
 pub mod handlers;
 pub mod http;
 pub mod metrics;
@@ -53,13 +73,58 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which transport drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Blocking acceptor + worker pool; one connection per worker at a
+    /// time. The pre-PR-8 model, kept as the differential baseline.
+    Threads,
+    /// Nonblocking readiness event loop over `epoll` with `SO_REUSEPORT`
+    /// shards; the worker pool only runs Monte-Carlo-heavy handlers.
+    /// Falls back to [`IoModel::Threads`] off Linux.
+    Epoll,
+}
+
+impl IoModel {
+    /// The platform default: epoll on Linux, threads elsewhere.
+    pub fn platform_default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoModel::Epoll
+        } else {
+            IoModel::Threads
+        }
+    }
+
+    /// The CLI/bench label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoModel::Threads => "threads",
+            IoModel::Epoll => "epoll",
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(IoModel::Threads),
+            "epoll" => Ok(IoModel::Epoll),
+            other => Err(format!("unknown io model {other:?} (use threads|epoll)")),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Bind address; port 0 asks the OS for an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Worker threads serving requests (and, under epoll, the number of
+    /// event-loop shards).
     pub threads: usize,
     /// Default RNG seed for requests that do not carry one.
     pub seed: u64,
@@ -77,6 +142,19 @@ pub struct ServerConfig {
     /// Path to a fleet-registry JSONL snapshot. `None` seeds the
     /// deterministic demo fleet instead.
     pub fleet_path: Option<String>,
+    /// Connection transport (see [`IoModel`]).
+    pub io_model: IoModel,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it (cleanly — no 400).
+    pub idle_timeout: Duration,
+    /// Maximum requests served per connection before the server answers
+    /// with `Connection: close` (0 = unlimited). A rotation cap like
+    /// this bounds per-connection state drift in long-lived fleets.
+    pub max_requests_per_conn: usize,
+    /// Path to a risk-surface cache file (JSONL). Surfaces built during
+    /// serving are persisted here and reloaded on the next start,
+    /// digest-verified against a fresh build's `grid_digest`.
+    pub surface_cache: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -89,7 +167,33 @@ impl Default for ServerConfig {
             transport_threads: 1,
             max_queue: 128,
             fleet_path: None,
+            io_model: IoModel::platform_default(),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 10_000,
+            surface_cache: None,
         }
+    }
+}
+
+/// Per-connection lifecycle limits shared by both I/O models.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConnLimits {
+    pub idle_timeout: Duration,
+    pub max_requests_per_conn: usize,
+}
+
+impl ConnLimits {
+    fn from_config(config: &ServerConfig) -> Self {
+        Self {
+            idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+            max_requests_per_conn: config.max_requests_per_conn,
+        }
+    }
+
+    /// Whether the connection may serve another request after `served`
+    /// responses have been written.
+    pub fn allows_another(&self, served: u64) -> bool {
+        self.max_requests_per_conn == 0 || served < self.max_requests_per_conn as u64
     }
 }
 
@@ -107,6 +211,11 @@ pub struct Server {
     state: Arc<AppState>,
     threads: usize,
     max_queue: usize,
+    io_model: IoModel,
+    limits: ConnLimits,
+    /// Whether the listener was bound with `SO_REUSEPORT`, allowing the
+    /// epoll shards to each bind their own same-port listener.
+    reuseport: bool,
 }
 
 impl Server {
@@ -127,27 +236,66 @@ impl Server {
                 })?
             }
         };
-        let listener = TcpListener::bind(&config.addr)?;
+        let io_model = Self::effective_io_model(config.io_model);
+        let (listener, reuseport) = Self::bind_listener(&config.addr, io_model)?;
+        let mut state = AppState::with_registry(config.seed, config.cache_capacity, threads, fleet);
+        if let Some(path) = &config.surface_cache {
+            state.set_surface_cache(path);
+        }
         tn_obs::info(
             "server_bound",
             &[
                 ("addr", format!("{}", listener.local_addr()?).into()),
+                ("io_model", io_model.label().into()),
                 ("threads", threads.into()),
                 ("max_queue", config.max_queue.into()),
-                ("fleet_entries", fleet.len().into()),
+                ("fleet_entries", state.fleet_len().into()),
             ],
         );
         Ok(Self {
             listener,
-            state: Arc::new(AppState::with_registry(
-                config.seed,
-                config.cache_capacity,
-                threads,
-                fleet,
-            )),
+            state: Arc::new(state),
             threads,
             max_queue: config.max_queue,
+            io_model,
+            limits: ConnLimits::from_config(config),
+            reuseport,
         })
+    }
+
+    /// Downgrades the requested model to what the platform supports.
+    fn effective_io_model(requested: IoModel) -> IoModel {
+        match requested {
+            IoModel::Threads => IoModel::Threads,
+            IoModel::Epoll if cfg!(target_os = "linux") => IoModel::Epoll,
+            IoModel::Epoll => {
+                tn_obs::warn("io_model_fallback", &[("requested", "epoll".into())]);
+                IoModel::Threads
+            }
+        }
+    }
+
+    /// Binds the listening socket. Under epoll the socket carries
+    /// `SO_REUSEPORT` so every shard can bind its own same-port listener
+    /// and the kernel load-balances accepts across them; when that bind
+    /// is unavailable (non-IPv4 address, exotic platform) the server
+    /// falls back to a plain listener plus round-robin fd handoff.
+    fn bind_listener(addr: &str, io_model: IoModel) -> std::io::Result<(TcpListener, bool)> {
+        #[cfg(target_os = "linux")]
+        if io_model == IoModel::Epoll {
+            use std::net::ToSocketAddrs;
+            let resolved = addr.to_socket_addrs()?.find(SocketAddr::is_ipv4);
+            if let Some(SocketAddr::V4(v4)) = resolved {
+                match epoll::bind_reuseport(&v4) {
+                    Ok(listener) => return Ok((listener, true)),
+                    Err(e) => {
+                        tn_obs::warn("reuseport_unavailable", &[("error", format!("{e}").into())]);
+                    }
+                }
+            }
+        }
+        let _ = io_model;
+        Ok((TcpListener::bind(addr)?, false))
     }
 
     /// The actual bound address (resolves port 0).
@@ -155,19 +303,55 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until the process exits (accept loop on the calling
-    /// thread, requests on the worker pool).
+    /// The io model this server will actually run (the configured one,
+    /// downgraded to `Threads` on platforms without epoll).
+    pub fn io_model(&self) -> IoModel {
+        self.io_model
+    }
+
+    /// Serves until the process exits.
     pub fn run(self) {
         let handle = self.spawn();
         handle.join();
     }
 
-    /// Starts the accept loop and worker pool on background threads and
-    /// returns a handle that can wait for or shut down the server.
+    /// Starts the transport threads and returns a handle that can wait
+    /// for or shut down the server.
     pub fn spawn(self) -> ServerHandle {
-        let addr = self.local_addr().expect("listener has a local address");
+        let addr = self.listener.local_addr().expect("listener has a local address");
+        match self.io_model {
+            IoModel::Threads => self.spawn_threads(addr),
+            #[cfg(target_os = "linux")]
+            IoModel::Epoll => self.spawn_epoll(addr),
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Epoll => self.spawn_threads(addr),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn spawn_epoll(self, addr: SocketAddr) -> ServerHandle {
+        let state = Arc::clone(&self.state);
+        let inner = epoll::spawn(epoll::EpollConfig {
+            listener: self.listener,
+            addr,
+            state: Arc::clone(&self.state),
+            shards: self.threads,
+            workers: self.threads,
+            max_queue: self.max_queue,
+            limits: self.limits,
+            reuseport: self.reuseport,
+        });
+        ServerHandle {
+            addr,
+            state,
+            inner: HandleInner::Epoll(inner),
+        }
+    }
+
+    fn spawn_threads(self, addr: SocketAddr) -> ServerHandle {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(Queue::default());
+        let limits = self.limits;
 
         let workers: Vec<JoinHandle<()>> = (0..self.threads)
             .map(|i| {
@@ -176,7 +360,7 @@ impl Server {
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::Builder::new()
                     .name(format!("tn-server-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &state, &shutdown))
+                    .spawn(move || worker_loop(&queue, &state, &shutdown, limits))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -233,10 +417,12 @@ impl Server {
         ServerHandle {
             addr,
             state: self.state,
-            shutdown,
-            queue,
-            acceptor,
-            workers,
+            inner: HandleInner::Threads {
+                shutdown,
+                queue,
+                acceptor,
+                workers,
+            },
         }
     }
 }
@@ -259,7 +445,7 @@ fn shed_connection(mut stream: TcpStream) {
     }
 }
 
-fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool) {
+fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool, limits: ConnLimits) {
     loop {
         let stream = {
             let mut connections = queue.connections.lock().expect("queue poisoned");
@@ -274,26 +460,66 @@ fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool) {
             }
         };
         state.metrics.worker_busy();
-        serve_connection(stream, state);
+        serve_connection(stream, state, limits);
         state.metrics.worker_idle();
     }
 }
 
-fn serve_connection(mut stream: TcpStream, state: &AppState) {
+/// Serves one (possibly long-lived) connection on a worker thread:
+/// requests loop through the resumable parser until the client asks for
+/// `Connection: close`, goes idle past the timeout, hits the
+/// per-connection request cap, or violates the protocol.
+fn serve_connection(mut stream: TcpStream, state: &AppState, limits: ConnLimits) {
     // Nagle + delayed-ACK costs ~40 ms per extra segment on the small
     // sequential writes below; this server always has a complete
     // response to send, so there is nothing for Nagle to batch.
     stream.set_nodelay(true).ok();
-    let response = match http::read_request(&mut stream) {
-        Ok(request) => router::handle(state, &request),
-        Err(http::HttpError::Malformed(why)) => http::Response::error(400, why),
-        Err(http::HttpError::TooLarge(why)) => http::Response::error(413, why),
-        // The socket is gone; nothing can be written back.
-        Err(http::HttpError::Io(_)) => return,
-    };
-    // Buffer the head/body/chunk-framing writes into few syscalls. A
-    // peer that vanished mid-write is its own problem.
-    let _ = response.write_to(&mut std::io::BufWriter::new(&mut stream));
+    // The read timeout doubles as the keep-alive idle timeout: expiry
+    // between requests is a clean close, mid-request it is a 400 stall.
+    if stream.set_read_timeout(Some(limits.idle_timeout)).is_err()
+        || stream.set_write_timeout(Some(http::IO_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    state.metrics.conn_open();
+    let mut parser = http::RequestParser::new();
+    let mut served = 0u64;
+    loop {
+        let (response, keep) = match http::next_request(&mut stream, &mut parser) {
+            Ok(http::NextRequest::Closed) => break,
+            Ok(http::NextRequest::Request(request)) => {
+                if !request.keep_alive && !parser.is_empty() {
+                    // The client asked to close *and* sent bytes past the
+                    // declared body: that is an overlong body, not a
+                    // pipelined follow-up.
+                    (
+                        http::Response::error(
+                            400,
+                            "request body longer than declared Content-Length",
+                        ),
+                        false,
+                    )
+                } else {
+                    let keep = request.keep_alive && limits.allows_another(served + 1);
+                    (router::handle(state, &request), keep)
+                }
+            }
+            Err(http::HttpError::Malformed(why)) => (http::Response::error(400, why), false),
+            Err(http::HttpError::TooLarge(why)) => (http::Response::error(413, why), false),
+            // The socket is gone; nothing can be written back.
+            Err(http::HttpError::Io(_)) => break,
+        };
+        served += 1;
+        // Buffer the head/body/chunk-framing writes into few syscalls. A
+        // peer that vanished mid-write is its own problem.
+        let ok = response
+            .write_conn(&mut std::io::BufWriter::new(&mut stream), keep)
+            .is_ok();
+        if !ok || !keep {
+            break;
+        }
+    }
+    state.metrics.conn_close(served);
 }
 
 /// A running server: join it or shut it down.
@@ -301,10 +527,19 @@ fn serve_connection(mut stream: TcpStream, state: &AppState) {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
-    shutdown: Arc<AtomicBool>,
-    queue: Arc<Queue>,
-    acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Threads {
+        shutdown: Arc<AtomicBool>,
+        queue: Arc<Queue>,
+        acceptor: JoinHandle<()>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::EpollHandle),
 }
 
 impl ServerHandle {
@@ -323,22 +558,41 @@ impl ServerHandle {
     /// [`ServerHandle::stop`] from another thread, so this normally
     /// blocks forever).
     pub fn join(self) {
-        let _ = self.acceptor.join();
-        for worker in self.workers {
-            let _ = worker.join();
+        match self.inner {
+            HandleInner::Threads {
+                acceptor, workers, ..
+            } => {
+                let _ = acceptor.join();
+                for worker in workers {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            HandleInner::Epoll(inner) => inner.join(),
         }
     }
 
     /// Stops accepting, drains the workers and joins every thread.
     pub fn stop(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // The acceptor is parked in accept(); poke it with a throwaway
-        // connection so it re-checks the flag.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.acceptor.join();
-        self.queue.ready.notify_all();
-        for worker in self.workers {
-            let _ = worker.join();
+        match self.inner {
+            HandleInner::Threads {
+                shutdown,
+                queue,
+                acceptor,
+                workers,
+            } => {
+                shutdown.store(true, Ordering::SeqCst);
+                // The acceptor is parked in accept(); poke it with a
+                // throwaway connection so it re-checks the flag.
+                let _ = TcpStream::connect(self.addr);
+                let _ = acceptor.join();
+                queue.ready.notify_all();
+                for worker in workers {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            HandleInner::Epoll(inner) => inner.stop(self.addr),
         }
     }
 }

@@ -33,6 +33,8 @@ pub enum Endpoint {
     Transport,
     /// `POST /v1/fleet`
     Fleet,
+    /// `POST`/`DELETE /v1/fleet/entries[/{id}]`
+    FleetEntries,
     /// `GET /v1/fleet/stream`
     FleetStream,
     /// `GET /metrics`
@@ -43,7 +45,7 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 10] = [
+    pub const ALL: [Endpoint; 11] = [
         Endpoint::Healthz,
         Endpoint::Devices,
         Endpoint::Fit,
@@ -51,6 +53,7 @@ impl Endpoint {
         Endpoint::CrossSections,
         Endpoint::Transport,
         Endpoint::Fleet,
+        Endpoint::FleetEntries,
         Endpoint::FleetStream,
         Endpoint::Metrics,
         Endpoint::Other,
@@ -66,6 +69,7 @@ impl Endpoint {
             Endpoint::CrossSections => "/v1/cross-sections",
             Endpoint::Transport => "/v1/transport",
             Endpoint::Fleet => "/v1/fleet",
+            Endpoint::FleetEntries => "/v1/fleet/entries",
             Endpoint::FleetStream => "/v1/fleet/stream",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
@@ -94,7 +98,7 @@ struct EndpointCounters {
 /// The service-wide metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 10],
+    endpoints: [EndpointCounters; 11],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,
@@ -104,10 +108,13 @@ pub struct Metrics {
     workers_busy: AtomicU64,
     workers_total: AtomicU64,
     connections_total: AtomicU64,
+    connections_active: AtomicU64,
     /// Per-instance tn-obs registry holding the endpoint histograms and
     /// the overload counter; rendered as part of [`Metrics::render`].
     registry: Registry,
     overload: Arc<Counter>,
+    conn_reuse: Arc<Counter>,
+    requests_per_conn: Arc<Histogram>,
     latency_hist: Vec<Arc<Histogram>>,
     size_hist: Vec<Arc<Histogram>>,
 }
@@ -121,6 +128,18 @@ impl Metrics {
             &[],
             "Connections shed with 503 because pool and queue were full.",
             CounterUnit::Count,
+        );
+        let conn_reuse = registry.counter(
+            "tn_conn_reuse_total",
+            &[],
+            "Requests served on an already-used connection (keep-alive reuse).",
+            CounterUnit::Count,
+        );
+        let requests_per_conn = registry.histogram(
+            "tn_requests_per_conn",
+            &[],
+            "Requests served per connection over its lifetime.",
+            Unit::Count,
         );
         // Pre-create every endpoint series so the label space is fixed at
         // |Endpoint::ALL| forever, whatever paths clients probe.
@@ -157,8 +176,11 @@ impl Metrics {
             workers_busy: AtomicU64::new(0),
             workers_total: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
             registry,
             overload,
+            conn_reuse,
+            requests_per_conn,
             latency_hist,
             size_hist,
         };
@@ -225,6 +247,25 @@ impl Metrics {
     /// Counts an accepted connection.
     pub fn connection(&self) {
         self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a connection as being served (active gauge up). Shed
+    /// connections are counted by [`Metrics::connection`] but never
+    /// become active.
+    pub fn conn_open(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a connection closed after serving `served` responses:
+    /// active gauge down, lifetime request count observed, and every
+    /// request beyond the first counted as keep-alive reuse.
+    pub fn conn_close(&self, served: u64) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+        self.requests_per_conn.observe(served);
+        let reused = served.saturating_sub(1);
+        if reused > 0 {
+            self.conn_reuse.add(reused);
+        }
     }
 
     /// Marks a request as entered (in-flight gauge up).
@@ -332,6 +373,13 @@ impl Metrics {
         );
         gauge(
             &mut out,
+            "tn_connections_active",
+            "TCP connections currently open and being served.",
+            "gauge",
+            self.connections_active.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
             "tn_inflight_requests",
             "Requests currently being handled.",
             "gauge",
@@ -433,6 +481,24 @@ mod tests {
         assert!(m
             .render()
             .contains("tn_requests_total{endpoint=\"other\",status=\"500\"} 1"));
+    }
+
+    #[test]
+    fn connection_lifecycle_series() {
+        let m = Metrics::new(1);
+        m.connection();
+        m.conn_open();
+        m.connection();
+        m.conn_open();
+        m.conn_close(5); // 4 reused requests
+        let text = m.render();
+        assert!(text.contains("tn_connections_total 2"), "{text}");
+        assert!(text.contains("tn_connections_active 1"), "{text}");
+        assert!(text.contains("tn_conn_reuse_total 4"), "{text}");
+        assert!(text.contains("tn_requests_per_conn_count 1"), "{text}");
+        assert!(text.contains("tn_requests_per_conn_sum 5"), "{text}");
+        m.conn_close(1); // a one-shot connection adds no reuse
+        assert!(m.render().contains("tn_conn_reuse_total 4"));
     }
 
     #[test]

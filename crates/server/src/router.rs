@@ -22,7 +22,29 @@ fn endpoint_of(path: &str) -> Endpoint {
         "/v1/fleet" => Endpoint::Fleet,
         "/v1/fleet/stream" => Endpoint::FleetStream,
         "/metrics" => Endpoint::Metrics,
+        p if p == "/v1/fleet/entries" || p.starts_with("/v1/fleet/entries/") => {
+            Endpoint::FleetEntries
+        }
         _ => Endpoint::Other,
+    }
+}
+
+/// Whether a request must be parked on the worker pool instead of
+/// running inline on an event-loop shard. True for the handlers that
+/// may run Monte-Carlo transport; the bulk fleet endpoints only until
+/// their risk surface is memoised — after that they are pure table
+/// lookups (or cache hits) and are cheaper than a queue round-trip.
+pub fn wants_worker(state: &AppState, request: &Request) -> bool {
+    match endpoint_of(&request.path) {
+        Endpoint::Fit | Endpoint::CrossSections | Endpoint::Transport => true,
+        Endpoint::Fleet | Endpoint::FleetStream => {
+            match handlers::fleet_surface_key(state, request) {
+                Some((seed, quick)) => !state.surface_ready(seed, quick),
+                // Malformed fleet requests take the cheap error path.
+                None => false,
+            }
+        }
+        _ => false,
     }
 }
 
@@ -95,6 +117,19 @@ fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response
             "POST" => handlers::fleet(state, &request.body),
             _ => method_not_allowed("POST"),
         },
+        Endpoint::FleetEntries => {
+            let path = request.path.split(['?', '#']).next().unwrap_or("");
+            let suffix = path.strip_prefix("/v1/fleet/entries").unwrap_or("");
+            match (method, suffix.strip_prefix('/')) {
+                ("POST", None) => handlers::fleet_entry_upsert(state, &request.body),
+                ("POST", Some(_)) => {
+                    Response::error(400, "POST /v1/fleet/entries takes the id in the body")
+                }
+                ("DELETE", Some(id)) if !id.is_empty() => handlers::fleet_entry_delete(state, id),
+                ("DELETE", _) => Response::error(400, "DELETE needs /v1/fleet/entries/{id}"),
+                _ => method_not_allowed("POST, DELETE"),
+            }
+        }
         Endpoint::FleetStream => match method {
             "GET" => handlers::fleet_stream(state, &request.path),
             _ => method_not_allowed("GET"),
@@ -116,6 +151,7 @@ mod tests {
             method: method.into(),
             path: path.into(),
             body: body.to_vec(),
+            keep_alive: true,
         }
     }
 

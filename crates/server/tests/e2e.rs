@@ -1,32 +1,43 @@
 //! End-to-end tests: a real daemon on an ephemeral port, exercised with
 //! raw `TcpStream` requests — no HTTP client library, by policy.
+//!
+//! Every test below runs against BOTH io models (the threaded
+//! connection-per-worker baseline and the epoll event loop) via the
+//! `io_model_suite!` macro at the bottom, so the two transports stay
+//! behaviourally identical. Threads-only tests (worker-occupancy
+//! semantics) live outside the macro.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
-use tn_server::{Server, ServerConfig, ServerHandle};
+use std::time::{Duration, Instant};
+use tn_server::{IoModel, Server, ServerConfig, ServerHandle};
 
-fn start(threads: usize) -> ServerHandle {
-    start_with_queue(threads, 64)
-}
-
-fn start_with_queue(threads: usize, max_queue: usize) -> ServerHandle {
-    Server::bind(&ServerConfig {
+fn config(io_model: IoModel, threads: usize) -> ServerConfig {
+    ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads,
-        seed: 2020,
-        cache_capacity: 64,
-        transport_threads: 1,
-        max_queue,
-        fleet_path: None,
-    })
-    .expect("bind ephemeral port")
-    .spawn()
+        io_model,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(io_model: IoModel, threads: usize) -> ServerHandle {
+    Server::bind(&config(io_model, threads))
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+fn start_config(config: &ServerConfig) -> ServerHandle {
+    Server::bind(config).expect("bind ephemeral port").spawn()
 }
 
 /// Sends one raw request and returns (status, headers, body).
 fn raw(addr: SocketAddr, request: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
     stream.write_all(request.as_bytes()).expect("write request");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
@@ -59,6 +70,13 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
     )
 }
 
+fn delete(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    raw(
+        addr,
+        &format!("DELETE {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
 /// Extracts a counter value from Prometheus text output.
 fn metric(text: &str, name: &str) -> u64 {
     text.lines()
@@ -67,9 +85,145 @@ fn metric(text: &str, name: &str) -> u64 {
         .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
 }
 
-#[test]
-fn healthz_devices_and_metrics_respond() {
-    let server = start(2);
+/// Polls `/metrics` until `name >= want` (connection-close accounting is
+/// asynchronous with respect to the client observing the response).
+fn await_metric(addr: SocketAddr, name: &str, want: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, _, text) = get(addr, "/metrics");
+        if metric(&text, name) >= want {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{name} never reached {want}:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn find(buf: &[u8], needle: &[u8]) -> Option<usize> {
+    buf.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Byte offset one past a complete chunked body (`…0\r\n\r\n`), if the
+/// buffer holds one.
+fn chunked_end(buf: &[u8]) -> Option<usize> {
+    let mut pos = 0;
+    loop {
+        let line_end = find(&buf[pos..], b"\r\n")? + pos;
+        let size =
+            usize::from_str_radix(std::str::from_utf8(&buf[pos..line_end]).ok()?.trim(), 16)
+                .ok()?;
+        let data_end = line_end + 2 + size + 2;
+        if buf.len() < data_end {
+            return None;
+        }
+        if size == 0 {
+            return Some(data_end);
+        }
+        pos = data_end;
+    }
+}
+
+/// A persistent client connection that reads framed responses (by
+/// `Content-Length` or chunked terminator) so the socket can be reused.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set timeout");
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, request: &str) {
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+    }
+
+    fn get(&mut self, path: &str, last: bool) {
+        let conn = if last { "Connection: close\r\n" } else { "" };
+        self.send(&format!("GET {path} HTTP/1.1\r\nHost: t\r\n{conn}\r\n"));
+    }
+
+    /// Reads exactly one response; trailing bytes stay buffered for the
+    /// next call (pipelining-safe).
+    fn read_response(&mut self) -> (u16, String, String) {
+        let head_end = self.read_until(|buf| find(buf, b"\r\n\r\n").map(|i| i + 4));
+        let head =
+            String::from_utf8(self.buf[..head_end - 4].to_vec()).expect("UTF-8 header block");
+        self.buf.drain(..head_end);
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let chunked = head
+            .lines()
+            .any(|l| l.eq_ignore_ascii_case("transfer-encoding: chunked"));
+        let body = if chunked {
+            let end = self.read_until(chunked_end);
+            let raw: Vec<u8> = self.buf.drain(..end).collect();
+            String::from_utf8(raw).expect("UTF-8 chunked body")
+        } else {
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.parse().ok())
+                .expect("Content-Length header");
+            let _ = self.read_until(move |buf| (buf.len() >= len).then_some(len));
+            let raw: Vec<u8> = self.buf.drain(..len).collect();
+            String::from_utf8(raw).expect("UTF-8 body")
+        };
+        (status, head, body)
+    }
+
+    fn read_until(&mut self, done: impl Fn(&[u8]) -> Option<usize>) -> usize {
+        loop {
+            if let Some(n) = done(&self.buf) {
+                return n;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read");
+            assert!(
+                n > 0,
+                "connection closed mid-response; buffered: {:?}",
+                String::from_utf8_lossy(&self.buf)
+            );
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Asserts the server closed the connection without further bytes.
+    fn assert_eof(&mut self) {
+        assert!(
+            self.buf.is_empty(),
+            "unexpected trailing bytes: {:?}",
+            String::from_utf8_lossy(&self.buf)
+        );
+        let mut chunk = [0u8; 64];
+        let n = self.stream.read(&mut chunk).expect("read at EOF");
+        assert_eq!(
+            n,
+            0,
+            "expected EOF, got: {:?}",
+            String::from_utf8_lossy(&chunk[..n])
+        );
+    }
+}
+
+fn healthz_devices_and_metrics_respond(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     let (status, head, body) = get(addr, "/healthz");
@@ -92,13 +246,14 @@ fn healthz_devices_and_metrics_respond() {
     assert!(body.contains("tn_requests_total{endpoint=\"/healthz\",status=\"200\"} 1"));
     assert!(body.contains("tn_requests_total{endpoint=\"/v1/devices\",status=\"200\"} 1"));
     assert!(metric(&body, "tn_connections_total") >= 3);
+    // The connection serving /metrics itself is open right now.
+    assert!(metric(&body, "tn_connections_active") >= 1, "{body}");
 
     server.stop();
 }
 
-#[test]
-fn error_paths_return_json_errors() {
-    let server = start(2);
+fn error_paths_return_json_errors(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     // Malformed JSON → 400.
@@ -128,9 +283,8 @@ fn error_paths_return_json_errors() {
     server.stop();
 }
 
-#[test]
-fn fit_endpoint_is_deterministic_and_counts_cache_hits() {
-    let server = start(2);
+fn fit_endpoint_is_deterministic_and_counts_cache_hits(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
     let request =
         r#"{"device":"NVIDIA K20","location":"leadville","weather":"thunderstorm","seed":7}"#;
@@ -155,11 +309,11 @@ fn fit_endpoint_is_deterministic_and_counts_cache_hits() {
 /// `derived_*` surroundings run the seeded Monte-Carlo room derivation
 /// in-process: the response must be deterministic and the transport
 /// counters in `/metrics` must actually move.
-#[test]
-fn derived_surroundings_run_transport_and_count_histories() {
-    let server = start(2);
+fn derived_surroundings_run_transport_and_count_histories(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
-    let request = r#"{"device":"NVIDIA K20","surroundings":"derived_air_cooled","quick":true,"seed":11}"#;
+    let request =
+        r#"{"device":"NVIDIA K20","surroundings":"derived_air_cooled","quick":true,"seed":11}"#;
 
     let (status, _, first) = post(addr, "/v1/fit", request);
     assert_eq!(status, 200, "{first}");
@@ -176,9 +330,8 @@ fn derived_surroundings_run_transport_and_count_histories() {
     server.stop();
 }
 
-#[test]
-fn two_concurrent_identical_fit_posts_cause_exactly_one_miss() {
-    let server = start(4);
+fn two_concurrent_identical_fit_posts_cause_exactly_one_miss(io: IoModel) {
+    let server = start(io, 4);
     let addr = server.addr();
     let request = r#"{"device":"Intel Xeon Phi","location":"new_york","seed":11}"#;
 
@@ -208,9 +361,8 @@ fn two_concurrent_identical_fit_posts_cause_exactly_one_miss() {
     server.stop();
 }
 
-#[test]
-fn checkpoint_and_cross_sections_endpoints() {
-    let server = start(2);
+fn checkpoint_and_cross_sections_endpoints(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     let (status, _, body) = post(
@@ -244,9 +396,8 @@ fn checkpoint_and_cross_sections_endpoints() {
     server.stop();
 }
 
-#[test]
-fn every_response_carries_a_request_id() {
-    let server = start(2);
+fn every_response_carries_a_request_id(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     let (_, head_a, _) = get(addr, "/healthz");
@@ -267,9 +418,8 @@ fn every_response_carries_a_request_id() {
 
 /// Unknown paths must all fold into the single `other` endpoint series:
 /// probing many bogus paths may not grow the label space.
-#[test]
-fn path_scans_cannot_inflate_metric_cardinality() {
-    let server = start(2);
+fn path_scans_cannot_inflate_metric_cardinality(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     for path in [
@@ -283,6 +433,7 @@ fn path_scans_cannot_inflate_metric_cardinality() {
         "/v1/fleet/",
         "/v1/fleet/stream/extra",
         "/v1/fleetx",
+        "/v1/fleet/entriesx",
     ] {
         let (status, _, _) = get(addr, path);
         assert_eq!(status, 404, "{path}");
@@ -292,6 +443,8 @@ fn path_scans_cannot_inflate_metric_cardinality() {
     assert_eq!(status, 200);
     let (status, _, _) = post(addr, "/v1/fleet", "not json");
     assert_eq!(status, 400);
+    let (status, _, _) = post(addr, "/v1/fleet/entries", "not json");
+    assert_eq!(status, 400);
 
     let (_, _, metrics) = get(addr, "/metrics");
     let other_series: Vec<&str> = metrics
@@ -300,11 +453,12 @@ fn path_scans_cannot_inflate_metric_cardinality() {
         .collect();
     assert_eq!(
         other_series,
-        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 8"],
+        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 9"],
         "all bogus paths share one series:\n{metrics}"
     );
-    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 8"));
+    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 9"));
     assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet\",status=\"400\"} 1"));
+    assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet/entries\",status=\"400\"} 1"));
     assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet/stream\",status=\"200\"} 1"));
     // The endpoint label space is a fixed enumeration: nothing a path
     // scan sends can mint a label outside it.
@@ -323,6 +477,7 @@ fn path_scans_cannot_inflate_metric_cardinality() {
                 "/v1/cross-sections",
                 "/v1/transport",
                 "/v1/fleet",
+                "/v1/fleet/entries",
                 "/v1/fleet/stream",
                 "/metrics",
                 "other",
@@ -337,9 +492,8 @@ fn path_scans_cannot_inflate_metric_cardinality() {
 
 /// `/metrics` must expose the tn-obs histograms: per-endpoint latency
 /// and size, plus the process-wide transport shard histogram.
-#[test]
-fn metrics_expose_obs_histograms() {
-    let server = start(2);
+fn metrics_expose_obs_histograms(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     let (status, _, _) = get(addr, "/healthz");
@@ -351,7 +505,9 @@ fn metrics_expose_obs_histograms() {
         "tn_request_seconds_count{endpoint=\"/healthz\"} 1",
         "# TYPE tn_response_bytes histogram",
         "# TYPE tn_transport_shard_seconds histogram",
+        "# TYPE tn_requests_per_conn histogram",
         "tn_server_overload_total 0",
+        "tn_conn_reuse_total",
     ] {
         assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
     }
@@ -359,71 +515,26 @@ fn metrics_expose_obs_histograms() {
     server.stop();
 }
 
-/// With one worker and a zero-length queue, a second concurrent request
-/// must be shed with 503 + Retry-After instead of queueing forever.
-#[test]
-fn saturated_pool_sheds_with_503() {
-    let server = start_with_queue(1, 0);
-    let addr = server.addr();
-
-    // Occupy the only worker with a request that never completes: send
-    // a partial header block and keep the socket open.
-    let mut hog = TcpStream::connect(addr).expect("connect hog");
-    hog.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n")
-        .expect("write partial request");
-    // Wait until the worker has actually picked the connection up.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-    while server.state().metrics.workers_busy() < 1 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "worker never became busy"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
-
-    let (status, head, body) = get(addr, "/healthz");
-    assert_eq!(status, 503, "{head}\n{body}");
-    assert!(head.contains("Retry-After: 1"), "{head}");
-    assert!(body.contains("\"error\""), "{body}");
-
-    // Release the hog so shutdown is clean, then check the counter once
-    // the worker is idle again (otherwise /metrics itself gets shed).
-    hog.write_all(b"Connection: close\r\n\r\n").expect("finish hog");
-    let mut drain = String::new();
-    let _ = hog.read_to_string(&mut drain);
-    while server.state().metrics.workers_busy() > 0 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "worker never went idle"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
-    let (_, _, metrics) = get(addr, "/metrics");
-    assert!(metric(&metrics, "tn_server_overload_total") >= 1, "{metrics}");
-
-    server.stop();
-}
-
-#[test]
-fn responses_are_deterministic_across_server_instances() {
+fn responses_are_deterministic_across_server_instances(io: IoModel) {
     let request = r#"{"device":"NVIDIA K20","location":"leadville","seed":5}"#;
     let body_of = |server: &ServerHandle| post(server.addr(), "/v1/fit", request).2;
 
-    let a = start(2);
+    let a = start(io, 2);
     let first = body_of(&a);
     a.stop();
-    let b = start(3);
+    let b = start(io, 3);
     let second = body_of(&b);
     b.stop();
     assert_eq!(first, second, "fresh daemons agree byte-for-byte");
 }
 
-const POST_ENDPOINTS: [&str; 5] = [
+const POST_ENDPOINTS: [&str; 6] = [
     "/v1/fit",
     "/v1/checkpoint",
     "/v1/cross-sections",
     "/v1/transport",
     "/v1/fleet",
+    "/v1/fleet/entries",
 ];
 
 /// Decodes a `Transfer-Encoding: chunked` body into its payload.
@@ -442,9 +553,8 @@ fn decode_chunked(body: &str) -> String {
     out
 }
 
-#[test]
-fn fleet_bulk_endpoint_serves_from_the_surface() {
-    let server = start(2);
+fn fleet_bulk_endpoint_serves_from_the_surface(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
     let request = r#"{"devices":[{"device":"NVIDIA K20","altitude_m":1609,"b10_areal_cm2":1e19,"avf":0.5},{"device":"Intel Xeon Phi","altitude_m":10}],"seed":4}"#;
 
@@ -474,9 +584,8 @@ fn fleet_bulk_endpoint_serves_from_the_surface() {
     server.stop();
 }
 
-#[test]
-fn fleet_stream_is_chunked_ndjson_on_the_wire() {
-    let server = start(2);
+fn fleet_stream_is_chunked_ndjson_on_the_wire(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
 
     let (status, head, body) = get(addr, "/v1/fleet/stream?seed=9&quick=true");
@@ -505,9 +614,8 @@ fn fleet_stream_is_chunked_ndjson_on_the_wire() {
 /// Regression test for the empty / zero-thickness stack panic: a bad
 /// geometry must come back as a 400 with the validation message, not
 /// kill a worker thread — and the daemon must keep serving afterwards.
-#[test]
-fn transport_rejects_bad_geometry_with_400_and_survives() {
-    let server = start(2);
+fn transport_rejects_bad_geometry_with_400_and_survives(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
     for (body, needle) in [
         (r#"{"layers":[]}"#, "at least one layer"),
@@ -559,9 +667,8 @@ fn transport_rejects_bad_geometry_with_400_and_survives() {
     server.stop();
 }
 
-#[test]
-fn malformed_json_gets_400_on_every_post_endpoint() {
-    let server = start(2);
+fn malformed_json_gets_400_on_every_post_endpoint(io: IoModel) {
+    let server = start(io, 2);
     let addr = server.addr();
     for path in POST_ENDPOINTS {
         for bad in ["{not json", "", "[1,2", "{\"device\":}", "\u{1}"] {
@@ -573,14 +680,16 @@ fn malformed_json_gets_400_on_every_post_endpoint() {
     server.stop();
 }
 
-#[test]
-fn underdeclared_content_length_gets_400_not_a_hang() {
-    // The client promises 50 bytes, sends 5 and half-closes. The worker
+fn underdeclared_content_length_gets_400_not_a_hang(io: IoModel) {
+    // The client promises 50 bytes, sends 5 and half-closes. The server
     // must answer 400 immediately instead of dropping the connection.
-    let server = start(2);
+    let server = start(io, 2);
     let addr = server.addr();
     for path in POST_ENDPOINTS {
         let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set timeout");
         stream
             .write_all(
                 format!(
@@ -604,11 +713,10 @@ fn underdeclared_content_length_gets_400_not_a_hang() {
     server.stop();
 }
 
-#[test]
-fn overlong_body_gets_400_on_every_post_endpoint() {
-    // More body bytes than Content-Length declares: a protocol violation,
-    // not something to silently truncate.
-    let server = start(2);
+fn overlong_body_gets_400_on_every_post_endpoint(io: IoModel) {
+    // More body bytes than Content-Length declares on a `close`
+    // request: a protocol violation, not something to silently ignore.
+    let server = start(io, 2);
     let addr = server.addr();
     for path in POST_ENDPOINTS {
         let (status, _, body) = raw(
@@ -622,4 +730,381 @@ fn overlong_body_gets_400_on_every_post_endpoint() {
         assert!(body.contains("longer than declared"), "{path}: {body}");
     }
     server.stop();
+}
+
+fn keep_alive_reuses_a_connection_and_counts_it(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    let mut conn = Conn::open(addr);
+    for i in 0..4 {
+        conn.get("/healthz", i == 3);
+        let (status, head, body) = conn.read_response();
+        assert_eq!(status, 200, "request {i}: {body}");
+        let expected = if i == 3 {
+            "Connection: close"
+        } else {
+            "Connection: keep-alive"
+        };
+        assert!(head.contains(expected), "request {i}: {head}");
+    }
+    conn.assert_eof();
+
+    // 4 requests on one connection → 3 reuses, one histogram sample.
+    let metrics = await_metric(addr, "tn_conn_reuse_total", 3);
+    assert!(
+        metric(&metrics, "tn_requests_per_conn_count") >= 1,
+        "{metrics}"
+    );
+
+    server.stop();
+}
+
+fn pipelined_requests_are_answered_in_order(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    let mut conn = Conn::open(addr);
+    // All three requests in one write; the last one asks for close.
+    conn.send(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+         GET /v1/devices HTTP/1.1\r\nHost: t\r\n\r\n\
+         GET /v1/nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    let (s1, _, b1) = conn.read_response();
+    let (s2, _, b2) = conn.read_response();
+    let (s3, _, _) = conn.read_response();
+    assert_eq!(s1, 200);
+    assert!(b1.contains("\"status\":\"ok\""), "{b1}");
+    assert_eq!(s2, 200);
+    assert!(b2.contains("\"count\":8"), "{b2}");
+    assert_eq!(s3, 404);
+    conn.assert_eof();
+
+    server.stop();
+}
+
+fn chunked_stream_works_on_a_reused_connection(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    let mut conn = Conn::open(addr);
+    conn.get("/v1/fleet/stream?quick=true", false);
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    let payload = decode_chunked(&body);
+    assert_eq!(payload.lines().count(), 1 + 24, "{payload}");
+
+    // The connection is still usable after the chunked body.
+    conn.get("/healthz", false);
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+
+    // And a second stream over the same connection frames identically.
+    conn.get("/v1/fleet/stream?quick=true", true);
+    let (status, _, again) = conn.read_response();
+    assert_eq!(status, 200);
+    assert_eq!(decode_chunked(&again), payload, "reused-connection stream");
+    conn.assert_eof();
+
+    server.stop();
+}
+
+fn fleet_entries_mutate_then_assess(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    // Baseline: demo fleet, generation 0.
+    let (status, _, before) = post(addr, "/v1/fleet", "{}");
+    assert_eq!(status, 200, "{before}");
+    assert!(before.contains("\"count\":24"), "{before}");
+    assert!(before.contains("\"generation\":0"), "{before}");
+    assert!(!before.contains("zz-new"), "{before}");
+
+    // Upsert a new entry; the registry generation bumps.
+    let entry = r#"{"id":"zz-new","device":"NVIDIA K20","altitude_m":1609,"avf":0.5}"#;
+    let (status, _, body) = post(addr, "/v1/fleet/entries", entry);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"op\":\"upsert\""), "{body}");
+    assert!(body.contains("\"id\":\"zz-new\""), "{body}");
+    assert!(body.contains("\"generation\":1"), "{body}");
+    assert!(body.contains("\"count\":25"), "{body}");
+
+    // The bulk assessment sees the mutation immediately: the old cached
+    // response was keyed by generation 0 and cannot be served.
+    let (status, _, after) = post(addr, "/v1/fleet", "{}");
+    assert_eq!(status, 200, "{after}");
+    assert!(after.contains("\"count\":25"), "{after}");
+    assert!(after.contains("\"generation\":1"), "{after}");
+    assert!(after.contains("zz-new"), "{after}");
+
+    // Validation: id is mandatory, devices must exist.
+    let (status, _, body) = post(addr, "/v1/fleet/entries", r#"{"device":"NVIDIA K20"}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("`id`"), "{body}");
+    let (status, _, body) = post(
+        addr,
+        "/v1/fleet/entries",
+        r#"{"id":"zz-bad","device":"ENIAC"}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+
+    // Delete restores the original count; a second delete is a 404.
+    let (status, _, body) = delete(addr, "/v1/fleet/entries/zz-new");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"op\":\"delete\""), "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    assert!(body.contains("\"count\":24"), "{body}");
+    let (status, _, _) = delete(addr, "/v1/fleet/entries/zz-new");
+    assert_eq!(status, 404);
+    let (status, _, _) = delete(addr, "/v1/fleet/entries/");
+    assert_eq!(status, 400);
+    let (status, _, _) = get(addr, "/v1/fleet/entries");
+    assert_eq!(status, 405);
+
+    let (_, _, after_delete) = post(addr, "/v1/fleet", "{}");
+    assert!(after_delete.contains("\"count\":24"), "{after_delete}");
+    assert!(after_delete.contains("\"generation\":2"), "{after_delete}");
+    assert!(!after_delete.contains("zz-new"), "{after_delete}");
+
+    server.stop();
+}
+
+fn max_requests_per_conn_caps_reuse(io: IoModel) {
+    let mut cfg = config(io, 2);
+    cfg.max_requests_per_conn = 2;
+    let server = start_config(&cfg);
+    let addr = server.addr();
+
+    let mut conn = Conn::open(addr);
+    conn.get("/healthz", false);
+    conn.get("/healthz", false);
+    let (s1, h1, _) = conn.read_response();
+    let (s2, h2, _) = conn.read_response();
+    assert_eq!((s1, s2), (200, 200));
+    assert!(h1.contains("Connection: keep-alive"), "{h1}");
+    // The server announces the close on the capped request and hangs up.
+    assert!(h2.contains("Connection: close"), "{h2}");
+    conn.assert_eof();
+
+    server.stop();
+}
+
+fn idle_connections_close_cleanly(io: IoModel) {
+    let mut cfg = config(io, 2);
+    cfg.idle_timeout = Duration::from_millis(150);
+    let server = start_config(&cfg);
+    let addr = server.addr();
+
+    // A connection that never sends a request is closed quietly — EOF,
+    // not a 400 response.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read to EOF");
+    assert!(
+        out.is_empty(),
+        "idle close must not write anything, got: {:?}",
+        String::from_utf8_lossy(&out)
+    );
+
+    // A connection that stalls mid-headers gets an explicit 400.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n")
+        .expect("write partial");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response:?}");
+    assert!(response.contains("timed out"), "{response}");
+
+    server.stop();
+}
+
+fn surface_cache_round_trips_across_restarts(io: IoModel) {
+    let path = std::env::temp_dir().join(format!(
+        "tn-surface-cache-{}-{}.jsonl",
+        std::process::id(),
+        io.label()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut cfg = config(io, 2);
+    cfg.surface_cache = Some(path.to_string_lossy().into_owned());
+
+    // First daemon builds the surface and persists it.
+    let server = start_config(&cfg);
+    let (status, _, first) = post(server.addr(), "/v1/fleet", r#"{"seed":77}"#);
+    assert_eq!(status, 200, "{first}");
+    server.stop();
+    let text = std::fs::read_to_string(&path).expect("surface cache file written");
+    assert!(text.contains("\"digest\""), "{text}");
+    assert!(text.contains("\"quick\":true"), "{text}");
+
+    // Second daemon loads it from disk; the response is byte-identical,
+    // which (together with the digest check in the loader) proves the
+    // persisted tables match a fresh build.
+    let server = start_config(&cfg);
+    let (status, _, second) = post(server.addr(), "/v1/fleet", r#"{"seed":77}"#);
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first, second, "persisted surface answers identically");
+    server.stop();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// With one worker and a zero-length queue, a second concurrent request
+/// must be shed with 503 + Retry-After instead of queueing forever.
+/// Threads-only: the test works by occupying a worker with a stalled
+/// connection, which is exactly what the epoll model is designed to
+/// not let happen (stalled sockets just wait in the event loop).
+#[test]
+fn saturated_pool_sheds_with_503() {
+    let mut cfg = config(IoModel::Threads, 1);
+    cfg.max_queue = 0;
+    let server = start_config(&cfg);
+    let addr = server.addr();
+
+    // Occupy the only worker with a request that never completes: send
+    // a partial header block and keep the socket open.
+    let mut hog = TcpStream::connect(addr).expect("connect hog");
+    hog.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n")
+        .expect("write partial request");
+    // Wait until the worker has actually picked the connection up.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.state().metrics.workers_busy() < 1 {
+        assert!(Instant::now() < deadline, "worker never became busy");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (status, head, body) = get(addr, "/healthz");
+    assert_eq!(status, 503, "{head}\n{body}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(body.contains("\"error\""), "{body}");
+
+    // Release the hog so shutdown is clean, then check the counter once
+    // the worker is idle again (otherwise /metrics itself gets shed).
+    hog.write_all(b"Connection: close\r\n\r\n").expect("finish hog");
+    let mut drain = String::new();
+    let _ = hog.read_to_string(&mut drain);
+    while server.state().metrics.workers_busy() > 0 {
+        assert!(Instant::now() < deadline, "worker never went idle");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metric(&metrics, "tn_server_overload_total") >= 1, "{metrics}");
+
+    server.stop();
+}
+
+macro_rules! io_model_suite {
+    ($model:expr) => {
+        #[test]
+        fn healthz_devices_and_metrics_respond() {
+            super::healthz_devices_and_metrics_respond($model)
+        }
+        #[test]
+        fn error_paths_return_json_errors() {
+            super::error_paths_return_json_errors($model)
+        }
+        #[test]
+        fn fit_endpoint_is_deterministic_and_counts_cache_hits() {
+            super::fit_endpoint_is_deterministic_and_counts_cache_hits($model)
+        }
+        #[test]
+        fn derived_surroundings_run_transport_and_count_histories() {
+            super::derived_surroundings_run_transport_and_count_histories($model)
+        }
+        #[test]
+        fn two_concurrent_identical_fit_posts_cause_exactly_one_miss() {
+            super::two_concurrent_identical_fit_posts_cause_exactly_one_miss($model)
+        }
+        #[test]
+        fn checkpoint_and_cross_sections_endpoints() {
+            super::checkpoint_and_cross_sections_endpoints($model)
+        }
+        #[test]
+        fn every_response_carries_a_request_id() {
+            super::every_response_carries_a_request_id($model)
+        }
+        #[test]
+        fn path_scans_cannot_inflate_metric_cardinality() {
+            super::path_scans_cannot_inflate_metric_cardinality($model)
+        }
+        #[test]
+        fn metrics_expose_obs_histograms() {
+            super::metrics_expose_obs_histograms($model)
+        }
+        #[test]
+        fn responses_are_deterministic_across_server_instances() {
+            super::responses_are_deterministic_across_server_instances($model)
+        }
+        #[test]
+        fn fleet_bulk_endpoint_serves_from_the_surface() {
+            super::fleet_bulk_endpoint_serves_from_the_surface($model)
+        }
+        #[test]
+        fn fleet_stream_is_chunked_ndjson_on_the_wire() {
+            super::fleet_stream_is_chunked_ndjson_on_the_wire($model)
+        }
+        #[test]
+        fn transport_rejects_bad_geometry_with_400_and_survives() {
+            super::transport_rejects_bad_geometry_with_400_and_survives($model)
+        }
+        #[test]
+        fn malformed_json_gets_400_on_every_post_endpoint() {
+            super::malformed_json_gets_400_on_every_post_endpoint($model)
+        }
+        #[test]
+        fn underdeclared_content_length_gets_400_not_a_hang() {
+            super::underdeclared_content_length_gets_400_not_a_hang($model)
+        }
+        #[test]
+        fn overlong_body_gets_400_on_every_post_endpoint() {
+            super::overlong_body_gets_400_on_every_post_endpoint($model)
+        }
+        #[test]
+        fn keep_alive_reuses_a_connection_and_counts_it() {
+            super::keep_alive_reuses_a_connection_and_counts_it($model)
+        }
+        #[test]
+        fn pipelined_requests_are_answered_in_order() {
+            super::pipelined_requests_are_answered_in_order($model)
+        }
+        #[test]
+        fn chunked_stream_works_on_a_reused_connection() {
+            super::chunked_stream_works_on_a_reused_connection($model)
+        }
+        #[test]
+        fn fleet_entries_mutate_then_assess() {
+            super::fleet_entries_mutate_then_assess($model)
+        }
+        #[test]
+        fn max_requests_per_conn_caps_reuse() {
+            super::max_requests_per_conn_caps_reuse($model)
+        }
+        #[test]
+        fn idle_connections_close_cleanly() {
+            super::idle_connections_close_cleanly($model)
+        }
+        #[test]
+        fn surface_cache_round_trips_across_restarts() {
+            super::surface_cache_round_trips_across_restarts($model)
+        }
+    };
+}
+
+mod threads_model {
+    io_model_suite!(tn_server::IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+mod epoll_model {
+    io_model_suite!(tn_server::IoModel::Epoll);
 }

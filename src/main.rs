@@ -7,10 +7,13 @@
 //! thermal-neutrons ddr [--seed N]
 //! thermal-neutrons spectra
 //! thermal-neutrons serve [--addr A] [--threads N] [--seed N] [--fleet FILE]
+//!                        [--io-model threads|epoll] [--idle-timeout-ms N]
+//!                        [--max-requests-per-conn N] [--surface-cache FILE]
 //! thermal-neutrons transport [--material M] [--thickness-cm T] [--energy-ev E]
 //!                            [--histories N] [--diffuse] [--vr] [--seed N]
 //! thermal-neutrons load [--addr A] [--rate-hz R] [--duration-s D] [--workers N]
-//!                       [--devices N] [--smoke] [--full-surfaces] [--out FILE]
+//!                       [--devices N] [--smoke] [--full-surfaces] [--keep-alive]
+//!                       [--io-model threads|epoll] [--out FILE]
 //! thermal-neutrons profile <command> [args...]
 //! thermal-neutrons verify [--quick] [--seed N] [--out FILE]
 //! ```
@@ -26,7 +29,7 @@
 use thermal_neutrons::core_api as tn;
 use tn::environment::{Environment, Location, Surroundings, Weather};
 use tn::{Pipeline, PipelineConfig};
-use tn_server::{Server, ServerConfig};
+use tn_server::{IoModel, Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,13 +162,21 @@ where
 }
 
 fn serve(args: &[String], seed: u64) -> Result<(), String> {
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         addr: flag_value::<String>(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".into()),
         threads: flag_value::<usize>(args, "--threads")?.unwrap_or(4).max(1),
         seed,
         transport_threads: tn::transport::default_threads(),
         fleet_path: flag_value::<String>(args, "--fleet")?,
-        ..ServerConfig::default()
+        io_model: flag_value::<IoModel>(args, "--io-model")?.unwrap_or(defaults.io_model),
+        idle_timeout: flag_value::<u64>(args, "--idle-timeout-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.idle_timeout),
+        max_requests_per_conn: flag_value::<usize>(args, "--max-requests-per-conn")?
+            .unwrap_or(defaults.max_requests_per_conn),
+        surface_cache: flag_value::<String>(args, "--surface-cache")?,
+        ..defaults
     };
     let server =
         Server::bind(&config).map_err(|e| format!("serve: cannot bind {}: {e}", config.addr))?;
@@ -173,8 +184,9 @@ fn serve(args: &[String], seed: u64) -> Result<(), String> {
         .local_addr()
         .map_err(|e| format!("serve: no local address: {e}"))?;
     println!(
-        "tn-server listening on http://{addr} (threads={}, seed={seed})",
-        config.threads
+        "tn-server listening on http://{addr} (threads={}, io={}, seed={seed})",
+        config.threads,
+        server.io_model().label()
     );
     server.run();
     Ok(())
@@ -209,14 +221,21 @@ fn load(args: &[String], seed: u64) -> Result<(), String> {
     let smoke =
         std::env::var_os("TN_BENCH_SMOKE").is_some() || args.iter().any(|a| a == "--smoke");
     let quick_surfaces = !args.iter().any(|a| a == "--full-surfaces");
+    let keep_alive = args.iter().any(|a| a == "--keep-alive");
     let out_path = flag_value::<String>(args, "--out")?
         .unwrap_or_else(|| "target/tn-bench/BENCH_fleet.json".into());
 
     // Target an external server, or spawn one in-process for a
     // self-contained run.
+    let requested_io = flag_value::<IoModel>(args, "--io-model")?;
     let external = flag_value::<String>(args, "--addr")?;
-    let (addr, handle) = match external {
-        Some(addr) => (addr, None),
+    let (addr, io_model, handle) = match external {
+        Some(addr) => {
+            // Against an external server the io model cannot be
+            // observed; record what the caller told us it runs.
+            let io = requested_io.unwrap_or_else(IoModel::platform_default);
+            (addr, io, None)
+        }
         None => {
             let config = ServerConfig {
                 addr: "127.0.0.1:0".into(),
@@ -224,12 +243,14 @@ fn load(args: &[String], seed: u64) -> Result<(), String> {
                 seed,
                 transport_threads: tn::transport::default_threads(),
                 fleet_path: flag_value::<String>(args, "--fleet")?,
+                io_model: requested_io.unwrap_or_else(IoModel::platform_default),
                 ..ServerConfig::default()
             };
             let server = Server::bind(&config)
                 .map_err(|e| format!("load: cannot bind in-process server: {e}"))?;
+            let io = server.io_model();
             let handle = server.spawn();
-            (handle.addr().to_string(), Some(handle))
+            (handle.addr().to_string(), io, Some(handle))
         }
     };
 
@@ -241,12 +262,20 @@ fn load(args: &[String], seed: u64) -> Result<(), String> {
         devices_per_request: devices,
         seed,
         quick_surfaces,
+        keep_alive,
+        io_model: io_model.label().to_string(),
     };
     println!(
         "load: {} at {rate_hz} req/s for {duration_s}s ({workers} workers, \
-         {devices} devices/request, seed {seed}, {} surfaces)",
+         {devices} devices/request, seed {seed}, {} surfaces, io={}, {})",
         config.addr,
-        if quick_surfaces { "quick" } else { "full" }
+        if quick_surfaces { "quick" } else { "full" },
+        config.io_model,
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "close-per-request"
+        }
     );
     let result = tn_fleet::load::run(&config);
     if let Some(handle) = handle {
@@ -492,7 +521,8 @@ fn help_text() -> String {
      \x20 load       open-loop load harness for the fleet risk service; spawns an\n\
      \x20            in-process server unless --addr points at one; writes\n\
      \x20            BENCH_fleet.json (--rate-hz R, --duration-s D, --workers N,\n\
-     \x20            --devices N, --smoke, --full-surfaces, --out FILE)\n\
+     \x20            --devices N, --smoke, --full-surfaces, --keep-alive,\n\
+     \x20            --io-model threads|epoll, --out FILE)\n\
      \x20 profile    run a command, then print span/latency percentiles\n\
      \x20 verify     statistical GOF + differential-oracle + golden-snapshot\n\
      \x20            suites; writes VERIFY_report.json (--out FILE overrides;\n\
@@ -504,7 +534,11 @@ fn help_text() -> String {
      \x20        --log-level error|warn|info|debug|trace|off (default\n\
      \x20        $TN_LOG or warn), --trace-out FILE (structured JSONL)\n\
      serve:   --addr HOST:PORT (default 127.0.0.1:7878), --threads N (default 4),\n\
-     \x20        --fleet FILE (JSONL registry snapshot; default: demo fleet)"
+     \x20        --fleet FILE (JSONL registry snapshot; default: demo fleet),\n\
+     \x20        --io-model threads|epoll (default: epoll on Linux),\n\
+     \x20        --idle-timeout-ms N (keep-alive idle close, default 5000),\n\
+     \x20        --max-requests-per-conn N (0 = unlimited, default 10000),\n\
+     \x20        --surface-cache FILE (persist built risk surfaces as JSONL)"
         .to_string()
 }
 
