@@ -18,7 +18,13 @@
 //!   this at TRACE vs OFF).
 //! * **Log-bucketed [`Histogram`]s** with power-of-two buckets, snapshot
 //!   deltas, quantile estimation, and Prometheus text rendering through
-//!   the shared [`Registry`] (`Registry::render_prometheus`).
+//!   the shared [`Registry`] (`Registry::render_prometheus`), plus
+//!   free-moving [`Gauge`]s.
+//! * **Timeline telemetry** ([`timeline`]): fixed-capacity ring-buffer
+//!   count-rate timelines, sliding-window estimators with injectable
+//!   confidence intervals, EWMA baselines, and online change-point
+//!   detection (two-sided Poisson CUSUM + interval-overlap drift test)
+//!   raising structured [`Alert`]s through the event sinks.
 //!
 //! ## Example
 //!
@@ -44,6 +50,7 @@ pub mod level;
 pub mod log;
 pub mod registry;
 pub mod span;
+pub mod timeline;
 
 pub use clock::{now_nanos, set_clock, Clock, RealClock, VirtualClock};
 pub use hist::{Histogram, Snapshot, Unit};
@@ -52,5 +59,8 @@ pub use log::{
     debug, emit, enabled, error, info, level, set_level, set_level_str, set_stderr,
     set_trace_file, trace, warn, FieldValue,
 };
-pub use registry::{global, Counter, CounterUnit, HistogramSnapshot, Registry};
+pub use registry::{global, Counter, CounterUnit, Gauge, HistogramSnapshot, Registry};
 pub use span::{current_span_path, span, SpanGuard};
+pub use timeline::{
+    normal_interval, Alert, AlertKind, IntervalFn, Monitor, MonitorConfig, RatePoint,
+};

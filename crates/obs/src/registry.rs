@@ -64,6 +64,45 @@ impl Counter {
     }
 }
 
+/// A named gauge holding an `f64` that can move in both directions.
+///
+/// The value is stored as its IEEE-754 bit pattern in an `AtomicU64`, so
+/// `set`/`get` are lock-free and safe to call from any thread.
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Stores a new value.
+    pub fn set(&self, v: f64) {
+        self.value.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.value.load(Ordering::Relaxed))
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn render_into(&self, out: &mut String) {
+        let labels = render_labels(&self.labels);
+        let v = self.get();
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{}{labels} {}\n", self.name, v as i64));
+        } else {
+            out.push_str(&format!("{}{labels} {:e}\n", self.name, v));
+        }
+    }
+}
+
 fn render_labels(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return String::new();
@@ -83,6 +122,7 @@ pub type HistogramSnapshot = (String, Vec<(String, String)>, Snapshot);
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<Vec<Arc<Counter>>>,
+    gauges: Mutex<Vec<Arc<Gauge>>>,
     histograms: Mutex<Vec<Arc<Histogram>>>,
 }
 
@@ -91,6 +131,7 @@ impl Registry {
     pub const fn new() -> Self {
         Self {
             counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
             histograms: Mutex::new(Vec::new()),
         }
     }
@@ -123,6 +164,30 @@ impl Registry {
         });
         counters.push(Arc::clone(&c));
         c
+    }
+
+    /// Returns the gauge with this name and label set, creating it on
+    /// first use (initial value `0.0`). `help` is fixed by the first
+    /// creation.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().expect("registry poisoned");
+        if let Some(g) = gauges
+            .iter()
+            .find(|g| g.name == name && labels_match(&g.labels, labels))
+        {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: AtomicU64::new(0f64.to_bits()),
+        });
+        gauges.push(Arc::clone(&g));
+        g
     }
 
     /// Returns the histogram with this name and label set, creating it
@@ -170,6 +235,16 @@ impl Registry {
             c.render_into(&mut out);
         }
         drop(counters);
+        let gauges = self.gauges.lock().expect("registry poisoned");
+        let mut seen: Vec<&str> = Vec::new();
+        for g in gauges.iter() {
+            if !seen.contains(&g.name.as_str()) {
+                seen.push(&g.name);
+                out.push_str(&format!("# HELP {} {}\n# TYPE {} gauge\n", g.name, g.help, g.name));
+            }
+            g.render_into(&mut out);
+        }
+        drop(gauges);
         let histograms = self.histograms.lock().expect("registry poisoned");
         let mut seen: Vec<&str> = Vec::new();
         for h in histograms.iter() {
@@ -221,6 +296,19 @@ mod tests {
         assert!(text.contains("tn_x_total{k=\"a\"} 3"), "{text}");
         assert!(text.contains("tn_x_total{k=\"b\"} 1"), "{text}");
         assert_eq!(text.matches("# HELP tn_x_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn gauge_sets_and_renders_with_gauge_type() {
+        let r = Registry::new();
+        let g = r.gauge("tn_level", &[("k", "a")], "current level");
+        let g2 = r.gauge("tn_level", &[("k", "a")], "current level");
+        g.set(3.5);
+        assert_eq!(g2.get(), 3.5, "same series shares the cell");
+        g.set(12.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE tn_level gauge"), "{text}");
+        assert!(text.contains("tn_level{k=\"a\"} 12\n"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,763 @@
+//! tn-watch time-series core: ring-buffer timelines, sliding-window
+//! count-rate estimation, EWMA baselines and online change-point
+//! detection for Poisson count streams.
+//!
+//! The monitor consumes `(timestamp, count, exposure)` samples — e.g.
+//! hourly Tin-II counter bins — and maintains:
+//!
+//! * a fixed-capacity ring buffer of [`RatePoint`]s (the servable
+//!   timeline),
+//! * a sliding-window rate estimate with a confidence interval computed
+//!   by an injected [`IntervalFn`] (callers wire in the exact Garwood
+//!   interval from `tn-physics`; [`normal_interval`] is the std-only
+//!   default),
+//! * an EWMA display baseline plus a *frozen* reference rate learned
+//!   over the warmup segment,
+//! * two change-point detectors against the frozen reference: a
+//!   two-sided Poisson CUSUM (log-likelihood-ratio form, step changes)
+//!   and an interval-overlap drift test (sustained disjoint confidence
+//!   intervals, slow drifts).
+//!
+//! Detected changes are returned as structured [`Alert`]s and emitted
+//! through the tn-obs event sinks (`tn_watch_alert` WARN events). After
+//! every alert the monitor *re-warms*: the reference segment and the
+//! sliding window restart empty and the detectors stay disarmed for a
+//! fresh warmup, so a single step yields exactly one alert and the
+//! monitor re-learns its baseline from post-change samples only.
+//!
+//! Everything here is deterministic: no clocks are read (timestamps are
+//! supplied by the caller, typically from [`crate::now_nanos`] under a
+//! [`crate::VirtualClock`] in tests) and no randomness is used.
+
+use crate::log::FieldValue;
+
+/// Maps `(observed count, confidence)` to a two-sided confidence
+/// interval `(lower, upper)` on the underlying Poisson mean count.
+///
+/// The rate interval follows by dividing by the exposure. `tn-physics`
+/// callers inject the exact Garwood interval
+/// (`PoissonInterval::exact`); [`normal_interval`] is the dependency-free
+/// fallback used by default.
+pub type IntervalFn = fn(u64, f64) -> (f64, f64);
+
+/// Normal-approximation interval on a Poisson mean: `n ± z·√n`, clamped
+/// at zero. Adequate for large counts; callers with `tn-physics` in
+/// reach should inject the exact Garwood interval instead.
+pub fn normal_interval(count: u64, confidence: f64) -> (f64, f64) {
+    let n = count as f64;
+    let z = normal_quantile(0.5 + confidence.clamp(0.0, 0.999_999) / 2.0);
+    let half = z * n.sqrt();
+    ((n - half).max(0.0), n + half)
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 on (0, 1)).
+fn normal_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// What kind of change a detector flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// CUSUM: the rate stepped up relative to the reference baseline.
+    StepUp,
+    /// CUSUM: the rate stepped down relative to the reference baseline.
+    StepDown,
+    /// Interval-overlap test: the sliding-window confidence interval
+    /// stayed disjoint from the baseline interval for a sustained run.
+    Drift,
+}
+
+impl AlertKind {
+    /// Stable lower-snake label (`step_up` / `step_down` / `drift`) used
+    /// in events, metrics and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertKind::StepUp => "step_up",
+            AlertKind::StepDown => "step_down",
+            AlertKind::Drift => "drift",
+        }
+    }
+}
+
+/// A structured change-point alert.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Which detector fired and in which direction.
+    pub kind: AlertKind,
+    /// Sample index (0-based, over all ingested samples) where the
+    /// change is estimated to have begun.
+    pub onset_index: u64,
+    /// Sample index at which the detector crossed its threshold.
+    pub detected_index: u64,
+    /// Timestamp of the detecting sample (nanoseconds).
+    pub ts_nanos: u64,
+    /// The frozen reference rate the change was measured against
+    /// (counts per second).
+    pub baseline_rate: f64,
+    /// Mean rate observed over `[onset_index, detected_index]`.
+    pub observed_rate: f64,
+    /// Relative change: `observed_rate / baseline_rate - 1`.
+    pub magnitude: f64,
+}
+
+/// One servable timeline point: the sample plus the estimates current
+/// at ingest time.
+#[derive(Debug, Clone)]
+pub struct RatePoint {
+    /// 0-based index over all ingested samples.
+    pub index: u64,
+    /// Sample timestamp (nanoseconds).
+    pub ts_nanos: u64,
+    /// Raw event count in this sample.
+    pub count: u64,
+    /// Live time of this sample in seconds.
+    pub exposure_seconds: f64,
+    /// This sample's own rate, `count / exposure` (counts per second).
+    pub rate: f64,
+    /// Sliding-window rate estimate (counts per second).
+    pub window_rate: f64,
+    /// Lower bound of the window-rate confidence interval.
+    pub window_lower: f64,
+    /// Upper bound of the window-rate confidence interval.
+    pub window_upper: f64,
+    /// EWMA baseline after absorbing this sample.
+    pub baseline: f64,
+}
+
+/// Tuning for a [`Monitor`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Ring-buffer capacity: how many recent [`RatePoint`]s are kept.
+    pub capacity: usize,
+    /// Sliding-estimator window length in samples.
+    pub window: usize,
+    /// Samples used to learn the frozen reference rate before the
+    /// detectors arm. Alerts are never raised during warmup.
+    pub warmup: usize,
+    /// EWMA smoothing factor for the display baseline.
+    pub ewma_alpha: f64,
+    /// Relative step size the CUSUM is designed against (e.g. `0.1`
+    /// arms it for ±10 % rate steps).
+    pub cusum_delta: f64,
+    /// CUSUM decision threshold in nats. Larger is slower but quieter.
+    pub cusum_threshold: f64,
+    /// Confidence level for the drift test's intervals.
+    pub drift_confidence: f64,
+    /// Consecutive disjoint-interval samples required for a drift alert.
+    pub drift_run: usize,
+    /// Confidence-interval estimator (see [`IntervalFn`]).
+    pub interval: IntervalFn,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            window: 12,
+            warmup: 32,
+            ewma_alpha: 0.05,
+            cusum_delta: 0.1,
+            cusum_threshold: 14.0,
+            drift_confidence: 0.999,
+            drift_run: 6,
+            interval: normal_interval,
+        }
+    }
+}
+
+/// Streaming change-point monitor over a Poisson count series.
+#[derive(Debug)]
+pub struct Monitor {
+    cfg: MonitorConfig,
+    // Ring buffer of the most recent `cfg.capacity` points.
+    points: Vec<RatePoint>,
+    start: usize,
+    seen: u64,
+    // Sliding estimator window (most recent `cfg.window` samples).
+    recent: std::collections::VecDeque<(u64, f64)>,
+    win_count: u64,
+    win_exposure: f64,
+    // Reference segment: warmup at first, re-learned after every alert.
+    ref_count: u64,
+    ref_exposure: f64,
+    ref_samples: u64,
+    baseline: f64,
+    baseline_lower: f64,
+    baseline_upper: f64,
+    armed: bool,
+    ewma: Option<f64>,
+    // Two-sided CUSUM state.
+    s_up: f64,
+    s_dn: f64,
+    up_onset: u64,
+    dn_onset: u64,
+    // Drift-run state.
+    drift_hits: usize,
+    drift_onset: u64,
+    alerts: Vec<Alert>,
+}
+
+impl Monitor {
+    /// A monitor with the given tuning. Panics on degenerate configs
+    /// (zero capacity/window/warmup, non-positive CUSUM design).
+    pub fn new(cfg: MonitorConfig) -> Self {
+        assert!(cfg.capacity > 0, "capacity must be positive");
+        assert!(cfg.window > 0, "window must be positive");
+        assert!(cfg.warmup > 0, "warmup must be positive");
+        assert!(
+            cfg.cusum_delta > 0.0 && cfg.cusum_delta < 1.0,
+            "cusum_delta must be in (0, 1)"
+        );
+        assert!(cfg.cusum_threshold > 0.0, "cusum_threshold must be positive");
+        assert!(cfg.drift_run > 0, "drift_run must be positive");
+        Self {
+            points: Vec::with_capacity(cfg.capacity.min(4096)),
+            start: 0,
+            seen: 0,
+            recent: std::collections::VecDeque::with_capacity(cfg.window + 1),
+            win_count: 0,
+            win_exposure: 0.0,
+            ref_count: 0,
+            ref_exposure: 0.0,
+            ref_samples: 0,
+            baseline: 0.0,
+            baseline_lower: 0.0,
+            baseline_upper: 0.0,
+            armed: false,
+            ewma: None,
+            s_up: 0.0,
+            s_dn: 0.0,
+            up_onset: 0,
+            dn_onset: 0,
+            drift_hits: 0,
+            drift_onset: 0,
+            alerts: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The tuning this monitor runs with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Ingests one sample and returns any alerts it raised (at most
+    /// one). Samples with non-positive exposure are ignored.
+    pub fn observe(&mut self, ts_nanos: u64, count: u64, exposure_seconds: f64) -> Vec<Alert> {
+        let usable = exposure_seconds.is_finite() && exposure_seconds > 0.0;
+        if !usable {
+            return Vec::new();
+        }
+        let index = self.seen;
+        self.seen += 1;
+        let rate = count as f64 / exposure_seconds;
+
+        // Sliding estimator window.
+        self.recent.push_back((count, exposure_seconds));
+        self.win_count += count;
+        self.win_exposure += exposure_seconds;
+        if self.recent.len() > self.cfg.window {
+            let (c, e) = self.recent.pop_front().expect("window non-empty");
+            self.win_count -= c;
+            self.win_exposure -= e;
+        }
+        let window_rate = self.win_count as f64 / self.win_exposure;
+        let (wl, wu) = (self.cfg.interval)(self.win_count, self.cfg.drift_confidence);
+        let (window_lower, window_upper) = (wl / self.win_exposure, wu / self.win_exposure);
+
+        // EWMA display baseline.
+        let ewma = match self.ewma {
+            None => rate,
+            Some(prev) => prev + self.cfg.ewma_alpha * (rate - prev),
+        };
+        self.ewma = Some(ewma);
+
+        let mut raised = Vec::new();
+        if !self.armed {
+            // Warmup (initial or post-alert): accumulate the reference
+            // segment; no detection until it is trustworthy.
+            self.ref_count += count;
+            self.ref_exposure += exposure_seconds;
+            self.ref_samples += 1;
+            if self.ref_samples >= self.cfg.warmup as u64 {
+                self.freeze_reference();
+                self.up_onset = index + 1;
+                self.dn_onset = index + 1;
+            }
+        } else {
+            if let Some(alert) = self.cusum_step(index, ts_nanos, count, exposure_seconds) {
+                raised.push(alert);
+            } else if let Some(alert) =
+                self.drift_step(index, ts_nanos, window_rate, window_lower, window_upper)
+            {
+                raised.push(alert);
+            }
+        }
+
+        self.push_point(RatePoint {
+            index,
+            ts_nanos,
+            count,
+            exposure_seconds,
+            rate,
+            window_rate,
+            window_lower,
+            window_upper,
+            baseline: ewma,
+        });
+        for alert in &raised {
+            emit_alert(alert);
+            self.alerts.push(alert.clone());
+        }
+        raised
+    }
+
+    /// Derives the frozen reference rate and its confidence interval
+    /// from the accumulated reference segment.
+    fn freeze_reference(&mut self) {
+        self.baseline = self.ref_count as f64 / self.ref_exposure;
+        let (lo, hi) = (self.cfg.interval)(self.ref_count, self.cfg.drift_confidence);
+        self.baseline_lower = lo / self.ref_exposure;
+        self.baseline_upper = hi / self.ref_exposure;
+        self.armed = true;
+    }
+
+    /// Two-sided Poisson CUSUM against the frozen reference. For a
+    /// sample with count `n` over exposure `t` the log-likelihood-ratio
+    /// increment for a shift to `λ₀(1±δ)` is
+    /// `n·ln(1±δ) ∓ λ₀·δ·t`; each side accumulates
+    /// `s = max(0, s + llr)` and alarms at `s > h`.
+    fn cusum_step(
+        &mut self,
+        index: u64,
+        ts_nanos: u64,
+        count: u64,
+        exposure_seconds: f64,
+    ) -> Option<Alert> {
+        let n = count as f64;
+        let lam_t = self.baseline * exposure_seconds;
+        let delta = self.cfg.cusum_delta;
+        let llr_up = n * (1.0 + delta).ln() - lam_t * delta;
+        let llr_dn = n * (1.0 - delta).ln() + lam_t * delta;
+        self.s_up = (self.s_up + llr_up).max(0.0);
+        self.s_dn = (self.s_dn + llr_dn).max(0.0);
+        let (kind, onset) = if self.s_up > self.cfg.cusum_threshold {
+            (AlertKind::StepUp, self.up_onset)
+        } else if self.s_dn > self.cfg.cusum_threshold {
+            (AlertKind::StepDown, self.dn_onset)
+        } else {
+            if self.s_up == 0.0 {
+                self.up_onset = index + 1;
+            }
+            if self.s_dn == 0.0 {
+                self.dn_onset = index + 1;
+            }
+            return None;
+        };
+        let observed_rate = self
+            .segment_rate(onset, count, exposure_seconds)
+            .unwrap_or(n / exposure_seconds);
+        let alert = Alert {
+            kind,
+            onset_index: onset.min(index),
+            detected_index: index,
+            ts_nanos,
+            baseline_rate: self.baseline,
+            observed_rate,
+            magnitude: observed_rate / self.baseline - 1.0,
+        };
+        self.begin_rewarm(index);
+        Some(alert)
+    }
+
+    /// Drift detector: a [`MonitorConfig::drift_run`]-long run of
+    /// sliding-window intervals disjoint from the baseline interval.
+    fn drift_step(
+        &mut self,
+        index: u64,
+        ts_nanos: u64,
+        window_rate: f64,
+        window_lower: f64,
+        window_upper: f64,
+    ) -> Option<Alert> {
+        let full_window = self.recent.len() >= self.cfg.window;
+        let disjoint =
+            full_window && (window_lower > self.baseline_upper || window_upper < self.baseline_lower);
+        if !disjoint {
+            self.drift_hits = 0;
+            return None;
+        }
+        if self.drift_hits == 0 {
+            self.drift_onset = index;
+        }
+        self.drift_hits += 1;
+        if self.drift_hits < self.cfg.drift_run {
+            return None;
+        }
+        let onset = self
+            .drift_onset
+            .saturating_sub(self.cfg.window as u64 - 1);
+        let alert = Alert {
+            kind: AlertKind::Drift,
+            onset_index: onset,
+            detected_index: index,
+            ts_nanos,
+            baseline_rate: self.baseline,
+            observed_rate: window_rate,
+            magnitude: window_rate / self.baseline - 1.0,
+        };
+        self.begin_rewarm(index);
+        Some(alert)
+    }
+
+    /// Mean rate over samples `[onset, now]` using whatever of that span
+    /// the ring buffer still holds, including the current sample (which
+    /// is not yet in the buffer).
+    fn segment_rate(&self, onset: u64, count: u64, exposure_seconds: f64) -> Option<f64> {
+        let mut c = count;
+        let mut e = exposure_seconds;
+        for p in self.iter_points() {
+            if p.index >= onset {
+                c += p.count;
+                e += p.exposure_seconds;
+            }
+        }
+        (e > 0.0).then(|| c as f64 / e)
+    }
+
+    /// Disarms the detectors after an alert: the reference segment and
+    /// the sliding window restart empty so the monitor re-learns its
+    /// baseline from post-change samples only (another full
+    /// [`MonitorConfig::warmup`] before the detectors re-arm). A single
+    /// clean step therefore raises exactly one alert.
+    fn begin_rewarm(&mut self, index: u64) {
+        self.armed = false;
+        self.ref_count = 0;
+        self.ref_exposure = 0.0;
+        self.ref_samples = 0;
+        self.recent.clear();
+        self.win_count = 0;
+        self.win_exposure = 0.0;
+        self.s_up = 0.0;
+        self.s_dn = 0.0;
+        self.up_onset = index + 1;
+        self.dn_onset = index + 1;
+        self.drift_hits = 0;
+    }
+
+    fn push_point(&mut self, point: RatePoint) {
+        if self.points.len() < self.cfg.capacity {
+            self.points.push(point);
+        } else {
+            self.points[self.start] = point;
+            self.start = (self.start + 1) % self.cfg.capacity;
+        }
+    }
+
+    /// The retained points, oldest first.
+    pub fn iter_points(&self) -> impl Iterator<Item = &RatePoint> {
+        let (tail, head) = self.points.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+
+    /// The most recent point, if any sample has been ingested.
+    pub fn last_point(&self) -> Option<&RatePoint> {
+        if self.points.is_empty() {
+            None
+        } else if self.start == 0 {
+            self.points.last()
+        } else {
+            Some(&self.points[self.start - 1])
+        }
+    }
+
+    /// Every alert raised so far, in detection order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Total samples ingested (including ones evicted from the ring).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Points currently held in the ring buffer.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True before the first valid sample.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recently frozen reference rate the detectors compare
+    /// against (0 until the first warmup completes; after an alert this
+    /// becomes the re-learned post-change rate once re-warmup ends).
+    pub fn reference_rate(&self) -> f64 {
+        self.baseline
+    }
+
+    /// True once warmup has completed and the detectors are armed.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The EWMA display baseline (0 before the first sample).
+    pub fn ewma_baseline(&self) -> f64 {
+        self.ewma.unwrap_or(0.0)
+    }
+
+    /// Current sliding-window rate (counts per second).
+    pub fn window_rate(&self) -> f64 {
+        if self.win_exposure > 0.0 {
+            self.win_count as f64 / self.win_exposure
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Emits an alert as a WARN `tn_watch_alert` event through the tn-obs
+/// sinks (stderr text + JSONL trace file when configured).
+fn emit_alert(alert: &Alert) {
+    crate::log::warn(
+        "tn_watch_alert",
+        &[
+            ("kind", FieldValue::from(alert.kind.label())),
+            ("onset_index", FieldValue::from(alert.onset_index)),
+            ("detected_index", FieldValue::from(alert.detected_index)),
+            ("baseline_rate", FieldValue::from(alert.baseline_rate)),
+            ("observed_rate", FieldValue::from(alert.observed_rate)),
+            ("magnitude", FieldValue::from(alert.magnitude)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_rng::Rng;
+
+    fn hour(i: u64) -> u64 {
+        i * 3_600_000_000_000
+    }
+
+    /// Deterministic Poisson sampler good enough for tests (inversion
+    /// for small means, normal-ish accumulation for large ones is not
+    /// needed — means stay modest via summed thinning).
+    fn poisson(rng: &mut Rng, mean: f64) -> u64 {
+        // Split large means so inversion stays numerically safe.
+        if mean > 30.0 {
+            let half = mean / 2.0;
+            return poisson(rng, half) + poisson(rng, mean - half);
+        }
+        let limit = (-mean).exp();
+        let mut product = rng.gen_f64();
+        let mut n = 0u64;
+        while product > limit {
+            product *= rng.gen_f64();
+            n += 1;
+        }
+        n
+    }
+
+    fn quiet() -> crate::level::Level {
+        crate::level::Level::Error
+    }
+
+    #[test]
+    fn warmup_raises_no_alerts_and_freezes_reference() {
+        crate::log::set_level(Some(quiet()));
+        let mut m = Monitor::new(MonitorConfig::default());
+        for i in 0..32 {
+            assert!(m.observe(hour(i), 500, 3600.0).is_empty());
+        }
+        let expect = 500.0 / 3600.0;
+        assert!((m.reference_rate() - expect).abs() < 1e-12);
+        assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn clean_step_up_fires_exactly_once_with_correct_onset_sign_and_magnitude() {
+        crate::log::set_level(Some(quiet()));
+        let mut m = Monitor::new(MonitorConfig::default());
+        let mut alerts = Vec::new();
+        for i in 0..200u64 {
+            let count = if i < 100 { 500 } else { 650 };
+            alerts.extend(m.observe(hour(i), count, 3600.0));
+        }
+        assert_eq!(alerts.len(), 1, "one clean step must raise one alert");
+        let a = &alerts[0];
+        assert_eq!(a.kind, AlertKind::StepUp);
+        assert_eq!(a.onset_index, 100, "onset pinned to the true change point");
+        assert!(a.detected_index < 105, "detection within a few samples");
+        assert!((a.magnitude - 0.3).abs() < 0.02, "magnitude ~= +30%: {}", a.magnitude);
+        // After re-baselining, reference tracks the new level.
+        assert!((m.reference_rate() - 650.0 / 3600.0).abs() / (650.0 / 3600.0) < 0.01);
+    }
+
+    #[test]
+    fn clean_step_down_fires_with_negative_magnitude() {
+        crate::log::set_level(Some(quiet()));
+        let mut m = Monitor::new(MonitorConfig::default());
+        let mut alerts = Vec::new();
+        for i in 0..200u64 {
+            let count = if i < 100 { 600 } else { 420 };
+            alerts.extend(m.observe(hour(i), count, 3600.0));
+        }
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::StepDown);
+        assert!(alerts[0].magnitude < -0.25, "{}", alerts[0].magnitude);
+    }
+
+    #[test]
+    fn slow_drift_is_caught_by_the_overlap_test() {
+        crate::log::set_level(Some(quiet()));
+        // Very small CUSUM sensitivity so only the drift test can fire.
+        let cfg = MonitorConfig {
+            cusum_threshold: 1e12,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(cfg);
+        let mut kinds = Vec::new();
+        for i in 0..400u64 {
+            // +0.25 counts per sample after warmup: a slow ramp.
+            let count = 500 + i.saturating_sub(32) / 4;
+            for a in m.observe(hour(i), count, 3600.0) {
+                kinds.push(a.kind);
+            }
+        }
+        assert!(kinds.contains(&AlertKind::Drift), "ramp must raise a drift alert");
+    }
+
+    #[test]
+    fn stationary_poisson_stays_quiet_across_seeds() {
+        crate::log::set_level(Some(quiet()));
+        for seed in 0..20u64 {
+            let mut rng = Rng::seed_from_u64(0xCAFE + seed);
+            let mut m = Monitor::new(MonitorConfig::default());
+            for i in 0..300u64 {
+                let count = poisson(&mut rng, 480.0);
+                let raised = m.observe(hour(i), count, 3600.0);
+                assert!(
+                    raised.is_empty(),
+                    "seed {seed} sample {i}: spurious {:?}",
+                    raised[0].kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_keeps_newest_points_in_order() {
+        crate::log::set_level(Some(quiet()));
+        let cfg = MonitorConfig {
+            capacity: 8,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::new(cfg);
+        for i in 0..20u64 {
+            m.observe(hour(i), 100 + i, 3600.0);
+        }
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.seen(), 20);
+        let idx: Vec<u64> = m.iter_points().map(|p| p.index).collect();
+        assert_eq!(idx, (12..20).collect::<Vec<u64>>());
+        assert_eq!(m.last_point().expect("points").count, 119);
+    }
+
+    #[test]
+    fn zero_or_invalid_exposure_is_ignored() {
+        crate::log::set_level(Some(quiet()));
+        let mut m = Monitor::new(MonitorConfig::default());
+        assert!(m.observe(0, 10, 0.0).is_empty());
+        assert!(m.observe(0, 10, -1.0).is_empty());
+        assert!(m.observe(0, 10, f64::NAN).is_empty());
+        assert_eq!(m.seen(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_timelines() {
+        crate::log::set_level(Some(quiet()));
+        let run = || {
+            let mut rng = Rng::seed_from_u64(7);
+            let mut m = Monitor::new(MonitorConfig::default());
+            let mut out = String::new();
+            for i in 0..150u64 {
+                let count = poisson(&mut rng, 350.0) + if i >= 90 { 120 } else { 0 };
+                for a in m.observe(hour(i), count, 3600.0) {
+                    out.push_str(&format!(
+                        "{} {} {} {:.12}\n",
+                        a.kind.label(),
+                        a.onset_index,
+                        a.detected_index,
+                        a.magnitude
+                    ));
+                }
+            }
+            for p in m.iter_points() {
+                out.push_str(&format!("{} {:.12} {:.12}\n", p.index, p.window_rate, p.baseline));
+            }
+            out
+        };
+        assert_eq!(run(), run(), "timeline must be byte-identical across runs");
+    }
+
+    #[test]
+    fn normal_interval_brackets_the_count() {
+        let (lo, hi) = normal_interval(400, 0.99);
+        assert!(lo < 400.0 && hi > 400.0);
+        assert!(lo > 340.0 && hi < 460.0, "{lo} {hi}");
+        let (lo0, _) = normal_interval(0, 0.99);
+        assert_eq!(lo0, 0.0);
+        // Acklam sanity: Φ⁻¹(0.975) ≈ 1.96.
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+    }
+}

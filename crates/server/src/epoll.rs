@@ -690,9 +690,11 @@ fn pump(conn: &mut Conn, ctx: &Ctx) -> Drive {
                         );
                         continue;
                     }
-                    let keep = request.keep_alive
-                        && !conn.peer_closed
-                        && ctx.shared.limits.allows_another(conn.served + 1);
+                    let capped = !ctx.shared.limits.allows_another(conn.served + 1);
+                    if request.keep_alive && !conn.peer_closed && capped {
+                        ctx.shared.state.metrics.conn_cap_closed();
+                    }
+                    let keep = request.keep_alive && !conn.peer_closed && !capped;
                     if router::wants_worker(&ctx.shared.state, &request) {
                         if pool_saturated(ctx.shared) {
                             ctx.shared.state.metrics.overload();
@@ -936,23 +938,30 @@ fn close_conn(conns: &mut HashMap<u64, Conn>, token: u64, shared: &Shared) {
 /// draining its response is dropped after the I/O timeout.
 fn sweep_idle(ep: &Epoll, conns: &mut HashMap<u64, Conn>, shared: &Shared, shard: usize) {
     let now = Instant::now();
-    let mut expired: Vec<u64> = Vec::new();
+    let mut idle_expired: Vec<u64> = Vec::new();
+    let mut write_stuck: Vec<u64> = Vec::new();
     let mut stalled: Vec<u64> = Vec::new();
     for (token, conn) in conns.iter() {
         let idle = now.duration_since(conn.last_activity);
         match conn.phase {
             Phase::Reading if idle > shared.limits.idle_timeout => {
                 if conn.parser.is_empty() {
-                    expired.push(*token);
+                    idle_expired.push(*token);
                 } else {
                     stalled.push(*token);
                 }
             }
-            Phase::Writing if idle > http::IO_TIMEOUT => expired.push(*token),
+            Phase::Writing if idle > http::IO_TIMEOUT => write_stuck.push(*token),
             _ => {}
         }
     }
-    for token in expired {
+    for token in idle_expired {
+        // A clean keep-alive reap, not an I/O failure: the teardown
+        // cause shows up in `tn_conn_idle_closed_total`.
+        shared.state.metrics.conn_idle_closed();
+        close_conn(conns, token, shared);
+    }
+    for token in write_stuck {
         close_conn(conns, token, shared);
     }
     for token in stalled {

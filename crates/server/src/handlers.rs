@@ -17,6 +17,7 @@ use tn_core::report::StudyReport;
 use tn_environment::{DataCenterRoom, Environment, Location, SolarActivity, Surroundings, Weather};
 use tn_fit::{CheckpointPlan, DeviceFit};
 use tn_fleet::{FleetEntry, FleetError, FleetRegistry, RiskAssessment, RiskSurface, SurfaceConfig};
+use tn_obs::timeline::{Alert, Monitor, MonitorConfig};
 use tn_physics::units::{Fit, Seconds};
 
 /// How many (seed, quick) studies the in-memory memo keeps. Studies are
@@ -34,6 +35,33 @@ const DEMO_FLEET_SIZE: usize = 24;
 
 /// Largest number of inline devices one bulk request may carry.
 const FLEET_MAX_ENTRIES: usize = 10_000;
+
+/// Largest sample batch one `/v1/timeline/ingest` request may carry.
+const TIMELINE_MAX_SAMPLES: usize = 10_000;
+
+/// Exposure assumed when an ingested sample omits `exposure_seconds`:
+/// one hourly Tin-II counting bin.
+const TIMELINE_DEFAULT_EXPOSURE_S: f64 = 3600.0;
+
+/// Trailing points `/v1/timeline` returns when no `limit` is given.
+const TIMELINE_DEFAULT_LIMIT: usize = 256;
+
+/// Exact Garwood bounds from `tn-physics` in the shape the obs timeline
+/// core injects; the server prefers them over the std-only normal
+/// approximation the obs defaults carry.
+fn garwood_interval(count: u64, confidence: f64) -> (f64, f64) {
+    let interval = tn_physics::stats::PoissonInterval::exact(count, confidence);
+    (interval.lower, interval.upper)
+}
+
+/// Monitor tuning for the ingest endpoint: obs defaults with the exact
+/// interval estimator swapped in.
+fn timeline_monitor_config() -> MonitorConfig {
+    MonitorConfig {
+        interval: garwood_interval,
+        ..MonitorConfig::default()
+    }
+}
 
 /// One memoised pipeline run: its (seed, quick) key and the report.
 type StudySlot = ((u64, bool), Arc<StudyReport>);
@@ -63,6 +91,10 @@ pub struct AppState {
     /// JSONL file risk surfaces are persisted to and reloaded from
     /// (`serve --surface-cache`); `None` disables persistence.
     surface_cache: Option<String>,
+    /// Streaming count-rate monitor behind `/v1/timeline*`: samples
+    /// arrive via `POST /v1/timeline/ingest` and are change-point
+    /// checked online.
+    timeline: Mutex<Monitor>,
     /// Request-id stream. Mixed with wall-clock startup entropy so two
     /// server runs never replay the same ids; ids are pure telemetry and
     /// never feed into any computation.
@@ -102,6 +134,7 @@ impl AppState {
             fleet: Mutex::new(fleet),
             surfaces: Mutex::new(Vec::new()),
             surface_cache: None,
+            timeline: Mutex::new(Monitor::new(timeline_monitor_config())),
             request_ids: Mutex::new(tn_rng::Rng::seed_from_u64(seed ^ startup_nanos)),
         }
     }
@@ -183,11 +216,13 @@ impl AppState {
     fn load_persisted_surface(&self, seed: u64, quick: bool) -> Option<RiskSurface> {
         let path = self.surface_cache.as_deref()?;
         let text = std::fs::read_to_string(path).ok()?;
+        let entries = text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             match parse_surface_line(line) {
                 Ok((line_quick, surface))
                     if line_quick == quick && surface.config().seed == seed =>
                 {
+                    self.metrics.surface_cache_load(entries);
                     tn_obs::info(
                         "surface_cache_hit",
                         &[
@@ -242,6 +277,7 @@ impl AppState {
                 &[("path", path.into()), ("error", format!("{e}").into())],
             );
         } else {
+            self.metrics.surface_cache_save(lines.len() as u64);
             tn_obs::info(
                 "surface_cache_saved",
                 &[
@@ -251,6 +287,27 @@ impl AppState {
                 ],
             );
         }
+    }
+
+    /// Feeds one sample into the timeline monitor, mirroring the window
+    /// rate and EWMA baseline into the `/metrics` gauges and bumping
+    /// the per-kind alert counters for anything the detectors raise.
+    pub fn timeline_observe(&self, count: u64, exposure_seconds: f64) -> Vec<Alert> {
+        let mut monitor = self.timeline.lock().expect("timeline monitor poisoned");
+        let alerts = monitor.observe(tn_obs::now_nanos(), count, exposure_seconds);
+        self.metrics
+            .watch_observe(monitor.window_rate(), monitor.ewma_baseline());
+        for alert in &alerts {
+            self.metrics.watch_alert(alert.kind.label());
+        }
+        alerts
+    }
+
+    /// Runs `f` against the timeline monitor (held only long enough to
+    /// snapshot points and alerts — never across I/O).
+    pub fn with_timeline<T>(&self, f: impl FnOnce(&Monitor) -> T) -> T {
+        let monitor = self.timeline.lock().expect("timeline monitor poisoned");
+        f(&monitor)
     }
 
     /// Draws a fresh request id: 16 lowercase hex digits, unique within
@@ -1292,6 +1349,271 @@ pub fn fleet_entry_delete(state: &AppState, id: &str) -> Response {
     }
 }
 
+/// Renders one timeline point as a JSON object (array element in the
+/// bulk response, one JSONL line in the stream).
+fn push_timeline_point(out: &mut String, p: &tn_obs::timeline::RatePoint) {
+    out.push_str("{\"index\":");
+    out.push_str(&p.index.to_string());
+    out.push_str(",\"ts_nanos\":");
+    out.push_str(&p.ts_nanos.to_string());
+    out.push_str(",\"count\":");
+    out.push_str(&p.count.to_string());
+    out.push_str(",\"exposure_seconds\":");
+    push_json_f64(out, p.exposure_seconds);
+    out.push_str(",\"rate\":");
+    push_json_f64(out, p.rate);
+    out.push_str(",\"window_rate\":");
+    push_json_f64(out, p.window_rate);
+    out.push_str(",\"window_lower\":");
+    push_json_f64(out, p.window_lower);
+    out.push_str(",\"window_upper\":");
+    push_json_f64(out, p.window_upper);
+    out.push_str(",\"baseline\":");
+    push_json_f64(out, p.baseline);
+    out.push('}');
+}
+
+/// Renders one alert as a JSON object. The `kind` field distinguishes
+/// alert lines from point lines in the JSONL stream.
+fn push_timeline_alert(out: &mut String, a: &Alert) {
+    out.push_str("{\"kind\":");
+    push_json_str(out, a.kind.label());
+    out.push_str(",\"onset_index\":");
+    out.push_str(&a.onset_index.to_string());
+    out.push_str(",\"detected_index\":");
+    out.push_str(&a.detected_index.to_string());
+    out.push_str(",\"ts_nanos\":");
+    out.push_str(&a.ts_nanos.to_string());
+    out.push_str(",\"baseline_rate\":");
+    push_json_f64(out, a.baseline_rate);
+    out.push_str(",\"observed_rate\":");
+    push_json_f64(out, a.observed_rate);
+    out.push_str(",\"magnitude\":");
+    push_json_f64(out, a.magnitude);
+    out.push('}');
+}
+
+/// Parses the `limit` query parameter shared by the two timeline GET
+/// endpoints; unknown parameters are rejected like everywhere else.
+fn timeline_limit(path: &str) -> Result<usize, BadRequest> {
+    let mut limit = TIMELINE_DEFAULT_LIMIT;
+    if let Some((_, query)) = path.split_once('?') {
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match name {
+                "limit" => {
+                    limit = value.parse().ok().filter(|l| *l > 0).ok_or_else(|| {
+                        BadRequest::new(
+                            400,
+                            "query parameter `limit` must be a positive integer",
+                        )
+                    })?;
+                }
+                other => {
+                    return Err(BadRequest::new(
+                        400,
+                        format!("unknown query parameter `{other}`"),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(limit)
+}
+
+/// A consistent copy of the monitor state taken under one lock hold, so
+/// the rendered response can never mix points from different ingests.
+struct TimelineSnapshot {
+    seen: u64,
+    armed: bool,
+    reference_rate: f64,
+    window_rate: f64,
+    ewma_baseline: f64,
+    points: Vec<tn_obs::timeline::RatePoint>,
+    alerts: Vec<Alert>,
+}
+
+fn timeline_snapshot(state: &AppState, limit: usize) -> TimelineSnapshot {
+    state.with_timeline(|monitor| {
+        let skip = monitor.len().saturating_sub(limit);
+        TimelineSnapshot {
+            seen: monitor.seen(),
+            armed: monitor.armed(),
+            reference_rate: monitor.reference_rate(),
+            window_rate: monitor.window_rate(),
+            ewma_baseline: monitor.ewma_baseline(),
+            points: monitor.iter_points().skip(skip).cloned().collect(),
+            alerts: monitor.alerts().to_vec(),
+        }
+    })
+}
+
+/// Renders the shared summary fields (everything except the points and
+/// alert payloads) of a timeline snapshot.
+fn push_timeline_summary(out: &mut String, snap: &TimelineSnapshot) {
+    out.push_str("\"samples\":");
+    out.push_str(&snap.seen.to_string());
+    out.push_str(",\"armed\":");
+    out.push_str(if snap.armed { "true" } else { "false" });
+    out.push_str(",\"reference_rate\":");
+    push_json_f64(out, snap.reference_rate);
+    out.push_str(",\"window_rate\":");
+    push_json_f64(out, snap.window_rate);
+    out.push_str(",\"ewma_baseline\":");
+    push_json_f64(out, snap.ewma_baseline);
+}
+
+/// `GET /v1/timeline` — the monitor state as one JSON object: the
+/// trailing `limit` (default 256) windowed rate points plus every alert
+/// raised so far. Never cached: the series is live state, not a
+/// deterministic function of the request.
+pub fn timeline(state: &AppState, path: &str) -> Response {
+    match timeline_inner(state, path) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn timeline_inner(state: &AppState, path: &str) -> Result<Response, BadRequest> {
+    let limit = timeline_limit(path)?;
+    let snap = timeline_snapshot(state, limit);
+    let mut out = String::with_capacity(256 + 192 * snap.points.len());
+    out.push('{');
+    push_timeline_summary(&mut out, &snap);
+    out.push_str(",\"alerts\":[");
+    for (i, a) in snap.alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_timeline_alert(&mut out, a);
+    }
+    out.push_str("],\"points\":[");
+    for (i, p) in snap.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_timeline_point(&mut out, p);
+    }
+    out.push_str("]}");
+    Ok(Response::json(200, out))
+}
+
+/// `GET /v1/timeline/stream` — the same series as chunked JSONL: one
+/// summary line, then one line per point, then one line per alert
+/// (alert lines carry a `kind` field, point lines an `index` field).
+pub fn timeline_stream(state: &AppState, path: &str) -> Response {
+    match timeline_stream_inner(state, path) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn timeline_stream_inner(state: &AppState, path: &str) -> Result<Response, BadRequest> {
+    let limit = timeline_limit(path)?;
+    let snap = timeline_snapshot(state, limit);
+    let mut text = String::with_capacity(256 + 192 * snap.points.len());
+    text.push('{');
+    push_timeline_summary(&mut text, &snap);
+    text.push_str(",\"alerts\":");
+    text.push_str(&snap.alerts.len().to_string());
+    text.push_str(",\"points\":");
+    text.push_str(&snap.points.len().to_string());
+    text.push_str("}\n");
+    for p in &snap.points {
+        push_timeline_point(&mut text, p);
+        text.push('\n');
+    }
+    for a in &snap.alerts {
+        push_timeline_alert(&mut text, a);
+        text.push('\n');
+    }
+    // One HTTP chunk per JSONL line.
+    let chunks = text.split_inclusive('\n').map(String::from).collect();
+    Ok(Response::chunked(200, "application/x-ndjson", chunks))
+}
+
+/// Parses one ingest sample: `count` required, `exposure_seconds`
+/// optional (defaults to one hourly bin).
+fn timeline_sample(doc: &Json, ctx: &str) -> Result<(u64, f64), BadRequest> {
+    let count = doc.get("count").and_then(Json::as_u64).ok_or_else(|| {
+        BadRequest::new(
+            400,
+            format!("{ctx}: missing or non-integer field `count`"),
+        )
+    })?;
+    let exposure = match doc.get("exposure_seconds") {
+        None => TIMELINE_DEFAULT_EXPOSURE_S,
+        Some(v) => v
+            .as_f64()
+            .filter(|e| *e > 0.0 && e.is_finite())
+            .ok_or_else(|| {
+                BadRequest::new(
+                    400,
+                    format!("{ctx}: field `exposure_seconds` must be finite and > 0"),
+                )
+            })?,
+    };
+    Ok((count, exposure))
+}
+
+/// `POST /v1/timeline/ingest` — feeds external count samples into the
+/// monitor. Request: `{"count": <u64>, "exposure_seconds": <f64>}` for
+/// one sample, or `{"samples": [{...}, ...]}` for an ordered batch.
+/// Responds with the alerts this ingest raised.
+pub fn timeline_ingest(state: &AppState, body: &[u8]) -> Response {
+    match timeline_ingest_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn timeline_ingest_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let doc = parse_body(body)?;
+    let samples = match doc.get("samples") {
+        Some(v) => {
+            let array = v
+                .as_array()
+                .ok_or_else(|| BadRequest::new(400, "field `samples` must be an array"))?;
+            if array.is_empty() {
+                return Err(BadRequest::new(400, "field `samples` must not be empty"));
+            }
+            if array.len() > TIMELINE_MAX_SAMPLES {
+                return Err(BadRequest::new(
+                    400,
+                    format!("field `samples` must hold ≤ {TIMELINE_MAX_SAMPLES} entries"),
+                ));
+            }
+            array
+                .iter()
+                .enumerate()
+                .map(|(i, s)| timeline_sample(s, &format!("samples[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        None => vec![timeline_sample(&doc, "request")?],
+    };
+    let mut alerts = Vec::new();
+    for &(count, exposure) in &samples {
+        alerts.extend(state.timeline_observe(count, exposure));
+    }
+    let (seen, armed) = state.with_timeline(|m| (m.seen(), m.armed()));
+    let mut out = String::with_capacity(128 + 128 * alerts.len());
+    out.push_str("{\"ingested\":");
+    out.push_str(&samples.len().to_string());
+    out.push_str(",\"samples\":");
+    out.push_str(&seen.to_string());
+    out.push_str(",\"armed\":");
+    out.push_str(if armed { "true" } else { "false" });
+    out.push_str(",\"alerts\":[");
+    for (i, a) in alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_timeline_alert(&mut out, a);
+    }
+    out.push_str("]}");
+    Ok(Response::json(200, out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1533,6 +1855,131 @@ mod tests {
         assert_eq!(fleet_stream(&s, "/v1/fleet/stream?seed=x").status, 400);
         assert_eq!(fleet_stream(&s, "/v1/fleet/stream?quick=maybe").status, 400);
         assert_eq!(fleet_stream(&s, "/v1/fleet/stream?nope=1").status, 400);
+    }
+
+    #[test]
+    fn timeline_starts_empty_and_tracks_ingest() {
+        let s = state();
+        let r = timeline(&s, "/v1/timeline");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let doc = json::parse(&r.body_text()).unwrap();
+        assert_eq!(doc.get("samples").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(doc.get("armed").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("points").and_then(Json::as_array).unwrap().len(), 0);
+
+        let r = timeline_ingest(&s, br#"{"count":480,"exposure_seconds":3600}"#);
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let doc = json::parse(&r.body_text()).unwrap();
+        assert_eq!(doc.get("ingested").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("samples").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("alerts").and_then(Json::as_array).unwrap().len(), 0);
+
+        let r = timeline(&s, "/v1/timeline?limit=8");
+        let doc = json::parse(&r.body_text()).unwrap();
+        assert_eq!(doc.get("samples").and_then(Json::as_f64), Some(1.0));
+        let points = doc.get("points").and_then(Json::as_array).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("count").and_then(Json::as_f64), Some(480.0));
+        // rate = 480 counts / 3600 s
+        let rate = points[0].get("rate").and_then(Json::as_f64).unwrap();
+        assert!((rate - 480.0 / 3600.0).abs() < 1e-12);
+        // The /metrics gauges track the last observation.
+        assert!(s.metrics.render().contains("tn_watch_rate"));
+    }
+
+    #[test]
+    fn timeline_ingest_batch_detects_a_step() {
+        tn_obs::set_level(Some(tn_obs::Level::Error));
+        let s = state();
+        // 60 stationary samples at 500/h, then 40 at 700/h: the CUSUM
+        // must flag exactly one step_up.
+        let mut body = String::from("{\"samples\":[");
+        for i in 0..100 {
+            if i > 0 {
+                body.push(',');
+            }
+            let count = if i < 60 { 500 } else { 700 };
+            body.push_str(&format!("{{\"count\":{count}}}"));
+        }
+        body.push_str("]}");
+        let r = timeline_ingest(&s, body.as_bytes());
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let doc = json::parse(&r.body_text()).unwrap();
+        let alerts = doc.get("alerts").and_then(Json::as_array).unwrap();
+        assert_eq!(alerts.len(), 1, "{}", r.body_text());
+        assert_eq!(alerts[0].get("kind").and_then(Json::as_str), Some("step_up"));
+        let onset = alerts[0].get("onset_index").and_then(Json::as_f64).unwrap();
+        assert!((59.0..=62.0).contains(&onset), "onset {onset}");
+        // The alert shows up in both GET views and in /metrics.
+        let bulk = timeline(&s, "/v1/timeline");
+        let bulk_doc = json::parse(&bulk.body_text()).unwrap();
+        assert_eq!(
+            bulk_doc.get("alerts").and_then(Json::as_array).unwrap().len(),
+            1
+        );
+        let stream = timeline_stream(&s, "/v1/timeline/stream?limit=100");
+        let crate::http::Body::Chunked(chunks) = &stream.body else {
+            panic!("stream response must be chunked");
+        };
+        assert_eq!(chunks.len(), 1 + 100 + 1);
+        let meta = json::parse(&chunks[0]).unwrap();
+        assert_eq!(meta.get("samples").and_then(Json::as_f64), Some(100.0));
+        let last = json::parse(chunks.last().unwrap()).unwrap();
+        assert_eq!(last.get("kind").and_then(Json::as_str), Some("step_up"));
+        assert!(s
+            .metrics
+            .render()
+            .contains("tn_watch_alerts_total{kind=\"step_up\"} 1"));
+    }
+
+    #[test]
+    fn timeline_bulk_and_stream_serve_the_same_series() {
+        tn_obs::set_level(Some(tn_obs::Level::Error));
+        let s = state();
+        for count in [400u64, 410, 395, 420, 405] {
+            let body = format!("{{\"count\":{count},\"exposure_seconds\":60}}");
+            assert_eq!(timeline_ingest(&s, body.as_bytes()).status, 200);
+        }
+        let bulk = timeline(&s, "/v1/timeline");
+        let doc = json::parse(&bulk.body_text()).unwrap();
+        let points = doc.get("points").and_then(Json::as_array).unwrap();
+        let stream = timeline_stream(&s, "/v1/timeline/stream");
+        let crate::http::Body::Chunked(chunks) = &stream.body else {
+            panic!("stream response must be chunked");
+        };
+        assert_eq!(chunks.len(), 1 + points.len());
+        for (point, line) in points.iter().zip(&chunks[1..]) {
+            assert_eq!(
+                point.to_canonical_string(),
+                json::parse(line).unwrap().to_canonical_string()
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_validates_inputs() {
+        let s = state();
+        assert_eq!(timeline(&s, "/v1/timeline?limit=0").status, 400);
+        assert_eq!(timeline(&s, "/v1/timeline?limit=x").status, 400);
+        assert_eq!(timeline(&s, "/v1/timeline?nope=1").status, 400);
+        assert_eq!(timeline_stream(&s, "/v1/timeline/stream?nope=1").status, 400);
+        assert_eq!(timeline_ingest(&s, b"{oops").status, 400);
+        assert_eq!(timeline_ingest(&s, b"{}").status, 400);
+        assert_eq!(timeline_ingest(&s, br#"{"count":-3}"#).status, 400);
+        assert_eq!(
+            timeline_ingest(&s, br#"{"count":5,"exposure_seconds":0}"#).status,
+            400
+        );
+        assert_eq!(timeline_ingest(&s, br#"{"samples":[]}"#).status, 400);
+        assert_eq!(
+            timeline_ingest(&s, br#"{"samples":[{"count":1},{"count":-1}]}"#).status,
+            400
+        );
+        let too_many = format!(
+            "{{\"samples\":[{}]}}",
+            vec!["{\"count\":1}"; TIMELINE_MAX_SAMPLES + 1].join(",")
+        );
+        assert_eq!(timeline_ingest(&s, too_many.as_bytes()).status, 400);
     }
 
     #[test]

@@ -205,9 +205,14 @@ impl RequestParser {
 pub enum NextRequest {
     /// A complete request.
     Request(Request),
-    /// The peer closed or went idle past the read timeout *between*
-    /// requests: close the connection without a response.
+    /// The peer closed (EOF) *between* requests: close the connection
+    /// without a response.
     Closed,
+    /// The connection sat idle past the read timeout *between*
+    /// requests: close cleanly without a response. Distinguished from
+    /// [`NextRequest::Closed`] so the teardown-cause metrics can tell a
+    /// server-side idle reap from a client hang-up.
+    IdleExpired,
 }
 
 /// True for the error kinds a timed-out blocking read produces (platform
@@ -247,7 +252,7 @@ pub fn next_request(
             Ok(n) => parser.push(&chunk[..n]),
             Err(e) if is_timeout(&e) => {
                 return if parser.is_empty() {
-                    Ok(NextRequest::Closed)
+                    Ok(NextRequest::IdleExpired)
                 } else {
                     Err(HttpError::Malformed(parser.stall_error()))
                 }
@@ -274,7 +279,9 @@ pub fn read_request_with_timeout(
     stream.set_write_timeout(Some(timeout))?;
     let mut parser = RequestParser::new();
     match next_request(stream, &mut parser)? {
-        NextRequest::Closed => Err(HttpError::Malformed("connection closed before a request")),
+        NextRequest::Closed | NextRequest::IdleExpired => {
+            Err(HttpError::Malformed("connection closed before a request"))
+        }
         NextRequest::Request(request) => {
             if parser.is_empty() {
                 Ok(request)
@@ -798,7 +805,7 @@ mod tests {
         conn.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
         let mut parser = RequestParser::new();
         let got = next_request(&mut conn, &mut parser).unwrap();
-        assert!(matches!(got, NextRequest::Closed), "{got:?}");
+        assert!(matches!(got, NextRequest::IdleExpired), "{got:?}");
         client.join().unwrap();
     }
 }

@@ -487,6 +487,10 @@ fn serve_connection(mut stream: TcpStream, state: &AppState, limits: ConnLimits)
     loop {
         let (response, keep) = match http::next_request(&mut stream, &mut parser) {
             Ok(http::NextRequest::Closed) => break,
+            Ok(http::NextRequest::IdleExpired) => {
+                state.metrics.conn_idle_closed();
+                break;
+            }
             Ok(http::NextRequest::Request(request)) => {
                 if !request.keep_alive && !parser.is_empty() {
                     // The client asked to close *and* sent bytes past the
@@ -500,7 +504,11 @@ fn serve_connection(mut stream: TcpStream, state: &AppState, limits: ConnLimits)
                         false,
                     )
                 } else {
-                    let keep = request.keep_alive && limits.allows_another(served + 1);
+                    let capped = !limits.allows_another(served + 1);
+                    if request.keep_alive && capped {
+                        state.metrics.conn_cap_closed();
+                    }
+                    let keep = request.keep_alive && !capped;
                     (router::handle(state, &request), keep)
                 }
             }

@@ -13,7 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tn_obs::{Counter, CounterUnit, Histogram, Registry, Unit};
+use tn_obs::{Counter, CounterUnit, Gauge, Histogram, Registry, Unit};
 
 /// The route labels metrics are partitioned by. `Other` buckets
 /// unrecognised paths (404s) so scans don't blow up the label space.
@@ -37,6 +37,12 @@ pub enum Endpoint {
     FleetEntries,
     /// `GET /v1/fleet/stream`
     FleetStream,
+    /// `GET /v1/timeline`
+    Timeline,
+    /// `GET /v1/timeline/stream`
+    TimelineStream,
+    /// `POST /v1/timeline/ingest`
+    TimelineIngest,
     /// `GET /metrics`
     Metrics,
     /// Anything else.
@@ -45,7 +51,7 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 11] = [
+    pub const ALL: [Endpoint; 14] = [
         Endpoint::Healthz,
         Endpoint::Devices,
         Endpoint::Fit,
@@ -55,6 +61,9 @@ impl Endpoint {
         Endpoint::Fleet,
         Endpoint::FleetEntries,
         Endpoint::FleetStream,
+        Endpoint::Timeline,
+        Endpoint::TimelineStream,
+        Endpoint::TimelineIngest,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -71,6 +80,9 @@ impl Endpoint {
             Endpoint::Fleet => "/v1/fleet",
             Endpoint::FleetEntries => "/v1/fleet/entries",
             Endpoint::FleetStream => "/v1/fleet/stream",
+            Endpoint::Timeline => "/v1/timeline",
+            Endpoint::TimelineStream => "/v1/timeline/stream",
+            Endpoint::TimelineIngest => "/v1/timeline/ingest",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -98,7 +110,7 @@ struct EndpointCounters {
 /// The service-wide metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 11],
+    endpoints: [EndpointCounters; 14],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,
@@ -114,6 +126,14 @@ pub struct Metrics {
     registry: Registry,
     overload: Arc<Counter>,
     conn_reuse: Arc<Counter>,
+    conn_idle_closed: Arc<Counter>,
+    conn_cap_closed: Arc<Counter>,
+    surface_cache_loads: Arc<Counter>,
+    surface_cache_saves: Arc<Counter>,
+    surface_cache_entries: Arc<Gauge>,
+    watch_rate: Arc<Gauge>,
+    watch_baseline: Arc<Gauge>,
+    watch_alerts: [Arc<Counter>; 3],
     requests_per_conn: Arc<Histogram>,
     latency_hist: Vec<Arc<Histogram>>,
     size_hist: Vec<Arc<Histogram>>,
@@ -135,6 +155,54 @@ impl Metrics {
             "Requests served on an already-used connection (keep-alive reuse).",
             CounterUnit::Count,
         );
+        let conn_idle_closed = registry.counter(
+            "tn_conn_idle_closed_total",
+            &[],
+            "Keep-alive connections closed by the idle-timeout sweep.",
+            CounterUnit::Count,
+        );
+        let conn_cap_closed = registry.counter(
+            "tn_conn_request_cap_closed_total",
+            &[],
+            "Keep-alive connections closed for reaching --max-requests-per-conn.",
+            CounterUnit::Count,
+        );
+        let surface_cache_loads = registry.counter(
+            "tn_surface_cache_loads_total",
+            &[],
+            "Risk surfaces restored from the --surface-cache file.",
+            CounterUnit::Count,
+        );
+        let surface_cache_saves = registry.counter(
+            "tn_surface_cache_saves_total",
+            &[],
+            "Risk surfaces persisted to the --surface-cache file.",
+            CounterUnit::Count,
+        );
+        let surface_cache_entries = registry.gauge(
+            "tn_surface_cache_entries",
+            &[],
+            "Surface entries currently persisted in the --surface-cache file.",
+        );
+        let watch_rate = registry.gauge(
+            "tn_watch_rate",
+            &[],
+            "Sliding-window count rate of the timeline monitor (counts per second).",
+        );
+        let watch_baseline = registry.gauge(
+            "tn_watch_baseline",
+            &[],
+            "EWMA baseline rate of the timeline monitor (counts per second).",
+        );
+        // Pre-create every alert-kind series so the label space is fixed.
+        let watch_alerts = ["step_up", "step_down", "drift"].map(|kind| {
+            registry.counter(
+                "tn_watch_alerts_total",
+                &[("kind", kind)],
+                "Change-point alerts raised by the timeline monitor, by kind.",
+                CounterUnit::Count,
+            )
+        });
         let requests_per_conn = registry.histogram(
             "tn_requests_per_conn",
             &[],
@@ -180,6 +248,14 @@ impl Metrics {
             registry,
             overload,
             conn_reuse,
+            conn_idle_closed,
+            conn_cap_closed,
+            surface_cache_loads,
+            surface_cache_saves,
+            surface_cache_entries,
+            watch_rate,
+            watch_baseline,
+            watch_alerts,
             requests_per_conn,
             latency_hist,
             size_hist,
@@ -266,6 +342,50 @@ impl Metrics {
         if reused > 0 {
             self.conn_reuse.add(reused);
         }
+    }
+
+    /// Counts a keep-alive connection torn down by the idle sweep.
+    pub fn conn_idle_closed(&self) {
+        self.conn_idle_closed.inc();
+    }
+
+    /// Counts a connection closed for reaching the per-connection
+    /// request cap.
+    pub fn conn_cap_closed(&self) {
+        self.conn_cap_closed.inc();
+    }
+
+    /// Counts a risk surface restored from the persistent cache file,
+    /// which holds `entries` surfaces.
+    pub fn surface_cache_load(&self, entries: u64) {
+        self.surface_cache_loads.inc();
+        self.surface_cache_entries.set(entries as f64);
+    }
+
+    /// Counts a risk surface persisted to the cache file, which now
+    /// holds `entries` surfaces.
+    pub fn surface_cache_save(&self, entries: u64) {
+        self.surface_cache_saves.inc();
+        self.surface_cache_entries.set(entries as f64);
+    }
+
+    /// Publishes the timeline monitor's current window rate and EWMA
+    /// baseline (counts per second).
+    pub fn watch_observe(&self, rate: f64, baseline: f64) {
+        self.watch_rate.set(rate);
+        self.watch_baseline.set(baseline);
+    }
+
+    /// Counts a timeline alert by kind label (`step_up`/`step_down`/
+    /// `drift`; anything else is ignored — the label space is fixed).
+    pub fn watch_alert(&self, kind: &str) {
+        let idx = match kind {
+            "step_up" => 0,
+            "step_down" => 1,
+            "drift" => 2,
+            _ => return,
+        };
+        self.watch_alerts[idx].inc();
     }
 
     /// Marks a request as entered (in-flight gauge up).
@@ -499,6 +619,44 @@ mod tests {
         assert!(text.contains("tn_requests_per_conn_sum 5"), "{text}");
         m.conn_close(1); // a one-shot connection adds no reuse
         assert!(m.render().contains("tn_conn_reuse_total 4"));
+    }
+
+    #[test]
+    fn teardown_cause_counters_render() {
+        let m = Metrics::new(1);
+        m.conn_idle_closed();
+        m.conn_cap_closed();
+        m.conn_cap_closed();
+        let text = m.render();
+        assert!(text.contains("tn_conn_idle_closed_total 1"), "{text}");
+        assert!(text.contains("tn_conn_request_cap_closed_total 2"), "{text}");
+    }
+
+    #[test]
+    fn surface_cache_series_render() {
+        let m = Metrics::new(1);
+        m.surface_cache_load(3);
+        m.surface_cache_save(3);
+        let text = m.render();
+        assert!(text.contains("tn_surface_cache_loads_total 1"), "{text}");
+        assert!(text.contains("tn_surface_cache_saves_total 1"), "{text}");
+        assert!(text.contains("# TYPE tn_surface_cache_entries gauge"), "{text}");
+        assert!(text.contains("tn_surface_cache_entries 3"), "{text}");
+    }
+
+    #[test]
+    fn watch_series_have_a_fixed_label_space() {
+        let m = Metrics::new(1);
+        m.watch_observe(1.25, 1.0);
+        m.watch_alert("step_up");
+        m.watch_alert("bogus"); // ignored, never grows the label space
+        let text = m.render();
+        assert!(text.contains("tn_watch_rate 1.25e0"), "{text}");
+        assert!(text.contains("tn_watch_baseline 1"), "{text}");
+        assert!(text.contains("tn_watch_alerts_total{kind=\"step_up\"} 1"), "{text}");
+        assert!(text.contains("tn_watch_alerts_total{kind=\"step_down\"} 0"), "{text}");
+        assert!(text.contains("tn_watch_alerts_total{kind=\"drift\"} 0"), "{text}");
+        assert_eq!(text.matches("tn_watch_alerts_total{kind=").count(), 3, "{text}");
     }
 
     #[test]

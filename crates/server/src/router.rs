@@ -21,6 +21,9 @@ fn endpoint_of(path: &str) -> Endpoint {
         "/v1/transport" => Endpoint::Transport,
         "/v1/fleet" => Endpoint::Fleet,
         "/v1/fleet/stream" => Endpoint::FleetStream,
+        "/v1/timeline" => Endpoint::Timeline,
+        "/v1/timeline/stream" => Endpoint::TimelineStream,
+        "/v1/timeline/ingest" => Endpoint::TimelineIngest,
         "/metrics" => Endpoint::Metrics,
         p if p == "/v1/fleet/entries" || p.starts_with("/v1/fleet/entries/") => {
             Endpoint::FleetEntries
@@ -134,6 +137,18 @@ fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response
             "GET" => handlers::fleet_stream(state, &request.path),
             _ => method_not_allowed("GET"),
         },
+        Endpoint::Timeline => match method {
+            "GET" => handlers::timeline(state, &request.path),
+            _ => method_not_allowed("GET"),
+        },
+        Endpoint::TimelineStream => match method {
+            "GET" => handlers::timeline_stream(state, &request.path),
+            _ => method_not_allowed("GET"),
+        },
+        Endpoint::TimelineIngest => match method {
+            "POST" => handlers::timeline_ingest(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
         Endpoint::Other => Response::error(404, &format!("no route for `{}`", request.path)),
     }
 }
@@ -162,6 +177,10 @@ mod tests {
         assert_eq!(endpoint_of("/v1/fleet"), Endpoint::Fleet);
         assert_eq!(endpoint_of("/v1/fleet/stream"), Endpoint::FleetStream);
         assert_eq!(endpoint_of("/v1/fleet/stream?seed=3"), Endpoint::FleetStream);
+        assert_eq!(endpoint_of("/v1/timeline"), Endpoint::Timeline);
+        assert_eq!(endpoint_of("/v1/timeline?limit=8"), Endpoint::Timeline);
+        assert_eq!(endpoint_of("/v1/timeline/stream"), Endpoint::TimelineStream);
+        assert_eq!(endpoint_of("/v1/timeline/ingest"), Endpoint::TimelineIngest);
         assert_eq!(endpoint_of("/nope"), Endpoint::Other);
         assert_eq!(endpoint_of("/healthz?probe=1"), Endpoint::Healthz);
         assert_eq!(endpoint_of("/metrics#frag"), Endpoint::Metrics);

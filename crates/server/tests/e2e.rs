@@ -156,6 +156,14 @@ impl Conn {
         self.send(&format!("GET {path} HTTP/1.1\r\nHost: t\r\n{conn}\r\n"));
     }
 
+    fn post(&mut self, path: &str, body: &str, last: bool) {
+        let conn = if last { "Connection: close\r\n" } else { "" };
+        self.send(&format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{conn}\r\n{body}",
+            body.len()
+        ));
+    }
+
     /// Reads exactly one response; trailing bytes stay buffered for the
     /// next call (pipelining-safe).
     fn read_response(&mut self) -> (u16, String, String) {
@@ -434,6 +442,8 @@ fn path_scans_cannot_inflate_metric_cardinality(io: IoModel) {
         "/v1/fleet/stream/extra",
         "/v1/fleetx",
         "/v1/fleet/entriesx",
+        "/v1/timelinex",
+        "/v1/timeline/streamx",
     ] {
         let (status, _, _) = get(addr, path);
         assert_eq!(status, 404, "{path}");
@@ -445,6 +455,10 @@ fn path_scans_cannot_inflate_metric_cardinality(io: IoModel) {
     assert_eq!(status, 400);
     let (status, _, _) = post(addr, "/v1/fleet/entries", "not json");
     assert_eq!(status, 400);
+    let (status, _, _) = get(addr, "/v1/timeline");
+    assert_eq!(status, 200);
+    let (status, _, _) = post(addr, "/v1/timeline/ingest", "not json");
+    assert_eq!(status, 400);
 
     let (_, _, metrics) = get(addr, "/metrics");
     let other_series: Vec<&str> = metrics
@@ -453,13 +467,15 @@ fn path_scans_cannot_inflate_metric_cardinality(io: IoModel) {
         .collect();
     assert_eq!(
         other_series,
-        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 9"],
+        vec!["tn_requests_total{endpoint=\"other\",status=\"404\"} 11"],
         "all bogus paths share one series:\n{metrics}"
     );
-    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 9"));
+    assert!(metrics.contains("tn_request_seconds_count{endpoint=\"other\"} 11"));
     assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet\",status=\"400\"} 1"));
     assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet/entries\",status=\"400\"} 1"));
     assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/fleet/stream\",status=\"200\"} 1"));
+    assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/timeline\",status=\"200\"} 1"));
+    assert!(metrics.contains("tn_requests_total{endpoint=\"/v1/timeline/ingest\",status=\"400\"} 1"));
     // The endpoint label space is a fixed enumeration: nothing a path
     // scan sends can mint a label outside it.
     let labels: std::collections::BTreeSet<&str> = metrics
@@ -479,6 +495,9 @@ fn path_scans_cannot_inflate_metric_cardinality(io: IoModel) {
                 "/v1/fleet",
                 "/v1/fleet/entries",
                 "/v1/fleet/stream",
+                "/v1/timeline",
+                "/v1/timeline/stream",
+                "/v1/timeline/ingest",
                 "/metrics",
                 "other",
             ]
@@ -959,6 +978,145 @@ fn surface_cache_round_trips_across_restarts(io: IoModel) {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The tn-watch acceptance path: ingest a step series, then read the
+/// bulk and streaming views over ONE reused keep-alive connection and
+/// check they serve the same series, with the alert in `/metrics`.
+fn timeline_bulk_and_stream_agree_over_keep_alive(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    let mut conn = Conn::open(addr);
+    conn.get("/v1/timeline", false);
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"samples\":0"), "{body}");
+
+    // 60 baseline hours at 500 counts, then 40 at 700: the monitor must
+    // flag exactly one upward step near the boundary.
+    let samples: Vec<String> = (0..100)
+        .map(|i| format!("{{\"count\":{}}}", if i < 60 { 500 } else { 700 }))
+        .collect();
+    let batch = format!("{{\"samples\":[{}]}}", samples.join(","));
+    conn.post("/v1/timeline/ingest", &batch, false);
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ingested\":100"), "{body}");
+    assert!(body.contains("\"kind\":\"step_up\""), "{body}");
+
+    conn.get("/v1/timeline?limit=100", false);
+    let (status, _, bulk) = conn.read_response();
+    assert_eq!(status, 200, "{bulk}");
+    assert!(bulk.contains("\"samples\":100"), "{bulk}");
+    assert!(bulk.contains("\"kind\":\"step_up\""), "{bulk}");
+
+    conn.get("/v1/timeline/stream?limit=100", true);
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(head.contains("Content-Type: application/x-ndjson"), "{head}");
+    conn.assert_eof();
+
+    let payload = decode_chunked(&body);
+    let lines: Vec<&str> = payload.lines().collect();
+    assert_eq!(lines.len(), 1 + 100 + 1, "summary + points + one alert");
+    // Every streamed point renders byte-identically inside the bulk
+    // body: the two views come from the same snapshot renderer.
+    let points: Vec<&&str> = lines.iter().filter(|l| l.contains("\"index\":")).collect();
+    assert_eq!(points.len(), 100, "{payload}");
+    for line in points {
+        assert!(bulk.contains(*line), "stream line missing from bulk: {line}");
+    }
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert_eq!(
+        metric(&metrics, "tn_watch_alerts_total{kind=\"step_up\"}"),
+        1,
+        "{metrics}"
+    );
+    let gauge = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("gauge {name} not found in:\n{metrics}"))
+    };
+    assert!(gauge("tn_watch_rate") > 0.0, "{metrics}");
+    assert!(gauge("tn_watch_baseline") > 0.0, "{metrics}");
+
+    server.stop();
+}
+
+/// The surface-cache counters must tell a build-and-persist daemon from
+/// a restored-from-disk one, with the entries gauge set on both paths.
+fn surface_cache_metrics_track_loads_and_saves(io: IoModel) {
+    let path = std::env::temp_dir().join(format!(
+        "tn-surface-metrics-{}-{}.jsonl",
+        std::process::id(),
+        io.label()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut cfg = config(io, 2);
+    cfg.surface_cache = Some(path.to_string_lossy().into_owned());
+
+    // First daemon builds the surface and persists it: one save, the
+    // cache file now holds one entry, nothing was loaded.
+    let server = start_config(&cfg);
+    let (status, _, body) = post(server.addr(), "/v1/fleet", r#"{"seed":78}"#);
+    assert_eq!(status, 200, "{body}");
+    let metrics = await_metric(server.addr(), "tn_surface_cache_saves_total", 1);
+    assert_eq!(metric(&metrics, "tn_surface_cache_loads_total"), 0);
+    assert_eq!(metric(&metrics, "tn_surface_cache_entries"), 1);
+    server.stop();
+
+    // Second daemon restores from disk: one load, no new save.
+    let server = start_config(&cfg);
+    let (status, _, _) = post(server.addr(), "/v1/fleet", r#"{"seed":78}"#);
+    assert_eq!(status, 200);
+    let metrics = await_metric(server.addr(), "tn_surface_cache_loads_total", 1);
+    assert_eq!(metric(&metrics, "tn_surface_cache_saves_total"), 0);
+    assert_eq!(metric(&metrics, "tn_surface_cache_entries"), 1);
+    server.stop();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Teardown causes land in distinct counters: a connection reaped for
+/// idling and one closed at the request cap must not share a series.
+fn idle_and_cap_closes_are_counted(io: IoModel) {
+    let mut cfg = config(io, 2);
+    cfg.idle_timeout = Duration::from_millis(150);
+    cfg.max_requests_per_conn = 2;
+    let server = start_config(&cfg);
+    let addr = server.addr();
+
+    // Cap close: two keep-alive requests exhaust the per-connection cap.
+    let mut conn = Conn::open(addr);
+    conn.get("/healthz", false);
+    conn.get("/healthz", false);
+    let (s1, _, _) = conn.read_response();
+    let (s2, h2, _) = conn.read_response();
+    assert_eq!((s1, s2), (200, 200));
+    assert!(h2.contains("Connection: close"), "{h2}");
+    conn.assert_eof();
+    await_metric(addr, "tn_conn_request_cap_closed_total", 1);
+
+    // Idle close: one request, then the connection sits past the idle
+    // timeout and the server reaps it without writing anything.
+    let mut conn = Conn::open(addr);
+    conn.get("/healthz", false);
+    let (status, _, _) = conn.read_response();
+    assert_eq!(status, 200);
+    conn.assert_eof();
+    let metrics = await_metric(addr, "tn_conn_idle_closed_total", 1);
+    // The capped connection was a deliberate close, not an idle reap,
+    // and the `Connection: close` probes above are client hang-ups —
+    // neither may leak into the idle counter.
+    assert_eq!(metric(&metrics, "tn_conn_idle_closed_total"), 1);
+    assert_eq!(metric(&metrics, "tn_conn_request_cap_closed_total"), 1);
+
+    server.stop();
+}
+
 /// With one worker and a zero-length queue, a second concurrent request
 /// must be shed with 503 + Retry-After instead of queueing forever.
 /// Threads-only: the test works by occupying a worker with a stalled
@@ -1096,6 +1254,18 @@ macro_rules! io_model_suite {
         #[test]
         fn surface_cache_round_trips_across_restarts() {
             super::surface_cache_round_trips_across_restarts($model)
+        }
+        #[test]
+        fn timeline_bulk_and_stream_agree_over_keep_alive() {
+            super::timeline_bulk_and_stream_agree_over_keep_alive($model)
+        }
+        #[test]
+        fn surface_cache_metrics_track_loads_and_saves() {
+            super::surface_cache_metrics_track_loads_and_saves($model)
+        }
+        #[test]
+        fn idle_and_cap_closes_are_counted() {
+            super::idle_and_cap_closes_are_counted($model)
         }
     };
 }

@@ -19,6 +19,9 @@
 //!    `tests/golden/` (full `StudyReport`, `/v1/fit` and
 //!    `/v1/cross-sections` bodies) compared field-by-field with
 //!    per-field tolerance classes and regenerated via `TN_BLESS=1`.
+//! 4. **Watch monitor checks** ([`watch`]) — false-positive and
+//!    detection-power sweeps for the tn-watch streaming change-point
+//!    monitor, plus the end-to-end water-pan scenario magnitude check.
 //!
 //! A built-in **self-test** layer injects two known bugs — a Gamma(1)
 //! Maxwellian sampler and a ×1.01 cached-cross-section divergence — and
@@ -37,6 +40,7 @@ pub mod golden;
 pub mod oracle;
 pub mod report;
 pub mod stat;
+pub mod watch;
 
 pub use report::{CheckResult, VerifyReport};
 
@@ -64,10 +68,18 @@ impl Default for VerifyOptions {
 /// Runs all four suites and collects the report.
 pub fn run_all(options: VerifyOptions) -> VerifyReport {
     let _root = obs::span("verify");
-    let (stat_cfg, oracle_cfg) = if options.quick {
-        (stat::StatConfig::quick(), oracle::OracleConfig::quick())
+    let (stat_cfg, oracle_cfg, watch_cfg) = if options.quick {
+        (
+            stat::StatConfig::quick(),
+            oracle::OracleConfig::quick(),
+            watch::WatchConfig::quick(),
+        )
     } else {
-        (stat::StatConfig::full(), oracle::OracleConfig::full())
+        (
+            stat::StatConfig::full(),
+            oracle::OracleConfig::full(),
+            watch::WatchConfig::full(),
+        )
     };
     let mut checks = Vec::new();
     {
@@ -81,6 +93,10 @@ pub fn run_all(options: VerifyOptions) -> VerifyReport {
     {
         let _s = obs::span("verify.golden");
         checks.extend(golden::run_suite());
+    }
+    {
+        let _s = obs::span("verify.watch");
+        checks.extend(watch::run_suite(options.seed, watch_cfg));
     }
     {
         let _s = obs::span("verify.selftest");

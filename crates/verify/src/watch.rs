@@ -1,0 +1,206 @@
+//! Verification suite for the tn-watch streaming change-point monitor.
+//!
+//! Three checks, all deterministic in `(seed, profile)`:
+//!
+//! 1. **False-positive rate** — stationary Poisson count series across a
+//!    seed sweep must raise *zero* alerts. The CUSUM thresholds are set
+//!    for multi-sigma excursions, so any misfire on a clean series is a
+//!    tuning regression, not noise.
+//! 2. **Detection power** — the same series with a +25 % step injected
+//!    mid-stream must be flagged on *every* seed, as a `step_up`, with
+//!    the onset in the post-step segment and bounded delay.
+//! 3. **Water-pan scenario** — the paper's Figure-6 experiment replayed
+//!    end-to-end ([`tn_detector::run_water_pan`]): exactly one `step_up`
+//!    whose refined magnitude matches the Monte-Carlo-derived boost.
+
+use crate::report::CheckResult;
+use tn_detector::{replay_counts, run_water_pan, tinii_monitor_config};
+use tn_obs::timeline::AlertKind;
+use tn_physics::stats::poisson;
+use tn_rng::Rng;
+
+/// Statistics profile for the watch suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchConfig {
+    /// Seeds swept by the false-positive and detection-power checks.
+    pub seeds: u64,
+    /// Samples per synthetic series.
+    pub samples: usize,
+}
+
+impl WatchConfig {
+    /// Full-statistics profile.
+    pub fn full() -> Self {
+        Self {
+            seeds: 20,
+            samples: 240,
+        }
+    }
+
+    /// Reduced profile for `verify --quick`.
+    pub fn quick() -> Self {
+        Self {
+            seeds: 6,
+            samples: 160,
+        }
+    }
+}
+
+/// Mean of the synthetic hourly count series.
+const SERIES_MEAN: f64 = 500.0;
+
+/// Relative step injected by the detection-power check.
+const STEP_FRACTION: f64 = 0.25;
+
+/// Latest acceptable detection delay, in samples, for the +25 % step.
+const MAX_DELAY: u64 = 12;
+
+/// Backward slack allowed on the CUSUM onset estimate. The onset is the
+/// last zero-crossing of the CUSUM statistic, which pre-step noise can
+/// pull a sample or two before the true change point.
+const ONSET_SLACK: u64 = 4;
+
+/// Runs the three watch checks.
+pub fn run_suite(seed: u64, cfg: WatchConfig) -> Vec<CheckResult> {
+    vec![
+        false_positive_check(seed, cfg),
+        detection_power_check(seed, cfg),
+        water_pan_check(seed),
+    ]
+}
+
+fn synthetic_series(seed: u64, cfg: WatchConfig, step_at: Option<usize>) -> Vec<u64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..cfg.samples)
+        .map(|i| {
+            let boosted = matches!(step_at, Some(at) if i >= at);
+            let mean = if boosted {
+                SERIES_MEAN * (1.0 + STEP_FRACTION)
+            } else {
+                SERIES_MEAN
+            };
+            poisson(&mut rng, mean)
+        })
+        .collect()
+}
+
+/// Stationary Poisson series across the seed sweep: the statistic is the
+/// number of seeds with *any* alert, and the threshold is zero.
+fn false_positive_check(seed: u64, cfg: WatchConfig) -> CheckResult {
+    let mut misfires = 0u64;
+    for s in 0..cfg.seeds {
+        let counts = synthetic_series(seed ^ (0x57A7 + s), cfg, None);
+        let (_, alerts) = replay_counts(&counts, 3600.0, tinii_monitor_config());
+        if !alerts.is_empty() {
+            misfires += 1;
+        }
+    }
+    CheckResult::from_statistic(
+        "watch",
+        "watch.false_positive_rate",
+        misfires as f64,
+        0.0,
+        cfg.seeds,
+        format!(
+            "stationary Poisson series ({} samples at {SERIES_MEAN}/h) must stay quiet",
+            cfg.samples
+        ),
+    )
+}
+
+/// A +25 % step injected halfway through the series must be detected on
+/// every seed: a `step_up` detected after the change point with delay
+/// within [`MAX_DELAY`] and onset no earlier than [`ONSET_SLACK`] samples
+/// before it, and nothing detected before the step. The statistic counts
+/// seeds where any of that fails.
+fn detection_power_check(seed: u64, cfg: WatchConfig) -> CheckResult {
+    let step_at = cfg.samples / 2;
+    let mut misses = 0u64;
+    for s in 0..cfg.seeds {
+        let counts = synthetic_series(seed ^ (0xD7EC + s), cfg, Some(step_at));
+        let (_, alerts) = replay_counts(&counts, 3600.0, tinii_monitor_config());
+        let detected = alerts.iter().any(|a| {
+            a.kind == AlertKind::StepUp
+                && a.onset_index + ONSET_SLACK >= step_at as u64
+                && a.detected_index >= step_at as u64
+                && a.detected_index <= (step_at as u64) + MAX_DELAY
+        });
+        let clean_before = alerts
+            .iter()
+            .all(|a| a.detected_index >= step_at as u64);
+        if !(detected && clean_before) {
+            misses += 1;
+        }
+    }
+    CheckResult::from_statistic(
+        "watch",
+        "watch.step_detection_power",
+        misses as f64,
+        0.0,
+        cfg.seeds,
+        format!(
+            "a +{:.0}% step at sample {step_at} must be flagged step_up within \
+             {MAX_DELAY} samples on every seed",
+            100.0 * STEP_FRACTION
+        ),
+    )
+}
+
+/// The end-to-end paper scenario: the statistic is the absolute error of
+/// the refined magnitude against the MC-derived boost (forced to 1.0
+/// when the alert pattern itself is wrong), thresholded at ±0.05.
+fn water_pan_check(seed: u64) -> CheckResult {
+    let report = run_water_pan(seed);
+    let pattern_ok = report.alerts.len() == 1
+        && report.alerts[0].kind == AlertKind::StepUp
+        && report.alerts[0].onset_index + ONSET_SLACK >= report.pre_samples as u64;
+    let statistic = if pattern_ok {
+        (report.magnitude - report.derived_boost).abs()
+    } else {
+        1.0
+    };
+    CheckResult::from_statistic(
+        "watch",
+        "watch.water_pan.magnitude",
+        statistic,
+        0.05,
+        report.samples as u64,
+        format!(
+            "water-pan replay: exactly one step_up past hour {}, refined magnitude \
+             within ±5% of the derived boost ({:+.3})",
+            report.pre_samples, report.derived_boost
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_passes_and_is_deterministic() {
+        tn_obs::set_level(Some(tn_obs::Level::Error));
+        let a = run_suite(2020, WatchConfig::quick());
+        let b = run_suite(2020, WatchConfig::quick());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for c in &a {
+            assert!(c.passed, "{c:?}");
+            assert_eq!(c.suite, "watch");
+        }
+    }
+
+    #[test]
+    fn detection_power_fails_without_a_detector() {
+        // Sanity: a threshold too high to ever fire must be caught by
+        // the power check (the suite has teeth, not just green lights).
+        tn_obs::set_level(Some(tn_obs::Level::Error));
+        let cfg = WatchConfig::quick();
+        let counts = synthetic_series(2020, cfg, Some(cfg.samples / 2));
+        let mut blunt = tinii_monitor_config();
+        blunt.cusum_threshold = 1e18;
+        blunt.drift_run = usize::MAX;
+        let (_, alerts) = replay_counts(&counts, 3600.0, blunt);
+        assert!(alerts.is_empty(), "blunted monitor must miss the step");
+    }
+}

@@ -1,0 +1,150 @@
+//! Validates a `WATCH_report.json` artifact written by
+//! `thermal-neutrons watch --json --out`: parses it with the in-tree
+//! JSON parser and checks the shape and the paper-scenario outcome the
+//! CI gate relies on.
+//!
+//! ```text
+//! cargo run --example validate_watch -- WATCH_report.json
+//! ```
+//!
+//! Exits non-zero (with a message on stderr) on malformed JSON, any
+//! missing field, a malformed alert, or a report that does not record
+//! the water-pan step: exactly one `step_up` whose refined magnitude is
+//! within ±0.05 of the Monte-Carlo-derived boost.
+
+use std::process::ExitCode;
+use thermal_neutrons::core_api::json;
+
+/// Absolute tolerance on `magnitude` against `derived_boost`, matching
+/// the CLI's own pass/fail gate.
+const MAGNITUDE_TOL: f64 = 0.05;
+
+fn finite(doc: &json::Json, key: &str) -> Result<f64, String> {
+    let value = doc
+        .get(key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+    if !value.is_finite() {
+        return Err(format!("field {key:?} is not finite: {value}"));
+    }
+    Ok(value)
+}
+
+fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e:?}"))?;
+    let scenario = doc
+        .get("scenario")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field \"scenario\"")?;
+    doc.get("seed")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing integer field \"seed\"")?;
+    let samples = doc
+        .get("samples")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing integer field \"samples\"")?;
+    let pre_samples = doc
+        .get("pre_samples")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing integer field \"pre_samples\"")?;
+    if samples == 0 || pre_samples >= samples {
+        return Err(format!(
+            "inconsistent sample counts: pre_samples={pre_samples}, samples={samples}"
+        ));
+    }
+    let derived_boost = finite(&doc, "derived_boost")?;
+    let baseline_rate = finite(&doc, "baseline_rate")?;
+    if derived_boost <= 0.0 || baseline_rate <= 0.0 {
+        return Err(format!(
+            "non-positive derived_boost={derived_boost} or baseline_rate={baseline_rate}"
+        ));
+    }
+    let magnitude = finite(&doc, "magnitude")?;
+    let delay = doc
+        .get("detection_delay")
+        .ok_or("missing field \"detection_delay\"")?;
+    if !delay.is_null() && delay.as_u64().is_none() {
+        return Err("field \"detection_delay\" is neither null nor an integer".into());
+    }
+
+    let alerts = doc
+        .get("alerts")
+        .and_then(|v| v.as_array())
+        .ok_or("missing array field \"alerts\"")?;
+    for (i, alert) in alerts.iter().enumerate() {
+        let kind = alert
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("alert[{i}]: missing string field \"kind\""))?;
+        if !["step_up", "step_down", "drift"].contains(&kind) {
+            return Err(format!("alert[{i}]: unknown kind {kind:?}"));
+        }
+        let onset = alert
+            .get("onset_index")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("alert[{i}]: missing integer field \"onset_index\""))?;
+        let detected = alert
+            .get("detected_index")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("alert[{i}]: missing integer field \"detected_index\""))?;
+        if detected < onset {
+            return Err(format!(
+                "alert[{i}]: detected_index {detected} precedes onset_index {onset}"
+            ));
+        }
+        for key in ["baseline_rate", "observed_rate", "magnitude"] {
+            finite(alert, key).map_err(|e| format!("alert[{i}]: {e}"))?;
+        }
+    }
+
+    // The paper-scenario gate, mirroring `WatchReport::detects_paper_step`.
+    if scenario == "water_pan" {
+        if alerts.len() != 1 {
+            return Err(format!("expected exactly one alert, got {}", alerts.len()));
+        }
+        let alert = &alerts[0];
+        if alert.get("kind").and_then(|v| v.as_str()) != Some("step_up") {
+            return Err("the single alert is not a step_up".into());
+        }
+        let onset = alert.get("onset_index").and_then(|v| v.as_u64()).unwrap();
+        if onset < pre_samples {
+            return Err(format!(
+                "step_up onset {onset} precedes the change point at {pre_samples}"
+            ));
+        }
+        if delay.is_null() {
+            return Err("water_pan report without a detection_delay".into());
+        }
+        let error = (magnitude - derived_boost).abs();
+        if error > MAGNITUDE_TOL {
+            return Err(format!(
+                "refined magnitude {magnitude:.4} misses the derived boost \
+                 {derived_boost:.4} by {error:.4} (tol {MAGNITUDE_TOL})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "WATCH_report.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_watch: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(()) => {
+            println!("validate_watch: {path} OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_watch: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

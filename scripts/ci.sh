@@ -97,6 +97,40 @@ for io in threads epoll; do
             ;;
     esac
 
+    # tn-watch wire smoke: one ingested sample must land in the timeline
+    # monitor, and the watch / teardown / surface-cache series must all
+    # render in /metrics (zero-valued counters still print).
+    body='{"count":500}'
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'POST /v1/timeline/ingest HTTP/1.1\r\nHost: ci\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+        "${#body}" "$body" >&3
+    ingest="$(cat <&3)"
+    exec 3<&- 3>&-
+    case "$ingest" in
+        *'"ingested":1'*) ;;
+        *)
+            echo "timeline ingest smoke FAILED ($io): unexpected response:" >&2
+            echo "$ingest" >&2
+            exit 1
+            ;;
+    esac
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+    metrics="$(cat <&3)"
+    exec 3<&- 3>&-
+    for series in tn_watch_rate tn_watch_baseline 'tn_watch_alerts_total{kind="step_up"}' \
+        tn_surface_cache_entries tn_surface_cache_loads_total tn_surface_cache_saves_total \
+        tn_conn_idle_closed_total tn_conn_request_cap_closed_total; do
+        case "$metrics" in
+            *"$series"*) ;;
+            *)
+                echo "metrics smoke FAILED ($io): series $series missing from /metrics" >&2
+                exit 1
+                ;;
+        esac
+    done
+    echo "tn-watch metrics smoke OK (io=$io)"
+
     kill "$server_pid"
     wait "$server_pid" 2>/dev/null || true
     trap - EXIT
@@ -137,3 +171,14 @@ if ! diff -ru tests/golden "$bless_dir"; then
 fi
 rm -rf "$bless_dir"
 echo "tn-verify gate OK"
+
+# ---- tn-watch gate ---------------------------------------------------------
+# Replay the paper's water-pan scenario through the streaming monitor:
+# the CLI exits non-zero unless it detects the thermal step, and the
+# report it writes must satisfy the schema the validator enforces
+# (exactly one step_up, magnitude within ±0.05 of the derived boost).
+watch_report="$(mktemp)"
+target/release/thermal-neutrons watch --seed 2020 --out "$watch_report"
+cargo run --offline --example validate_watch -- "$watch_report"
+rm -f "$watch_report"
+echo "tn-watch gate OK"

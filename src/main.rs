@@ -16,6 +16,7 @@
 //!                       [--io-model threads|epoll] [--out FILE]
 //! thermal-neutrons profile <command> [args...]
 //! thermal-neutrons verify [--quick] [--seed N] [--out FILE]
+//! thermal-neutrons watch [--seed N] [--json] [--out FILE]
 //! ```
 //!
 //! Global observability flags (any command): `--log-level LEVEL`
@@ -67,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "transport" => return transport(args, seed),
         "profile" => return profile(args),
         "verify" => return verify(args, seed, quick),
+        "watch" => return watch(args, seed),
         "help" | "--help" | "-h" => help(),
         other => return Err(format!("unknown command `{other}`\n\n{}", help_text())),
     }
@@ -420,6 +422,83 @@ fn verify(args: &[String], seed: u64, quick: bool) -> Result<(), String> {
     }
 }
 
+/// `watch [--json] [--out FILE]` — replay the built-in water-pan
+/// scenario (paper Fig. 6) through the tn-watch streaming monitor and
+/// report the change-point alerts it raised.
+///
+/// A [`tn::obs::VirtualClock`] is installed first so telemetry
+/// timestamps are deterministic: the same seed always produces
+/// byte-identical output. Exits non-zero when the scenario's step is
+/// not detected as the paper describes (exactly one `step_up`, onset in
+/// the post-water segment, magnitude within ±5 % of the derived boost).
+fn watch(args: &[String], seed: u64) -> Result<(), String> {
+    tn::obs::set_clock(std::sync::Arc::new(tn::obs::VirtualClock::starting_at(0)));
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = flag_value::<String>(args, "--out")?;
+
+    let report = tn::detector::run_water_pan(seed);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "tn-watch: {} scenario, seed {seed} ({} hourly samples, water at hour {})",
+            report.scenario, report.samples, report.pre_samples
+        );
+        println!(
+            "  baseline {:.1} counts/h, MC-derived boost {:+.1}%",
+            3600.0 * report.baseline_rate,
+            100.0 * report.derived_boost
+        );
+        if report.alerts.is_empty() {
+            println!("  no alerts raised");
+        }
+        for a in &report.alerts {
+            println!(
+                "  alert: {} onset hour {} (detected hour {}), \
+                 rate {:.1} -> {:.1} counts/h",
+                a.kind.label(),
+                a.onset_index,
+                a.detected_index,
+                3600.0 * a.baseline_rate,
+                3600.0 * a.observed_rate
+            );
+        }
+        if let Some(delay) = report.detection_delay {
+            println!(
+                "  step magnitude {:+.1}% (refined over the post-onset segment), \
+                 detection delay {delay}h",
+                100.0 * report.magnitude
+            );
+        }
+        println!(
+            "  detection: {}",
+            if report.detects_paper_step(0.05) {
+                "PASS (one step_up, magnitude within ±5% of the derived boost)"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("watch: cannot write `{path}`: {e}"))?;
+        if !json {
+            println!("  -> {path}");
+        }
+    }
+    if report.detects_paper_step(0.05) {
+        Ok(())
+    } else {
+        Err(format!(
+            "watch: scenario step not detected as expected \
+             ({} alert(s), magnitude {:+.3} vs derived boost {:+.3})",
+            report.alerts.len(),
+            report.magnitude,
+            report.derived_boost
+        ))
+    }
+}
+
 fn config(quick: bool) -> PipelineConfig {
     if quick {
         PipelineConfig::quick()
@@ -527,6 +606,9 @@ fn help_text() -> String {
      \x20 verify     statistical GOF + differential-oracle + golden-snapshot\n\
      \x20            suites; writes VERIFY_report.json (--out FILE overrides;\n\
      \x20            TN_BLESS=1 re-blesses the golden files)\n\
+     \x20 watch      replay the water-pan scenario through the tn-watch\n\
+     \x20            streaming change-point monitor (--json, --out FILE);\n\
+     \x20            exits non-zero when the paper's step is not detected\n\
      \n\
      options: --seed N (default 2020), --quick (fast low-statistics run),\n\
      \x20        --transport-threads N (Monte-Carlo workers; results are\n\
@@ -695,6 +777,27 @@ mod tests {
             .and_then(|v| v.as_f64())
             .expect("requests field");
         assert!(requests >= 1.0, "at least one request completed");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn watch_detects_the_paper_step_and_writes_the_report() {
+        let out = std::env::temp_dir().join("tn_main_watch_test.json");
+        let out_str = out.to_string_lossy().to_string();
+        let a = args(&["watch", "--seed", "2020", "--json", "--out", &out_str]);
+        assert_eq!(run(&a), Ok(()));
+        let text = std::fs::read_to_string(&out).expect("report written");
+        let doc = tn::json::parse(&text).expect("report parses");
+        assert_eq!(
+            doc.get("scenario").and_then(|v| v.as_str()),
+            Some("water_pan")
+        );
+        let alerts = doc.get("alerts").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(
+            alerts[0].get("kind").and_then(|v| v.as_str()),
+            Some("step_up")
+        );
         let _ = std::fs::remove_file(&out);
     }
 
