@@ -1,0 +1,379 @@
+//! Multi-channel Tin-II arrays: fault injection, 2oo3-style voting and
+//! per-channel health monitoring.
+//!
+//! Each channel is an independent Tin-II pair with its own forked RNG
+//! stream, so the array's hourly truth counts are independent Poisson
+//! draws around the same environment-driven mean. Injected faults
+//! corrupt the *reading* a channel reports, never the underlying
+//! physics; the fused estimate is the median of the finite readings
+//! from channels not yet flagged unhealthy — with three channels this
+//! is exactly 2-out-of-3 voting, robust to a single arbitrary failure.
+//!
+//! Health monitoring is windowed: a channel is flagged when its last
+//! [`HEALTH_WINDOW`] readings are unanimously pathological (all absent,
+//! all garbage, all frozen, or all far from the fused estimate), which
+//! keeps single-sample Poisson flukes from condemning a good channel.
+
+use crate::format::{ChannelFault, FaultKind};
+use std::collections::VecDeque;
+use tn_detector::TinII;
+use tn_environment::Environment;
+use tn_physics::units::Seconds;
+use tn_rng::Rng;
+
+/// Consecutive pathological readings required to flag a channel.
+pub const HEALTH_WINDOW: usize = 6;
+
+/// Readings above this are garbage regardless of environment — no
+/// terrestrial Tin-II bin reaches ten million counts.
+pub const GARBAGE_COUNT: f64 = 1.0e7;
+
+/// Health verdict for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelVerdict {
+    /// The channel tracks the fused estimate.
+    Healthy,
+    /// The reading has frozen at a constant value.
+    Stuck,
+    /// The reading deviates persistently from the fused estimate.
+    Drift,
+    /// The channel has stopped reporting.
+    Dropout,
+    /// The channel reports non-finite or absurd values.
+    Garbage,
+}
+
+impl ChannelVerdict {
+    /// Stable lower-snake label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelVerdict::Healthy => "healthy",
+            ChannelVerdict::Stuck => "stuck",
+            ChannelVerdict::Drift => "drift",
+            ChannelVerdict::Dropout => "dropout",
+            ChannelVerdict::Garbage => "garbage",
+        }
+    }
+}
+
+/// The health outcome of one channel after a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelHealth {
+    /// Channel index (0-based).
+    pub channel: u8,
+    /// Final verdict.
+    pub verdict: ChannelVerdict,
+    /// Hour at which the channel was flagged (`None` while healthy).
+    pub flagged_hour: Option<u32>,
+}
+
+/// One fused array sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArraySample {
+    /// Raw per-channel readings (`None` = dropout).
+    pub readings: Vec<Option<f64>>,
+    /// The fault-tolerant fused thermal count for the hour.
+    pub fused: u64,
+}
+
+struct Channel {
+    detector: TinII,
+    rng: Rng,
+    fault: Option<ChannelFault>,
+    /// Last pre-fault reading, the value a stuck-at channel freezes to.
+    last_good: f64,
+    /// Recent `(reading, fused)` pairs for health classification.
+    history: VecDeque<(Option<f64>, f64)>,
+    verdict: ChannelVerdict,
+    flagged_hour: Option<u32>,
+}
+
+/// A multi-channel Tin-II array with voting and health monitoring.
+pub struct DetectorArray {
+    channels: Vec<Channel>,
+    last_fused: u64,
+}
+
+impl std::fmt::Debug for DetectorArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorArray")
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+impl DetectorArray {
+    /// Builds an array of `channels` independent Tin-II pairs. Each
+    /// channel forks its own RNG stream from `seed`, so array runs are
+    /// deterministic and channels are statistically independent.
+    pub fn new(seed: u64, channels: u8, faults: &[ChannelFault]) -> Self {
+        assert!(channels >= 1, "need at least one channel");
+        let root = Rng::seed_from_u64(seed);
+        let channels = (0..channels)
+            .map(|c| Channel {
+                detector: TinII::new(),
+                rng: root.fork(1 + c as u64),
+                fault: faults.iter().find(|f| f.channel == c).copied(),
+                last_good: 0.0,
+                history: VecDeque::with_capacity(HEALTH_WINDOW + 1),
+                verdict: ChannelVerdict::Healthy,
+                flagged_hour: None,
+            })
+            .collect();
+        Self {
+            channels,
+            last_fused: 0,
+        }
+    }
+
+    /// Draws one hourly sample from every channel in `env` (thermal flux
+    /// scaled by `thermal_scale`), applies faults, fuses by voting and
+    /// updates channel health.
+    pub fn sample_hour(&mut self, hour: u32, env: &Environment, thermal_scale: f64) -> ArraySample {
+        let mut readings = Vec::with_capacity(self.channels.len());
+        for channel in &mut self.channels {
+            let sample = channel.detector.count_series(
+                env,
+                Seconds::from_hours(1.0),
+                thermal_scale,
+                hour as f64,
+                &mut channel.rng,
+            );
+            let truth = sample[0].bare.saturating_sub(sample[0].shielded) as f64;
+            let faulted = channel
+                .fault
+                .filter(|f| hour >= f.at_hour)
+                .map(|f| match f.kind {
+                    FaultKind::StuckAt => Some(channel.last_good),
+                    FaultKind::BiasDrift { per_hour } => {
+                        Some(truth * (1.0 + per_hour).powi((hour - f.at_hour + 1) as i32))
+                    }
+                    FaultKind::Dropout => None,
+                    FaultKind::Garbage => Some(if hour % 2 == 0 { f64::NAN } else { 1.0e12 }),
+                });
+            let reading = match faulted {
+                Some(corrupted) => corrupted,
+                None => {
+                    channel.last_good = truth;
+                    Some(truth)
+                }
+            };
+            readings.push(reading);
+        }
+
+        // Fuse: median of the finite readings from channels not yet
+        // flagged. The median of three is 2oo3 voting — one arbitrary
+        // failure cannot move it beyond the span of the two good
+        // channels.
+        let mut votes: Vec<f64> = readings
+            .iter()
+            .zip(&self.channels)
+            .filter(|(_, c)| c.verdict == ChannelVerdict::Healthy)
+            .filter_map(|(r, _)| r.filter(|v| v.is_finite()))
+            .collect();
+        let fused = if votes.is_empty() {
+            self.last_fused
+        } else {
+            votes.sort_by(|a, b| a.partial_cmp(b).expect("finite votes"));
+            let mid = votes.len() / 2;
+            let median = if votes.len() % 2 == 1 {
+                votes[mid]
+            } else {
+                (votes[mid - 1] + votes[mid]) / 2.0
+            };
+            median.max(0.0).round() as u64
+        };
+        self.last_fused = fused;
+
+        for (channel_idx, channel) in self.channels.iter_mut().enumerate() {
+            channel.history.push_back((readings[channel_idx], fused as f64));
+            if channel.history.len() > HEALTH_WINDOW {
+                channel.history.pop_front();
+            }
+            if channel.verdict == ChannelVerdict::Healthy {
+                if let Some(verdict) = classify(&channel.history) {
+                    channel.verdict = verdict;
+                    channel.flagged_hour = Some(hour);
+                }
+            }
+        }
+
+        ArraySample { readings, fused }
+    }
+
+    /// Current health of every channel.
+    pub fn health(&self) -> Vec<ChannelHealth> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ChannelHealth {
+                channel: i as u8,
+                verdict: c.verdict,
+                flagged_hour: c.flagged_hour,
+            })
+            .collect()
+    }
+}
+
+/// Classifies a full health window; `None` while the window is partial
+/// or the readings look healthy.
+fn classify(history: &VecDeque<(Option<f64>, f64)>) -> Option<ChannelVerdict> {
+    if history.len() < HEALTH_WINDOW {
+        return None;
+    }
+    if history.iter().all(|(r, _)| r.is_none()) {
+        return Some(ChannelVerdict::Dropout);
+    }
+    let garbage = |r: &Option<f64>| matches!(r, Some(v) if !v.is_finite() || v.abs() > GARBAGE_COUNT);
+    if history.iter().all(|(r, _)| garbage(r)) {
+        return Some(ChannelVerdict::Garbage);
+    }
+    let values: Vec<f64> = history.iter().filter_map(|(r, _)| *r).collect();
+    if values.len() == HEALTH_WINDOW {
+        let (first, rest) = values.split_first().expect("full window");
+        if rest.iter().all(|v| v == first) {
+            return Some(ChannelVerdict::Stuck);
+        }
+    }
+    let deviant = |(r, fused): &(Option<f64>, f64)| match r {
+        Some(v) if v.is_finite() => {
+            let tolerance = (0.15 * fused).max(6.0 * fused.max(0.0).sqrt()).max(10.0);
+            (v - fused).abs() > tolerance
+        }
+        _ => true,
+    };
+    if history.iter().all(deviant) {
+        return Some(ChannelVerdict::Drift);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_environment::{Location, Surroundings, Weather};
+
+    fn env() -> Environment {
+        Environment::new(
+            Location::new_york(),
+            Weather::Sunny,
+            Surroundings::hpc_machine_room(),
+        )
+    }
+
+    fn fault(channel: u8, at_hour: u32, kind: FaultKind) -> ChannelFault {
+        ChannelFault {
+            channel,
+            at_hour,
+            kind,
+        }
+    }
+
+    fn run(array: &mut DetectorArray, hours: u32) -> Vec<ArraySample> {
+        let e = env();
+        (0..hours).map(|h| array.sample_hour(h, &e, 1.0)).collect()
+    }
+
+    #[test]
+    fn healthy_array_fuses_near_every_channel() {
+        let mut array = DetectorArray::new(7, 3, &[]);
+        let samples = run(&mut array, 48);
+        for s in &samples {
+            let votes: Vec<f64> = s.readings.iter().filter_map(|r| *r).collect();
+            assert_eq!(votes.len(), 3);
+            let lo = votes.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = votes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((s.fused as f64) >= lo.floor() && (s.fused as f64) <= hi.ceil());
+        }
+        assert!(array.health().iter().all(|h| h.verdict == ChannelVerdict::Healthy));
+    }
+
+    #[test]
+    fn channels_are_independent_but_deterministic() {
+        let mut a = DetectorArray::new(11, 3, &[]);
+        let mut b = DetectorArray::new(11, 3, &[]);
+        let sa = run(&mut a, 24);
+        let sb = run(&mut b, 24);
+        assert_eq!(sa, sb, "same seed, same samples");
+        // Channels see different streams: the readings differ pairwise
+        // somewhere in a day of sampling.
+        assert!(sa
+            .iter()
+            .any(|s| s.readings[0] != s.readings[1] && s.readings[1] != s.readings[2]));
+    }
+
+    #[test]
+    fn dropout_channel_is_flagged_and_excluded() {
+        let mut array = DetectorArray::new(3, 3, &[fault(1, 10, FaultKind::Dropout)]);
+        let samples = run(&mut array, 40);
+        assert!(samples[..10].iter().all(|s| s.readings[1].is_some()));
+        assert!(samples[10..].iter().all(|s| s.readings[1].is_none()));
+        let health = array.health();
+        assert_eq!(health[1].verdict, ChannelVerdict::Dropout);
+        assert_eq!(health[1].flagged_hour, Some(10 + HEALTH_WINDOW as u32 - 1));
+        assert_eq!(health[0].verdict, ChannelVerdict::Healthy);
+    }
+
+    #[test]
+    fn stuck_channel_is_flagged() {
+        let mut array = DetectorArray::new(5, 3, &[fault(0, 12, FaultKind::StuckAt)]);
+        run(&mut array, 40);
+        let health = array.health();
+        assert_eq!(health[0].verdict, ChannelVerdict::Stuck);
+        // The frozen value IS the last pre-fault reading, so that
+        // reading already matches and the window fills one hour early.
+        assert_eq!(health[0].flagged_hour, Some(12 + HEALTH_WINDOW as u32 - 2));
+    }
+
+    #[test]
+    fn garbage_channel_is_flagged_without_poisoning_the_fusion() {
+        let mut array = DetectorArray::new(9, 3, &[fault(2, 8, FaultKind::Garbage)]);
+        let samples = run(&mut array, 40);
+        let health = array.health();
+        assert_eq!(health[2].verdict, ChannelVerdict::Garbage);
+        // The fused estimate never explodes: median voting rejects the
+        // 1e12 spikes even before the channel is flagged.
+        assert!(samples.iter().all(|s| s.fused < 1_000_000));
+    }
+
+    #[test]
+    fn drifting_channel_is_flagged_once_it_leaves_the_band() {
+        let mut array = DetectorArray::new(
+            13,
+            3,
+            &[fault(1, 5, FaultKind::BiasDrift { per_hour: 0.05 })],
+        );
+        run(&mut array, 120);
+        let health = array.health();
+        assert_eq!(health[1].verdict, ChannelVerdict::Drift);
+        let flagged = health[1].flagged_hour.expect("flagged");
+        assert!(flagged > 5, "drift takes a while to clear the noise band");
+        assert!(flagged < 60, "5 %/hour drift must be caught well within 55 hours");
+    }
+
+    #[test]
+    fn voting_recovers_the_true_rate_under_a_single_fault() {
+        let mut clean = DetectorArray::new(21, 3, &[]);
+        let mut faulty = DetectorArray::new(
+            21,
+            3,
+            &[fault(0, 20, FaultKind::BiasDrift { per_hour: 0.02 })],
+        );
+        let clean_mean = run(&mut clean, 96).iter().map(|s| s.fused).sum::<u64>() as f64 / 96.0;
+        let faulty_mean = run(&mut faulty, 96).iter().map(|s| s.fused).sum::<u64>() as f64 / 96.0;
+        let ratio = faulty_mean / clean_mean;
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "fused rate with one faulted channel within 5%: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn single_channel_array_follows_its_only_reading() {
+        let mut array = DetectorArray::new(2, 1, &[]);
+        let samples = run(&mut array, 24);
+        for s in samples {
+            assert_eq!(Some(s.fused as f64), s.readings[0].map(f64::round));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # tn-scenario — scriptable environment campaigns
+//!
+//! The scenario engine turns the rest of the workspace into its own
+//! conformance harness. A scenario is a small declarative JSON document
+//! (parsed with the in-tree `tn_core::json` layer) scripting a campaign
+//! over virtual time: a timeline of environment events — rainstorms
+//! (thermal ×1.5–2), concrete and water moderators, water-pan moderation
+//! on/off, altitude moves, a calibration beam — plus per-channel fault
+//! injections against a multi-channel Tin-II array.
+//!
+//! The [`ScenarioRunner`] advances a private virtual clock, mutates the
+//! `tn-environment` state at each scripted event, fuses the array's
+//! hourly counts by 2oo3-style median voting, streams them through the
+//! `tn-obs` CUSUM/drift monitor, and emits a byte-deterministic
+//! [`ScenarioReport`]: per-event detection latency and refined
+//! magnitudes, uncredited-alert counts, and per-channel health verdicts.
+//!
+//! ## Example
+//!
+//! ```
+//! use tn_scenario::{builtin, run_scenario};
+//!
+//! tn_obs::set_level(Some(tn_obs::Level::Error));
+//! let scenario = builtin("normal").expect("built-in");
+//! let report = run_scenario(&scenario, 2020);
+//! assert!(report.conformant);
+//! assert!(report.alerts.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod array;
+pub mod format;
+pub mod runner;
+
+pub use array::{ArraySample, ChannelHealth, ChannelVerdict, DetectorArray, HEALTH_WINDOW};
+pub use format::{
+    ChannelFault, EventKind, FaultKind, LocationPreset, Scenario, ScenarioError, ScenarioEvent,
+    SurroundingsPreset,
+};
+pub use runner::{
+    builtin, builtin_names, run_scenario, scenario_monitor_config, EventOutcome, ScenarioReport,
+    ScenarioRunner, BEAM_THERMAL_FACTOR, MAX_ONSET_DELAY, ONSET_SLACK,
+};

@@ -1614,6 +1614,64 @@ fn timeline_ingest_inner(state: &AppState, body: &[u8]) -> Result<Response, BadR
     Ok(Response::json(200, out))
 }
 
+/// `GET /v1/scenarios` — lists the built-in scenario campaigns with
+/// their headline parameters, plus the seed a run defaults to.
+pub fn scenarios(state: &AppState) -> Response {
+    let list: Vec<Json> = tn_scenario::builtin_names()
+        .iter()
+        .map(|name| {
+            let s = tn_scenario::builtin(name).expect("built-in scenario");
+            Json::Object(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                (
+                    "duration_hours".into(),
+                    Json::Num(f64::from(s.duration_hours)),
+                ),
+                ("channels".into(), Json::Num(f64::from(s.channels))),
+                ("events".into(), Json::Num(s.events.len() as f64)),
+                ("faults".into(), Json::Num(s.faults.len() as f64)),
+                ("moderation".into(), Json::Bool(s.moderation)),
+            ])
+        })
+        .collect();
+    let doc = Json::Object(vec![
+        ("count".into(), Json::Num(list.len() as f64)),
+        ("default_seed".into(), Json::Num(state.seed as f64)),
+        ("scenarios".into(), Json::Array(list)),
+    ]);
+    Response::json(200, doc.to_canonical_string())
+}
+
+/// `POST /v1/scenario/run` — runs a built-in scenario campaign and
+/// returns its full report. Request: `{"name": <built-in>,
+/// "seed": <u64>}` (`seed` optional, defaults to the server seed).
+/// Reports are byte-deterministic, so repeats are LRU cache hits.
+pub fn scenario_run(state: &AppState, body: &[u8]) -> Response {
+    match scenario_run_inner(state, body) {
+        Ok(r) => r,
+        Err(bad) => bad.response(),
+    }
+}
+
+fn scenario_run_inner(state: &AppState, body: &[u8]) -> Result<Response, BadRequest> {
+    let doc = parse_body(body)?;
+    let name = required_str(&doc, "name")?;
+    let seed = optional_u64(&doc, "seed", state.seed)?;
+    let scenario = tn_scenario::builtin(name).ok_or_else(|| {
+        BadRequest::new(
+            404,
+            format!(
+                "unknown scenario `{name}` (built-ins: {})",
+                tn_scenario::builtin_names().join(", ")
+            ),
+        )
+    })?;
+    let key = format!("scenario/run|{name}|{seed}");
+    Ok(cached(state, &key, || {
+        tn_scenario::run_scenario(&scenario, seed).to_json()
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1637,6 +1695,47 @@ mod tests {
         assert!(r.body_text().contains("Intel Xeon Phi"));
         assert!(r.body_text().contains("\"MNIST\""));
         assert!(json::parse(&r.body_text()).is_ok());
+    }
+
+    #[test]
+    fn scenarios_lists_the_builtin_campaigns() {
+        let r = scenarios(&state());
+        assert_eq!(r.status, 200);
+        let doc = json::parse(&r.body_text()).expect("valid JSON");
+        assert_eq!(doc.get("count").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("default_seed").and_then(|v| v.as_u64()), Some(2020));
+        let names: Vec<&str> = doc
+            .get("scenarios")
+            .and_then(|v| v.as_array())
+            .expect("array")
+            .iter()
+            .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            ["normal", "rainstorm-at-leadville", "loss-of-moderation", "detector-channel-drift"]
+        );
+    }
+
+    #[test]
+    fn scenario_run_validates_name_and_caches_reports() {
+        let s = state();
+        assert_eq!(scenario_run(&s, b"{oops").status, 400);
+        assert_eq!(scenario_run(&s, b"{}").status, 400);
+        let unknown = scenario_run(&s, br#"{"name":"nope"}"#);
+        assert_eq!(unknown.status, 404);
+        assert!(unknown.body_text().contains("built-ins:"), "{}", unknown.body_text());
+        assert_eq!(scenario_run(&s, br#"{"name":"normal","seed":"x"}"#).status, 400);
+
+        let a = scenario_run(&s, br#"{"name":"normal","seed":7}"#);
+        assert_eq!(a.status, 200, "{}", a.body_text());
+        let doc = json::parse(&a.body_text()).expect("valid JSON");
+        assert_eq!(doc.get("seed").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(doc.get("conformant").and_then(|v| v.as_bool()), Some(true));
+        // Identical request: byte-identical body served from the cache.
+        let b = scenario_run(&s, br#"{"name":"normal","seed":7}"#);
+        assert_eq!(a.body_text(), b.body_text());
+        assert!(s.metrics.render().contains("tn_cache_hits_total 1"));
     }
 
     #[test]

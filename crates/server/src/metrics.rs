@@ -43,6 +43,10 @@ pub enum Endpoint {
     TimelineStream,
     /// `POST /v1/timeline/ingest`
     TimelineIngest,
+    /// `GET /v1/scenarios`
+    Scenarios,
+    /// `POST /v1/scenario/run`
+    ScenarioRun,
     /// `GET /metrics`
     Metrics,
     /// Anything else.
@@ -51,7 +55,7 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 14] = [
+    pub const ALL: [Endpoint; 16] = [
         Endpoint::Healthz,
         Endpoint::Devices,
         Endpoint::Fit,
@@ -64,6 +68,8 @@ impl Endpoint {
         Endpoint::Timeline,
         Endpoint::TimelineStream,
         Endpoint::TimelineIngest,
+        Endpoint::Scenarios,
+        Endpoint::ScenarioRun,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -83,6 +89,8 @@ impl Endpoint {
             Endpoint::Timeline => "/v1/timeline",
             Endpoint::TimelineStream => "/v1/timeline/stream",
             Endpoint::TimelineIngest => "/v1/timeline/ingest",
+            Endpoint::Scenarios => "/v1/scenarios",
+            Endpoint::ScenarioRun => "/v1/scenario/run",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -110,7 +118,7 @@ struct EndpointCounters {
 /// The service-wide metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 14],
+    endpoints: [EndpointCounters; 16],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,

@@ -24,6 +24,8 @@ fn endpoint_of(path: &str) -> Endpoint {
         "/v1/timeline" => Endpoint::Timeline,
         "/v1/timeline/stream" => Endpoint::TimelineStream,
         "/v1/timeline/ingest" => Endpoint::TimelineIngest,
+        "/v1/scenarios" => Endpoint::Scenarios,
+        "/v1/scenario/run" => Endpoint::ScenarioRun,
         "/metrics" => Endpoint::Metrics,
         p if p == "/v1/fleet/entries" || p.starts_with("/v1/fleet/entries/") => {
             Endpoint::FleetEntries
@@ -40,6 +42,9 @@ fn endpoint_of(path: &str) -> Endpoint {
 pub fn wants_worker(state: &AppState, request: &Request) -> bool {
     match endpoint_of(&request.path) {
         Endpoint::Fit | Endpoint::CrossSections | Endpoint::Transport => true,
+        // Scenario campaigns simulate hundreds of virtual hours (and may
+        // run Monte-Carlo moderation boosts) — never inline on a shard.
+        Endpoint::ScenarioRun => true,
         Endpoint::Fleet | Endpoint::FleetStream => {
             match handlers::fleet_surface_key(state, request) {
                 Some((seed, quick)) => !state.surface_ready(seed, quick),
@@ -149,6 +154,14 @@ fn dispatch(state: &AppState, request: &Request, endpoint: Endpoint) -> Response
             "POST" => handlers::timeline_ingest(state, &request.body),
             _ => method_not_allowed("POST"),
         },
+        Endpoint::Scenarios => match method {
+            "GET" => handlers::scenarios(state),
+            _ => method_not_allowed("GET"),
+        },
+        Endpoint::ScenarioRun => match method {
+            "POST" => handlers::scenario_run(state, &request.body),
+            _ => method_not_allowed("POST"),
+        },
         Endpoint::Other => Response::error(404, &format!("no route for `{}`", request.path)),
     }
 }
@@ -181,6 +194,8 @@ mod tests {
         assert_eq!(endpoint_of("/v1/timeline?limit=8"), Endpoint::Timeline);
         assert_eq!(endpoint_of("/v1/timeline/stream"), Endpoint::TimelineStream);
         assert_eq!(endpoint_of("/v1/timeline/ingest"), Endpoint::TimelineIngest);
+        assert_eq!(endpoint_of("/v1/scenarios"), Endpoint::Scenarios);
+        assert_eq!(endpoint_of("/v1/scenario/run"), Endpoint::ScenarioRun);
         assert_eq!(endpoint_of("/nope"), Endpoint::Other);
         assert_eq!(endpoint_of("/healthz?probe=1"), Endpoint::Healthz);
         assert_eq!(endpoint_of("/metrics#frag"), Endpoint::Metrics);

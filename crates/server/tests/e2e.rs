@@ -547,13 +547,14 @@ fn responses_are_deterministic_across_server_instances(io: IoModel) {
     assert_eq!(first, second, "fresh daemons agree byte-for-byte");
 }
 
-const POST_ENDPOINTS: [&str; 6] = [
+const POST_ENDPOINTS: [&str; 7] = [
     "/v1/fit",
     "/v1/checkpoint",
     "/v1/cross-sections",
     "/v1/transport",
     "/v1/fleet",
     "/v1/fleet/entries",
+    "/v1/scenario/run",
 ];
 
 /// Decodes a `Transfer-Encoding: chunked` body into its payload.
@@ -696,6 +697,70 @@ fn malformed_json_gets_400_on_every_post_endpoint(io: IoModel) {
             assert!(body.contains("\"error\""), "{path}: {body}");
         }
     }
+    server.stop();
+}
+
+/// The documented ingest batch cap is a hard edge: exactly 10 000
+/// samples are accepted, 10 001 are rejected as a 400 — with the monitor
+/// left untouched by the rejected batch.
+fn timeline_ingest_batch_boundary_is_exact(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    let batch = |n: usize| format!("{{\"samples\":[{}]}}", vec!["{\"count\":500}"; n].join(","));
+    let (status, _, body) = post(addr, "/v1/timeline/ingest", &batch(10_001));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("10000"), "{body}");
+    let (status, _, body) = get(addr, "/v1/timeline");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"samples\":0"),
+        "rejected batch must not touch the monitor: {body}"
+    );
+
+    let (status, _, body) = post(addr, "/v1/timeline/ingest", &batch(10_000));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ingested\":10000"), "{body}");
+    server.stop();
+}
+
+/// `GET /v1/scenarios` lists the built-ins; `POST /v1/scenario/run`
+/// serves byte-identical reports (second hit from the LRU cache) and
+/// 404s an unknown name without dying.
+fn scenario_endpoints_list_run_and_cache(io: IoModel) {
+    let server = start(io, 2);
+    let addr = server.addr();
+
+    let (status, _, body) = get(addr, "/v1/scenarios");
+    assert_eq!(status, 200, "{body}");
+    for name in [
+        "normal",
+        "rainstorm-at-leadville",
+        "loss-of-moderation",
+        "detector-channel-drift",
+    ] {
+        assert!(body.contains(name), "{body}");
+    }
+    let (status, _, body) = post(addr, "/v1/scenarios", "{}");
+    assert_eq!(status, 405, "{body}");
+
+    let (status, _, body) = post(addr, "/v1/scenario/run", "{\"name\":\"nope\"}");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("built-ins"), "{body}");
+
+    let req = "{\"name\":\"normal\",\"seed\":7}";
+    let (status, _, first) = post(addr, "/v1/scenario/run", req);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"conformant\":true"), "{first}");
+    assert!(first.contains("\"seed\":7"), "{first}");
+    let (status, _, second) = post(addr, "/v1/scenario/run", req);
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first, second, "cached report must be byte-identical");
+    let metrics = await_metric(addr, "tn_cache_hits_total", 1);
+    assert!(
+        metrics.contains("tn_requests_total{endpoint=\"/v1/scenario/run\",status=\"200\"} 2"),
+        "{metrics}"
+    );
     server.stop();
 }
 
@@ -1258,6 +1323,14 @@ macro_rules! io_model_suite {
         #[test]
         fn timeline_bulk_and_stream_agree_over_keep_alive() {
             super::timeline_bulk_and_stream_agree_over_keep_alive($model)
+        }
+        #[test]
+        fn timeline_ingest_batch_boundary_is_exact() {
+            super::timeline_ingest_batch_boundary_is_exact($model)
+        }
+        #[test]
+        fn scenario_endpoints_list_run_and_cache() {
+            super::scenario_endpoints_list_run_and_cache($model)
         }
         #[test]
         fn surface_cache_metrics_track_loads_and_saves() {

@@ -1,10 +1,11 @@
 //! Layer 3 — the golden-snapshot harness.
 //!
 //! Blessed JSON artefacts live under `tests/golden/` at the workspace
-//! root: the full quick-profile [`StudyReport`], and the `/v1/fit` and
-//! `/v1/cross-sections` response bodies, all pinned to
-//! [`GOLDEN_SEED`] regardless of the CLI seed so the blessed files stay
-//! valid for every `verify` invocation.
+//! root: the full quick-profile [`StudyReport`], the `/v1/fit` and
+//! `/v1/cross-sections` response bodies, and the "loss-of-moderation"
+//! scenario campaign report, all pinned to [`GOLDEN_SEED`] regardless
+//! of the CLI seed so the blessed files stay valid for every `verify`
+//! invocation.
 //!
 //! Comparison is field-by-field with per-field tolerance classes:
 //! strings, booleans, nulls and count-like numbers (`seed`, `count`,
@@ -43,7 +44,7 @@ pub enum Tolerance {
 
 /// Key fragments whose numeric values are counts or identifiers and must
 /// therefore match exactly.
-const EXACT_KEY_FRAGMENTS: [&str; 8] = [
+const EXACT_KEY_FRAGMENTS: [&str; 15] = [
     "seed",
     "count",
     "nodes",
@@ -52,6 +53,15 @@ const EXACT_KEY_FRAGMENTS: [&str; 8] = [
     "runs",
     "errors",
     "workers",
+    // Scenario-report counters and indices ("at_hour" rather than the
+    // broad "hour": rate keys like "per_hour" must stay Relative).
+    "at_hour",
+    "flagged_hour",
+    "duration_hours",
+    "index",
+    "channel",
+    "delay",
+    "unmatched",
 ];
 
 /// Classifies the tolerance for a leaf reached through `key`.
@@ -171,7 +181,7 @@ pub fn bless_requested() -> bool {
     std::env::var("TN_BLESS").map(|v| v == "1").unwrap_or(false)
 }
 
-/// Generates the three golden artefacts at [`GOLDEN_SEED`].
+/// Generates the four golden artefacts at [`GOLDEN_SEED`].
 ///
 /// Endpoint bodies come from the handlers called directly (no sockets,
 /// no request-id headers), so the artefacts are pure functions of the
@@ -192,10 +202,16 @@ pub fn render_artefacts() -> Vec<(&'static str, String)> {
         "cross-sections golden request failed: {}",
         xs.body_text()
     );
+    let scenario = tn_scenario::builtin("loss-of-moderation").expect("built-in scenario");
+    let scenario_report = tn_scenario::run_scenario(&scenario, GOLDEN_SEED);
     vec![
         ("study_report.json", study.to_json()),
         ("fit_response.json", fit.body_text()),
         ("cross_sections_response.json", xs.body_text()),
+        (
+            "scenario_loss_of_moderation.json",
+            scenario_report.to_json(),
+        ),
     ]
 }
 
@@ -359,7 +375,7 @@ mod tests {
         let a = render_artefacts();
         let b = render_artefacts();
         assert_eq!(a, b);
-        assert_eq!(a.len(), 3);
+        assert_eq!(a.len(), 4);
         for (name, text) in &a {
             assert!(
                 tn_core::json::parse(text).is_ok(),

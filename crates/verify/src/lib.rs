@@ -22,6 +22,12 @@
 //! 4. **Watch monitor checks** ([`watch`]) — false-positive and
 //!    detection-power sweeps for the tn-watch streaming change-point
 //!    monitor, plus the end-to-end water-pan scenario magnitude check.
+//! 5. **Scenario campaign checks** ([`scenario`]) — the built-in
+//!    tn-scenario campaigns as conformance fixtures: stationary runs
+//!    stay quiet across a seed sweep, every scripted step is credited
+//!    with bounded delay, the loss-of-moderation magnitude matches the
+//!    MC expectation, and 2oo3 voting holds the fused rate under a
+//!    faulted channel.
 //!
 //! A built-in **self-test** layer injects two known bugs — a Gamma(1)
 //! Maxwellian sampler and a ×1.01 cached-cross-section divergence — and
@@ -39,6 +45,7 @@
 pub mod golden;
 pub mod oracle;
 pub mod report;
+pub mod scenario;
 pub mod stat;
 pub mod watch;
 
@@ -68,17 +75,19 @@ impl Default for VerifyOptions {
 /// Runs all four suites and collects the report.
 pub fn run_all(options: VerifyOptions) -> VerifyReport {
     let _root = obs::span("verify");
-    let (stat_cfg, oracle_cfg, watch_cfg) = if options.quick {
+    let (stat_cfg, oracle_cfg, watch_cfg, scenario_cfg) = if options.quick {
         (
             stat::StatConfig::quick(),
             oracle::OracleConfig::quick(),
             watch::WatchConfig::quick(),
+            scenario::ScenarioConfig::quick(),
         )
     } else {
         (
             stat::StatConfig::full(),
             oracle::OracleConfig::full(),
             watch::WatchConfig::full(),
+            scenario::ScenarioConfig::full(),
         )
     };
     let mut checks = Vec::new();
@@ -97,6 +106,10 @@ pub fn run_all(options: VerifyOptions) -> VerifyReport {
     {
         let _s = obs::span("verify.watch");
         checks.extend(watch::run_suite(options.seed, watch_cfg));
+    }
+    {
+        let _s = obs::span("verify.scenario");
+        checks.extend(scenario::run_suite(options.seed, scenario_cfg));
     }
     {
         let _s = obs::span("verify.selftest");

@@ -1,0 +1,210 @@
+//! Verification suite for the tn-scenario campaign engine.
+//!
+//! Four checks, all deterministic in `(seed, profile)`:
+//!
+//! 1. **False-positive rate** — the stationary "normal" campaign across
+//!    a seed sweep must raise *zero* alerts and stay conformant.
+//! 2. **Step detection** — the "rainstorm-at-leadville" campaign must
+//!    credit both scripted weather steps, with no uncredited alerts, on
+//!    every seed.
+//! 3. **Loss of moderation** — the Monte-Carlo-calibrated water-pan
+//!    removal: the refined magnitude of the scripted `moderation_off`
+//!    step must agree with the MC-derived expectation.
+//! 4. **Voting tolerance** — with one channel injected with bias drift,
+//!    2oo3 median voting must keep the fused mean rate within 5 % of
+//!    the clean campaign's, and flag the faulted channel.
+
+use crate::report::CheckResult;
+use tn_scenario::{builtin, run_scenario, ChannelVerdict};
+
+/// Statistics profile for the scenario suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Seeds swept by the false-positive, detection and voting checks.
+    pub seeds: u64,
+}
+
+impl ScenarioConfig {
+    /// Full-statistics profile.
+    pub fn full() -> Self {
+        Self { seeds: 8 }
+    }
+
+    /// Reduced profile for `verify --quick`.
+    pub fn quick() -> Self {
+        Self { seeds: 3 }
+    }
+}
+
+/// Refined-vs-expected magnitude tolerance for the moderation step. The
+/// refined estimate averages ~96 post-event hourly samples, so Poisson
+/// noise alone sits well inside this band.
+const MODERATION_TOLERANCE: f64 = 0.06;
+
+/// Allowed fused-rate divergence under a single faulted channel.
+const VOTING_TOLERANCE: f64 = 0.05;
+
+/// Runs the four scenario checks.
+pub fn run_suite(seed: u64, cfg: ScenarioConfig) -> Vec<CheckResult> {
+    vec![
+        false_positive_check(seed, cfg),
+        step_detection_check(seed, cfg),
+        loss_of_moderation_check(seed),
+        voting_tolerance_check(seed, cfg),
+    ]
+}
+
+/// The "normal" campaign across the seed sweep: the statistic counts
+/// seeds where the monitor raised anything at all (or the report went
+/// non-conformant), and the threshold is zero.
+fn false_positive_check(seed: u64, cfg: ScenarioConfig) -> CheckResult {
+    let scenario = builtin("normal").expect("built-in scenario");
+    let mut misfires = 0u64;
+    for s in 0..cfg.seeds {
+        let report = run_scenario(&scenario, seed ^ (0x5CE0 + s));
+        if !report.alerts.is_empty() || !report.conformant {
+            misfires += 1;
+        }
+    }
+    CheckResult::from_statistic(
+        "scenario",
+        "scenario.false_positive_rate",
+        misfires as f64,
+        0.0,
+        cfg.seeds,
+        format!(
+            "stationary `normal` campaign ({}h) must stay quiet on every seed",
+            scenario.duration_hours
+        ),
+    )
+}
+
+/// The "rainstorm-at-leadville" campaign: both scripted weather steps
+/// must be credited to an alert and nothing left uncredited, on every
+/// seed. The statistic counts seeds where either fails.
+fn step_detection_check(seed: u64, cfg: ScenarioConfig) -> CheckResult {
+    let scenario = builtin("rainstorm-at-leadville").expect("built-in scenario");
+    let mut misses = 0u64;
+    for s in 0..cfg.seeds {
+        let report = run_scenario(&scenario, seed ^ (0xA1B0 + s));
+        let missed = report
+            .events
+            .iter()
+            .filter(|e| e.expected && !e.detected)
+            .count();
+        if missed > 0 || report.unmatched_alerts > 0 {
+            misses += 1;
+        }
+    }
+    CheckResult::from_statistic(
+        "scenario",
+        "scenario.step_detection",
+        misses as f64,
+        0.0,
+        cfg.seeds,
+        format!(
+            "both scripted steps of `{}` must be credited on every seed",
+            scenario.name
+        ),
+    )
+}
+
+/// The "loss-of-moderation" campaign at the base seed: the statistic is
+/// the absolute error between the refined and MC-expected magnitude of
+/// the `moderation_off` step (forced to 1.0 when the report is not
+/// conformant), thresholded at [`MODERATION_TOLERANCE`].
+fn loss_of_moderation_check(seed: u64) -> CheckResult {
+    let scenario = builtin("loss-of-moderation").expect("built-in scenario");
+    let report = run_scenario(&scenario, seed);
+    let statistic = match (report.conformant, report.events.first()) {
+        (true, Some(e)) if e.detected => (e.refined_magnitude - e.expected_magnitude).abs(),
+        _ => 1.0,
+    };
+    CheckResult::from_statistic(
+        "scenario",
+        "scenario.loss_of_moderation",
+        statistic,
+        MODERATION_TOLERANCE,
+        u64::from(report.samples),
+        format!(
+            "moderation_off step refined magnitude within ±{:.0}% of the MC \
+             expectation ({:+.3})",
+            100.0 * MODERATION_TOLERANCE,
+            report
+                .events
+                .first()
+                .map(|e| e.expected_magnitude)
+                .unwrap_or(f64::NAN),
+        ),
+    )
+}
+
+/// The "detector-channel-drift" campaign against the clean "normal"
+/// campaign on the same seeds: the statistic is the worst fused-rate
+/// ratio error across the sweep (forced to 1.0 on any seed where the
+/// drifting channel is not flagged as drift), thresholded at
+/// [`VOTING_TOLERANCE`].
+fn voting_tolerance_check(seed: u64, cfg: ScenarioConfig) -> CheckResult {
+    let faulted = builtin("detector-channel-drift").expect("built-in scenario");
+    let clean = builtin("normal").expect("built-in scenario");
+    let fault_channel = faulted.faults[0].channel;
+    let mut worst = 0.0f64;
+    for s in 0..cfg.seeds {
+        let run_seed = seed ^ (0xF0A7 + s);
+        let dirty = run_scenario(&faulted, run_seed);
+        let baseline = run_scenario(&clean, run_seed);
+        let flagged = dirty.channels.iter().any(|c| {
+            c.channel == fault_channel
+                && c.verdict == ChannelVerdict::Drift
+                && c.flagged_hour.is_some()
+        });
+        let error = if flagged && baseline.fused_mean_rate > 0.0 {
+            (dirty.fused_mean_rate / baseline.fused_mean_rate - 1.0).abs()
+        } else {
+            1.0
+        };
+        worst = worst.max(error);
+    }
+    CheckResult::from_statistic(
+        "scenario",
+        "scenario.voting_tolerance",
+        worst,
+        VOTING_TOLERANCE,
+        cfg.seeds,
+        format!(
+            "2oo3 voting must hold the fused rate within ±{:.0}% of the clean \
+             campaign with channel {fault_channel} drifting",
+            100.0 * VOTING_TOLERANCE
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_passes_and_is_deterministic() {
+        tn_obs::set_level(Some(tn_obs::Level::Error));
+        let a = run_suite(2020, ScenarioConfig::quick());
+        let b = run_suite(2020, ScenarioConfig::quick());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for c in &a {
+            assert!(c.passed, "{c:?}");
+            assert_eq!(c.suite, "scenario");
+        }
+    }
+
+    #[test]
+    fn voting_check_has_teeth() {
+        // Sanity: the voting statistic is a real measurement, not a
+        // constant — the dirty and clean campaigns genuinely differ.
+        tn_obs::set_level(Some(tn_obs::Level::Error));
+        let faulted = builtin("detector-channel-drift").expect("built-in");
+        let clean = builtin("normal").expect("built-in");
+        let dirty = run_scenario(&faulted, 2020);
+        let baseline = run_scenario(&clean, 2020);
+        assert_ne!(dirty.fused, baseline.fused, "fault changes the series");
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::report::CheckResult;
 use tn_detector::{replay_counts, run_water_pan, tinii_monitor_config};
-use tn_obs::timeline::AlertKind;
+use tn_obs::timeline::{Alert, AlertKind};
 use tn_physics::stats::poisson;
 use tn_rng::Rng;
 
@@ -59,6 +59,17 @@ const MAX_DELAY: u64 = 12;
 /// last zero-crossing of the CUSUM statistic, which pre-step noise can
 /// pull a sample or two before the true change point.
 const ONSET_SLACK: u64 = 4;
+
+/// Whether an alert credits a step injected at sample `step_at`: a
+/// `step_up` detected inside the post-step segment within `max_delay`
+/// samples, with the onset estimate no earlier than [`ONSET_SLACK`]
+/// samples before the true change point.
+pub(crate) fn step_alert_matches(a: &Alert, step_at: u64, max_delay: u64) -> bool {
+    a.kind == AlertKind::StepUp
+        && a.onset_index + ONSET_SLACK >= step_at
+        && a.detected_index >= step_at
+        && a.detected_index <= step_at + max_delay
+}
 
 /// Runs the three watch checks.
 pub fn run_suite(seed: u64, cfg: WatchConfig) -> Vec<CheckResult> {
@@ -119,12 +130,9 @@ fn detection_power_check(seed: u64, cfg: WatchConfig) -> CheckResult {
     for s in 0..cfg.seeds {
         let counts = synthetic_series(seed ^ (0xD7EC + s), cfg, Some(step_at));
         let (_, alerts) = replay_counts(&counts, 3600.0, tinii_monitor_config());
-        let detected = alerts.iter().any(|a| {
-            a.kind == AlertKind::StepUp
-                && a.onset_index + ONSET_SLACK >= step_at as u64
-                && a.detected_index >= step_at as u64
-                && a.detected_index <= (step_at as u64) + MAX_DELAY
-        });
+        let detected = alerts
+            .iter()
+            .any(|a| step_alert_matches(a, step_at as u64, MAX_DELAY));
         let clean_before = alerts
             .iter()
             .all(|a| a.detected_index >= step_at as u64);
@@ -188,6 +196,34 @@ mod tests {
             assert!(c.passed, "{c:?}");
             assert_eq!(c.suite, "watch");
         }
+    }
+
+    #[test]
+    fn onset_jitter_slack_stops_at_exactly_four_samples() {
+        // The CUSUM onset estimate may be pulled up to ONSET_SLACK
+        // samples before the true change point by pre-step noise; one
+        // sample further means the alert belongs to something else.
+        let alert = |onset: u64| Alert {
+            kind: AlertKind::StepUp,
+            onset_index: onset,
+            detected_index: 102,
+            ts_nanos: 0,
+            baseline_rate: 0.14,
+            observed_rate: 0.17,
+            magnitude: 0.25,
+        };
+        let step_at = 100;
+        assert!(step_alert_matches(&alert(step_at), step_at, MAX_DELAY));
+        assert!(step_alert_matches(&alert(step_at - ONSET_SLACK), step_at, MAX_DELAY));
+        assert!(!step_alert_matches(&alert(step_at - ONSET_SLACK - 1), step_at, MAX_DELAY));
+        // Delay bound is inclusive too: detected at step_at + MAX_DELAY
+        // passes, one later fails.
+        let late = |detected: u64| Alert { detected_index: detected, ..alert(step_at) };
+        assert!(step_alert_matches(&late(step_at + MAX_DELAY), step_at, MAX_DELAY));
+        assert!(!step_alert_matches(&late(step_at + MAX_DELAY + 1), step_at, MAX_DELAY));
+        // Wrong direction never matches, whatever the indices say.
+        let down = Alert { kind: AlertKind::StepDown, ..alert(step_at) };
+        assert!(!step_alert_matches(&down, step_at, MAX_DELAY));
     }
 
     #[test]

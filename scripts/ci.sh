@@ -182,3 +182,26 @@ target/release/thermal-neutrons watch --seed 2020 --out "$watch_report"
 cargo run --offline --example validate_watch -- "$watch_report"
 rm -f "$watch_report"
 echo "tn-watch gate OK"
+
+# ---- tn-scenario gate ------------------------------------------------------
+# Run every built-in campaign twice: the CLI exits non-zero unless the
+# campaign meets its conformance contract, the two reports must be
+# byte-identical (the whole engine is deterministic in the seed), and
+# each report must satisfy the per-campaign schema the validator
+# enforces (e.g. "normal" alert-free, "loss-of-moderation" crediting
+# exactly one step_down).
+scenario_dir="$(mktemp -d)"
+for name in normal rainstorm-at-leadville loss-of-moderation detector-channel-drift; do
+    target/release/thermal-neutrons scenario --name "$name" --seed 2020 \
+        --out "$scenario_dir/$name.a.json" >/dev/null
+    target/release/thermal-neutrons scenario --name "$name" --seed 2020 \
+        --out "$scenario_dir/$name.b.json" >/dev/null
+    if ! cmp -s "$scenario_dir/$name.a.json" "$scenario_dir/$name.b.json"; then
+        echo "scenario determinism FAILED: $name reports differ across runs" >&2
+        rm -rf "$scenario_dir"
+        exit 1
+    fi
+    cargo run --offline --example validate_scenario -- "$scenario_dir/$name.a.json"
+done
+rm -rf "$scenario_dir"
+echo "tn-scenario gate OK"

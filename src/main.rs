@@ -17,6 +17,8 @@
 //! thermal-neutrons profile <command> [args...]
 //! thermal-neutrons verify [--quick] [--seed N] [--out FILE]
 //! thermal-neutrons watch [--seed N] [--json] [--out FILE]
+//! thermal-neutrons scenario [--name NAME | --file FILE | --list]
+//!                           [--seed N] [--json] [--out FILE]
 //! ```
 //!
 //! Global observability flags (any command): `--log-level LEVEL`
@@ -69,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "profile" => return profile(args),
         "verify" => return verify(args, seed, quick),
         "watch" => return watch(args, seed),
+        "scenario" => return scenario(args, seed),
         "help" | "--help" | "-h" => help(),
         other => return Err(format!("unknown command `{other}`\n\n{}", help_text())),
     }
@@ -499,6 +502,117 @@ fn watch(args: &[String], seed: u64) -> Result<(), String> {
     }
 }
 
+/// `scenario [--name NAME | --file FILE | --list] [--json] [--out FILE]`
+/// — run a scripted environment campaign through the tn-scenario engine
+/// and report per-event detection outcomes and channel health.
+///
+/// Like `watch`, a [`tn::obs::VirtualClock`] is installed so telemetry
+/// timestamps are deterministic (the runner itself keeps a private
+/// virtual clock either way). Exits non-zero when the campaign misses
+/// its conformance contract.
+fn scenario(args: &[String], seed: u64) -> Result<(), String> {
+    tn::obs::set_clock(std::sync::Arc::new(tn::obs::VirtualClock::starting_at(0)));
+    if args.iter().any(|a| a == "--list") {
+        for name in tn_scenario::builtin_names() {
+            let s = tn_scenario::builtin(name).expect("built-in");
+            println!(
+                "{name}: {}h, {} channel(s), {} event(s), {} fault(s)",
+                s.duration_hours,
+                s.channels,
+                s.events.len(),
+                s.faults.len()
+            );
+        }
+        return Ok(());
+    }
+    let name = flag_value::<String>(args, "--name")?;
+    let file = flag_value::<String>(args, "--file")?;
+    let scenario = match (name, file) {
+        (Some(name), None) => tn_scenario::builtin(&name)
+            .ok_or_else(|| format!("scenario: unknown built-in `{name}` (try --list)"))?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("scenario: cannot read `{path}`: {e}"))?;
+            tn_scenario::Scenario::from_json(&text)
+                .map_err(|e| format!("scenario: `{path}`: {e}"))?
+        }
+        (Some(_), Some(_)) => {
+            return Err("scenario: --name and --file are mutually exclusive".into())
+        }
+        (None, None) => {
+            return Err("scenario: need --name NAME, --file FILE or --list".into())
+        }
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = flag_value::<String>(args, "--out")?;
+
+    let report = tn_scenario::run_scenario(&scenario, seed);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "tn-scenario: {} seed {seed} ({} hourly samples, {} channel(s))",
+            report.scenario.name, report.samples, report.scenario.channels
+        );
+        if let Some(boost) = report.moderation_boost {
+            println!("  MC-derived moderation boost {:+.1}%", 100.0 * boost);
+        }
+        println!("  baseline {:.1} counts/h", 3600.0 * report.baseline_rate);
+        for e in &report.events {
+            let outcome = match (e.expected, e.detected, e.detection_delay) {
+                (_, true, Some(d)) => format!("detected (+{d}h, {})", e.alert_kind.unwrap_or("?")),
+                (false, _, _) => "below detection floor".to_string(),
+                _ => "MISSED".to_string(),
+            };
+            println!(
+                "  event @{}h {}{}: expected {:+.1}%, refined {:+.1}% — {outcome}",
+                e.at_hour,
+                e.kind,
+                e.value.map(|v| format!(" {v}")).unwrap_or_default(),
+                100.0 * e.expected_magnitude,
+                100.0 * e.refined_magnitude,
+            );
+        }
+        for c in &report.channels {
+            match c.flagged_hour {
+                Some(h) => println!("  channel {}: {} (flagged @{h}h)", c.channel, c.verdict.label()),
+                None => println!("  channel {}: {}", c.channel, c.verdict.label()),
+            }
+        }
+        println!(
+            "  alerts: {} raised, {} uncredited",
+            report.alerts.len(),
+            report.unmatched_alerts
+        );
+        println!(
+            "  conformance: {}",
+            if report.conformant { "PASS" } else { "FAIL" }
+        );
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("scenario: cannot write `{path}`: {e}"))?;
+        if !json {
+            println!("  -> {path}");
+        }
+    }
+    if report.conformant {
+        Ok(())
+    } else {
+        Err(format!(
+            "scenario: `{}` missed its conformance contract \
+             ({} uncredited alert(s), {} missed event(s))",
+            report.scenario.name,
+            report.unmatched_alerts,
+            report
+                .events
+                .iter()
+                .filter(|e| e.expected && !e.detected)
+                .count()
+        ))
+    }
+}
+
 fn config(quick: bool) -> PipelineConfig {
     if quick {
         PipelineConfig::quick()
@@ -609,6 +723,10 @@ fn help_text() -> String {
      \x20 watch      replay the water-pan scenario through the tn-watch\n\
      \x20            streaming change-point monitor (--json, --out FILE);\n\
      \x20            exits non-zero when the paper's step is not detected\n\
+     \x20 scenario   run a scripted environment campaign with fault injection\n\
+     \x20            (--name NAME for a built-in, --file FILE for a scenario\n\
+     \x20            document, --list, --json, --out FILE); exits non-zero\n\
+     \x20            when the campaign misses its conformance contract\n\
      \n\
      options: --seed N (default 2020), --quick (fast low-statistics run),\n\
      \x20        --transport-threads N (Monte-Carlo workers; results are\n\
@@ -694,6 +812,27 @@ mod tests {
     fn verify_out_flag_requires_a_value() {
         let err = run(&args(&["verify", "--out"])).unwrap_err();
         assert!(err.contains("--out requires a value"), "{err}");
+    }
+
+    #[test]
+    fn scenario_rejects_bad_parameters() {
+        let err = run(&args(&["scenario"])).unwrap_err();
+        assert!(err.contains("--name"), "{err}");
+        let err = run(&args(&["scenario", "--name", "nope"])).unwrap_err();
+        assert!(err.contains("unknown built-in `nope`"), "{err}");
+        let err = run(&args(&["scenario", "--name", "normal", "--file", "x.json"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&args(&["scenario", "--file", "/no/such/scenario.json"])).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn scenario_list_and_normal_run_succeed() {
+        assert_eq!(run(&args(&["scenario", "--list"])), Ok(()));
+        assert_eq!(
+            run(&args(&["scenario", "--name", "normal", "--quick", "--json"])),
+            Ok(())
+        );
     }
 
     #[test]
